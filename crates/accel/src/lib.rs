@@ -1,0 +1,40 @@
+//! # xrbench-accel
+//!
+//! The simulated DNN-accelerator systems XRBench evaluates (paper
+//! §4.1, Table 5): thirteen configurations `A`–`M` across three
+//! styles —
+//!
+//! * **FDA** — a single fixed-dataflow accelerator using all PEs;
+//! * **SFDA** — a scaled-out system of 2 or 4 identical-dataflow
+//!   sub-accelerators partitioning the PEs;
+//! * **HDA** — a heterogeneous-dataflow system (Herald-style) mixing
+//!   WS and OS sub-accelerators with 1:1, 3:1, or 1:3 partitioning.
+//!
+//! [`AcceleratorSystem`] instantiates a configuration at a total PE
+//! count (the paper uses 4K and 8K), evaluates every XRBench unit
+//! model on every sub-accelerator with the analytical cost model, and
+//! exposes the result to the runtime as a [`xrbench_sim::CostProvider`].
+//!
+//! ## Example
+//!
+//! ```
+//! use xrbench_accel::{table5, AcceleratorSystem};
+//! use xrbench_sim::CostProvider;
+//! use xrbench_models::ModelId;
+//!
+//! let configs = table5();
+//! let j = configs.iter().find(|c| c.id == 'J').unwrap();
+//! let system = AcceleratorSystem::new(j.clone(), 4096);
+//! assert_eq!(system.num_engines(), 2);
+//! let cost = system.cost(ModelId::HandTracking, 0);
+//! assert!(cost.latency_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod styles;
+mod system;
+
+pub use styles::{table5, AcceleratorConfig, AcceleratorStyle, SubAccelSpec};
+pub use system::AcceleratorSystem;

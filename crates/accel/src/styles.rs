@@ -1,0 +1,206 @@
+//! The Table 5 accelerator configurations.
+
+use std::fmt;
+
+use xrbench_costmodel::Dataflow;
+
+/// The three accelerator organization styles of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AcceleratorStyle {
+    /// Fixed-dataflow accelerator: one monolithic engine.
+    Fda,
+    /// Scaled-out multi-FDA: 2 or 4 identical-dataflow engines
+    /// (motivated by Baek et al. 2020).
+    Sfda,
+    /// Heterogeneous-dataflow accelerator (Kwon et al. 2021).
+    Hda,
+}
+
+impl fmt::Display for AcceleratorStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AcceleratorStyle::Fda => "FDA",
+            AcceleratorStyle::Sfda => "SFDA",
+            AcceleratorStyle::Hda => "HDA",
+        })
+    }
+}
+
+/// One sub-accelerator: a dataflow and the fraction of the chip's
+/// PEs/bandwidth/SRAM it owns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubAccelSpec {
+    /// The fixed dataflow of this engine.
+    pub dataflow: Dataflow,
+    /// Fraction of total resources in `(0, 1]`.
+    pub fraction: f64,
+}
+
+/// A named accelerator configuration (one row of Table 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// The Table 5 identifier, `'A'..='M'`.
+    pub id: char,
+    /// Organization style.
+    pub style: AcceleratorStyle,
+    /// The sub-accelerators (one entry for FDA).
+    pub subs: Vec<SubAccelSpec>,
+}
+
+impl AcceleratorConfig {
+    /// The Table 5 "Dataflow" column, e.g. `"WS + OS (1:3 partitioning)"`.
+    pub fn dataflow_description(&self) -> String {
+        let flows: Vec<&str> = self.subs.iter().map(|s| s.dataflow.abbrev()).collect();
+        if self.subs.len() == 1 {
+            return flows[0].to_string();
+        }
+        let ratio: Vec<String> = self
+            .subs
+            .iter()
+            .map(|s| {
+                let unit = self.subs.iter().map(|x| x.fraction).fold(f64::MAX, f64::min);
+                format!("{}", (s.fraction / unit).round() as u64)
+            })
+            .collect();
+        format!("{} ({} partitioning)", flows.join(" + "), ratio.join(":"))
+    }
+
+    /// Validates that sub-accelerator fractions sum to 1.
+    pub fn is_valid(&self) -> bool {
+        !self.subs.is_empty()
+            && (self.subs.iter().map(|s| s.fraction).sum::<f64>() - 1.0).abs() < 1e-9
+            && self.subs.iter().all(|s| s.fraction > 0.0)
+    }
+}
+
+impl fmt::Display for AcceleratorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.id, self.style, self.dataflow_description())
+    }
+}
+
+fn uniform(style: AcceleratorStyle, id: char, dataflow: Dataflow, n: usize) -> AcceleratorConfig {
+    AcceleratorConfig {
+        id,
+        style,
+        subs: vec![
+            SubAccelSpec {
+                dataflow,
+                fraction: 1.0 / n as f64,
+            };
+            n
+        ],
+    }
+}
+
+/// Builds the thirteen Table 5 accelerator configurations `A`–`M`.
+pub fn table5() -> Vec<AcceleratorConfig> {
+    use AcceleratorStyle::*;
+    use Dataflow::*;
+    let mut v = Vec::with_capacity(13);
+    // FDA: single accelerator per dataflow.
+    v.push(uniform(Fda, 'A', WeightStationary, 1));
+    v.push(uniform(Fda, 'B', OutputStationary, 1));
+    v.push(uniform(Fda, 'C', RowStationary, 1));
+    // SFDA: 2-way (1:1) per dataflow.
+    v.push(uniform(Sfda, 'D', WeightStationary, 2));
+    v.push(uniform(Sfda, 'E', OutputStationary, 2));
+    v.push(uniform(Sfda, 'F', RowStationary, 2));
+    // SFDA: 4-way (1:1:1:1) per dataflow.
+    v.push(uniform(Sfda, 'G', WeightStationary, 4));
+    v.push(uniform(Sfda, 'H', OutputStationary, 4));
+    v.push(uniform(Sfda, 'I', RowStationary, 4));
+    // HDA: WS + OS mixes.
+    v.push(AcceleratorConfig {
+        id: 'J',
+        style: Hda,
+        subs: vec![
+            SubAccelSpec { dataflow: WeightStationary, fraction: 0.5 },
+            SubAccelSpec { dataflow: OutputStationary, fraction: 0.5 },
+        ],
+    });
+    v.push(AcceleratorConfig {
+        id: 'K',
+        style: Hda,
+        subs: vec![
+            SubAccelSpec { dataflow: WeightStationary, fraction: 0.75 },
+            SubAccelSpec { dataflow: OutputStationary, fraction: 0.25 },
+        ],
+    });
+    v.push(AcceleratorConfig {
+        id: 'L',
+        style: Hda,
+        subs: vec![
+            SubAccelSpec { dataflow: WeightStationary, fraction: 0.25 },
+            SubAccelSpec { dataflow: OutputStationary, fraction: 0.75 },
+        ],
+    });
+    v.push(AcceleratorConfig {
+        id: 'M',
+        style: Hda,
+        subs: vec![
+            SubAccelSpec { dataflow: WeightStationary, fraction: 0.25 },
+            SubAccelSpec { dataflow: OutputStationary, fraction: 0.25 },
+            SubAccelSpec { dataflow: WeightStationary, fraction: 0.25 },
+            SubAccelSpec { dataflow: OutputStationary, fraction: 0.25 },
+        ],
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_configs_a_through_m() {
+        let cfgs = table5();
+        assert_eq!(cfgs.len(), 13);
+        let ids: Vec<char> = cfgs.iter().map(|c| c.id).collect();
+        assert_eq!(ids, ('A'..='M').collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_configs_valid() {
+        for c in table5() {
+            assert!(c.is_valid(), "{c}");
+        }
+    }
+
+    #[test]
+    fn style_counts_match_table5() {
+        let cfgs = table5();
+        let fda = cfgs.iter().filter(|c| c.style == AcceleratorStyle::Fda).count();
+        let sfda = cfgs.iter().filter(|c| c.style == AcceleratorStyle::Sfda).count();
+        let hda = cfgs.iter().filter(|c| c.style == AcceleratorStyle::Hda).count();
+        assert_eq!((fda, sfda, hda), (3, 6, 4));
+    }
+
+    #[test]
+    fn partitioning_descriptions() {
+        let cfgs = table5();
+        let get = |id: char| cfgs.iter().find(|c| c.id == id).unwrap();
+        assert_eq!(get('A').dataflow_description(), "WS");
+        assert_eq!(get('D').dataflow_description(), "WS + WS (1:1 partitioning)");
+        assert_eq!(
+            get('G').dataflow_description(),
+            "WS + WS + WS + WS (1:1:1:1 partitioning)"
+        );
+        assert_eq!(get('K').dataflow_description(), "WS + OS (3:1 partitioning)");
+        assert_eq!(get('L').dataflow_description(), "WS + OS (1:3 partitioning)");
+        assert_eq!(
+            get('M').dataflow_description(),
+            "WS + OS + WS + OS (1:1:1:1 partitioning)"
+        );
+    }
+
+    #[test]
+    fn hda_configs_mix_dataflows() {
+        for c in table5().iter().filter(|c| c.style == AcceleratorStyle::Hda) {
+            let mut flows: Vec<_> = c.subs.iter().map(|s| s.dataflow).collect();
+            flows.sort();
+            flows.dedup();
+            assert!(flows.len() > 1, "{c} is not heterogeneous");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! scheduler policy and NoC/off-chip bandwidth. Criterion measures the
+//! runtime cost; the printed scores (once, at setup) record the
+//! quality effect of each choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+use xrbench_accel::{table5, AcceleratorSystem};
+use xrbench_core::Harness;
+use xrbench_costmodel::{HardwareConfig, MappingStrategy};
+use xrbench_sim::{CostProvider, LatencyGreedy, RoundRobin, Scheduler};
+use xrbench_models::ModelId;
+use xrbench_workload::UsageScenario;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_ablation_scores() {
+    PRINT_ONCE.call_once(|| {
+        let cfg = table5().into_iter().find(|x| x.id == 'J').expect("J");
+        let system = AcceleratorSystem::new(cfg.clone(), 8192);
+        let h = Harness::new();
+
+        eprintln!("\n--- ablation: scheduler policy (AR Assistant, J @ 8K) ---");
+        let mut schedulers: Vec<Box<dyn Scheduler>> =
+            vec![Box::new(LatencyGreedy::new()), Box::new(RoundRobin::new())];
+        for s in schedulers.iter_mut() {
+            let (report, _) =
+                h.run_spec(&UsageScenario::ArAssistant.spec(), &system, s.as_mut());
+            eprintln!(
+                "  {:<16} overall={:.3} rt={:.3} qoe={:.3}",
+                report.scheduler,
+                report.overall(),
+                report.breakdown.realtime_score,
+                report.breakdown.qoe_score
+            );
+        }
+
+        eprintln!("--- ablation: off-chip bandwidth (AR Gaming, J @ 8K) ---");
+        for gbps in [16.0, 64.0, 256.0] {
+            let mut base = HardwareConfig::with_pes(8192);
+            base.offchip_bw_bytes_per_s = gbps * 1e9;
+            let sys = AcceleratorSystem::with_base_hw(cfg.clone(), base);
+            let report = h.run_scenario(UsageScenario::ArGaming, &sys);
+            eprintln!(
+                "  {gbps:>5} GB/s: overall={:.3} rt={:.3}",
+                report.overall(),
+                report.breakdown.realtime_score
+            );
+        }
+    });
+}
+
+fn print_mapping_ablation() {
+    // Fixed array geometry (a real fixed-dataflow accelerator) vs a
+    // per-layer adaptive tiling search (a reconfigurable array):
+    // quantifies what the "fixed-dataflow" constraint costs.
+    let cfg = table5().into_iter().find(|x| x.id == 'A').expect("A");
+    let mut adaptive_base = HardwareConfig::with_pes(4096);
+    adaptive_base.mapping = MappingStrategy::Adaptive;
+    let fixed = AcceleratorSystem::new(cfg.clone(), 4096);
+    let adaptive = AcceleratorSystem::with_base_hw(cfg, adaptive_base);
+    eprintln!("--- ablation: fixed vs adaptive mapping (WS @ 4K, per-model latency) ---");
+    for m in [
+        ModelId::HandTracking,
+        ModelId::SemanticSegmentation,
+        ModelId::DepthRefinement,
+        ModelId::PlaneDetection,
+    ] {
+        let lf = fixed.cost(m, 0).latency_s * 1e3;
+        let la = adaptive.cost(m, 0).latency_s * 1e3;
+        eprintln!("  {m}: fixed {lf:6.2} ms, adaptive {la:6.2} ms ({:.2}x)", lf / la);
+    }
+}
+
+fn bench_mapping_ablation(c: &mut Criterion) {
+    print_mapping_ablation();
+    let cfg = table5().into_iter().find(|x| x.id == 'A').expect("A");
+    let h = Harness::new();
+    let mut g = c.benchmark_group("ablation_mapping");
+    for (label, mapping) in [
+        ("fixed", MappingStrategy::Fixed),
+        ("adaptive", MappingStrategy::Adaptive),
+    ] {
+        let mut base = HardwareConfig::with_pes(4096);
+        base.mapping = mapping;
+        let sys = AcceleratorSystem::with_base_hw(cfg.clone(), base);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sys, |b, sys| {
+            b.iter(|| h.run_scenario(UsageScenario::ArGaming, black_box(sys)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    print_ablation_scores();
+    let cfg = table5().into_iter().find(|x| x.id == 'J').expect("J");
+    let system = AcceleratorSystem::new(cfg, 8192);
+    let h = Harness::new();
+    let spec = UsageScenario::ArAssistant.spec();
+    let mut g = c.benchmark_group("ablation_scheduler");
+    g.bench_function("latency_greedy", |b| {
+        b.iter(|| h.run_spec(black_box(&spec), &system, &mut LatencyGreedy::new()));
+    });
+    g.bench_function("round_robin", |b| {
+        b.iter(|| h.run_spec(black_box(&spec), &system, &mut RoundRobin::new()));
+    });
+    g.finish();
+}
+
+fn bench_bandwidth_ablation(c: &mut Criterion) {
+    let cfg = table5().into_iter().find(|x| x.id == 'J').expect("J");
+    let h = Harness::new();
+    let mut g = c.benchmark_group("ablation_bandwidth");
+    for gbps in [16u64, 64, 256] {
+        let mut base = HardwareConfig::with_pes(8192);
+        base.offchip_bw_bytes_per_s = gbps as f64 * 1e9;
+        let sys = AcceleratorSystem::with_base_hw(cfg.clone(), base);
+        g.bench_with_input(BenchmarkId::from_parameter(gbps), &sys, |b, sys| {
+            b.iter(|| h.run_scenario(UsageScenario::ArGaming, black_box(sys)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_scheduler_ablation, bench_bandwidth_ablation, bench_mapping_ablation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the analytical cost model: per-layer and
+//! per-model evaluation throughput across the three dataflows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xrbench_costmodel::{evaluate_layer, evaluate_layers, Dataflow, HardwareConfig, Layer};
+use xrbench_models::{zoo, ModelId};
+
+fn bench_single_layer(c: &mut Criterion) {
+    let hw = HardwareConfig::with_pes(4096);
+    let conv = Layer::conv2d("conv", 128, 128, 56, 56, 3, 3);
+    let mut g = c.benchmark_group("layer_eval");
+    for df in Dataflow::ALL {
+        g.bench_with_input(BenchmarkId::new("conv128", df.abbrev()), &df, |b, &df| {
+            b.iter(|| evaluate_layer(black_box(&conv), df, &hw));
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_eval(c: &mut Criterion) {
+    let hw = HardwareConfig::with_pes(4096);
+    let mut g = c.benchmark_group("model_eval");
+    for model in [
+        ModelId::KeywordDetection,
+        ModelId::EyeSegmentation,
+        ModelId::SpeechRecognition,
+        ModelId::PlaneDetection,
+    ] {
+        let layers = zoo::build(model);
+        g.bench_with_input(
+            BenchmarkId::new("ws", model.abbrev()),
+            &layers,
+            |b, layers| {
+                b.iter(|| evaluate_layers(black_box(layers), Dataflow::WeightStationary, &hw));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_single_layer, bench_model_eval);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for the benchmark runtime: end-to-end simulated
+//! seconds per wall-clock second, per scenario and per scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xrbench_accel::{table5, AcceleratorSystem};
+use xrbench_sim::{LatencyGreedy, RoundRobin, SimConfig, Simulator, UniformProvider};
+use xrbench_workload::UsageScenario;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let cfg = table5().into_iter().find(|x| x.id == 'J').expect("J");
+    let system = AcceleratorSystem::new(cfg, 8192);
+    let sim = Simulator::new(SimConfig::default());
+    let mut g = c.benchmark_group("simulate_1s");
+    for scenario in UsageScenario::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scenario.name().replace(' ', "_")),
+            &scenario,
+            |b, &s| {
+                b.iter(|| {
+                    sim.run(black_box(&s.spec()), &system, &mut LatencyGreedy::new())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let provider = UniformProvider::new(4, 0.002, 0.001);
+    let sim = Simulator::new(SimConfig::default());
+    let spec = UsageScenario::ArAssistant.spec();
+    let mut g = c.benchmark_group("scheduler");
+    g.bench_function("latency_greedy", |b| {
+        b.iter(|| sim.run(black_box(&spec), &provider, &mut LatencyGreedy::new()));
+    });
+    g.bench_function("round_robin", |b| {
+        b.iter(|| sim.run(black_box(&spec), &provider, &mut RoundRobin::new()));
+    });
+    g.finish();
+}
+
+fn bench_system_construction(c: &mut Criterion) {
+    let cfg = table5().into_iter().find(|x| x.id == 'M').expect("M");
+    c.bench_function("accelerator_system_build_M_8K", |b| {
+        b.iter(|| AcceleratorSystem::new(black_box(cfg.clone()), 8192));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_scenarios, bench_schedulers, bench_system_construction);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates appendix Figure 8: the real-time score function over
+//! latency for k ∈ {0, 1, 15, 50} with a 1-second slack window,
+//! rendered as an ASCII plot.
+
+use xrbench_core::figures::figure8;
+
+fn main() {
+    let curves = figure8();
+
+    println!("=== Figure 8: real-time score vs latency (deadline at 1.0 s) ===\n");
+    // ASCII plot: 21 score rows (1.0 down to 0.0), 101 latency columns.
+    let glyphs = ['0', '1', 'f', 'F']; // k = 0, 1, 15, 50
+    let mut grid = vec![vec![' '; 101]; 21];
+    for (ci, curve) in curves.iter().enumerate() {
+        for (xi, (_, score)) in curve.samples.iter().enumerate() {
+            let row = ((1.0 - score) * 20.0).round() as usize;
+            grid[row.min(20)][xi] = glyphs[ci];
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = 1.0 - i as f64 / 20.0;
+        println!("{label:4.2} |{}", row.iter().collect::<String>());
+    }
+    println!("      {}^{}", " ".repeat(50), " (deadline)");
+    println!("      0.0 {: >46} 1.0 {: >46} 2.0  latency (s)", "", "");
+    println!("\nlegend: 0 -> k=0, 1 -> k=1, f -> k=15 (default), F -> k=50");
+
+    println!("\nscore at selected latencies:");
+    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "latency", "k=0", "k=1", "k=15", "k=50");
+    for xi in [0usize, 25, 45, 50, 55, 75, 100] {
+        let lat = curves[0].samples[xi].0;
+        print!("{lat:>7.2}s");
+        for c in &curves {
+            print!(" {:>8.4}", c.samples[xi].1);
+        }
+        println!();
+    }
+}

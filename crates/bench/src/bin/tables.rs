@@ -1,0 +1,94 @@
+//! Prints the benchmark-defining tables as the implementation sees
+//! them: Table 1/7 (unit models), Table 2 (usage scenarios), Table 3
+//! (input sources), and Table 5 (accelerator configurations).
+
+use xrbench_accel::table5;
+use xrbench_models::{registry, InputSource, ModelId};
+use xrbench_workload::{source_spec, UsageScenario};
+
+fn main() {
+    println!("=== Table 1 / Table 7: XRBench unit tasks and proxy unit models ===");
+    println!(
+        "{:>3} {:<22} {:<22} {:<28} {:<12} {:<24} {:>9} {:>9}",
+        "ID", "Task", "Category", "Instance", "Type", "Quality requirement", "GMACs", "MB params"
+    );
+    for info in registry::all_models() {
+        let q = &info.quality;
+        let dir = match q.quality_type {
+            xrbench_models::QualityType::HigherIsBetter => "GT",
+            xrbench_models::QualityType::LowerIsBetter => "LT",
+        };
+        println!(
+            "{:>3} {:<22} {:<22} {:<28} {:<12} {:<24} {:>9.2} {:>9.2}",
+            info.id.abbrev(),
+            info.task,
+            info.category.to_string(),
+            info.instance,
+            info.model_type,
+            format!("{}, {} {}", q.metric, dir, q.target),
+            info.macs() as f64 / 1e9,
+            info.param_bytes() as f64 / 1e6,
+        );
+    }
+
+    println!("\n=== Table 2: usage scenarios and target processing rates (FPS) ===");
+    let cols = ModelId::ALL;
+    print!("{:<22}", "Scenario");
+    for m in cols {
+        print!("{:>5}", m.abbrev());
+    }
+    println!("  Description");
+    for s in UsageScenario::ALL {
+        let spec = s.spec();
+        print!("{:<22}", s.name());
+        for m in cols {
+            match spec.model(m) {
+                Some(sm) => print!("{:>5}", sm.target_fps),
+                None => print!("{:>5}", "-"),
+            }
+        }
+        println!("  {}", s.description());
+    }
+    println!("\ndependencies:");
+    for s in UsageScenario::ALL {
+        for sm in s.spec().models {
+            for d in sm.deps {
+                println!(
+                    "  {}: {} -> {} ({} dep, trigger probability {})",
+                    s.name(),
+                    d.upstream.abbrev(),
+                    sm.model.abbrev(),
+                    d.kind,
+                    d.trigger_probability
+                );
+            }
+        }
+    }
+
+    println!("\n=== Table 3: input sources ===");
+    println!(
+        "{:<12} {:>14} {:>12} {:>12}",
+        "Source", "Rate (FPS)", "Jitter (ms)", "Init (ms)"
+    );
+    for src in InputSource::ALL {
+        let spec = source_spec(src);
+        println!(
+            "{:<12} {:>14} {:>12} {:>12}",
+            src.to_string(),
+            spec.fps,
+            format!("±{}", spec.jitter_ms),
+            spec.init_latency_ms
+        );
+    }
+
+    println!("\n=== Table 5: accelerator styles ===");
+    println!("{:>3} {:>6}  {}", "ID", "Style", "Dataflow");
+    for cfg in table5() {
+        println!(
+            "{:>3} {:>6}  {}",
+            cfg.id,
+            cfg.style.to_string(),
+            cfg.dataflow_description()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # xrbench-bench
+//!
+//! Figure/table regeneration binaries and Criterion benchmarks for the
+//! XRBench reproduction.
+//!
+//! Binaries (run with `cargo run -p xrbench-bench --release --bin <name>`):
+//!
+//! * `figure5` — score breakdowns for accelerators A–M × {4K, 8K} PEs
+//!   across all usage scenarios (Figure 5 a–h), plus the §4.2.1/§4.4
+//!   claim checks.
+//! * `figure6` — the AR Gaming timeline deep dive on accelerator J
+//!   (Figure 6) demonstrating why utilization is the wrong metric.
+//! * `figure7` — the ES→GE cascading-probability sweep on accelerators
+//!   B and J (Figure 7).
+//! * `figure8` — the real-time score sigmoid for k ∈ {0, 1, 15, 50}
+//!   (appendix Figure 8).
+//! * `tables` — Tables 1/7 (models), 2 (scenarios), 3 (input sources),
+//!   and 5 (accelerators) as the implementation sees them.
+//!
+//! Criterion benches (`cargo bench -p xrbench-bench`):
+//!
+//! * `costmodel` — analytical-model evaluation throughput.
+//! * `runtime` — end-to-end simulation throughput per scenario.
+//! * `figures` — full figure-regeneration timings.
+//! * `ablations` — scheduler, bandwidth, and drop-policy ablations
+//!   called out in DESIGN.md.
+
+/// Formats a score table row of four unit scores plus overall.
+pub fn fmt_scores(rt: f64, en: f64, qoe: f64, overall: f64) -> String {
+    format!("rt={rt:5.2} en={en:5.2} qoe={qoe:5.2} overall={overall:5.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_scores_is_stable() {
+        assert_eq!(
+            fmt_scores(1.0, 0.5, 0.25, 0.125),
+            "rt= 1.00 en= 0.50 qoe= 0.25 overall= 0.12"
+        );
+    }
+}

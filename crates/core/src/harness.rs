@@ -1,0 +1,254 @@
+//! The benchmark harness: run a scenario, score the timeline.
+
+use xrbench_models::{quality_for, ModelId, QualityType};
+use xrbench_score::{
+    accuracy_score, energy_score, rt_score, scenario_score, AccuracyParams, EnergyParams,
+    InferenceScore, MetricKind, ModelOutcome, RtParams,
+};
+use xrbench_sim::{CostProvider, LatencyGreedy, Scheduler, SimConfig, SimResult, Simulator};
+use xrbench_workload::{ScenarioSpec, UsageScenario};
+
+use crate::report::{BreakdownReport, ModelReport, ScenarioReport};
+
+/// Scoring parameters for all four unit scores.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScoreParams {
+    /// Real-time sigmoid parameters (k = 15/ms by default).
+    pub rt: RtParams,
+    /// Energy score parameters (Emax = 1500 mJ by default).
+    pub energy: EnergyParams,
+    /// Accuracy score parameters (ε = 1e-6 by default).
+    pub accuracy: AccuracyParams,
+}
+
+/// Orchestrates workload generation, simulation, and scoring
+/// (Figure 2's "Benchmark Framework").
+#[derive(Debug, Clone)]
+pub struct Harness {
+    sim: SimConfig,
+    score: ScoreParams,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// A harness with the paper defaults: 1 s runs, k = 15,
+    /// Emax = 1500 mJ.
+    pub fn new() -> Self {
+        Self {
+            sim: SimConfig::default(),
+            score: ScoreParams::default(),
+        }
+    }
+
+    /// Overrides the RNG seed (jitter + cascade draws).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Overrides the run duration in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not positive.
+    pub fn with_duration(mut self, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "duration must be positive");
+        self.sim.duration_s = duration_s;
+        self
+    }
+
+    /// Overrides the scoring parameters.
+    pub fn with_score_params(mut self, score: ScoreParams) -> Self {
+        self.score = score;
+        self
+    }
+
+    /// The simulator configuration in use.
+    pub fn sim_config(&self) -> SimConfig {
+        self.sim
+    }
+
+    /// Runs one usage scenario with the default latency-greedy
+    /// scheduler and returns its report.
+    pub fn run_scenario(
+        &self,
+        scenario: UsageScenario,
+        system: &dyn CostProvider,
+    ) -> ScenarioReport {
+        self.run_spec(&scenario.spec(), system, &mut LatencyGreedy::new())
+            .0
+    }
+
+    /// Runs an explicit scenario specification under an explicit
+    /// scheduler, returning both the scored report and the raw
+    /// simulation result (execution timeline) for deep dives.
+    pub fn run_spec(
+        &self,
+        spec: &ScenarioSpec,
+        system: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+    ) -> (ScenarioReport, SimResult) {
+        let scheduler_name = scheduler.name();
+        let sim = Simulator::new(self.sim);
+        let result = sim.run(spec, system, scheduler);
+        let report = self.score_result(spec, system, scheduler_name, &result);
+        (report, result)
+    }
+
+    /// Scores an existing simulation result against a scenario spec.
+    pub fn score_result(
+        &self,
+        spec: &ScenarioSpec,
+        system: &dyn CostProvider,
+        scheduler_name: &str,
+        result: &SimResult,
+    ) -> ScenarioReport {
+        let mut outcomes: Vec<ModelOutcome> = Vec::with_capacity(spec.models.len());
+        let mut model_reports: Vec<ModelReport> = Vec::with_capacity(spec.models.len());
+
+        for sm in &spec.models {
+            let stats = result.stats.get(&sm.model).cloned().unwrap_or_default();
+            let mut scores = Vec::with_capacity(stats.executed_frames as usize);
+            let mut lat_sum = 0.0;
+            let mut energy_sum = 0.0;
+            for rec in result.records_for(sm.model) {
+                scores.push(self.score_inference(
+                    sm.model,
+                    rec.latency_s(),
+                    rec.slack_s(),
+                    rec.energy_j,
+                ));
+                lat_sum += rec.latency_s();
+                energy_sum += rec.energy_j;
+            }
+            let n = scores.len().max(1) as f64;
+            let outcome = ModelOutcome {
+                inference_scores: scores,
+                total_frames: stats.total_frames,
+            };
+            model_reports.push(ModelReport {
+                model: sm.model.abbrev().to_string(),
+                target_fps: sm.target_fps,
+                total_frames: stats.total_frames,
+                executed_frames: stats.executed_frames,
+                dropped_frames: stats.dropped_frames,
+                untriggered_frames: stats.untriggered_frames,
+                missed_deadlines: stats.missed_deadlines,
+                mean_latency_ms: lat_sum / n * 1e3,
+                mean_energy_mj: energy_sum / n * 1e3,
+                per_model_score: outcome.per_model(),
+                qoe: outcome.qoe(),
+            });
+            outcomes.push(outcome);
+        }
+
+        let breakdown = scenario_score(&outcomes);
+        ScenarioReport {
+            scenario: spec.scenario.name().to_string(),
+            system: system.label(),
+            scheduler: scheduler_name.to_string(),
+            breakdown: BreakdownReport::from(breakdown),
+            models: model_reports,
+            drop_rate: result.drop_rate(),
+            total_energy_mj: result.total_energy_j() * 1e3,
+            mean_utilization: result.mean_utilization(),
+        }
+    }
+
+    /// Scores a single inference (Definition 14's three factors).
+    pub fn score_inference(
+        &self,
+        model: ModelId,
+        latency_s: f64,
+        slack_s: f64,
+        energy_j: f64,
+    ) -> InferenceScore {
+        let q = quality_for(model);
+        let kind = match q.quality_type {
+            QualityType::HigherIsBetter => MetricKind::HigherIsBetter,
+            QualityType::LowerIsBetter => MetricKind::LowerIsBetter,
+        };
+        InferenceScore::new(
+            rt_score(latency_s, slack_s, self.score.rt),
+            energy_score(energy_j, self.score.energy),
+            accuracy_score(q.measured, q.target, kind, self.score.accuracy),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrbench_sim::UniformProvider;
+
+    #[test]
+    fn fast_cheap_system_scores_near_one() {
+        let p = UniformProvider::new(2, 0.0005, 0.001);
+        let r = Harness::new().run_scenario(UsageScenario::VrGaming, &p);
+        assert!(r.breakdown.realtime_score > 0.99, "{:?}", r.breakdown);
+        assert!(r.breakdown.energy_score > 0.99);
+        assert!(r.breakdown.qoe_score > 0.99);
+        assert!(r.breakdown.accuracy_score > 0.99);
+        assert!(r.overall() > 0.98);
+        assert_eq!(r.drop_rate, 0.0);
+    }
+
+    #[test]
+    fn slow_system_scores_poorly() {
+        // 100 ms per inference: every deadline blown, frames dropped.
+        let p = UniformProvider::new(1, 0.1, 0.001);
+        let r = Harness::new().run_scenario(UsageScenario::VrGaming, &p);
+        assert!(r.breakdown.realtime_score < 0.05, "{:?}", r.breakdown);
+        assert!(r.breakdown.qoe_score < 0.5);
+        assert!(r.overall() < 0.05);
+    }
+
+    #[test]
+    fn expensive_inferences_zero_energy_score() {
+        // 2 J per inference > Emax of 1.5 J.
+        let p = UniformProvider::new(2, 0.0005, 2.0);
+        let r = Harness::new().run_scenario(UsageScenario::VrGaming, &p);
+        assert_eq!(r.breakdown.energy_score, 0.0);
+        assert_eq!(r.overall(), 0.0);
+        // Real-time score is unaffected — breakdown analysis works.
+        assert!(r.breakdown.realtime_score > 0.99);
+    }
+
+    #[test]
+    fn report_lists_every_scenario_model() {
+        let p = UniformProvider::new(2, 0.001, 0.001);
+        let r = Harness::new().run_scenario(UsageScenario::ArAssistant, &p);
+        assert_eq!(r.models.len(), 6);
+        for abbrev in ["KD", "SR", "SS", "OD", "DE", "DR"] {
+            assert!(r.model(abbrev).is_some(), "{abbrev} missing");
+        }
+    }
+
+    #[test]
+    fn seed_controls_reproducibility() {
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let a = Harness::new().with_seed(1).run_scenario(UsageScenario::ArAssistant, &p);
+        let b = Harness::new().with_seed(1).run_scenario(UsageScenario::ArAssistant, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn score_inference_triple_in_range() {
+        let h = Harness::new();
+        let s = h.score_inference(ModelId::HandTracking, 0.005, 0.010, 0.1);
+        assert!(s.realtime > 0.99);
+        assert!((s.energy - (1.5 - 0.1) / 1.5).abs() < 1e-12);
+        assert_eq!(s.accuracy, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn invalid_duration_rejected() {
+        let _ = Harness::new().with_duration(-1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Whole-suite runs: all seven usage scenarios → XRBench Score.
+
+use xrbench_score::benchmark_score;
+use xrbench_sim::CostProvider;
+use xrbench_workload::UsageScenario;
+
+use crate::harness::Harness;
+use crate::report::BenchmarkReport;
+
+/// Runs the full benchmark suite `Ω` (all usage scenarios) on one
+/// system and aggregates the overall XRBench Score (Definition 16).
+///
+/// Dynamic scenarios (those with probabilistic cascades) are averaged
+/// over `repeats` independent seeds; static scenarios are run once, as
+/// their outcome is seed-independent up to jitter.
+///
+/// # Panics
+///
+/// Panics if `repeats == 0`.
+pub fn run_suite(harness: &Harness, system: &dyn CostProvider, repeats: u32) -> BenchmarkReport {
+    assert!(repeats > 0, "repeats must be at least 1");
+    let mut scenarios = Vec::with_capacity(UsageScenario::ALL.len());
+    for scenario in UsageScenario::ALL {
+        let runs = if scenario.is_dynamic() { repeats } else { 1 };
+        let mut reports = Vec::with_capacity(runs as usize);
+        for i in 0..runs {
+            let h = harness
+                .clone()
+                .with_seed(harness.sim_config().seed.wrapping_add(i as u64));
+            reports.push(h.run_scenario(scenario, system));
+        }
+        scenarios.push(average_reports(reports));
+    }
+    let overall: Vec<f64> = scenarios.iter().map(|s| s.overall()).collect();
+    BenchmarkReport {
+        system: system.label(),
+        xrbench_score: benchmark_score(&overall),
+        scenarios,
+    }
+}
+
+/// Averages the numeric fields of repeated runs of the same scenario,
+/// keeping the first run's structural fields.
+fn average_reports(mut reports: Vec<crate::report::ScenarioReport>) -> crate::report::ScenarioReport {
+    let n = reports.len() as f64;
+    if reports.len() == 1 {
+        return reports.remove(0);
+    }
+    let mut acc = reports.remove(0);
+    for r in &reports {
+        acc.breakdown.realtime_score += r.breakdown.realtime_score;
+        acc.breakdown.energy_score += r.breakdown.energy_score;
+        acc.breakdown.accuracy_score += r.breakdown.accuracy_score;
+        acc.breakdown.qoe_score += r.breakdown.qoe_score;
+        acc.breakdown.overall_score += r.breakdown.overall_score;
+        acc.drop_rate += r.drop_rate;
+        acc.total_energy_mj += r.total_energy_mj;
+        acc.mean_utilization += r.mean_utilization;
+        for (am, rm) in acc.models.iter_mut().zip(&r.models) {
+            am.per_model_score += rm.per_model_score;
+            am.qoe += rm.qoe;
+            am.mean_latency_ms += rm.mean_latency_ms;
+            am.mean_energy_mj += rm.mean_energy_mj;
+            am.total_frames += rm.total_frames;
+            am.executed_frames += rm.executed_frames;
+            am.dropped_frames += rm.dropped_frames;
+            am.untriggered_frames += rm.untriggered_frames;
+            am.missed_deadlines += rm.missed_deadlines;
+        }
+    }
+    acc.breakdown.realtime_score /= n;
+    acc.breakdown.energy_score /= n;
+    acc.breakdown.accuracy_score /= n;
+    acc.breakdown.qoe_score /= n;
+    acc.breakdown.overall_score /= n;
+    acc.drop_rate /= n;
+    acc.total_energy_mj /= n;
+    acc.mean_utilization /= n;
+    for am in &mut acc.models {
+        am.per_model_score /= n;
+        am.qoe /= n;
+        am.mean_latency_ms /= n;
+        am.mean_energy_mj /= n;
+        // Frame counters are averaged too (rounded), so an averaged
+        // report reads like a single representative run.
+        am.total_frames = (am.total_frames as f64 / n).round() as u64;
+        am.executed_frames = (am.executed_frames as f64 / n).round() as u64;
+        am.dropped_frames = (am.dropped_frames as f64 / n).round() as u64;
+        am.untriggered_frames = (am.untriggered_frames as f64 / n).round() as u64;
+        am.missed_deadlines = (am.missed_deadlines as f64 / n).round() as u64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrbench_sim::UniformProvider;
+
+    #[test]
+    fn suite_covers_all_scenarios() {
+        let p = UniformProvider::new(2, 0.001, 0.001);
+        let b = run_suite(&Harness::new(), &p, 3);
+        assert_eq!(b.scenarios.len(), 7);
+        assert!(b.xrbench_score > 0.9);
+    }
+
+    #[test]
+    fn xrbench_score_is_mean_of_scenarios() {
+        let p = UniformProvider::new(2, 0.001, 0.001);
+        let b = run_suite(&Harness::new(), &p, 2);
+        let mean: f64 =
+            b.scenarios.iter().map(|s| s.overall()).sum::<f64>() / b.scenarios.len() as f64;
+        assert!((b.xrbench_score - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn zero_repeats_rejected() {
+        let p = UniformProvider::new(1, 0.001, 0.001);
+        let _ = run_suite(&Harness::new(), &p, 0);
+    }
+}

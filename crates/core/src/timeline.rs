@@ -1,0 +1,97 @@
+//! ASCII rendering of execution timelines (the Figure 6 view).
+
+use std::collections::BTreeSet;
+
+use xrbench_sim::SimResult;
+
+/// Renders an execution timeline as ASCII art: one row per
+/// (engine, model) pair, one column per time bucket; a filled cell
+/// means the model was executing on that engine during that bucket.
+///
+/// `width` is the number of time buckets (columns).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn render_timeline(result: &SimResult, width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let t_end = result
+        .records
+        .iter()
+        .map(|r| r.t_end)
+        .fold(result.duration_s, f64::max);
+    let bucket = t_end / width as f64;
+    let models: BTreeSet<_> = result.records.iter().map(|r| r.model).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time: 0 .. {:.0} ms   ({} engines)\n",
+        t_end * 1e3,
+        result.num_engines
+    ));
+    for engine in 0..result.num_engines {
+        out.push_str(&format!("engine {engine}:\n"));
+        for model in &models {
+            let mut row = vec![b'.'; width];
+            for rec in result
+                .records
+                .iter()
+                .filter(|r| r.engine == engine && r.model == *model)
+            {
+                let a = ((rec.t_start / bucket) as usize).min(width - 1);
+                let b = ((rec.t_end / bucket).ceil() as usize).clamp(a + 1, width);
+                let ch = model.abbrev().as_bytes()[0];
+                for cell in &mut row[a..b] {
+                    *cell = ch;
+                }
+            }
+            out.push_str(&format!(
+                "  {:>2} |{}|\n",
+                model.abbrev(),
+                String::from_utf8(row).expect("ascii")
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrbench_sim::{LatencyGreedy, SimConfig, Simulator, UniformProvider};
+    use xrbench_workload::UsageScenario;
+
+    fn result() -> SimResult {
+        let p = UniformProvider::new(2, 0.004, 0.001);
+        Simulator::new(SimConfig::default()).run(
+            &UsageScenario::ArGaming.spec(),
+            &p,
+            &mut LatencyGreedy::new(),
+        )
+    }
+
+    #[test]
+    fn timeline_has_row_per_engine_model_pair() {
+        let r = result();
+        let art = render_timeline(&r, 80);
+        assert!(art.contains("engine 0:"));
+        assert!(art.contains("engine 1:"));
+        // AR gaming models: HT, DE, PD.
+        assert!(art.contains("HT |"));
+        assert!(art.contains("DE |"));
+        assert!(art.contains("PD |"));
+    }
+
+    #[test]
+    fn busy_cells_marked() {
+        let r = result();
+        let art = render_timeline(&r, 60);
+        assert!(art.contains('H'), "HT activity missing:\n{art}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = render_timeline(&result(), 0);
+    }
+}

@@ -1,0 +1,502 @@
+//! The analytical latency/energy evaluation.
+//!
+//! For each layer the model computes:
+//!
+//! 1. **Compute cycles** — a dataflow-specific spatial mapping of the
+//!    parallel loop dimensions onto the PE array (see
+//!    [`crate::spatial_map`]), times the remaining temporal loop trip
+//!    count.
+//! 2. **Memory cycles** — on-chip (NoC) streaming cycles for buffer
+//!    accesses and off-chip cycles for DRAM traffic (with refetch when
+//!    the layer's working set exceeds the SRAM).
+//! 3. **Latency** — `overhead + max(compute, noc, dram)` (a roofline).
+//! 4. **Energy** — MAC + vector + SRAM-access + DRAM-byte energy, where
+//!    SRAM traffic is the operand streaming volume after the reuse the
+//!    dataflow exploits (weights pinned under WS, outputs resident
+//!    under OS, balanced under RS); partial-sum accumulation happens in
+//!    PE-local storage and is folded into the per-MAC energy.
+
+use crate::dataflow::Dataflow;
+use crate::geometry::{self, MappingStrategy};
+use crate::hw::HardwareConfig;
+use crate::layer::{Layer, LayerKind};
+use crate::mapping::spatial_map;
+
+/// The evaluated cost of one layer on one (sub-)accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCost {
+    /// Layer name (copied from the input for reporting).
+    pub layer_name: String,
+    /// MAC operations performed.
+    pub macs: u64,
+    /// Cycles spent on compute (including array under-utilization).
+    pub compute_cycles: u64,
+    /// Cycles to stream buffer traffic over the NoC.
+    pub noc_cycles: u64,
+    /// Cycles to move DRAM traffic over the off-chip interface.
+    pub dram_cycles: u64,
+    /// Total latency cycles: `overhead + max(compute, noc, dram)`.
+    pub latency_cycles: u64,
+    /// Effective MAC-array utilization in `[0, 1]` (0 for layers with
+    /// no MACs).
+    pub utilization: f64,
+    /// Clock frequency used (Hz), so seconds can be derived.
+    pub clock_hz: f64,
+    /// Energy spent in MACs (J).
+    pub mac_energy_j: f64,
+    /// Energy spent in on-chip buffer accesses (J).
+    pub sram_energy_j: f64,
+    /// Energy spent in off-chip transfers (J).
+    pub dram_energy_j: f64,
+    /// Energy spent in vector (non-MAC) ops (J).
+    pub vector_energy_j: f64,
+    /// Energy spent delivering operands inside the PE array
+    /// (reuse-discounted; the dataflow-sensitive part of energy).
+    pub delivery_energy_j: f64,
+}
+
+impl LayerCost {
+    /// Latency in seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.latency_cycles as f64 / self.clock_hz
+    }
+
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.mac_energy_j
+            + self.sram_energy_j
+            + self.dram_energy_j
+            + self.vector_energy_j
+            + self.delivery_energy_j
+    }
+}
+
+/// The aggregate cost of a sequence of layers (one model inference).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCost {
+    /// Per-layer breakdown, in execution order.
+    pub layers: Vec<LayerCost>,
+}
+
+impl ModelCost {
+    /// Total latency in seconds (layers run back-to-back on one
+    /// sub-accelerator).
+    pub fn latency_s(&self) -> f64 {
+        self.layers.iter().map(LayerCost::latency_s).sum()
+    }
+
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.layers.iter().map(LayerCost::energy_j).sum()
+    }
+
+    /// Total MACs across layers.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// MAC-weighted average array utilization in `[0, 1]`.
+    pub fn avg_utilization(&self) -> f64 {
+        let total: u64 = self.macs();
+        if total == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .map(|l| l.utilization * l.macs as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// On-chip (NoC) streaming traffic in bytes, by operand. Partial sums
+/// accumulate in PE-local registers/accumulators (their energy is
+/// folded into the per-MAC energy), so only activation, weight, and
+/// final-output traffic crosses the NoC.
+struct BufferTraffic {
+    act_bytes: f64,
+    weight_bytes: f64,
+    out_bytes: f64,
+    /// Reuse-discounted in-array operand deliveries (see
+    /// [`crate::EnergyParams::delivery_access_j`]).
+    delivery_accesses: f64,
+}
+
+impl BufferTraffic {
+    fn total(&self) -> f64 {
+        self.act_bytes + self.weight_bytes + self.out_bytes
+    }
+}
+
+fn compute_cycles_and_traffic(
+    layer: &Layer,
+    dataflow: Dataflow,
+    hw: &HardwareConfig,
+) -> (u64, f64, BufferTraffic) {
+    let d = layer.dims();
+    let macs = layer.macs() as f64;
+    let inb = layer.input_bytes() as f64;
+    let wb = layer.weight_bytes() as f64;
+    let outb = layer.output_bytes() as f64;
+    // Depthwise convolutions have no cross-channel reduction.
+    let c_eff = if layer.kind() == LayerKind::DwConv2d { 1 } else { d.c };
+
+    if !layer.kind().is_compute() {
+        // Movement layer: vector-lane work, streaming in and out once.
+        let cycles = layer.vector_ops().div_ceil(hw.vector_lanes);
+        let traffic = BufferTraffic {
+            act_bytes: inb,
+            weight_bytes: 0.0,
+            out_bytes: outb,
+            delivery_accesses: 0.0,
+        };
+        return (cycles, 0.0, traffic);
+    }
+
+    match dataflow {
+        Dataflow::WeightStationary => {
+            // Spatial: K x C. Temporal: Y * X * R * S. Weights stay
+            // pinned; activations are re-streamed once per K-tile
+            // group (each group needs the full input).
+            let (t_k, t_c) = tiles2(hw, &[d.k, c_eff], geometry::ws_grid(hw.pes));
+            let spatial_steps = geometry::steps(&[d.k, c_eff], &[t_k, t_c]);
+            let temporal = d.y * d.x * d.r * d.s;
+            let cycles = spatial_steps.saturating_mul(temporal).max(1);
+            let k_groups = d.k.div_ceil(t_k) as f64;
+            let traffic = BufferTraffic {
+                act_bytes: inb * k_groups,
+                weight_bytes: wb,
+                out_bytes: outb,
+                // Acts broadcast across the K tile; partial sums
+                // reduced across the C tile (1/MAC when c_eff = 1,
+                // which is why depthwise layers hurt WS).
+                delivery_accesses: macs / t_k.min(d.k) as f64 + macs / t_c.min(c_eff) as f64,
+            };
+            let util = utilization(macs, hw.pes, cycles);
+            (cycles, util, traffic)
+        }
+        Dataflow::OutputStationary => {
+            // Spatial: output pixels (Y x X), each position owning a
+            // 16-way adder tree over input channels. Outputs stay
+            // resident; each spatial tile streams the weights, so the
+            // weight footprint is re-read once per spatial tile; input
+            // patches are cached per position across output channels.
+            let tree = dataflow.adder_tree_width();
+            let positions = (hw.pes / tree).max(1);
+            let (t_y, t_x) = match hw.mapping {
+                MappingStrategy::Fixed => geometry::os_grid(hw.pes),
+                MappingStrategy::Adaptive => {
+                    let sm = spatial_map(&[d.y, d.x], positions);
+                    (sm.tiles[0], sm.tiles[1])
+                }
+            };
+            let spatial_steps = geometry::steps(&[d.y, d.x], &[t_y, t_x]);
+            let temporal = d.k * d.r * d.s * c_eff.div_ceil(tree);
+            let cycles = spatial_steps.saturating_mul(temporal).max(1);
+            let traffic = BufferTraffic {
+                act_bytes: inb,
+                weight_bytes: wb * spatial_steps as f64,
+                out_bytes: outb,
+                // Weights broadcast to the occupied output positions;
+                // acts delivered once per kernel window element
+                // (sliding-window reuse) — costly for 1×1 / dense
+                // layers, cheap for large kernels.
+                delivery_accesses: macs / (t_y * t_x).min(d.y * d.x) as f64
+                    + macs / (d.r * d.s) as f64,
+            };
+            let util = utilization(macs, hw.pes, cycles);
+            (cycles, util, traffic)
+        }
+        Dataflow::RowStationary => {
+            // Spatial: K x Y x R. Temporal: C * S * X. Weight rows are
+            // re-streamed once per Y-tile group, activations once per
+            // K-tile group.
+            let (t_k, t_y, t_r) = match hw.mapping {
+                MappingStrategy::Fixed => geometry::rs_grid(hw.pes),
+                MappingStrategy::Adaptive => {
+                    let sm = spatial_map(&[d.k, d.y, d.r], hw.pes);
+                    (sm.tiles[0], sm.tiles[1], sm.tiles[2])
+                }
+            };
+            let spatial_steps = geometry::steps(&[d.k, d.y, d.r], &[t_k, t_y, t_r]);
+            let temporal = c_eff * d.s * d.x;
+            let cycles = spatial_steps.saturating_mul(temporal).max(1);
+            let k_groups = d.k.div_ceil(t_k) as f64;
+            let y_groups = d.y.div_ceil(t_y) as f64;
+            let traffic = BufferTraffic {
+                act_bytes: inb * k_groups,
+                weight_bytes: wb * y_groups,
+                out_bytes: outb,
+                // Acts reused across kernel rows and K; weight rows
+                // reused across output rows; psums reduced along the
+                // mapped kernel rows.
+                delivery_accesses: macs / (t_r.min(d.r) * t_k.min(d.k)) as f64
+                    + macs / t_y.min(d.y) as f64
+                    + macs / t_r.min(d.r) as f64,
+            };
+            let util = utilization(macs, hw.pes, cycles);
+            (cycles, util, traffic)
+        }
+    }
+}
+
+/// Resolves the (possibly adaptive) 2-D tiling for the WS dataflow.
+fn tiles2(hw: &HardwareConfig, dims: &[u64; 2], fixed: (u64, u64)) -> (u64, u64) {
+    match hw.mapping {
+        MappingStrategy::Fixed => fixed,
+        MappingStrategy::Adaptive => {
+            let sm = spatial_map(dims, hw.pes);
+            (sm.tiles[0], sm.tiles[1])
+        }
+    }
+}
+
+fn utilization(macs: f64, pes: u64, cycles: u64) -> f64 {
+    if macs <= 0.0 {
+        return 0.0;
+    }
+    (macs / (pes as f64 * cycles as f64)).min(1.0)
+}
+
+/// DRAM traffic in bytes, including refetch of the streamed operand
+/// when the working set exceeds the SRAM capacity.
+fn dram_traffic_bytes(layer: &Layer, dataflow: Dataflow, hw: &HardwareConfig) -> f64 {
+    let inb = layer.input_bytes() as f64;
+    let wb = layer.weight_bytes() as f64;
+    let outb = layer.output_bytes() as f64;
+    let working_set = inb + wb + outb;
+    let refetch = (working_set / hw.sram_bytes as f64).ceil().max(1.0);
+    if refetch <= 1.0 || !layer.kind().is_compute() {
+        return inb + wb + outb;
+    }
+    // The operand the dataflow does NOT keep stationary is refetched.
+    match dataflow {
+        Dataflow::WeightStationary => inb * refetch + wb + outb,
+        Dataflow::OutputStationary => inb + wb * refetch + outb,
+        Dataflow::RowStationary => {
+            // Balanced: split the refetch penalty across both inputs.
+            let half = (refetch / 2.0).max(1.0);
+            inb * half + wb * half + outb
+        }
+    }
+}
+
+/// Evaluates one layer on one (sub-)accelerator.
+///
+/// # Panics
+///
+/// Panics if `hw` fails validation (zero PEs, bandwidth, ...).
+pub fn evaluate_layer(layer: &Layer, dataflow: Dataflow, hw: &HardwareConfig) -> LayerCost {
+    hw.validate().expect("hardware config must be valid");
+
+    let (compute_cycles, utilization, traffic) = compute_cycles_and_traffic(layer, dataflow, hw);
+    let sram_bytes = traffic.total();
+    let noc_cycles = (sram_bytes / hw.noc_bytes_per_cycle()).ceil() as u64;
+    let dram_bytes = dram_traffic_bytes(layer, dataflow, hw);
+    let dram_cycles = (dram_bytes / hw.offchip_bytes_per_cycle()).ceil() as u64;
+
+    // Compute and memory phases serialize (limited double-buffering:
+    // the on-chip and off-chip transfers overlap each other but not
+    // the compute pipeline's fill/drain).
+    let latency_cycles = hw.layer_overhead_cycles
+        + compute_cycles
+        + noc_cycles.max(dram_cycles);
+
+    let e = hw.energy;
+    LayerCost {
+        layer_name: layer.name().to_string(),
+        macs: layer.macs(),
+        compute_cycles,
+        noc_cycles,
+        dram_cycles,
+        latency_cycles,
+        utilization,
+        clock_hz: hw.clock_hz,
+        mac_energy_j: layer.macs() as f64 * e.mac_j,
+        sram_energy_j: sram_bytes * e.sram_byte_j,
+        dram_energy_j: dram_bytes * e.dram_byte_j,
+        vector_energy_j: layer.vector_ops() as f64 * e.vector_op_j,
+        delivery_energy_j: traffic.delivery_accesses * e.delivery_access_j,
+    }
+}
+
+/// Evaluates a sequence of layers (one model) run back-to-back.
+pub fn evaluate_layers<'a, I>(layers: I, dataflow: Dataflow, hw: &HardwareConfig) -> ModelCost
+where
+    I: IntoIterator<Item = &'a Layer>,
+{
+    ModelCost {
+        layers: layers
+            .into_iter()
+            .map(|l| evaluate_layer(l, dataflow, hw))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::TensorDims;
+
+    fn hw4k() -> HardwareConfig {
+        HardwareConfig::with_pes(4096)
+    }
+
+    #[test]
+    fn latency_positive_for_all_dataflows() {
+        let l = Layer::conv2d("c", 64, 64, 56, 56, 3, 3);
+        for df in Dataflow::ALL {
+            let c = evaluate_layer(&l, df, &hw4k());
+            assert!(c.latency_cycles > 0, "{df}");
+            assert!(c.energy_j() > 0.0, "{df}");
+        }
+    }
+
+    #[test]
+    fn compute_cycles_bounded_below_by_ideal() {
+        // Cycles can never beat MACs / PEs.
+        let l = Layer::conv2d("c", 128, 128, 28, 28, 3, 3);
+        for df in Dataflow::ALL {
+            let c = evaluate_layer(&l, df, &hw4k());
+            let ideal = l.macs() / 4096;
+            assert!(
+                c.compute_cycles as u128 * Dataflow::ALL.len() as u128 > 0
+                    && c.compute_cycles >= ideal / 16,
+                "{df}: {} < ideal {}",
+                c.compute_cycles,
+                ideal
+            );
+        }
+        // WS/RS must be >= exact ideal (no tree speedup).
+        for df in [Dataflow::WeightStationary, Dataflow::RowStationary] {
+            let c = evaluate_layer(&l, df, &hw4k());
+            assert!(c.compute_cycles >= l.macs() / 4096, "{df}");
+        }
+    }
+
+    #[test]
+    fn more_pes_never_slower() {
+        let l = Layer::conv2d("c", 96, 96, 60, 60, 3, 3);
+        for df in Dataflow::ALL {
+            let c4 = evaluate_layer(&l, df, &HardwareConfig::with_pes(4096));
+            let c8 = evaluate_layer(&l, df, &HardwareConfig::with_pes(8192));
+            assert!(
+                c8.compute_cycles <= c4.compute_cycles,
+                "{df}: 8K slower than 4K"
+            );
+        }
+    }
+
+    #[test]
+    fn ws_beats_os_on_fully_connected() {
+        // OS has only one output position for an FC layer, so its
+        // adder tree is the only parallelism — WS should win big.
+        let l = Layer::dense("fc", 1024, 2048);
+        let ws = evaluate_layer(&l, Dataflow::WeightStationary, &hw4k());
+        let os = evaluate_layer(&l, Dataflow::OutputStationary, &hw4k());
+        assert!(ws.compute_cycles * 4 < os.compute_cycles);
+    }
+
+    #[test]
+    fn os_competitive_on_spatially_large_shallow_conv() {
+        // Huge output plane, few channels: OS maps pixels, WS starves.
+        let l = Layer::conv2d("c", 8, 8, 256, 256, 3, 3);
+        let ws = evaluate_layer(&l, Dataflow::WeightStationary, &hw4k());
+        let os = evaluate_layer(&l, Dataflow::OutputStationary, &hw4k());
+        assert!(os.compute_cycles < ws.compute_cycles);
+    }
+
+    #[test]
+    fn depthwise_hurts_ws_more_than_os() {
+        let l = Layer::dwconv2d("dw", 128, 56, 56, 3, 3);
+        let ws = evaluate_layer(&l, Dataflow::WeightStationary, &hw4k());
+        let os = evaluate_layer(&l, Dataflow::OutputStationary, &hw4k());
+        // WS can only parallelize over the 128 channels.
+        assert!(ws.utilization < 0.05);
+        assert!(os.compute_cycles < ws.compute_cycles);
+    }
+
+    #[test]
+    fn utilization_in_unit_range() {
+        let l = Layer::conv2d("c", 3, 3, 7, 7, 3, 3);
+        for df in Dataflow::ALL {
+            let c = evaluate_layer(&l, df, &hw4k());
+            assert!(c.utilization >= 0.0 && c.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn movement_layer_has_zero_macs_and_nonzero_latency() {
+        let l = Layer::new(
+            "pool",
+            LayerKind::Pool,
+            TensorDims::new(64, 64, 56, 56, 2, 2),
+            2,
+        );
+        let c = evaluate_layer(&l, Dataflow::WeightStationary, &hw4k());
+        assert_eq!(c.macs, 0);
+        assert!(c.latency_cycles > 0);
+        assert!(c.mac_energy_j == 0.0);
+        assert!(c.vector_energy_j > 0.0);
+    }
+
+    #[test]
+    fn model_cost_sums_layers() {
+        let layers = vec![
+            Layer::conv2d("a", 32, 16, 56, 56, 3, 3),
+            Layer::conv2d("b", 64, 32, 28, 28, 3, 3),
+        ];
+        let mc = evaluate_layers(&layers, Dataflow::RowStationary, &hw4k());
+        assert_eq!(mc.layers.len(), 2);
+        let sum: f64 = mc.layers.iter().map(LayerCost::latency_s).sum();
+        assert!((mc.latency_s() - sum).abs() < 1e-15);
+        assert_eq!(mc.macs(), layers[0].macs() + layers[1].macs());
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let small = Layer::conv2d("s", 16, 16, 28, 28, 3, 3);
+        let big = Layer::conv2d("b", 64, 64, 56, 56, 3, 3);
+        for df in Dataflow::ALL {
+            let cs = evaluate_layer(&small, df, &hw4k());
+            let cb = evaluate_layer(&big, df, &hw4k());
+            assert!(cb.energy_j() > cs.energy_j(), "{df}");
+        }
+    }
+
+    #[test]
+    fn dram_refetch_kicks_in_for_oversized_working_set() {
+        // Working set far beyond 8 MiB: a wide dense layer.
+        let big = Layer::dense("fc", 8192, 8192);
+        let hw = hw4k();
+        let c = evaluate_layer(&big, Dataflow::WeightStationary, &hw);
+        let compulsory =
+            (big.input_bytes() + big.weight_bytes() + big.output_bytes()) as f64;
+        let dram_bytes = c.dram_energy_j / hw.energy.dram_byte_j;
+        assert!(dram_bytes >= compulsory);
+    }
+
+    #[test]
+    fn latency_seconds_uses_clock() {
+        let l = Layer::conv2d("c", 64, 64, 28, 28, 3, 3);
+        let c = evaluate_layer(&l, Dataflow::WeightStationary, &hw4k());
+        let expect = c.latency_cycles as f64 / 1e9;
+        assert!((c.latency_s() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn avg_utilization_weighted_by_macs() {
+        let layers = vec![
+            Layer::conv2d("a", 64, 64, 56, 56, 3, 3),
+            Layer::new(
+                "pool",
+                LayerKind::Pool,
+                TensorDims::new(64, 64, 28, 28, 2, 2),
+                2,
+            ),
+        ];
+        let mc = evaluate_layers(&layers, Dataflow::WeightStationary, &hw4k());
+        // Pool has no MACs so the average equals the conv utilization.
+        assert!((mc.avg_utilization() - mc.layers[0].utilization).abs() < 1e-12);
+    }
+}

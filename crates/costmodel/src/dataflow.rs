@@ -1,0 +1,107 @@
+//! Accelerator dataflow styles.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CostModelError;
+
+/// A fixed accelerator dataflow (loop-ordering / spatial-mapping style).
+///
+/// These mirror the three styles evaluated in the paper's Table 5:
+///
+/// * [`Dataflow::WeightStationary`] — NVDLA-inspired; parallelizes
+///   output channels × input channels. Weights stay pinned in PEs and
+///   are reused across all output pixels.
+/// * [`Dataflow::OutputStationary`] — hand-optimized; parallelizes
+///   output rows × columns with a 16-way adder tree reducing
+///   input-channel partial sums. Partial sums never leave the PE.
+/// * [`Dataflow::RowStationary`] — Eyeriss-inspired; parallelizes
+///   output channels, output rows, and kernel rows, balancing reuse of
+///   all three operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dataflow {
+    /// Weight-stationary (NVDLA style).
+    WeightStationary,
+    /// Output-stationary with a 16-way input-channel adder tree.
+    OutputStationary,
+    /// Row-stationary (Eyeriss style).
+    RowStationary,
+}
+
+impl Dataflow {
+    /// All dataflows, in the paper's (WS, OS, RS) order.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::WeightStationary,
+        Dataflow::OutputStationary,
+        Dataflow::RowStationary,
+    ];
+
+    /// The conventional two-letter abbreviation ("WS", "OS", "RS").
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Dataflow::WeightStationary => "WS",
+            Dataflow::OutputStationary => "OS",
+            Dataflow::RowStationary => "RS",
+        }
+    }
+
+    /// The reduction-tree width used by the OS dataflow; 1 for others.
+    pub(crate) fn adder_tree_width(&self) -> u64 {
+        match self {
+            Dataflow::OutputStationary => 16,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+impl FromStr for Dataflow {
+    type Err = CostModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "WS" => Ok(Dataflow::WeightStationary),
+            "OS" => Ok(Dataflow::OutputStationary),
+            "RS" => Ok(Dataflow::RowStationary),
+            other => Err(CostModelError::UnknownDataflow(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbrev_round_trips_through_from_str() {
+        for df in Dataflow::ALL {
+            let parsed: Dataflow = df.abbrev().parse().unwrap();
+            assert_eq!(parsed, df);
+        }
+    }
+
+    #[test]
+    fn from_str_is_case_insensitive() {
+        assert_eq!(
+            "ws".parse::<Dataflow>().unwrap(),
+            Dataflow::WeightStationary
+        );
+    }
+
+    #[test]
+    fn unknown_dataflow_is_an_error() {
+        assert!("XY".parse::<Dataflow>().is_err());
+    }
+
+    #[test]
+    fn only_os_has_adder_tree() {
+        assert_eq!(Dataflow::OutputStationary.adder_tree_width(), 16);
+        assert_eq!(Dataflow::WeightStationary.adder_tree_width(), 1);
+        assert_eq!(Dataflow::RowStationary.adder_tree_width(), 1);
+    }
+}

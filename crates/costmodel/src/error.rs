@@ -1,0 +1,46 @@
+//! Error types for the cost model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cost model crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostModelError {
+    /// A dataflow abbreviation could not be parsed.
+    UnknownDataflow(String),
+    /// A hardware configuration parameter was invalid (zero PEs,
+    /// zero bandwidth, ...). Carries a human-readable explanation.
+    InvalidHardware(String),
+}
+
+impl fmt::Display for CostModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModelError::UnknownDataflow(s) => {
+                write!(f, "unknown dataflow abbreviation `{s}` (expected WS, OS, or RS)")
+            }
+            CostModelError::InvalidHardware(s) => write!(f, "invalid hardware config: {s}"),
+        }
+    }
+}
+
+impl Error for CostModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let e = CostModelError::UnknownDataflow("ZZ".into());
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with("unknown"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CostModelError>();
+    }
+}

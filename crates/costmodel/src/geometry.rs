@@ -1,0 +1,115 @@
+//! Fixed PE-array geometries.
+//!
+//! A *fixed-dataflow accelerator* does not retile its array per layer:
+//! the spatial dimensions each loop maps to are baked into the
+//! hardware (NVDLA's atomic-K × atomic-C grid, Eyeriss's row grid,
+//! an output-stationary pixel grid). Layers whose dimensions don't
+//! fill the fixed tiles simply leave PEs idle — the under-utilization
+//! that makes MTMM workloads hard to serve with one specialized
+//! design (paper §1, "the heterogeneous workload makes it difficult
+//! to employ traditional DNN specialization").
+//!
+//! [`crate::spatial_map`] remains available as the *adaptive* mapping
+//! strategy (a per-layer reconfigurable accelerator), selectable via
+//! [`MappingStrategy::Adaptive`] for ablation studies.
+
+/// How a (sub-)accelerator maps loop dimensions onto its PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MappingStrategy {
+    /// Fixed array geometry per dataflow (the default; models real
+    /// fixed-dataflow accelerators like those in Table 5).
+    #[default]
+    Fixed,
+    /// Per-layer optimal tiling search (models a fully reconfigurable
+    /// spatial array; upper bound used in ablations).
+    Adaptive,
+}
+
+/// The fixed weight-stationary (NVDLA-style) grid: `t_k × t_c` with
+/// the input-channel dimension held at 128 lanes.
+pub fn ws_grid(pes: u64) -> (u64, u64) {
+    let t_c = 128.min(pes.max(1));
+    let t_k = (pes / t_c).max(1);
+    (t_k, t_c)
+}
+
+/// The fixed output-stationary grid: `t_y × t_x` output positions,
+/// each backed by a 16-way adder tree; the column dimension is held
+/// at 16 positions.
+pub fn os_grid(pes: u64) -> (u64, u64) {
+    let positions = (pes / 16).max(1);
+    let t_x = 16.min(positions);
+    let t_y = (positions / t_x).max(1);
+    (t_y, t_x)
+}
+
+/// The fixed row-stationary (Eyeriss-style) grid: `t_k × t_y × t_r`
+/// with 16 output rows and 4 kernel rows.
+pub fn rs_grid(pes: u64) -> (u64, u64, u64) {
+    let t_r = 4.min(pes.max(1));
+    let t_y = 16.min((pes / t_r).max(1));
+    let t_k = (pes / (t_r * t_y)).max(1);
+    (t_k, t_y, t_r)
+}
+
+/// Temporal steps to cover `dims` with fixed `tiles`:
+/// `∏ ceil(dim_i / tile_i)`.
+pub(crate) fn steps(dims: &[u64], tiles: &[u64]) -> u64 {
+    dims.iter()
+        .zip(tiles)
+        .map(|(&d, &t)| d.div_ceil(t.max(1)))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_grid_paper_platforms() {
+        assert_eq!(ws_grid(4096), (32, 128));
+        assert_eq!(ws_grid(8192), (64, 128));
+        assert_eq!(ws_grid(2048), (16, 128));
+        assert_eq!(ws_grid(1024), (8, 128));
+    }
+
+    #[test]
+    fn os_grid_paper_platforms() {
+        assert_eq!(os_grid(4096), (16, 16)); // 256 positions
+        assert_eq!(os_grid(8192), (32, 16)); // 512 positions
+        assert_eq!(os_grid(1024), (4, 16));
+    }
+
+    #[test]
+    fn rs_grid_paper_platforms() {
+        assert_eq!(rs_grid(4096), (64, 16, 4));
+        assert_eq!(rs_grid(8192), (128, 16, 4));
+        assert_eq!(rs_grid(1024), (16, 16, 4));
+    }
+
+    #[test]
+    fn grids_never_exceed_pe_budget() {
+        for pes in [1u64, 16, 100, 1024, 2048, 4096, 6144, 8192] {
+            let (k, c) = ws_grid(pes);
+            assert!(k * c <= pes.max(128), "ws {pes}");
+            let (y, x) = os_grid(pes);
+            assert!(y * x * 16 <= pes.max(256), "os {pes}");
+            let (k, y, r) = rs_grid(pes);
+            assert!(k * y * r <= pes, "rs {pes}");
+        }
+    }
+
+    #[test]
+    fn steps_cover_dimensions() {
+        assert_eq!(steps(&[256, 256], &[32, 128]), 8 * 2);
+        assert_eq!(steps(&[16, 1], &[32, 128]), 1);
+        assert_eq!(steps(&[100], &[16]), 7);
+    }
+
+    #[test]
+    fn degenerate_pe_counts_survive() {
+        assert_eq!(ws_grid(1), (1, 1));
+        assert_eq!(os_grid(1), (1, 1));
+        assert_eq!(rs_grid(1), (1, 1, 1));
+    }
+}

@@ -1,0 +1,252 @@
+//! Hardware configuration for a (sub-)accelerator.
+
+use crate::error::CostModelError;
+use crate::geometry::MappingStrategy;
+
+/// Per-operation energy parameters, in joules.
+///
+/// The defaults are calibrated so that the per-inference energies of
+/// the XRBench model zoo land in the range the paper's energy scores
+/// imply (tens to hundreds of millijoules against the paper's default
+/// `Emax = 1500 mJ`). The *ratios* between the parameters follow the
+/// usual memory-hierarchy rules of thumb (DRAM ≫ SRAM ≫ MAC), so the
+/// dataflow-dependent reuse differences remain the first-order effect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per 8-bit MAC, in joules.
+    pub mac_j: f64,
+    /// Energy per byte read/written from the shared on-chip SRAM.
+    pub sram_byte_j: f64,
+    /// Energy per byte transferred to/from off-chip memory.
+    pub dram_byte_j: f64,
+    /// Energy per vector (non-MAC) operation.
+    pub vector_op_j: f64,
+    /// Energy per operand delivery inside the PE array (register /
+    /// inter-PE hop / adder-tree input). Multiplied by reuse-discounted
+    /// access counts, this is what makes dataflow choice matter for
+    /// energy: a dataflow that cannot reuse an operand pays one
+    /// delivery per MAC for it.
+    pub delivery_access_j: f64,
+}
+
+impl EnergyParams {
+    /// Calibrated defaults (see type-level docs).
+    pub fn calibrated() -> Self {
+        Self {
+            mac_j: 10e-12,
+            sram_byte_j: 4e-12,
+            dram_byte_j: 250e-12,
+            vector_op_j: 4e-12,
+            delivery_access_j: 2e-12,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// The hardware parameters of one accelerator (or sub-accelerator)
+/// instance.
+///
+/// Paper defaults (§4.1): 4K/8K PEs, 256 GB/s on-chip bandwidth, 8 MiB
+/// shared on-chip memory, 1 GHz clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareConfig {
+    /// Number of processing elements (MAC units).
+    pub pes: u64,
+    /// On-chip NoC bandwidth in bytes per second.
+    pub noc_bw_bytes_per_s: f64,
+    /// Off-chip (DRAM) bandwidth in bytes per second. The paper lists
+    /// off-chip bandwidth as a system parameter; we default it to one
+    /// quarter of the NoC bandwidth.
+    pub offchip_bw_bytes_per_s: f64,
+    /// Shared on-chip SRAM capacity in bytes.
+    pub sram_bytes: u64,
+    /// Clock frequency in hertz.
+    pub clock_hz: f64,
+    /// Width of the vector unit handling non-MAC ops, in lanes.
+    pub vector_lanes: u64,
+    /// Fixed per-layer launch overhead in cycles (descriptor fetch,
+    /// pipeline fill/drain).
+    pub layer_overhead_cycles: u64,
+    /// How loop dimensions map onto the PE array (fixed geometry by
+    /// default; adaptive per-layer tiling for ablations).
+    pub mapping: MappingStrategy,
+    /// Energy parameters.
+    pub energy: EnergyParams,
+}
+
+impl HardwareConfig {
+    /// The paper's default platform with the given PE count
+    /// (256 GB/s NoC, 8 MiB SRAM, 1 GHz).
+    pub fn with_pes(pes: u64) -> Self {
+        Self {
+            pes,
+            noc_bw_bytes_per_s: 256e9,
+            offchip_bw_bytes_per_s: 64e9,
+            sram_bytes: 8 * 1024 * 1024,
+            clock_hz: 1e9,
+            vector_lanes: 256,
+            layer_overhead_cycles: 500,
+            mapping: MappingStrategy::default(),
+            energy: EnergyParams::calibrated(),
+        }
+    }
+
+    /// Returns a copy scaled to a fraction of the PEs, bandwidth, and
+    /// SRAM — a fully private partition of the chip. The clock is
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn partition(&self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "partition fraction must be in (0, 1], got {fraction}"
+        );
+        Self {
+            noc_bw_bytes_per_s: self.noc_bw_bytes_per_s * fraction,
+            offchip_bw_bytes_per_s: self.offchip_bw_bytes_per_s * fraction,
+            ..self.partition_shared_bw(fraction)
+        }
+    }
+
+    /// Returns a copy with a fraction of the PEs, SRAM, and vector
+    /// lanes but the **full** NoC and off-chip bandwidth — the
+    /// Herald-style organization where sub-accelerators share the
+    /// chip's memory system. This is what [`partition`] of the paper's
+    /// Table 5 systems uses: partitioning trades array size for
+    /// concurrency, not for memory bandwidth.
+    ///
+    /// [`partition`]: HardwareConfig::partition
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn partition_shared_bw(&self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "partition fraction must be in (0, 1], got {fraction}"
+        );
+        Self {
+            pes: ((self.pes as f64) * fraction).round().max(1.0) as u64,
+            sram_bytes: ((self.sram_bytes as f64) * fraction).round().max(1.0) as u64,
+            vector_lanes: ((self.vector_lanes as f64) * fraction).round().max(1.0) as u64,
+            ..*self
+        }
+    }
+
+    /// Validates the configuration, returning an error describing the
+    /// first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostModelError::InvalidHardware`] if any parameter is
+    /// non-positive.
+    pub fn validate(&self) -> Result<(), CostModelError> {
+        if self.pes == 0 {
+            return Err(CostModelError::InvalidHardware("pes must be > 0".into()));
+        }
+        if self.noc_bw_bytes_per_s <= 0.0 {
+            return Err(CostModelError::InvalidHardware(
+                "noc bandwidth must be > 0".into(),
+            ));
+        }
+        if self.offchip_bw_bytes_per_s <= 0.0 {
+            return Err(CostModelError::InvalidHardware(
+                "off-chip bandwidth must be > 0".into(),
+            ));
+        }
+        if self.sram_bytes == 0 {
+            return Err(CostModelError::InvalidHardware(
+                "sram capacity must be > 0".into(),
+            ));
+        }
+        if self.clock_hz <= 0.0 {
+            return Err(CostModelError::InvalidHardware(
+                "clock must be > 0".into(),
+            ));
+        }
+        if self.vector_lanes == 0 {
+            return Err(CostModelError::InvalidHardware(
+                "vector lanes must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// NoC bandwidth in bytes per clock cycle.
+    pub fn noc_bytes_per_cycle(&self) -> f64 {
+        self.noc_bw_bytes_per_s / self.clock_hz
+    }
+
+    /// Off-chip bandwidth in bytes per clock cycle.
+    pub fn offchip_bytes_per_cycle(&self) -> f64 {
+        self.offchip_bw_bytes_per_s / self.clock_hz
+    }
+}
+
+impl Default for HardwareConfig {
+    /// The paper's 4K-PE default platform.
+    fn default() -> Self {
+        Self::with_pes(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let hw = HardwareConfig::default();
+        assert_eq!(hw.pes, 4096);
+        assert_eq!(hw.sram_bytes, 8 * 1024 * 1024);
+        assert!((hw.noc_bw_bytes_per_s - 256e9).abs() < 1.0);
+        assert!((hw.clock_hz - 1e9).abs() < 1.0);
+        hw.validate().unwrap();
+    }
+
+    #[test]
+    fn partition_halves_resources() {
+        let hw = HardwareConfig::with_pes(8192);
+        let half = hw.partition(0.5);
+        assert_eq!(half.pes, 4096);
+        assert_eq!(half.sram_bytes, 4 * 1024 * 1024);
+        assert!((half.noc_bw_bytes_per_s - 128e9).abs() < 1.0);
+        // Clock is not partitioned.
+        assert!((half.clock_hz - hw.clock_hz).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn partition_rejects_zero_fraction() {
+        let _ = HardwareConfig::default().partition(0.0);
+    }
+
+    #[test]
+    fn validate_rejects_zero_pes() {
+        let mut hw = HardwareConfig::default();
+        hw.pes = 0;
+        assert!(hw.validate().is_err());
+    }
+
+    #[test]
+    fn bandwidth_per_cycle_is_consistent() {
+        let hw = HardwareConfig::default();
+        // 256 GB/s at 1 GHz = 256 B/cycle.
+        assert!((hw.noc_bytes_per_cycle() - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_hierarchy_ordering_holds() {
+        let e = EnergyParams::calibrated();
+        assert!(e.dram_byte_j > e.sram_byte_j);
+        assert!(e.sram_byte_j > 0.0);
+        assert!(e.mac_j > 0.0);
+    }
+}

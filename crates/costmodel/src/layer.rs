@@ -1,0 +1,409 @@
+//! DNN layer descriptions.
+//!
+//! A [`Layer`] is a shape-level description of one operator: enough
+//! information for an analytical cost model (MAC count, operand
+//! footprints) without any weights or numerics.
+
+use std::fmt;
+
+/// Canonical tensor dimensions for a (convolution-like) layer.
+///
+/// The naming follows the MAESTRO/Timeloop convention:
+///
+/// * `k` — output channels (or output features for dense layers)
+/// * `c` — input channels (the reduction dimension)
+/// * `y`, `x` — **output** spatial rows and columns
+/// * `r`, `s` — kernel rows and columns
+///
+/// A dense (fully-connected) layer is `k × c` with `y = x = r = s = 1`.
+/// A matrix multiply `M×K · K×N` maps to `k = N`, `c = K`, `y = M`,
+/// `x = r = s = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorDims {
+    /// Output channels.
+    pub k: u64,
+    /// Input channels (reduction dimension).
+    pub c: u64,
+    /// Output rows.
+    pub y: u64,
+    /// Output columns.
+    pub x: u64,
+    /// Kernel rows.
+    pub r: u64,
+    /// Kernel columns.
+    pub s: u64,
+}
+
+impl TensorDims {
+    /// Creates dimensions, validating that all are non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(k: u64, c: u64, y: u64, x: u64, r: u64, s: u64) -> Self {
+        assert!(
+            k > 0 && c > 0 && y > 0 && x > 0 && r > 0 && s > 0,
+            "all tensor dimensions must be non-zero (got k={k} c={c} y={y} x={x} r={r} s={s})"
+        );
+        Self { k, c, y, x, r, s }
+    }
+
+    /// Total number of output elements (`k * y * x`).
+    pub fn output_elems(&self) -> u64 {
+        self.k * self.y * self.x
+    }
+}
+
+/// The operator class of a layer.
+///
+/// The class determines how MACs and operand footprints are derived
+/// from the [`TensorDims`], and whether the layer is compute-heavy
+/// (conv/dense/matmul) or movement-heavy (pool, upsample, normalization,
+/// elementwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Standard 2-D convolution: `MACs = k·c·y·x·r·s`.
+    Conv2d,
+    /// Depthwise 2-D convolution (one filter per channel):
+    /// `MACs = k·y·x·r·s` (`c` is ignored for MACs; it must equal `k`
+    /// semantically, but we only use `k`).
+    DwConv2d,
+    /// Transposed (de-)convolution. Costed like a convolution over the
+    /// *output* spatial extent: `MACs = k·c·y·x·r·s`.
+    Deconv2d,
+    /// Dense / fully-connected: `MACs = k·c·y·x` (with `y·x` acting as
+    /// a batch of rows, normally 1).
+    Dense,
+    /// General matrix multiply (used for attention score / context
+    /// matmuls): `MACs = k·c·y`.
+    Matmul,
+    /// Pooling (max/avg): no MACs, one comparison/add per input element.
+    Pool,
+    /// Nearest/bilinear upsampling: no MACs, pure data movement.
+    Upsample,
+    /// Layer normalization (or batch norm at inference): ~5 ops per
+    /// element, modeled as elementwise vector work.
+    LayerNorm,
+    /// Softmax: exp + normalize per element, modeled as elementwise
+    /// vector work.
+    Softmax,
+    /// Generic elementwise op (residual add, activation, concat copy).
+    Elementwise,
+}
+
+impl LayerKind {
+    /// Whether the layer has a weight operand.
+    pub fn has_weights(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv2d
+                | LayerKind::DwConv2d
+                | LayerKind::Deconv2d
+                | LayerKind::Dense
+        )
+    }
+
+    /// Whether the layer is dominated by MAC compute (as opposed to
+    /// data movement).
+    pub fn is_compute(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv2d
+                | LayerKind::DwConv2d
+                | LayerKind::Deconv2d
+                | LayerKind::Dense
+                | LayerKind::Matmul
+        )
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayerKind::Conv2d => "Conv2d",
+            LayerKind::DwConv2d => "DwConv2d",
+            LayerKind::Deconv2d => "Deconv2d",
+            LayerKind::Dense => "Dense",
+            LayerKind::Matmul => "Matmul",
+            LayerKind::Pool => "Pool",
+            LayerKind::Upsample => "Upsample",
+            LayerKind::LayerNorm => "LayerNorm",
+            LayerKind::Softmax => "Softmax",
+            LayerKind::Elementwise => "Elementwise",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single operator in a model graph, with a human-readable name.
+///
+/// All activation/weight data is assumed 8-bit quantized (1 byte per
+/// element), matching the paper's methodology ("All the models are the
+/// same across the hardware platforms (8bit-quantized ...)").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+    dims: TensorDims,
+    /// Spatial stride (affects the input footprint only).
+    stride: u64,
+}
+
+impl Layer {
+    /// Creates a layer from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or any dimension is zero.
+    pub fn new(name: impl Into<String>, kind: LayerKind, dims: TensorDims, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        Self {
+            name: name.into(),
+            kind,
+            dims,
+            stride,
+        }
+    }
+
+    /// Convenience constructor for a standard convolution with output
+    /// spatial size `y × x`, `r × s` kernel, and stride 1.
+    pub fn conv2d(name: impl Into<String>, k: u64, c: u64, y: u64, x: u64, r: u64, s: u64) -> Self {
+        Self::new(name, LayerKind::Conv2d, TensorDims::new(k, c, y, x, r, s), 1)
+    }
+
+    /// Convenience constructor for a strided convolution.
+    pub fn conv2d_strided(
+        name: impl Into<String>,
+        k: u64,
+        c: u64,
+        y: u64,
+        x: u64,
+        r: u64,
+        s: u64,
+        stride: u64,
+    ) -> Self {
+        Self::new(
+            name,
+            LayerKind::Conv2d,
+            TensorDims::new(k, c, y, x, r, s),
+            stride,
+        )
+    }
+
+    /// Convenience constructor for a depthwise convolution over `k`
+    /// channels.
+    pub fn dwconv2d(name: impl Into<String>, k: u64, y: u64, x: u64, r: u64, s: u64) -> Self {
+        Self::new(
+            name,
+            LayerKind::DwConv2d,
+            TensorDims::new(k, k, y, x, r, s),
+            1,
+        )
+    }
+
+    /// Convenience constructor for a dense (fully-connected) layer with
+    /// `k` outputs and `c` inputs.
+    pub fn dense(name: impl Into<String>, k: u64, c: u64) -> Self {
+        Self::new(name, LayerKind::Dense, TensorDims::new(k, c, 1, 1, 1, 1), 1)
+    }
+
+    /// Convenience constructor for a matmul `(m × cdim) · (cdim × n)`.
+    pub fn matmul(name: impl Into<String>, m: u64, cdim: u64, n: u64) -> Self {
+        Self::new(
+            name,
+            LayerKind::Matmul,
+            TensorDims::new(n, cdim, m, 1, 1, 1),
+            1,
+        )
+    }
+
+    /// The layer's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's operator class.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// The layer's tensor dimensions.
+    pub fn dims(&self) -> TensorDims {
+        self.dims
+    }
+
+    /// The layer's spatial stride.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Total multiply-accumulate operations for one inference of this
+    /// layer. Movement-only layers report zero MACs; their cost comes
+    /// from vector-lane work and data movement in the analysis.
+    pub fn macs(&self) -> u64 {
+        let d = &self.dims;
+        match self.kind {
+            LayerKind::Conv2d | LayerKind::Deconv2d => d.k * d.c * d.y * d.x * d.r * d.s,
+            LayerKind::DwConv2d => d.k * d.y * d.x * d.r * d.s,
+            LayerKind::Dense => d.k * d.c * d.y * d.x,
+            LayerKind::Matmul => d.k * d.c * d.y,
+            _ => 0,
+        }
+    }
+
+    /// Number of non-MAC vector operations (pooling windows,
+    /// normalization arithmetic, ...). Zero for compute layers.
+    pub fn vector_ops(&self) -> u64 {
+        let d = &self.dims;
+        match self.kind {
+            LayerKind::Pool => d.k * d.y * d.x * d.r * d.s,
+            LayerKind::Upsample => d.k * d.y * d.x,
+            // ~5 arithmetic ops per element (mean, var, scale, shift).
+            LayerKind::LayerNorm => 5 * d.k * d.y * d.x,
+            // exp + sum + div ≈ 8 ops per element with LUT-based exp.
+            LayerKind::Softmax => 8 * d.k * d.y * d.x,
+            LayerKind::Elementwise => d.k * d.y * d.x,
+            _ => 0,
+        }
+    }
+
+    /// Input activation footprint in bytes (8-bit elements), including
+    /// the kernel halo.
+    pub fn input_bytes(&self) -> u64 {
+        let d = &self.dims;
+        let in_y = d.y * self.stride + d.r.saturating_sub(1);
+        let in_x = d.x * self.stride + d.s.saturating_sub(1);
+        let in_c = match self.kind {
+            LayerKind::DwConv2d => d.k,
+            LayerKind::Matmul => d.c, // y rows × c cols, counted below
+            _ => d.c,
+        };
+        match self.kind {
+            LayerKind::Matmul => d.y * d.c,
+            LayerKind::Dense => d.c * d.y * d.x,
+            _ => in_c * in_y * in_x,
+        }
+    }
+
+    /// Weight footprint in bytes (8-bit elements). Zero for layers
+    /// without weights; a matmul's second operand is counted here so
+    /// that traffic accounting covers both inputs.
+    pub fn weight_bytes(&self) -> u64 {
+        let d = &self.dims;
+        match self.kind {
+            LayerKind::Conv2d | LayerKind::Deconv2d => d.k * d.c * d.r * d.s,
+            LayerKind::DwConv2d => d.k * d.r * d.s,
+            LayerKind::Dense => d.k * d.c,
+            LayerKind::Matmul => d.c * d.k,
+            _ => 0,
+        }
+    }
+
+    /// Output footprint in bytes (8-bit elements).
+    pub fn output_bytes(&self) -> u64 {
+        self.dims.output_elems()
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = &self.dims;
+        write!(
+            f,
+            "{} [{}] k={} c={} y={} x={} r={} s={}",
+            self.name, self.kind, d.k, d.c, d.y, d.x, d.r, d.s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_match_hand_computation() {
+        // 64 out-ch, 32 in-ch, 56x56 output, 3x3 kernel:
+        // 64*32*56*56*9 = 57,802,752
+        let l = Layer::conv2d("c", 64, 32, 56, 56, 3, 3);
+        assert_eq!(l.macs(), 64 * 32 * 56 * 56 * 9);
+    }
+
+    #[test]
+    fn dwconv_macs_exclude_cross_channel_reduction() {
+        let l = Layer::dwconv2d("dw", 128, 28, 28, 3, 3);
+        assert_eq!(l.macs(), 128 * 28 * 28 * 9);
+    }
+
+    #[test]
+    fn dense_macs_are_k_times_c() {
+        let l = Layer::dense("fc", 1000, 2048);
+        assert_eq!(l.macs(), 1000 * 2048);
+    }
+
+    #[test]
+    fn matmul_macs_are_m_k_n() {
+        // (128 x 64) . (64 x 128) -> 128*64*128 MACs
+        let l = Layer::matmul("qk", 128, 64, 128);
+        assert_eq!(l.macs(), 128 * 64 * 128);
+    }
+
+    #[test]
+    fn pool_has_no_macs_but_vector_ops() {
+        let l = Layer::new(
+            "pool",
+            LayerKind::Pool,
+            TensorDims::new(64, 64, 28, 28, 2, 2),
+            2,
+        );
+        assert_eq!(l.macs(), 0);
+        assert_eq!(l.vector_ops(), 64 * 28 * 28 * 4);
+    }
+
+    #[test]
+    fn weight_bytes_zero_for_weightless_layers() {
+        let l = Layer::new(
+            "up",
+            LayerKind::Upsample,
+            TensorDims::new(32, 32, 56, 56, 1, 1),
+            1,
+        );
+        assert_eq!(l.weight_bytes(), 0);
+    }
+
+    #[test]
+    fn input_bytes_include_halo() {
+        let l = Layer::conv2d("c", 8, 4, 10, 10, 3, 3);
+        // (10+2) x (10+2) x 4 channels
+        assert_eq!(l.input_bytes(), 12 * 12 * 4);
+    }
+
+    #[test]
+    fn strided_conv_input_footprint_scales_with_stride() {
+        let s1 = Layer::conv2d("c", 8, 4, 10, 10, 3, 3);
+        let s2 = Layer::conv2d_strided("c", 8, 4, 10, 10, 3, 3, 2);
+        assert!(s2.input_bytes() > s1.input_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_panics() {
+        let _ = TensorDims::new(0, 1, 1, 1, 1, 1);
+    }
+
+    #[test]
+    fn display_contains_name_and_kind() {
+        let l = Layer::dense("head", 10, 512);
+        let s = format!("{l}");
+        assert!(s.contains("head"));
+        assert!(s.contains("Dense"));
+    }
+
+    #[test]
+    fn layer_kind_classification() {
+        assert!(LayerKind::Conv2d.is_compute());
+        assert!(LayerKind::Conv2d.has_weights());
+        assert!(LayerKind::Matmul.is_compute());
+        assert!(!LayerKind::Matmul.has_weights());
+        assert!(!LayerKind::Softmax.is_compute());
+    }
+}

@@ -1,0 +1,158 @@
+//! Spatial mapping search: how a dataflow's parallel loop dimensions
+//! are tiled onto a finite PE array.
+
+/// The result of mapping a set of loop dimensions onto `pes` PEs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialMapping {
+    /// Chosen tile size per mapped dimension (same order as the input).
+    pub tiles: Vec<u64>,
+    /// Number of temporal steps over the mapped dimensions:
+    /// `∏ ceil(dim_i / tile_i)`.
+    pub steps: u64,
+    /// PEs actually occupied by a full tile: `∏ tile_i`.
+    pub pes_used: u64,
+    /// Average utilization of the occupied PEs in `[0, 1]`, accounting
+    /// for edge (remainder) tiles.
+    pub utilization: f64,
+}
+
+/// Searches for the tiling of `dims` onto `pes` PEs that minimizes the
+/// number of temporal steps (ties broken toward higher utilization).
+///
+/// Candidate tile sizes per dimension are powers of two plus the
+/// dimension itself, which keeps the search cheap (< ~20³ combinations)
+/// while covering the mappings real accelerators use.
+///
+/// # Panics
+///
+/// Panics if `dims` is empty, any dimension is zero, or `pes == 0`.
+pub fn spatial_map(dims: &[u64], pes: u64) -> SpatialMapping {
+    assert!(!dims.is_empty(), "at least one dimension required");
+    assert!(pes > 0, "pes must be > 0");
+    assert!(dims.iter().all(|&d| d > 0), "dimensions must be non-zero");
+
+    let candidates: Vec<Vec<u64>> = dims
+        .iter()
+        .map(|&d| {
+            let mut c: Vec<u64> = std::iter::successors(Some(1u64), |&v| {
+                let next = v * 2;
+                (next <= d && next <= pes).then_some(next)
+            })
+            .collect();
+            if d <= pes && !c.contains(&d) {
+                c.push(d);
+            }
+            c
+        })
+        .collect();
+
+    let mut best: Option<SpatialMapping> = None;
+    let mut stack = vec![0usize; dims.len()];
+    // Iterative cartesian product over candidate tiles.
+    'outer: loop {
+        let tiles: Vec<u64> = stack
+            .iter()
+            .zip(&candidates)
+            .map(|(&i, c)| c[i])
+            .collect();
+        let pes_used: u64 = tiles.iter().product();
+        if pes_used <= pes {
+            let steps: u64 = dims
+                .iter()
+                .zip(&tiles)
+                .map(|(&d, &t)| d.div_ceil(t))
+                .product();
+            let utilization: f64 = dims
+                .iter()
+                .zip(&tiles)
+                .map(|(&d, &t)| d as f64 / (t * d.div_ceil(t)) as f64)
+                .product();
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    steps < b.steps || (steps == b.steps && utilization > b.utilization)
+                }
+            };
+            if better {
+                best = Some(SpatialMapping {
+                    tiles,
+                    steps,
+                    pes_used,
+                    utilization,
+                });
+            }
+        }
+        // Advance the odometer.
+        for i in 0..stack.len() {
+            stack[i] += 1;
+            if stack[i] < candidates[i].len() {
+                continue 'outer;
+            }
+            stack[i] = 0;
+        }
+        break;
+    }
+    best.expect("tile=1 per dim is always feasible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_entirely_when_small() {
+        let m = spatial_map(&[8, 8], 4096);
+        assert_eq!(m.steps, 1);
+        assert_eq!(m.pes_used, 64);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_dim_larger_than_array() {
+        let m = spatial_map(&[10000], 4096);
+        // Best pow2 tile is 4096 -> ceil(10000/4096) = 3 steps.
+        assert_eq!(m.steps, 3);
+        assert!(m.pes_used <= 4096);
+    }
+
+    #[test]
+    fn steps_never_increase_with_more_pes() {
+        let dims = [96, 200, 7];
+        let mut prev = u64::MAX;
+        for pes in [64, 256, 1024, 4096, 8192] {
+            let m = spatial_map(&dims, pes);
+            assert!(m.steps <= prev, "steps grew when PEs grew");
+            prev = m.steps;
+        }
+    }
+
+    #[test]
+    fn steps_at_least_work_over_pes() {
+        let dims = [128u64, 128];
+        let total: u64 = dims.iter().product();
+        let m = spatial_map(&dims, 1000);
+        assert!(m.steps as u128 * 1000u128 >= total as u128);
+    }
+
+    #[test]
+    fn utilization_in_unit_interval() {
+        for dims in [[3u64, 7], [100, 100], [1, 1]] {
+            let m = spatial_map(&dims, 100);
+            assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn exact_dim_tile_considered() {
+        // dim=48 on 48 PEs: tile 48 (non-pow2) gives 1 step.
+        let m = spatial_map(&[48], 48);
+        assert_eq!(m.steps, 1);
+        assert_eq!(m.tiles, vec![48]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pes")]
+    fn zero_pes_panics() {
+        let _ = spatial_map(&[4], 0);
+    }
+}

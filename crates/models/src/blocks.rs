@@ -1,0 +1,324 @@
+//! Reusable architecture building blocks for the model zoo.
+//!
+//! Each builder appends the layers of a common DNN block (residual
+//! block, inverted bottleneck, transformer encoder block, ...) to a
+//! growing layer list, mirroring how the reference models in Table 7
+//! are composed (CONV2D / DWCONV / FC / self-attention / LayerNorm /
+//! pooling / upsampling / skip connections).
+
+use xrbench_costmodel::{Layer, LayerKind, TensorDims};
+
+/// A growing layer list with a name prefix for readable layer names.
+#[derive(Debug, Default)]
+pub(crate) struct GraphBuilder {
+    layers: Vec<Layer>,
+}
+
+impl GraphBuilder {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, layer: Layer) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    pub(crate) fn finish(self) -> Vec<Layer> {
+        assert!(!self.layers.is_empty(), "model must have at least one layer");
+        self.layers
+    }
+
+    /// Conv + fused activation (BN folded at 8-bit inference).
+    pub(crate) fn conv_act(
+        &mut self,
+        name: &str,
+        k: u64,
+        c: u64,
+        y: u64,
+        x: u64,
+        r: u64,
+        s: u64,
+        stride: u64,
+    ) -> &mut Self {
+        self.push(Layer::conv2d_strided(
+            format!("{name}.conv"),
+            k,
+            c,
+            y,
+            x,
+            r,
+            s,
+            stride,
+        ));
+        self.push(Layer::new(
+            format!("{name}.act"),
+            LayerKind::Elementwise,
+            TensorDims::new(k, 1, y, x, 1, 1),
+            1,
+        ));
+        self
+    }
+
+    /// Two 3×3 convs with a residual add (ResNet basic block).
+    pub(crate) fn basic_residual(&mut self, name: &str, k: u64, c: u64, y: u64, x: u64) -> &mut Self {
+        self.conv_act(&format!("{name}.a"), k, c, y, x, 3, 3, 1);
+        self.conv_act(&format!("{name}.b"), k, k, y, x, 3, 3, 1);
+        self.push(Layer::new(
+            format!("{name}.add"),
+            LayerKind::Elementwise,
+            TensorDims::new(k, 1, y, x, 1, 1),
+            1,
+        ));
+        self
+    }
+
+    /// 1×1 bottleneck residual block (ResNet-50/101 style):
+    /// 1×1 reduce → 3×3 → 1×1 expand (+ add).
+    pub(crate) fn bottleneck_residual(
+        &mut self,
+        name: &str,
+        k: u64,
+        c: u64,
+        mid: u64,
+        y: u64,
+        x: u64,
+    ) -> &mut Self {
+        self.conv_act(&format!("{name}.reduce"), mid, c, y, x, 1, 1, 1);
+        self.conv_act(&format!("{name}.conv3"), mid, mid, y, x, 3, 3, 1);
+        self.conv_act(&format!("{name}.expand"), k, mid, y, x, 1, 1, 1);
+        self.push(Layer::new(
+            format!("{name}.add"),
+            LayerKind::Elementwise,
+            TensorDims::new(k, 1, y, x, 1, 1),
+            1,
+        ));
+        self
+    }
+
+    /// Inverted residual (MBConv, FBNet/MobileNet style):
+    /// 1×1 expand → depthwise r×s → 1×1 project (+ add when shapes match).
+    pub(crate) fn inverted_residual(
+        &mut self,
+        name: &str,
+        k: u64,
+        c: u64,
+        expand: u64,
+        y: u64,
+        x: u64,
+        r: u64,
+        stride: u64,
+    ) -> &mut Self {
+        let mid = c * expand;
+        self.conv_act(&format!("{name}.expand"), mid, c, y * stride, x * stride, 1, 1, 1);
+        self.push(Layer::new(
+            format!("{name}.dw"),
+            LayerKind::DwConv2d,
+            TensorDims::new(mid, mid, y, x, r, r),
+            stride,
+        ));
+        self.conv_act(&format!("{name}.project"), k, mid, y, x, 1, 1, 1);
+        if stride == 1 && k == c {
+            self.push(Layer::new(
+                format!("{name}.add"),
+                LayerKind::Elementwise,
+                TensorDims::new(k, 1, y, x, 1, 1),
+                1,
+            ));
+        }
+        self
+    }
+
+    /// Max/avg pooling.
+    pub(crate) fn pool(&mut self, name: &str, k: u64, y: u64, x: u64, window: u64) -> &mut Self {
+        self.push(Layer::new(
+            name.to_string(),
+            LayerKind::Pool,
+            TensorDims::new(k, k, y, x, window, window),
+            window,
+        ))
+    }
+
+    /// Nearest/bilinear upsample to `y × x` over `k` channels.
+    pub(crate) fn upsample(&mut self, name: &str, k: u64, y: u64, x: u64) -> &mut Self {
+        self.push(Layer::new(
+            name.to_string(),
+            LayerKind::Upsample,
+            TensorDims::new(k, 1, y, x, 1, 1),
+            1,
+        ))
+    }
+
+    /// Transposed-convolution upsampling block (decoder style).
+    pub(crate) fn deconv_act(
+        &mut self,
+        name: &str,
+        k: u64,
+        c: u64,
+        y: u64,
+        x: u64,
+        r: u64,
+    ) -> &mut Self {
+        self.push(Layer::new(
+            format!("{name}.deconv"),
+            LayerKind::Deconv2d,
+            TensorDims::new(k, c, y, x, r, r),
+            1,
+        ));
+        self.push(Layer::new(
+            format!("{name}.act"),
+            LayerKind::Elementwise,
+            TensorDims::new(k, 1, y, x, 1, 1),
+            1,
+        ));
+        self
+    }
+
+    /// A pre-norm transformer encoder block over `seq` tokens of width
+    /// `d` with an `ffn`-wide MLP: LN → QKV → scores → softmax →
+    /// context → proj (+ add) → LN → FFN (+ add).
+    pub(crate) fn transformer_block(
+        &mut self,
+        name: &str,
+        seq: u64,
+        d: u64,
+        ffn: u64,
+    ) -> &mut Self {
+        self.push(Layer::new(
+            format!("{name}.ln1"),
+            LayerKind::LayerNorm,
+            TensorDims::new(1, 1, seq, d, 1, 1),
+            1,
+        ));
+        // Fused QKV projection: seq × d → seq × 3d.
+        self.push(Layer::matmul(format!("{name}.qkv"), seq, d, 3 * d));
+        // Attention scores: (seq × d) · (d × seq).
+        self.push(Layer::matmul(format!("{name}.scores"), seq, d, seq));
+        self.push(Layer::new(
+            format!("{name}.softmax"),
+            LayerKind::Softmax,
+            TensorDims::new(1, 1, seq, seq, 1, 1),
+            1,
+        ));
+        // Context: (seq × seq) · (seq × d).
+        self.push(Layer::matmul(format!("{name}.context"), seq, seq, d));
+        self.push(Layer::matmul(format!("{name}.proj"), seq, d, d));
+        self.push(Layer::new(
+            format!("{name}.add1"),
+            LayerKind::Elementwise,
+            TensorDims::new(1, 1, seq, d, 1, 1),
+            1,
+        ));
+        self.push(Layer::new(
+            format!("{name}.ln2"),
+            LayerKind::LayerNorm,
+            TensorDims::new(1, 1, seq, d, 1, 1),
+            1,
+        ));
+        self.push(Layer::matmul(format!("{name}.ffn1"), seq, d, ffn));
+        self.push(Layer::matmul(format!("{name}.ffn2"), seq, ffn, d));
+        self.push(Layer::new(
+            format!("{name}.add2"),
+            LayerKind::Elementwise,
+            TensorDims::new(1, 1, seq, d, 1, 1),
+            1,
+        ));
+        self
+    }
+
+    /// A 1-D temporal convolution (ED-TCN style) over `t` timesteps,
+    /// mapped onto the canonical dims with `x = 1`.
+    pub(crate) fn temporal_conv(
+        &mut self,
+        name: &str,
+        k: u64,
+        c: u64,
+        t: u64,
+        kernel: u64,
+    ) -> &mut Self {
+        self.push(Layer::new(
+            format!("{name}.tconv"),
+            LayerKind::Conv2d,
+            TensorDims::new(k, c, t, 1, kernel, 1),
+            1,
+        ));
+        self.push(Layer::new(
+            format!("{name}.act"),
+            LayerKind::Elementwise,
+            TensorDims::new(k, 1, t, 1, 1, 1),
+            1,
+        ));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn macs(layers: &[Layer]) -> u64 {
+        layers.iter().map(Layer::macs).sum()
+    }
+
+    #[test]
+    fn conv_act_adds_two_layers() {
+        let mut b = GraphBuilder::new();
+        b.conv_act("x", 8, 4, 10, 10, 3, 3, 1);
+        let layers = b.finish();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(macs(&layers), 8 * 4 * 100 * 9);
+    }
+
+    #[test]
+    fn basic_residual_macs() {
+        let mut b = GraphBuilder::new();
+        b.basic_residual("r", 64, 32, 14, 14);
+        let layers = b.finish();
+        let expect = 64 * 32 * 14 * 14 * 9 + 64 * 64 * 14 * 14 * 9;
+        assert_eq!(macs(&layers), expect);
+    }
+
+    #[test]
+    fn inverted_residual_has_dwconv_and_optional_add() {
+        let mut b = GraphBuilder::new();
+        b.inverted_residual("m", 32, 32, 6, 14, 14, 3, 1);
+        let layers = b.finish();
+        assert!(layers
+            .iter()
+            .any(|l| l.kind() == LayerKind::DwConv2d));
+        assert!(layers.iter().any(|l| l.name().ends_with(".add")));
+
+        let mut b2 = GraphBuilder::new();
+        b2.inverted_residual("m", 64, 32, 6, 14, 14, 3, 2);
+        assert!(!b2.finish().iter().any(|l| l.name().ends_with(".add")));
+    }
+
+    #[test]
+    fn transformer_block_macs_match_formula() {
+        let (seq, d, ffn) = (64, 512, 2048);
+        let mut b = GraphBuilder::new();
+        b.transformer_block("t", seq, d, ffn);
+        let layers = b.finish();
+        let expect = seq * d * 3 * d   // qkv
+            + seq * d * seq            // scores
+            + seq * seq * d            // context
+            + seq * d * d              // proj
+            + seq * d * ffn            // ffn1
+            + seq * ffn * d; // ffn2
+        assert_eq!(macs(&layers), expect);
+    }
+
+    #[test]
+    fn temporal_conv_is_1d() {
+        let mut b = GraphBuilder::new();
+        b.temporal_conv("t", 96, 64, 100, 25);
+        let layers = b.finish();
+        assert_eq!(macs(&layers), 96 * 64 * 100 * 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_graph_panics() {
+        let _ = GraphBuilder::new().finish();
+    }
+}

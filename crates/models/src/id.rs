@@ -1,0 +1,272 @@
+//! Model, task-category, and input-source identifiers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The eleven XRBench unit models (Table 1).
+///
+/// The two-letter abbreviations follow the paper (HT, ES, GE, KD, SR,
+/// SS, OD, AS, DE, DR, PD). Note that KD and SR serve both the
+/// *Interaction* and *Context Understanding* task categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelId {
+    /// Hand Tracking — Hand Shape/Pose (Ge et al. 2019).
+    HandTracking,
+    /// Eye Segmentation — RITNet.
+    EyeSegmentation,
+    /// Gaze Estimation — Eyecod / FBNet-C backbone.
+    GazeEstimation,
+    /// Keyword Detection — res8-narrow.
+    KeywordDetection,
+    /// Speech Recognition — Emformer EM-24L.
+    SpeechRecognition,
+    /// Semantic Segmentation — HRViT-b1.
+    SemanticSegmentation,
+    /// Object Detection — D2Go Faster-RCNN-FBNetV3A.
+    ObjectDetection,
+    /// Action Segmentation — ED-TCN.
+    ActionSegmentation,
+    /// Depth Estimation — MiDaS v21-small.
+    DepthEstimation,
+    /// Depth Refinement — Sparse-to-Dense RGBd-200.
+    DepthRefinement,
+    /// Plane Detection — PlaneRCNN.
+    PlaneDetection,
+}
+
+impl ModelId {
+    /// All unit models, in Table 1 order.
+    pub const ALL: [ModelId; 11] = [
+        ModelId::HandTracking,
+        ModelId::EyeSegmentation,
+        ModelId::GazeEstimation,
+        ModelId::KeywordDetection,
+        ModelId::SpeechRecognition,
+        ModelId::SemanticSegmentation,
+        ModelId::ObjectDetection,
+        ModelId::ActionSegmentation,
+        ModelId::DepthEstimation,
+        ModelId::DepthRefinement,
+        ModelId::PlaneDetection,
+    ];
+
+    /// The paper's two-letter abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            ModelId::HandTracking => "HT",
+            ModelId::EyeSegmentation => "ES",
+            ModelId::GazeEstimation => "GE",
+            ModelId::KeywordDetection => "KD",
+            ModelId::SpeechRecognition => "SR",
+            ModelId::SemanticSegmentation => "SS",
+            ModelId::ObjectDetection => "OD",
+            ModelId::ActionSegmentation => "AS",
+            ModelId::DepthEstimation => "DE",
+            ModelId::DepthRefinement => "DR",
+            ModelId::PlaneDetection => "PD",
+        }
+    }
+
+    /// The full task name.
+    pub fn task_name(&self) -> &'static str {
+        match self {
+            ModelId::HandTracking => "Hand Tracking",
+            ModelId::EyeSegmentation => "Eye Segmentation",
+            ModelId::GazeEstimation => "Gaze Estimation",
+            ModelId::KeywordDetection => "Keyword Detection",
+            ModelId::SpeechRecognition => "Speech Recognition",
+            ModelId::SemanticSegmentation => "Semantic Segmentation",
+            ModelId::ObjectDetection => "Object Detection",
+            ModelId::ActionSegmentation => "Action Segmentation",
+            ModelId::DepthEstimation => "Depth Estimation",
+            ModelId::DepthRefinement => "Depth Refinement",
+            ModelId::PlaneDetection => "Plane Detection",
+        }
+    }
+
+    /// The primary task category (Table 1). KD and SR belong to both
+    /// Interaction and Context Understanding; the *primary* listing is
+    /// Interaction.
+    pub fn category(&self) -> TaskCategory {
+        match self {
+            ModelId::HandTracking
+            | ModelId::EyeSegmentation
+            | ModelId::GazeEstimation
+            | ModelId::KeywordDetection
+            | ModelId::SpeechRecognition => TaskCategory::Interaction,
+            ModelId::SemanticSegmentation
+            | ModelId::ObjectDetection
+            | ModelId::ActionSegmentation => TaskCategory::ContextUnderstanding,
+            ModelId::DepthEstimation | ModelId::DepthRefinement | ModelId::PlaneDetection => {
+                TaskCategory::WorldLocking
+            }
+        }
+    }
+
+    /// The sensors this model consumes (Table 3 input sources).
+    pub fn input_sources(&self) -> &'static [InputSource] {
+        match self {
+            ModelId::KeywordDetection | ModelId::SpeechRecognition => &[InputSource::Microphone],
+            ModelId::DepthRefinement => &[InputSource::Camera, InputSource::Lidar],
+            _ => &[InputSource::Camera],
+        }
+    }
+
+    /// The *driving* input source: the one whose streaming rate paces
+    /// this model's inference requests (the camera for the multi-modal
+    /// depth-refinement model, per Table 3's note that all streams are
+    /// aligned to 60 FPS for multi-modal models).
+    pub fn driving_source(&self) -> InputSource {
+        self.input_sources()[0]
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Error returned when parsing a [`ModelId`] abbreviation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelIdError(String);
+
+impl fmt::Display for ParseModelIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown model abbreviation `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseModelIdError {}
+
+impl FromStr for ModelId {
+    type Err = ParseModelIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelId::ALL
+            .iter()
+            .find(|m| m.abbrev().eq_ignore_ascii_case(s))
+            .copied()
+            .ok_or_else(|| ParseModelIdError(s.to_string()))
+    }
+}
+
+/// The three XRBench task categories (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskCategory {
+    /// Real-time user interaction (hands, eyes, voice).
+    Interaction,
+    /// Understanding the user's surroundings.
+    ContextUnderstanding,
+    /// AR object rendering on the scene (depth, planes).
+    WorldLocking,
+}
+
+impl fmt::Display for TaskCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskCategory::Interaction => "Interaction",
+            TaskCategory::ContextUnderstanding => "Context Understanding",
+            TaskCategory::WorldLocking => "World Locking",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three input sources of a metaverse device (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InputSource {
+    /// Image stream at 60 FPS, ±0.05 ms jitter.
+    Camera,
+    /// Sparse depth points at 60 FPS, ±0.05 ms jitter.
+    Lidar,
+    /// Audio at 3 FPS (320 ms chunks), ±0.1 ms jitter.
+    Microphone,
+}
+
+impl InputSource {
+    /// All input sources, in Table 3 order.
+    pub const ALL: [InputSource; 3] = [
+        InputSource::Camera,
+        InputSource::Lidar,
+        InputSource::Microphone,
+    ];
+}
+
+impl fmt::Display for InputSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InputSource::Camera => "Camera",
+            InputSource::Lidar => "Lidar",
+            InputSource::Microphone => "Microphone",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_models_with_unique_abbrevs() {
+        let mut abbrevs: Vec<_> = ModelId::ALL.iter().map(|m| m.abbrev()).collect();
+        abbrevs.sort_unstable();
+        abbrevs.dedup();
+        assert_eq!(abbrevs.len(), 11);
+    }
+
+    #[test]
+    fn abbrev_round_trips() {
+        for m in ModelId::ALL {
+            assert_eq!(m.abbrev().parse::<ModelId>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_rejects_unknown() {
+        assert_eq!(
+            "ht".parse::<ModelId>().unwrap(),
+            ModelId::HandTracking
+        );
+        assert!("QQ".parse::<ModelId>().is_err());
+    }
+
+    #[test]
+    fn category_split_matches_table1() {
+        use TaskCategory::*;
+        let interaction = ModelId::ALL
+            .iter()
+            .filter(|m| m.category() == Interaction)
+            .count();
+        let context = ModelId::ALL
+            .iter()
+            .filter(|m| m.category() == ContextUnderstanding)
+            .count();
+        let world = ModelId::ALL
+            .iter()
+            .filter(|m| m.category() == WorldLocking)
+            .count();
+        assert_eq!((interaction, context, world), (5, 3, 3));
+    }
+
+    #[test]
+    fn speech_models_use_microphone() {
+        assert_eq!(
+            ModelId::KeywordDetection.input_sources(),
+            &[InputSource::Microphone]
+        );
+        assert_eq!(
+            ModelId::SpeechRecognition.driving_source(),
+            InputSource::Microphone
+        );
+    }
+
+    #[test]
+    fn depth_refinement_is_multimodal_driven_by_camera() {
+        let srcs = ModelId::DepthRefinement.input_sources();
+        assert_eq!(srcs.len(), 2);
+        assert!(srcs.contains(&InputSource::Lidar));
+        assert_eq!(ModelId::DepthRefinement.driving_source(), InputSource::Camera);
+    }
+}

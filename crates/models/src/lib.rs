@@ -1,0 +1,36 @@
+//! # xrbench-models
+//!
+//! The XRBench unit-model zoo: shape-level (layer-graph) proxies of the
+//! eleven unit models in the paper's Table 1 / Table 7, together with
+//! their task metadata, dataset descriptors, input sources, and model
+//! quality (accuracy) requirements.
+//!
+//! The proxies are **not** trained networks — they are architectural
+//! descriptions with realistic layer shapes and MAC counts, which is
+//! exactly what an analytical cost model consumes. Where the paper
+//! down-scales dataset resolution for the wearable context (appendix A:
+//! Stereo Hand Pose ×1/2, OpenEDS 2019/2020 ×1/4, KITTI ×1/4 for PD),
+//! the proxies use the down-scaled input resolutions.
+//!
+//! ## Example
+//!
+//! ```
+//! use xrbench_models::{ModelId, registry};
+//!
+//! let info = registry::model_info(ModelId::EyeSegmentation);
+//! assert_eq!(info.quality.metric, "mIoU");
+//! assert!(!info.layers.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocks;
+mod id;
+mod quality;
+pub mod registry;
+pub mod zoo;
+
+pub use id::{InputSource, ModelId, TaskCategory};
+pub use quality::{quality_for, QualityMetric, QualityType};
+pub use registry::{model_info, ModelInfo};

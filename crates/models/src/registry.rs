@@ -1,0 +1,181 @@
+//! The model registry: one [`ModelInfo`] record per unit model,
+//! aggregating Table 1 (task, dataset, quality requirement), Table 7
+//! (model instance, type, major operators), and the layer graph.
+
+use xrbench_costmodel::Layer;
+
+use crate::id::{InputSource, ModelId, TaskCategory};
+use crate::quality::{quality_for, QualityMetric};
+use crate::zoo;
+
+/// Everything XRBench knows about one unit model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// The model identifier.
+    pub id: ModelId,
+    /// Full task name ("Hand Tracking", ...).
+    pub task: &'static str,
+    /// Task category (Table 1).
+    pub category: TaskCategory,
+    /// The reference model (Table 1 "Model" column).
+    pub reference: &'static str,
+    /// The deployed model instance (Table 7 "Model Instance").
+    pub instance: &'static str,
+    /// Model family (Table 7 "Model Type").
+    pub model_type: &'static str,
+    /// Dataset descriptor (`DSID`).
+    pub dataset: &'static str,
+    /// Model quality requirement (Table 1).
+    pub quality: QualityMetric,
+    /// Sensors feeding this model.
+    pub sources: &'static [InputSource],
+    /// The layer graph consumed by the cost model.
+    pub layers: Vec<Layer>,
+}
+
+impl ModelInfo {
+    /// Total MACs for one inference.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total parameter bytes (8-bit weights).
+    pub fn param_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::weight_bytes).sum()
+    }
+}
+
+/// Builds the full registry record for a unit model.
+pub fn model_info(id: ModelId) -> ModelInfo {
+    let (reference, instance, model_type, dataset) = metadata(id);
+    ModelInfo {
+        id,
+        task: id.task_name(),
+        category: id.category(),
+        reference,
+        instance,
+        model_type,
+        dataset,
+        quality: quality_for(id),
+        sources: id.input_sources(),
+        layers: zoo::build(id),
+    }
+}
+
+/// Builds registry records for all eleven unit models, in Table 1 order.
+pub fn all_models() -> Vec<ModelInfo> {
+    ModelId::ALL.iter().copied().map(model_info).collect()
+}
+
+fn metadata(id: ModelId) -> (&'static str, &'static str, &'static str, &'static str) {
+    match id {
+        ModelId::HandTracking => (
+            "Hand Graph-CNN (Ge et al., 2019)",
+            "Hand Shape/Pose",
+            "CNN",
+            "Stereo Hand Pose (1/2 scale)",
+        ),
+        ModelId::EyeSegmentation => (
+            "RITNet (Chaudhary et al., 2019)",
+            "RITNet",
+            "CNN",
+            "OpenEDS 2019 (1/4 scale)",
+        ),
+        ModelId::GazeEstimation => (
+            "Eyecod (You et al., 2022)",
+            "FBNet-C",
+            "CNN",
+            "OpenEDS 2020 (1/4 scale)",
+        ),
+        ModelId::KeywordDetection => (
+            "Key-Res-15 (Tang & Lin, 2018)",
+            "res8-narrow",
+            "CNN",
+            "Google Speech Commands",
+        ),
+        ModelId::SpeechRecognition => (
+            "Emformer (Shi et al., 2021)",
+            "EM-24L",
+            "Transformer",
+            "LibriSpeech",
+        ),
+        ModelId::SemanticSegmentation => (
+            "HRViT (Gu et al., 2022)",
+            "HRViT-b1",
+            "Transformer",
+            "Cityscapes",
+        ),
+        ModelId::ObjectDetection => (
+            "D2Go (Meta, 2022)",
+            "Faster-RCNN-FBNetV3A",
+            "R-CNN",
+            "COCO",
+        ),
+        ModelId::ActionSegmentation => ("TCN (Lea et al., 2017)", "ED-TCN", "CNN", "GTEA"),
+        ModelId::DepthEstimation => (
+            "MiDaS (Ranftl et al., 2020)",
+            "midas v21 small",
+            "CNN",
+            "KITTI",
+        ),
+        ModelId::DepthRefinement => (
+            "Sparse-to-Dense (Ma & Karaman, 2018)",
+            "RGBd-200",
+            "CNN",
+            "KITTI",
+        ),
+        ModelId::PlaneDetection => (
+            "PlaneRCNN (Liu et al., 2019)",
+            "PlaneRCNN",
+            "R-CNN",
+            "KITTI (1/4 scale)",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_models() {
+        let all = all_models();
+        assert_eq!(all.len(), 11);
+        for info in &all {
+            assert!(!info.layers.is_empty(), "{}", info.id);
+            assert!(info.macs() > 0);
+            assert!(info.param_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn table7_model_types() {
+        assert_eq!(model_info(ModelId::SpeechRecognition).model_type, "Transformer");
+        assert_eq!(model_info(ModelId::SemanticSegmentation).model_type, "Transformer");
+        assert_eq!(model_info(ModelId::ObjectDetection).model_type, "R-CNN");
+        assert_eq!(model_info(ModelId::PlaneDetection).model_type, "R-CNN");
+        assert_eq!(model_info(ModelId::HandTracking).model_type, "CNN");
+    }
+
+    #[test]
+    fn downscaled_datasets_annotated() {
+        for id in [
+            ModelId::HandTracking,
+            ModelId::EyeSegmentation,
+            ModelId::GazeEstimation,
+            ModelId::PlaneDetection,
+        ] {
+            assert!(
+                model_info(id).dataset.contains("scale"),
+                "{id} should record its appendix-A down-scaling"
+            );
+        }
+    }
+
+    #[test]
+    fn info_layers_match_zoo() {
+        for id in ModelId::ALL {
+            assert_eq!(model_info(id).layers, zoo::build(id));
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! Layer-graph proxies of the eleven XRBench unit models.
+//!
+//! Each function returns the layer list of the Table 7 model instance,
+//! at the (down-scaled) input resolution listed in appendix A. The
+//! graphs reproduce each architecture's *shape profile* — operator mix,
+//! channel widths, spatial pyramid — so the analytical cost model sees
+//! the same kind of work the real network would generate. MAC budgets
+//! per model (asserted by tests):
+//!
+//! | Model | Instance | ~MACs |
+//! |-------|----------|-------|
+//! | HT | Hand Shape/Pose CNN, stereo ×1/2 | ~2.5 G |
+//! | ES | RITNet, OpenEDS ×1/4 | ~2.7 G |
+//! | GE | FBNet-C, OpenEDS2020 ×1/4 | ~0.06 G |
+//! | KD | res8-narrow | ~6 M |
+//! | SR | Emformer EM-24L, 320 ms chunk | ~5 G |
+//! | SS | HRViT-b1 (512×1024) | ~11 G |
+//! | OD | Faster-RCNN-FBNetV3A (480²) | ~4 G |
+//! | AS | ED-TCN | ~60 M |
+//! | DE | MiDaS v21-small (384²) | ~2.2 G |
+//! | DR | Sparse-to-Dense RGBd-200 (228×912) | ~12 G |
+//! | PD | PlaneRCNN, KITTI ×1/4 | ~125 G |
+
+use xrbench_costmodel::{Layer, LayerKind, TensorDims};
+
+use crate::blocks::GraphBuilder;
+use crate::id::ModelId;
+
+/// Builds the layer graph for any unit model.
+pub fn build(model: ModelId) -> Vec<Layer> {
+    match model {
+        ModelId::HandTracking => hand_tracking(),
+        ModelId::EyeSegmentation => eye_segmentation(),
+        ModelId::GazeEstimation => gaze_estimation(),
+        ModelId::KeywordDetection => keyword_detection(),
+        ModelId::SpeechRecognition => speech_recognition(),
+        ModelId::SemanticSegmentation => semantic_segmentation(),
+        ModelId::ObjectDetection => object_detection(),
+        ModelId::ActionSegmentation => action_segmentation(),
+        ModelId::DepthEstimation => depth_estimation(),
+        ModelId::DepthRefinement => depth_refinement(),
+        ModelId::PlaneDetection => plane_detection(),
+    }
+}
+
+/// HT — Hand Shape/Pose (Ge et al. 2019): CNN backbone + Graph-CNN
+/// mesh decoder. Stereo Hand Pose input down-scaled ×1/2 → 224×224.
+pub fn hand_tracking() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    b.conv_act("stem", 64, 3, 112, 112, 3, 3, 2);
+    b.basic_residual("res1", 128, 64, 56, 56);
+    b.pool("pool1", 128, 28, 28, 2);
+    b.basic_residual("res2", 256, 128, 28, 28);
+    b.pool("pool2", 256, 14, 14, 2);
+    b.basic_residual("res3", 512, 256, 14, 14);
+    // Latent feature → graph: global pooling + projection.
+    b.pool("gap", 512, 1, 1, 14);
+    b.push(Layer::dense("latent", 512, 512));
+    // Graph-CNN mesh decoder: three graph-conv layers over 778
+    // vertices (MANO mesh), modeled as matmuls (feature transform).
+    for (i, (fin, fout)) in [(512, 256), (256, 128), (128, 64)].iter().enumerate() {
+        b.push(Layer::matmul(format!("gconv{i}.feat"), 778, *fin, *fout));
+        // Adjacency aggregation: (778 × 778) · (778 × fout).
+        b.push(Layer::matmul(format!("gconv{i}.agg"), 778, 778, *fout));
+        b.push(Layer::new(
+            format!("gconv{i}.act"),
+            LayerKind::Elementwise,
+            TensorDims::new(1, 1, 778, *fout, 1, 1),
+            1,
+        ));
+    }
+    // Pose regression head: 3-D coordinates per vertex.
+    b.push(Layer::matmul("head", 778, 64, 3));
+    b.finish()
+}
+
+/// ES — RITNet (Chaudhary et al. 2019): a compact 5-level
+/// encoder–decoder with skip connections. OpenEDS 2019 ×1/4 → 160×100.
+pub fn eye_segmentation() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    // Encoder (down blocks, dense-block channel widths).
+    b.conv_act("enc0.a", 48, 1, 100, 160, 3, 3, 1);
+    b.conv_act("enc0.b", 48, 48, 100, 160, 3, 3, 1);
+    b.pool("down0", 48, 50, 80, 2);
+    b.conv_act("enc1.a", 96, 48, 50, 80, 3, 3, 1);
+    b.conv_act("enc1.b", 96, 96, 50, 80, 3, 3, 1);
+    b.pool("down1", 96, 25, 40, 2);
+    b.conv_act("enc2.a", 192, 96, 25, 40, 3, 3, 1);
+    b.conv_act("enc2.b", 192, 192, 25, 40, 3, 3, 1);
+    b.pool("down2", 192, 12, 20, 2);
+    // Bottleneck.
+    b.conv_act("mid", 192, 192, 12, 20, 3, 3, 1);
+    // Decoder (up blocks with skip concat).
+    b.upsample("up2", 192, 25, 40);
+    b.conv_act("dec2", 96, 384, 25, 40, 3, 3, 1);
+    b.upsample("up1", 96, 50, 80);
+    b.conv_act("dec1", 48, 192, 50, 80, 3, 3, 1);
+    b.upsample("up0", 48, 100, 160);
+    b.conv_act("dec0", 32, 96, 100, 160, 3, 3, 1);
+    // 4-class segmentation head (background/iris/sclera/pupil).
+    b.conv_act("head", 4, 32, 100, 160, 1, 1, 1);
+    b.finish()
+}
+
+/// GE — Eyecod gaze estimation with an FBNet-C backbone.
+/// OpenEDS 2020 ×1/4 → 64×64 crops.
+pub fn gaze_estimation() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    b.conv_act("stem", 16, 1, 64, 64, 3, 3, 2);
+    b.inverted_residual("ir1", 16, 16, 1, 64, 64, 3, 1);
+    b.inverted_residual("ir2", 24, 16, 6, 32, 32, 3, 2);
+    b.inverted_residual("ir3", 24, 24, 6, 32, 32, 3, 1);
+    b.inverted_residual("ir4", 32, 24, 6, 16, 16, 5, 2);
+    b.inverted_residual("ir5", 32, 32, 6, 16, 16, 5, 1);
+    b.inverted_residual("ir6", 64, 32, 6, 8, 8, 5, 2);
+    b.inverted_residual("ir7", 64, 64, 6, 8, 8, 5, 1);
+    b.inverted_residual("ir8", 112, 64, 6, 8, 8, 3, 1);
+    b.inverted_residual("ir9", 184, 112, 6, 4, 4, 5, 2);
+    b.conv_act("head_conv", 352, 184, 4, 4, 1, 1, 1);
+    b.pool("gap", 352, 1, 1, 4);
+    b.push(Layer::dense("fc1", 256, 352));
+    // 3-D gaze vector.
+    b.push(Layer::dense("gaze", 3, 256));
+    b.finish()
+}
+
+/// KD — res8-narrow keyword spotting (Tang & Lin 2018): a tiny ResNet
+/// over 101×40 MFCC features with 19 filters.
+pub fn keyword_detection() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    b.conv_act("conv0", 19, 1, 101, 40, 3, 3, 1);
+    // 4×3 average pooling (res8 uses an early pool).
+    b.pool("pool", 19, 25, 13, 3);
+    for i in 0..3 {
+        b.basic_residual(&format!("res{i}"), 19, 19, 25, 13);
+    }
+    b.pool("gap", 19, 1, 1, 13);
+    // 12 keyword classes (10 commands + silence + unknown).
+    b.push(Layer::dense("fc", 12, 19));
+    b.finish()
+}
+
+/// SR — Emformer EM-24L streaming ASR (Shi et al. 2021): 24 transformer
+/// layers, d=512, FFN 2048, processing a 320 ms segment (~64 frames
+/// with left context).
+pub fn speech_recognition() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    // Convolutional frontend subsampling the 80-dim fbank stream.
+    b.conv_act("frontend.a", 64, 1, 32, 40, 3, 3, 2);
+    b.conv_act("frontend.b", 128, 64, 16, 20, 3, 3, 2);
+    b.push(Layer::dense("frontend.proj", 512, 128 * 20));
+    for i in 0..24 {
+        b.transformer_block(&format!("layer{i}"), 64, 512, 2048);
+    }
+    // Output token projection (vocabulary ~4k wordpieces).
+    b.push(Layer::matmul("vocab", 64, 512, 4096));
+    b.finish()
+}
+
+/// SS — HRViT-b1 semantic segmentation (Gu et al. 2022): multi-scale
+/// high-resolution ViT. Cityscapes input at a mobile-friendly 512×256.
+pub fn semantic_segmentation() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    // Convolutional patch stem: /4 resolution.
+    b.conv_act("stem.a", 32, 3, 256, 512, 3, 3, 2);
+    b.conv_act("stem.b", 64, 32, 128, 256, 3, 3, 2);
+    // High-resolution branch: window attention blocks at /4 (tokens
+    // pooled per 8×8 window → 128 tokens per window group; modeled as
+    // sequence of 8192 tokens, d=64, processed in chunked attention).
+    for i in 0..6 {
+        b.transformer_block(&format!("hr{i}"), 1024, 64, 256);
+        // DWCONV mixing (HRViT's MixCFN uses depthwise convs).
+        b.push(Layer::new(
+            format!("hr{i}.dwmix"),
+            LayerKind::DwConv2d,
+            TensorDims::new(64, 64, 128, 256, 3, 3),
+            1,
+        ));
+    }
+    // Mid-resolution branch at /8, d=128. HRViT uses windowed
+    // attention, so the attended sequence stays bounded (1024 tokens
+    // per window group) rather than growing with the full image.
+    b.conv_act("down8", 128, 64, 64, 128, 3, 3, 2);
+    for i in 0..4 {
+        b.transformer_block(&format!("mid{i}"), 1024, 128, 512);
+        b.push(Layer::new(
+            format!("mid{i}.dwmix"),
+            LayerKind::DwConv2d,
+            TensorDims::new(128, 128, 64, 128, 3, 3),
+            1,
+        ));
+    }
+    // Low-resolution branch at /16, d=256.
+    b.conv_act("down16", 256, 128, 32, 64, 3, 3, 2);
+    for i in 0..4 {
+        b.transformer_block(&format!("low{i}"), 512, 256, 1024);
+    }
+    // Cross-resolution fusion + segmentation head at /4.
+    b.upsample("fuse.up", 256, 128, 256);
+    b.conv_act("fuse.conv", 64, 448, 128, 256, 1, 1, 1);
+    b.conv_act("head.a", 64, 64, 128, 256, 3, 3, 1);
+    // 19 Cityscapes classes.
+    b.conv_act("head.b", 19, 64, 128, 256, 1, 1, 1);
+    b.finish()
+}
+
+/// OD — D2Go Faster-RCNN-FBNetV3A (Meta 2022): mobile two-stage
+/// detector at 320×320.
+pub fn object_detection() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    // FBNetV3A backbone.
+    b.conv_act("stem", 16, 3, 240, 240, 3, 3, 2);
+    b.inverted_residual("ir1", 16, 16, 1, 240, 240, 3, 1);
+    b.inverted_residual("ir2", 24, 16, 4, 120, 120, 3, 2);
+    b.inverted_residual("ir3", 24, 24, 4, 120, 120, 3, 1);
+    b.inverted_residual("ir4", 40, 24, 4, 60, 60, 5, 2);
+    b.inverted_residual("ir5", 40, 40, 4, 60, 60, 5, 1);
+    b.inverted_residual("ir6", 80, 40, 4, 30, 30, 3, 2);
+    b.inverted_residual("ir7", 80, 80, 4, 30, 30, 3, 1);
+    b.inverted_residual("ir8", 112, 80, 4, 30, 30, 5, 1);
+    b.inverted_residual("ir9", 184, 112, 4, 15, 15, 5, 2);
+    b.conv_act("c5", 256, 184, 15, 15, 1, 1, 1);
+    // RPN over the C4/C5 features.
+    b.conv_act("rpn.conv", 256, 256, 30, 30, 3, 3, 1);
+    b.conv_act("rpn.cls", 15, 256, 30, 30, 1, 1, 1);
+    b.conv_act("rpn.box", 60, 256, 30, 30, 1, 1, 1);
+    // RoI head: 100 proposals × 7×7×256 RoIAlign features through a
+    // 2-layer box head, modeled as batched matmuls.
+    b.push(Layer::matmul("roi.fc1", 100, 7 * 7 * 256, 1024));
+    b.push(Layer::matmul("roi.fc2", 100, 1024, 1024));
+    // 80 COCO classes + boxes.
+    b.push(Layer::matmul("roi.cls", 100, 1024, 81));
+    b.push(Layer::matmul("roi.box", 100, 1024, 320));
+    b.finish()
+}
+
+/// AS — ED-TCN action segmentation (Lea et al. 2017): 1-D encoder–
+/// decoder temporal convolutions with long kernels over a window of
+/// 128 timesteps of 64-dim features.
+pub fn action_segmentation() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    b.temporal_conv("enc0", 96, 64, 128, 25);
+    b.pool("down0", 96, 64, 1, 2);
+    b.temporal_conv("enc1", 128, 96, 64, 25);
+    b.pool("down1", 128, 32, 1, 2);
+    b.upsample("up0", 128, 64, 1);
+    b.temporal_conv("dec0", 96, 128, 64, 25);
+    b.upsample("up1", 96, 128, 1);
+    b.temporal_conv("dec1", 64, 96, 128, 25);
+    // 11 GTEA action classes per timestep.
+    b.push(Layer::new(
+        "head",
+        LayerKind::Conv2d,
+        TensorDims::new(11, 64, 128, 1, 1, 1),
+        1,
+    ));
+    b.finish()
+}
+
+/// DE — MiDaS v21-small monocular depth (Ranftl et al. 2020):
+/// EfficientNet-lite-style encoder + feature-fusion decoder at 256×256.
+pub fn depth_estimation() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    b.conv_act("stem", 32, 3, 192, 192, 3, 3, 2);
+    b.inverted_residual("ir1", 16, 32, 1, 192, 192, 3, 1);
+    b.inverted_residual("ir2", 24, 16, 6, 96, 96, 3, 2);
+    b.inverted_residual("ir3", 24, 24, 6, 96, 96, 3, 1);
+    b.inverted_residual("ir4", 40, 24, 6, 48, 48, 5, 2);
+    b.inverted_residual("ir5", 40, 40, 6, 48, 48, 5, 1);
+    b.inverted_residual("ir6", 80, 40, 6, 24, 24, 3, 2);
+    b.inverted_residual("ir7", 112, 80, 6, 24, 24, 5, 1);
+    b.inverted_residual("ir8", 192, 112, 6, 12, 12, 5, 2);
+    b.inverted_residual("ir9", 320, 192, 6, 12, 12, 3, 1);
+    // Decoder: fusion blocks upsampling back to /2 with skip convs.
+    b.conv_act("dec4", 128, 320, 12, 12, 3, 3, 1);
+    b.upsample("up4", 128, 24, 24);
+    b.conv_act("dec3", 128, 240, 24, 24, 3, 3, 1);
+    b.upsample("up3", 128, 48, 48);
+    b.conv_act("dec2", 64, 168, 48, 48, 3, 3, 1);
+    b.upsample("up2", 64, 96, 96);
+    b.conv_act("dec1", 64, 88, 96, 96, 3, 3, 1);
+    b.upsample("up1", 64, 192, 192);
+    b.conv_act("head.a", 32, 64, 192, 192, 3, 3, 1);
+    b.conv_act("head.b", 1, 32, 192, 192, 3, 3, 1);
+    b.finish()
+}
+
+/// DR — Sparse-to-Dense RGBd-200 (Ma & Karaman 2018): ResNet-18
+/// encoder over RGB + sparse depth (4 input channels) with a
+/// deconvolutional decoder, at KITTI-crop 228×304.
+pub fn depth_refinement() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    b.conv_act("stem", 64, 4, 114, 456, 7, 7, 2);
+    b.pool("pool", 64, 57, 228, 2);
+    b.basic_residual("res1a", 64, 64, 57, 228);
+    b.basic_residual("res1b", 64, 64, 57, 228);
+    b.basic_residual("res2a", 128, 64, 29, 114);
+    b.basic_residual("res2b", 128, 128, 29, 114);
+    b.basic_residual("res3a", 256, 128, 15, 57);
+    b.basic_residual("res3b", 256, 256, 15, 57);
+    b.basic_residual("res4a", 512, 256, 8, 29);
+    b.basic_residual("res4b", 512, 512, 8, 29);
+    // Deconv decoder (upproj blocks).
+    b.deconv_act("up4", 256, 512, 15, 57, 3);
+    b.deconv_act("up3", 128, 256, 29, 114, 3);
+    b.deconv_act("up2", 64, 128, 57, 228, 3);
+    b.deconv_act("up1", 32, 64, 114, 456, 3);
+    b.conv_act("head", 1, 32, 114, 456, 3, 3, 1);
+    b.finish()
+}
+
+/// PD — PlaneRCNN (Liu et al. 2019): ResNet-101-FPN Mask-R-CNN-style
+/// plane detector with per-RoI mask and normal heads, plus a
+/// refinement network. KITTI ×1/4 input (≈ 312×96), but the R-CNN
+/// meta-architecture keeps it by far the heaviest XRBench model.
+pub fn plane_detection() -> Vec<Layer> {
+    let mut b = GraphBuilder::new();
+    // ResNet-101 backbone over the padded 320×96 input.
+    b.conv_act("stem", 64, 3, 160, 48, 7, 7, 2);
+    b.pool("pool", 64, 80, 24, 2);
+    for i in 0..3 {
+        b.bottleneck_residual(&format!("c2.{i}"), 256, if i == 0 { 64 } else { 256 }, 64, 80, 24);
+    }
+    for i in 0..4 {
+        b.bottleneck_residual(&format!("c3.{i}"), 512, if i == 0 { 256 } else { 512 }, 128, 40, 12);
+    }
+    for i in 0..23 {
+        b.bottleneck_residual(&format!("c4.{i}"), 1024, if i == 0 { 512 } else { 1024 }, 256, 40, 12);
+    }
+    for i in 0..3 {
+        b.bottleneck_residual(&format!("c5.{i}"), 2048, if i == 0 { 1024 } else { 2048 }, 512, 10, 3);
+    }
+    // FPN lateral + output convs.
+    b.conv_act("fpn.p5", 256, 2048, 10, 3, 1, 1, 1);
+    b.conv_act("fpn.p4", 256, 1024, 20, 6, 1, 1, 1);
+    b.conv_act("fpn.p3", 256, 512, 40, 12, 1, 1, 1);
+    b.conv_act("fpn.p2", 256, 256, 80, 24, 1, 1, 1);
+    for (lvl, (y, x)) in [(2u32, (80u64, 24u64)), (3, (40, 12)), (4, (20, 6)), (5, (10, 3))] {
+        b.conv_act(&format!("fpn.out{lvl}"), 256, 256, y, x, 3, 3, 1);
+        // RPN head shared across levels.
+        b.conv_act(&format!("rpn{lvl}.conv"), 256, 256, y, x, 3, 3, 1);
+        b.conv_act(&format!("rpn{lvl}.cls"), 3, 256, y, x, 1, 1, 1);
+        b.conv_act(&format!("rpn{lvl}.box"), 12, 256, y, x, 1, 1, 1);
+    }
+    // RoI box head: 512 proposals × 7×7×256 → two wide FC layers.
+    b.push(Layer::matmul("roi.fc1", 512, 7 * 7 * 256, 1024));
+    b.push(Layer::matmul("roi.fc2", 512, 1024, 1024));
+    b.push(Layer::matmul("roi.cls", 512, 1024, 2));
+    b.push(Layer::matmul("roi.box", 512, 1024, 8));
+    // Mask + plane-normal head: ~107 detections × 14×14 features
+    // through a 4-conv mask tower (batched: y carries detections×14).
+    for i in 0..4 {
+        b.push(Layer::new(
+            format!("mask.conv{i}"),
+            LayerKind::Conv2d,
+            TensorDims::new(256, 256, 1400, 14, 3, 3),
+            1,
+        ));
+    }
+    b.push(Layer::new(
+        "mask.deconv",
+        LayerKind::Deconv2d,
+        TensorDims::new(256, 256, 2800, 28, 2, 2),
+        1,
+    ));
+    b.push(Layer::new(
+        "mask.pred",
+        LayerKind::Conv2d,
+        TensorDims::new(1, 256, 2800, 28, 1, 1),
+        1,
+    ));
+    b.push(Layer::matmul("normal.fc", 100, 1024, 3));
+    // Depth/segmentation refinement network at /4 resolution.
+    b.conv_act("refine.a", 64, 8, 80, 24, 3, 3, 1);
+    b.conv_act("refine.b", 64, 64, 80, 24, 3, 3, 1);
+    b.conv_act("refine.head", 1, 64, 80, 24, 3, 3, 1);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gmacs(layers: &[Layer]) -> f64 {
+        layers.iter().map(Layer::macs).sum::<u64>() as f64 / 1e9
+    }
+
+    #[test]
+    fn every_model_builds_nonempty() {
+        for m in ModelId::ALL {
+            let layers = build(m);
+            assert!(!layers.is_empty(), "{m}");
+            assert!(layers.iter().map(Layer::macs).sum::<u64>() > 0, "{m}");
+        }
+    }
+
+    #[test]
+    fn mac_budgets_in_expected_bands() {
+        let bands: [(ModelId, f64, f64); 11] = [
+            (ModelId::HandTracking, 1.5, 4.0),
+            (ModelId::EyeSegmentation, 1.5, 4.5),
+            (ModelId::GazeEstimation, 0.02, 0.3),
+            (ModelId::KeywordDetection, 0.001, 0.02),
+            (ModelId::SpeechRecognition, 2.0, 8.0),
+            (ModelId::SemanticSegmentation, 6.0, 20.0),
+            (ModelId::ObjectDetection, 2.0, 8.0),
+            (ModelId::ActionSegmentation, 0.01, 0.2),
+            (ModelId::DepthEstimation, 1.0, 5.0),
+            (ModelId::DepthRefinement, 6.0, 20.0),
+            (ModelId::PlaneDetection, 80.0, 250.0),
+        ];
+        for (m, lo, hi) in bands {
+            let g = gmacs(&build(m));
+            assert!(g >= lo && g <= hi, "{m}: {g:.3} GMACs not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn plane_detection_is_heaviest_keyword_detection_lightest() {
+        let macs: Vec<(ModelId, u64)> = ModelId::ALL
+            .iter()
+            .map(|&m| (m, build(m).iter().map(Layer::macs).sum()))
+            .collect();
+        let max = macs.iter().max_by_key(|(_, v)| *v).unwrap().0;
+        let min = macs.iter().min_by_key(|(_, v)| *v).unwrap().0;
+        assert_eq!(max, ModelId::PlaneDetection);
+        assert_eq!(min, ModelId::KeywordDetection);
+    }
+
+    #[test]
+    fn transformer_models_contain_attention_ops() {
+        for m in [ModelId::SpeechRecognition, ModelId::SemanticSegmentation] {
+            let layers = build(m);
+            assert!(
+                layers.iter().any(|l| l.kind() == LayerKind::Softmax),
+                "{m} should contain softmax (self-attention)"
+            );
+            assert!(
+                layers.iter().any(|l| l.kind() == LayerKind::LayerNorm),
+                "{m} should contain layernorm"
+            );
+        }
+    }
+
+    #[test]
+    fn mobile_models_contain_depthwise_convs() {
+        for m in [
+            ModelId::GazeEstimation,
+            ModelId::ObjectDetection,
+            ModelId::DepthEstimation,
+        ] {
+            assert!(
+                build(m).iter().any(|l| l.kind() == LayerKind::DwConv2d),
+                "{m} should contain depthwise convs (Table 7)"
+            );
+        }
+    }
+
+    #[test]
+    fn rcnn_models_contain_roi_matmuls() {
+        for m in [ModelId::ObjectDetection, ModelId::PlaneDetection] {
+            assert!(
+                build(m).iter().any(|l| l.name().starts_with("roi.")),
+                "{m} should contain RoI head layers"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_models_contain_upsampling_or_deconv() {
+        for m in [
+            ModelId::EyeSegmentation,
+            ModelId::DepthEstimation,
+            ModelId::DepthRefinement,
+        ] {
+            assert!(
+                build(m)
+                    .iter()
+                    .any(|l| matches!(l.kind(), LayerKind::Upsample | LayerKind::Deconv2d)),
+                "{m} should upsample back toward input resolution"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_names_unique_within_model() {
+        for m in ModelId::ALL {
+            let layers = build(m);
+            let mut names: Vec<&str> = layers.iter().map(Layer::name).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), before, "{m} has duplicate layer names");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        for m in ModelId::ALL {
+            assert_eq!(build(m), build(m), "{m}");
+        }
+    }
+}

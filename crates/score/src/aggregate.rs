@@ -1,0 +1,242 @@
+//! Hierarchical score aggregation (Figure 4, Box 2):
+//! per-inference → per-model → per-usage-scenario → benchmark.
+
+/// The unit scores of one completed inference run, plus their product
+/// (Definition 14: `Score_inf = RtScore × EnScore × AccScore`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceScore {
+    /// Real-time score in `[0, 1]`.
+    pub realtime: f64,
+    /// Energy score in `[0, 1]`.
+    pub energy: f64,
+    /// Accuracy score in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+impl InferenceScore {
+    /// Creates the score triple, validating ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is outside `[0, 1]` or not finite.
+    pub fn new(realtime: f64, energy: f64, accuracy: f64) -> Self {
+        for (name, v) in [("realtime", realtime), ("energy", energy), ("accuracy", accuracy)] {
+            assert!(
+                v.is_finite() && (0.0..=1.0).contains(&v),
+                "{name} score must be in [0, 1], got {v}"
+            );
+        }
+        Self {
+            realtime,
+            energy,
+            accuracy,
+        }
+    }
+
+    /// The combined per-inference score (the product of the three
+    /// unit scores).
+    pub fn combined(&self) -> f64 {
+        self.realtime * self.energy * self.accuracy
+    }
+}
+
+/// Everything the scorer needs to know about one model's run within a
+/// usage scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOutcome {
+    /// Scores of the inferences that actually executed (dropped
+    /// frames are *not* listed here — they are captured by QoE).
+    pub inference_scores: Vec<InferenceScore>,
+    /// Total frames streamed to this model (`NumFrm`).
+    pub total_frames: u64,
+}
+
+impl ModelOutcome {
+    /// QoE score: executed / streamed frames (Definition 13).
+    pub fn qoe(&self) -> f64 {
+        crate::unit::qoe_score(self.inference_scores.len() as u64, self.total_frames)
+    }
+
+    /// Per-model score: the mean combined score over executed frames;
+    /// defined as zero when every frame was dropped (Figure 4 note).
+    pub fn per_model(&self) -> f64 {
+        per_model_score(&self.inference_scores)
+    }
+
+    /// Mean of one unit-score component over executed frames (used
+    /// for the Figure 5 breakdowns); zero if nothing executed.
+    pub fn component_mean(&self, f: impl Fn(&InferenceScore) -> f64) -> f64 {
+        if self.inference_scores.is_empty() {
+            return 0.0;
+        }
+        self.inference_scores.iter().map(f).sum::<f64>() / self.inference_scores.len() as f64
+    }
+}
+
+/// Per-model score (Figure 4): the average per-inference score across
+/// processed frames, or zero if all frames were dropped.
+pub fn per_model_score(scores: &[InferenceScore]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().map(InferenceScore::combined).sum::<f64>() / scores.len() as f64
+}
+
+/// The score breakdown of one usage scenario, matching the four bars
+/// the paper plots per accelerator in Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioBreakdown {
+    /// Mean real-time score across models (each model's mean across
+    /// its executed inferences).
+    pub realtime: f64,
+    /// Mean energy score across models.
+    pub energy: f64,
+    /// Mean accuracy score across models.
+    pub accuracy: f64,
+    /// Mean QoE score across models.
+    pub qoe: f64,
+    /// The overall usage-scenario score (Definition 15):
+    /// `mean over models of (per-model score × QoE)`.
+    pub overall: f64,
+}
+
+/// Computes the usage-scenario score and its component breakdown
+/// (Definition 15).
+///
+/// # Panics
+///
+/// Panics if `models` is empty — a scenario always has at least one
+/// active model.
+pub fn scenario_score(models: &[ModelOutcome]) -> ScenarioBreakdown {
+    assert!(!models.is_empty(), "scenario must have at least one model");
+    let k = models.len() as f64;
+    let mean =
+        |f: &dyn Fn(&ModelOutcome) -> f64| models.iter().map(f).sum::<f64>() / k;
+    // Component breakdowns average over models that executed at least
+    // one inference — a fully-dropped model has no latency or energy
+    // to grade (its failure is captured by QoE and the overall score).
+    let executed: Vec<&ModelOutcome> = models
+        .iter()
+        .filter(|m| !m.inference_scores.is_empty())
+        .collect();
+    let comp_mean = |f: &dyn Fn(&InferenceScore) -> f64| {
+        if executed.is_empty() {
+            return 0.0;
+        }
+        executed
+            .iter()
+            .map(|m| m.component_mean(f))
+            .sum::<f64>()
+            / executed.len() as f64
+    };
+    ScenarioBreakdown {
+        realtime: comp_mean(&|s| s.realtime),
+        energy: comp_mean(&|s| s.energy),
+        accuracy: comp_mean(&|s| s.accuracy),
+        qoe: mean(&|m| m.qoe()),
+        overall: mean(&|m| m.per_model() * m.qoe()),
+    }
+}
+
+/// The overall XRBench Score (Definition 16): the average of the
+/// usage-scenario scores across the suite.
+///
+/// # Panics
+///
+/// Panics if `scenario_scores` is empty.
+pub fn benchmark_score(scenario_scores: &[f64]) -> f64 {
+    assert!(
+        !scenario_scores.is_empty(),
+        "benchmark requires at least one scenario"
+    );
+    scenario_scores.iter().sum::<f64>() / scenario_scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(rt: f64, en: f64, acc: f64) -> InferenceScore {
+        InferenceScore::new(rt, en, acc)
+    }
+
+    #[test]
+    fn combined_is_product() {
+        let i = s(0.5, 0.8, 1.0);
+        assert!((i.combined() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_component_rejected() {
+        let _ = s(1.2, 0.5, 0.5);
+    }
+
+    #[test]
+    fn per_model_is_mean_of_products() {
+        let scores = vec![s(1.0, 1.0, 1.0), s(0.5, 1.0, 1.0)];
+        assert!((per_model_score(&scores) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_frames_dropped_scores_zero() {
+        assert_eq!(per_model_score(&[]), 0.0);
+        let m = ModelOutcome {
+            inference_scores: vec![],
+            total_frames: 30,
+        };
+        assert_eq!(m.per_model(), 0.0);
+        assert_eq!(m.qoe(), 0.0);
+    }
+
+    #[test]
+    fn scenario_score_weights_by_qoe() {
+        // Model A: perfect inferences but half the frames dropped.
+        let a = ModelOutcome {
+            inference_scores: vec![s(1.0, 1.0, 1.0); 15],
+            total_frames: 30,
+        };
+        // Model B: all frames executed at combined 0.6.
+        let b = ModelOutcome {
+            inference_scores: vec![s(1.0, 0.6, 1.0); 30],
+            total_frames: 30,
+        };
+        let out = scenario_score(&[a, b]);
+        // (1.0 * 0.5 + 0.6 * 1.0) / 2 = 0.55
+        assert!((out.overall - 0.55).abs() < 1e-12);
+        assert!((out.qoe - 0.75).abs() < 1e-12);
+        assert!((out.realtime - 1.0).abs() < 1e-12);
+        assert!((out.energy - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_overall_bounded_by_components() {
+        let a = ModelOutcome {
+            inference_scores: vec![s(0.9, 0.7, 1.0); 10],
+            total_frames: 12,
+        };
+        let out = scenario_score(&[a]);
+        assert!(out.overall <= out.realtime + 1e-12);
+        assert!(out.overall <= out.energy + 1e-12);
+        assert!(out.overall <= out.qoe + 1e-12);
+        assert!(out.overall >= 0.0 && out.overall <= 1.0);
+    }
+
+    #[test]
+    fn benchmark_is_mean_over_scenarios() {
+        let b = benchmark_score(&[1.0, 0.5, 0.0, 0.5]);
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scenario")]
+    fn empty_benchmark_rejected() {
+        let _ = benchmark_score(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_scenario_rejected() {
+        let _ = scenario_score(&[]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # xrbench-score
+//!
+//! The XRBench scoring metrics (paper §3.7, Box 2, and appendix B):
+//! four unit scores — real-time, energy, accuracy, and quality of
+//! experience (QoE) — each bounded to `[0, 1]`, and their hierarchical
+//! aggregation into per-inference, per-model, per-usage-scenario, and
+//! overall benchmark (XRBench Score) levels (Figure 4).
+//!
+//! This crate is deliberately free of workload/hardware types: it
+//! consumes plain numbers so that any runtime (simulator, cost model,
+//! or a real system) can feed it.
+//!
+//! ## Example
+//!
+//! ```
+//! use xrbench_score::{rt_score, energy_score, RtParams, EnergyParams};
+//!
+//! // An inference that finishes 2 ms before its slack window closes.
+//! let rt = rt_score(0.008, 0.010, RtParams::default());
+//! assert!(rt > 0.99);
+//! let en = energy_score(0.3, EnergyParams::default());
+//! assert!((en - 0.8).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod unit;
+
+pub use aggregate::{
+    benchmark_score, per_model_score, scenario_score, InferenceScore, ModelOutcome,
+    ScenarioBreakdown,
+};
+pub use unit::{
+    accuracy_score, energy_score, qoe_score, rt_score, AccuracyParams, EnergyParams,
+    MetricKind, RtParams,
+};

@@ -1,0 +1,50 @@
+//! # xrbench-sim
+//!
+//! The XRBench benchmark runtime (paper Figure 2): a discrete-event
+//! simulator that replays a scenario's jittered inference-request
+//! stream against a set of compute engines (sub-accelerators),
+//! honoring model dependencies, applying the frame-freshness drop
+//! policy, and recording a full execution timeline.
+//!
+//! The runtime is decoupled from any particular hardware model through
+//! the [`CostProvider`] trait — the evaluated "ML system" may be an
+//! analytical cost model (as in the paper's XRBench-MAESTRO artifact),
+//! a table of measured latencies, or anything else that can answer
+//! *"how long / how much energy does model µ take on engine h?"*.
+//!
+//! Scheduling is pluggable via the [`Scheduler`] trait; the paper's
+//! default latency-greedy policy ([`LatencyGreedy`]) and the
+//! round-robin policy for real systems ([`RoundRobin`]) are provided,
+//! and users can replace them (the yellow "user-customizable" boxes in
+//! Figure 2).
+//!
+//! ## Example
+//!
+//! ```
+//! use xrbench_sim::{Simulator, SimConfig, LatencyGreedy, UniformProvider};
+//! use xrbench_workload::UsageScenario;
+//!
+//! // Two engines that run every model in 1 ms / 1 mJ.
+//! let provider = UniformProvider::new(2, 0.001, 0.001);
+//! let sim = Simulator::new(SimConfig::default());
+//! let result = sim.run(
+//!     &UsageScenario::VrGaming.spec(),
+//!     &provider,
+//!     &mut LatencyGreedy::new(),
+//! );
+//! assert!(result.records.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod provider;
+mod result;
+mod scheduler;
+mod simulator;
+pub mod trace;
+
+pub use provider::{CostProvider, InferenceCost, TableProvider, UniformProvider};
+pub use result::{DropReason, ExecRecord, ModelStats, SimResult};
+pub use scheduler::{LatencyGreedy, PendingView, RoundRobin, Scheduler};
+pub use simulator::{SimConfig, Simulator};

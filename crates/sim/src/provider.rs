@@ -1,0 +1,184 @@
+//! The interface between the runtime and the evaluated ML system.
+
+use std::collections::HashMap;
+
+use xrbench_models::ModelId;
+
+/// The cost of running one inference of a model on one engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceCost {
+    /// End-to-end execution latency in seconds (excluding queuing).
+    pub latency_s: f64,
+    /// Energy consumed by the inference in joules.
+    pub energy_j: f64,
+}
+
+/// The evaluated ML system: a set of compute engines
+/// (sub-accelerators) with per-model execution costs.
+///
+/// Implementations may be analytical cost models, measurement tables,
+/// or adapters to real hardware. Engines are identified by dense
+/// indices `0..num_engines()`.
+pub trait CostProvider {
+    /// Number of independent compute engines.
+    fn num_engines(&self) -> usize;
+
+    /// A human-readable label for the whole system (used in reports).
+    fn label(&self) -> String {
+        "system".to_string()
+    }
+
+    /// A short human-readable engine label (e.g. `"WS@2048"`).
+    fn engine_label(&self, engine: usize) -> String {
+        format!("engine{engine}")
+    }
+
+    /// The cost of running `model` on `engine`.
+    fn cost(&self, model: ModelId, engine: usize) -> InferenceCost;
+}
+
+/// A provider where every model costs the same on every engine —
+/// useful for tests and scheduler experiments.
+#[derive(Debug, Clone)]
+pub struct UniformProvider {
+    engines: usize,
+    cost: InferenceCost,
+}
+
+impl UniformProvider {
+    /// Creates a provider with `engines` identical engines, each
+    /// running any model in `latency_s` seconds for `energy_j` joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines == 0` or `latency_s <= 0`.
+    pub fn new(engines: usize, latency_s: f64, energy_j: f64) -> Self {
+        assert!(engines > 0, "need at least one engine");
+        assert!(latency_s > 0.0, "latency must be positive");
+        Self {
+            engines,
+            cost: InferenceCost {
+                latency_s,
+                energy_j,
+            },
+        }
+    }
+}
+
+impl CostProvider for UniformProvider {
+    fn num_engines(&self) -> usize {
+        self.engines
+    }
+
+    fn cost(&self, _model: ModelId, _engine: usize) -> InferenceCost {
+        self.cost
+    }
+}
+
+/// A provider backed by an explicit `(model, engine) → cost` table.
+#[derive(Debug, Clone, Default)]
+pub struct TableProvider {
+    engines: usize,
+    labels: Vec<String>,
+    table: HashMap<(ModelId, usize), InferenceCost>,
+}
+
+impl TableProvider {
+    /// Creates an empty table over `engines` engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines == 0`.
+    pub fn new(engines: usize) -> Self {
+        assert!(engines > 0, "need at least one engine");
+        Self {
+            engines,
+            labels: (0..engines).map(|i| format!("engine{i}")).collect(),
+            table: HashMap::new(),
+        }
+    }
+
+    /// Sets the cost of `model` on `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engine` is out of range.
+    pub fn set(&mut self, model: ModelId, engine: usize, cost: InferenceCost) -> &mut Self {
+        assert!(engine < self.engines, "engine index out of range");
+        self.table.insert((model, engine), cost);
+        self
+    }
+
+    /// Sets a human-readable label for an engine.
+    pub fn set_label(&mut self, engine: usize, label: impl Into<String>) -> &mut Self {
+        self.labels[engine] = label.into();
+        self
+    }
+}
+
+impl CostProvider for TableProvider {
+    fn num_engines(&self) -> usize {
+        self.engines
+    }
+
+    fn engine_label(&self, engine: usize) -> String {
+        self.labels[engine].clone()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if no cost was registered for `(model, engine)` — a
+    /// benchmark must know the cost of every model it dispatches.
+    fn cost(&self, model: ModelId, engine: usize) -> InferenceCost {
+        *self
+            .table
+            .get(&(model, engine))
+            .unwrap_or_else(|| panic!("no cost registered for {model} on engine {engine}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_provider_same_cost_everywhere() {
+        let p = UniformProvider::new(3, 0.002, 0.01);
+        assert_eq!(p.num_engines(), 3);
+        for e in 0..3 {
+            let c = p.cost(ModelId::HandTracking, e);
+            assert_eq!(c.latency_s, 0.002);
+            assert_eq!(c.energy_j, 0.01);
+        }
+    }
+
+    #[test]
+    fn table_provider_round_trips() {
+        let mut p = TableProvider::new(2);
+        p.set(
+            ModelId::EyeSegmentation,
+            1,
+            InferenceCost {
+                latency_s: 0.005,
+                energy_j: 0.02,
+            },
+        );
+        p.set_label(1, "OS@2048");
+        assert_eq!(p.cost(ModelId::EyeSegmentation, 1).latency_s, 0.005);
+        assert_eq!(p.engine_label(1), "OS@2048");
+        assert_eq!(p.engine_label(0), "engine0");
+    }
+
+    #[test]
+    #[should_panic(expected = "no cost registered")]
+    fn table_provider_missing_entry_panics() {
+        let p = TableProvider::new(1);
+        let _ = p.cost(ModelId::HandTracking, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine")]
+    fn zero_engines_rejected() {
+        let _ = UniformProvider::new(0, 0.001, 0.0);
+    }
+}

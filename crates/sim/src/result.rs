@@ -1,0 +1,230 @@
+//! Simulation results: the execution timeline and per-model
+//! frame accounting.
+
+use std::collections::BTreeMap;
+
+use xrbench_models::ModelId;
+
+/// Why a frame never executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// A newer frame of the same model arrived before this one
+    /// started (the freshness drop policy).
+    Superseded,
+    /// The upstream model's frame was itself dropped, so this
+    /// dependent frame could never be triggered.
+    UpstreamDropped,
+}
+
+/// One completed inference in the execution timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecRecord {
+    /// The model that ran.
+    pub model: ModelId,
+    /// Model-local frame index.
+    pub frame_id: u64,
+    /// Consumed sensor frame.
+    pub sensor_frame: u64,
+    /// Engine (sub-accelerator) index the inference ran on.
+    pub engine: usize,
+    /// When the input data arrived (jittered).
+    pub t_req: f64,
+    /// The processing deadline.
+    pub t_deadline: f64,
+    /// When execution started on the engine.
+    pub t_start: f64,
+    /// When execution completed.
+    pub t_end: f64,
+    /// Energy consumed (J).
+    pub energy_j: f64,
+}
+
+impl ExecRecord {
+    /// End-to-end inference latency `LInf` as seen by the user:
+    /// completion minus data arrival (queueing included).
+    pub fn latency_s(&self) -> f64 {
+        self.t_end - self.t_req
+    }
+
+    /// The slack `Tsl = Tdl − Treq` (Definition 9).
+    pub fn slack_s(&self) -> f64 {
+        self.t_deadline - self.t_req
+    }
+
+    /// Whether the result was delivered past its deadline.
+    pub fn missed_deadline(&self) -> bool {
+        self.t_end > self.t_deadline
+    }
+
+    /// By how much the deadline was overrun (0 if met).
+    pub fn overrun_s(&self) -> f64 {
+        (self.t_end - self.t_deadline).max(0.0)
+    }
+}
+
+/// Per-model frame accounting for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Frames that were streamed *and triggered* for this model
+    /// (`NumFrm`). Control-dependent frames whose trigger draw failed
+    /// are excluded — the model was legitimately inactive for them.
+    pub total_frames: u64,
+    /// Frames that actually executed (`NumFrm_exec`).
+    pub executed_frames: u64,
+    /// Frames dropped, by reason.
+    pub dropped_frames: u64,
+    /// Frames whose control-dependency draw deactivated them.
+    pub untriggered_frames: u64,
+    /// Executed frames that missed their deadline.
+    pub missed_deadlines: u64,
+}
+
+/// The full outcome of one simulated run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimResult {
+    /// Completed inferences, ordered by start time.
+    pub records: Vec<ExecRecord>,
+    /// Per-model accounting.
+    pub stats: BTreeMap<ModelId, ModelStats>,
+    /// Number of engines in the evaluated system.
+    pub num_engines: usize,
+    /// The nominal run duration in seconds.
+    pub duration_s: f64,
+}
+
+impl SimResult {
+    /// Total energy across all executed inferences (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.records.iter().map(|r| r.energy_j).sum()
+    }
+
+    /// Overall frame-drop rate across models (dropped / total).
+    pub fn drop_rate(&self) -> f64 {
+        let total: u64 = self.stats.values().map(|s| s.total_frames).sum();
+        let dropped: u64 = self.stats.values().map(|s| s.dropped_frames).sum();
+        if total == 0 {
+            0.0
+        } else {
+            dropped as f64 / total as f64
+        }
+    }
+
+    /// Busy time of one engine (sum of execution intervals), seconds.
+    pub fn engine_busy_s(&self, engine: usize) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.engine == engine)
+            .map(|r| r.t_end - r.t_start)
+            .sum()
+    }
+
+    /// Engine utilization over the run duration, in `[0, 1]` (may
+    /// exceed 1 slightly if work drains past the nominal duration).
+    pub fn engine_utilization(&self, engine: usize) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.engine_busy_s(engine) / self.duration_s
+    }
+
+    /// Mean engine utilization across the system — the metric §4.2.2
+    /// argues is *wrong* for XR workloads, exposed so the Figure 6
+    /// experiment can demonstrate exactly that.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.num_engines == 0 {
+            return 0.0;
+        }
+        (0..self.num_engines)
+            .map(|e| self.engine_utilization(e))
+            .sum::<f64>()
+            / self.num_engines as f64
+    }
+
+    /// The records belonging to one model, in start order.
+    pub fn records_for(&self, model: ModelId) -> impl Iterator<Item = &ExecRecord> {
+        self.records.iter().filter(move |r| r.model == model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(model: ModelId, engine: usize, t0: f64, t1: f64) -> ExecRecord {
+        ExecRecord {
+            model,
+            frame_id: 0,
+            sensor_frame: 0,
+            engine,
+            t_req: t0,
+            t_deadline: t0 + 0.016,
+            t_start: t0,
+            t_end: t1,
+            energy_j: 0.01,
+        }
+    }
+
+    #[test]
+    fn latency_includes_queueing() {
+        let mut r = rec(ModelId::HandTracking, 0, 0.0, 0.01);
+        r.t_start = 0.005; // waited 5 ms in queue
+        assert!((r.latency_s() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_miss_detection() {
+        let r = rec(ModelId::HandTracking, 0, 0.0, 0.020);
+        assert!(r.missed_deadline());
+        assert!((r.overrun_s() - 0.004).abs() < 1e-12);
+        let ok = rec(ModelId::HandTracking, 0, 0.0, 0.010);
+        assert!(!ok.missed_deadline());
+        assert_eq!(ok.overrun_s(), 0.0);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let result = SimResult {
+            records: vec![
+                rec(ModelId::HandTracking, 0, 0.0, 0.25),
+                rec(ModelId::DepthEstimation, 0, 0.5, 0.75),
+                rec(ModelId::PlaneDetection, 1, 0.0, 1.0),
+            ],
+            stats: BTreeMap::new(),
+            num_engines: 2,
+            duration_s: 1.0,
+        };
+        assert!((result.engine_utilization(0) - 0.5).abs() < 1e-12);
+        assert!((result.engine_utilization(1) - 1.0).abs() < 1e-12);
+        assert!((result.mean_utilization() - 0.75).abs() < 1e-12);
+        assert!((result.total_energy_j() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_rate_over_all_models() {
+        let mut stats = BTreeMap::new();
+        stats.insert(
+            ModelId::HandTracking,
+            ModelStats {
+                total_frames: 30,
+                executed_frames: 20,
+                dropped_frames: 10,
+                ..Default::default()
+            },
+        );
+        stats.insert(
+            ModelId::DepthEstimation,
+            ModelStats {
+                total_frames: 30,
+                executed_frames: 30,
+                ..Default::default()
+            },
+        );
+        let result = SimResult {
+            records: vec![],
+            stats,
+            num_engines: 1,
+            duration_s: 1.0,
+        };
+        assert!((result.drop_rate() - 10.0 / 60.0).abs() < 1e-12);
+    }
+}

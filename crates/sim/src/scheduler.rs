@@ -1,0 +1,228 @@
+//! Pluggable inference dispatchers/schedulers.
+
+use xrbench_models::ModelId;
+
+use crate::provider::CostProvider;
+
+/// A read-only view of one dispatchable (ready) request, handed to
+/// schedulers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingView {
+    /// The model to run.
+    pub model: ModelId,
+    /// Model-local frame index.
+    pub frame_id: u64,
+    /// When the input data arrived.
+    pub t_req: f64,
+    /// The processing deadline.
+    pub t_deadline: f64,
+}
+
+/// An inference dispatcher: repeatedly asked to pick one
+/// `(ready-request, free-engine)` pair until it returns `None` or
+/// resources run out.
+///
+/// Implementations must be deterministic for reproducible runs.
+/// Returning an index out of range is a programming error and makes
+/// the simulator panic.
+pub trait Scheduler {
+    /// Picks the next dispatch as `(index into ready, engine id)`,
+    /// or `None` to leave the remaining engines idle until the next
+    /// event.
+    fn select(
+        &mut self,
+        ready: &[PendingView],
+        free_engines: &[usize],
+        provider: &dyn CostProvider,
+        now: f64,
+    ) -> Option<(usize, usize)>;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's default for cost-model/simulator runs: dispatch the
+/// most urgent ready request (earliest deadline) to the idle engine
+/// with the minimal expected latency for that model.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyGreedy {
+    _private: (),
+}
+
+impl LatencyGreedy {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for LatencyGreedy {
+    fn select(
+        &mut self,
+        ready: &[PendingView],
+        free_engines: &[usize],
+        provider: &dyn CostProvider,
+        _now: f64,
+    ) -> Option<(usize, usize)> {
+        if ready.is_empty() || free_engines.is_empty() {
+            return None;
+        }
+        // Most urgent request first (earliest deadline, ties by
+        // arrival then model id for determinism).
+        let (ri, req) = ready
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.t_deadline
+                    .total_cmp(&b.t_deadline)
+                    .then(a.t_req.total_cmp(&b.t_req))
+                    .then(a.model.cmp(&b.model))
+            })
+            .expect("ready is non-empty");
+        // Idle engine with minimal expected latency for this model.
+        let engine = free_engines
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                provider
+                    .cost(req.model, a)
+                    .latency_s
+                    .total_cmp(&provider.cost(req.model, b).latency_s)
+                    .then(a.cmp(&b))
+            })
+            .expect("free_engines is non-empty");
+        Some((ri, engine))
+    }
+
+    fn name(&self) -> &'static str {
+        "latency-greedy"
+    }
+}
+
+/// The paper's round-robin style scheduler for real systems: requests
+/// are served in arrival order and engines are used in rotation.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next_engine: usize,
+}
+
+impl RoundRobin {
+    /// Creates the scheduler starting at engine 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn select(
+        &mut self,
+        ready: &[PendingView],
+        free_engines: &[usize],
+        _provider: &dyn CostProvider,
+        _now: f64,
+    ) -> Option<(usize, usize)> {
+        if ready.is_empty() || free_engines.is_empty() {
+            return None;
+        }
+        // Oldest request first.
+        let (ri, _) = ready
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.t_req
+                    .total_cmp(&b.t_req)
+                    .then(a.model.cmp(&b.model))
+            })
+            .expect("ready is non-empty");
+        // Next engine in rotation among the free ones.
+        let engine = free_engines
+            .iter()
+            .copied()
+            .find(|&e| e >= self.next_engine)
+            .unwrap_or(free_engines[0]);
+        self.next_engine = (engine + 1) % usize::max(1, engine + 1).max(free_engines.len());
+        Some((ri, engine))
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{InferenceCost, TableProvider, UniformProvider};
+
+    fn view(model: ModelId, deadline: f64) -> PendingView {
+        PendingView {
+            model,
+            frame_id: 0,
+            t_req: 0.0,
+            t_deadline: deadline,
+        }
+    }
+
+    #[test]
+    fn greedy_picks_earliest_deadline() {
+        let p = UniformProvider::new(2, 0.001, 0.0);
+        let ready = vec![
+            view(ModelId::HandTracking, 0.05),
+            view(ModelId::EyeSegmentation, 0.01),
+        ];
+        let mut s = LatencyGreedy::new();
+        let (ri, _) = s.select(&ready, &[0, 1], &p, 0.0).unwrap();
+        assert_eq!(ri, 1);
+    }
+
+    #[test]
+    fn greedy_picks_fastest_engine() {
+        let mut p = TableProvider::new(2);
+        p.set(
+            ModelId::HandTracking,
+            0,
+            InferenceCost {
+                latency_s: 0.010,
+                energy_j: 0.0,
+            },
+        );
+        p.set(
+            ModelId::HandTracking,
+            1,
+            InferenceCost {
+                latency_s: 0.002,
+                energy_j: 0.0,
+            },
+        );
+        let ready = vec![view(ModelId::HandTracking, 0.05)];
+        let mut s = LatencyGreedy::new();
+        let (_, engine) = s.select(&ready, &[0, 1], &p, 0.0).unwrap();
+        assert_eq!(engine, 1);
+    }
+
+    #[test]
+    fn greedy_returns_none_when_starved() {
+        let p = UniformProvider::new(1, 0.001, 0.0);
+        let mut s = LatencyGreedy::new();
+        assert!(s.select(&[], &[0], &p, 0.0).is_none());
+        assert!(s
+            .select(&[view(ModelId::HandTracking, 1.0)], &[], &p, 0.0)
+            .is_none());
+    }
+
+    #[test]
+    fn round_robin_rotates_engines() {
+        let p = UniformProvider::new(3, 0.001, 0.0);
+        let mut s = RoundRobin::new();
+        let ready = vec![view(ModelId::HandTracking, 1.0)];
+        let (_, e0) = s.select(&ready, &[0, 1, 2], &p, 0.0).unwrap();
+        let (_, e1) = s.select(&ready, &[0, 1, 2], &p, 0.0).unwrap();
+        assert_ne!(e0, e1);
+    }
+
+    #[test]
+    fn schedulers_have_names() {
+        assert_eq!(LatencyGreedy::new().name(), "latency-greedy");
+        assert_eq!(RoundRobin::new().name(), "round-robin");
+    }
+}

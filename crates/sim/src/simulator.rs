@@ -1,0 +1,517 @@
+//! The discrete-event benchmark runtime.
+//!
+//! The simulator replays a scenario's inference-request stream against
+//! the engines of a [`CostProvider`], under a pluggable [`Scheduler`].
+//! It implements the runtime data structures of Figure 2:
+//!
+//! * **request queues** — arrived-and-ready requests awaiting dispatch;
+//! * **dependency tracker** — dependent requests (GE after ES, SR
+//!   after KD) are held until their upstream inference of the same
+//!   sensor frame resolves, then a seeded trigger draw decides whether
+//!   the downstream model runs (dynamic cascading, §4.1);
+//! * **active inference table** — per-engine busy-until times;
+//! * **frame-freshness drop policy** — when a newer frame of a model
+//!   becomes ready while an older one still waits, the older frame is
+//!   dropped (its input is stale); drops are what the QoE score
+//!   penalizes.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xrbench_models::ModelId;
+use xrbench_workload::{InferenceRequest, LoadGenerator, ScenarioSpec};
+
+use crate::provider::CostProvider;
+use crate::result::{DropReason, ExecRecord, ModelStats, SimResult};
+use crate::scheduler::{PendingView, Scheduler};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Nominal run duration in seconds (paper default: one second).
+    pub duration_s: f64,
+    /// RNG seed for load-generation jitter and cascade trigger draws.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            duration_s: 1.0,
+            seed: 0xC0FF_EE00,
+        }
+    }
+}
+
+/// The benchmark runtime (Figure 2).
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolution {
+    Completed,
+    Dropped,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    req: InferenceRequest,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.duration_s > 0.0, "duration must be positive");
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Generates the scenario's request stream and simulates it.
+    pub fn run(
+        &self,
+        spec: &ScenarioSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+    ) -> SimResult {
+        let requests =
+            LoadGenerator::new(self.config.seed).generate(spec, self.config.duration_s);
+        self.run_requests(spec, requests, provider, scheduler)
+    }
+
+    /// Simulates an explicit, pre-generated request stream (must be
+    /// sorted by request time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the provider has no engines or the request stream is
+    /// not sorted by `t_req`.
+    pub fn run_requests(
+        &self,
+        spec: &ScenarioSpec,
+        requests: Vec<InferenceRequest>,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+    ) -> SimResult {
+        assert!(provider.num_engines() > 0, "provider must expose engines");
+        assert!(
+            requests.windows(2).all(|w| w[0].t_req <= w[1].t_req),
+            "requests must be sorted by t_req"
+        );
+
+        let deps: BTreeMap<ModelId, Vec<(ModelId, f64)>> = spec
+            .models
+            .iter()
+            .map(|m| {
+                (
+                    m.model,
+                    m.deps
+                        .iter()
+                        .map(|d| (d.upstream, d.trigger_probability))
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let mut stats: BTreeMap<ModelId, ModelStats> = spec
+            .models
+            .iter()
+            .map(|m| (m.model, ModelStats::default()))
+            .collect();
+
+        // Runtime data structures.
+        let num_engines = provider.num_engines();
+        let mut engine_free_at = vec![0.0_f64; num_engines];
+        let mut ready: Vec<Pending> = Vec::new();
+        // (upstream model, sensor frame) -> resolution.
+        let mut resolved: BTreeMap<(ModelId, u64), Resolution> = BTreeMap::new();
+        // Dependents that arrived before their upstream resolved.
+        let mut waiting: Vec<Pending> = Vec::new();
+        // Completion events: (t_end, model, sensor_frame).
+        let mut completions: Vec<(f64, ModelId, u64)> = Vec::new();
+        let mut records: Vec<ExecRecord> = Vec::new();
+
+        let mut arrivals = requests.into_iter().peekable();
+        let mut now = 0.0_f64;
+
+        loop {
+            // 1. Process completions due now (resolve dependents).
+            completions.sort_by(|a, b| a.0.total_cmp(&b.0));
+            while let Some(&(t, model, sf)) = completions.first() {
+                if t > now + 1e-15 {
+                    break;
+                }
+                completions.remove(0);
+                resolved.insert((model, sf), Resolution::Completed);
+            }
+
+            // 2. Ingest arrivals due now.
+            while arrivals
+                .peek()
+                .is_some_and(|r| r.t_req <= now + 1e-15)
+            {
+                let req = arrivals.next().expect("peeked");
+                let model = req.model;
+                stats.entry(model).or_default().total_frames += 1;
+                if deps.get(&model).is_some_and(|d| !d.is_empty()) {
+                    // Freshness: a newer dependent frame supersedes an
+                    // older one still waiting for its upstream.
+                    drop_older(&mut waiting, &req, &mut stats);
+                    waiting.push(Pending { req });
+                } else {
+                    drop_older(&mut ready, &req, &mut stats);
+                    ready.push(Pending { req });
+                }
+            }
+
+            // 3. Resolve waiting dependents whose upstream is decided.
+            let mut i = 0;
+            while i < waiting.len() {
+                let model = waiting[i].req.model;
+                let sf = waiting[i].req.sensor_frame;
+                let dep_list = &deps[&model];
+                let all = dep_list
+                    .iter()
+                    .map(|(up, _)| resolved.get(&(*up, sf)).copied())
+                    .collect::<Option<Vec<_>>>();
+                match all {
+                    None => {
+                        i += 1; // upstream still in flight
+                    }
+                    Some(res) => {
+                        let p = waiting.remove(i);
+                        if res.contains(&Resolution::Dropped) {
+                            let st = stats.entry(model).or_default();
+                            st.dropped_frames += 1;
+                            let _ = DropReason::UpstreamDropped;
+                        } else if self.trigger(&p.req, dep_list) {
+                            drop_older(&mut ready, &p.req, &mut stats);
+                            ready.push(p);
+                        } else {
+                            // Legitimately deactivated: not streamed
+                            // work for QoE purposes.
+                            let st = stats.entry(model).or_default();
+                            st.untriggered_frames += 1;
+                            st.total_frames -= 1;
+                            resolved.insert((model, sf), Resolution::Dropped);
+                        }
+                    }
+                }
+            }
+
+            // 4. Dispatch ready requests onto free engines.
+            loop {
+                let free: Vec<usize> = (0..num_engines)
+                    .filter(|&e| engine_free_at[e] <= now + 1e-15)
+                    .collect();
+                if free.is_empty() || ready.is_empty() {
+                    break;
+                }
+                let views: Vec<PendingView> = ready
+                    .iter()
+                    .map(|p| PendingView {
+                        model: p.req.model,
+                        frame_id: p.req.frame_id,
+                        t_req: p.req.t_req,
+                        t_deadline: p.req.t_deadline,
+                    })
+                    .collect();
+                let Some((ri, engine)) = scheduler.select(&views, &free, provider, now) else {
+                    break;
+                };
+                assert!(ri < ready.len(), "scheduler returned bad request index");
+                assert!(
+                    free.contains(&engine),
+                    "scheduler returned busy engine {engine}"
+                );
+                let p = ready.remove(ri);
+                let cost = provider.cost(p.req.model, engine);
+                let t_start = now;
+                let t_end = t_start + cost.latency_s;
+                engine_free_at[engine] = t_end;
+                completions.push((t_end, p.req.model, p.req.sensor_frame));
+                let st = stats.entry(p.req.model).or_default();
+                st.executed_frames += 1;
+                if t_end > p.req.t_deadline {
+                    st.missed_deadlines += 1;
+                }
+                records.push(ExecRecord {
+                    model: p.req.model,
+                    frame_id: p.req.frame_id,
+                    sensor_frame: p.req.sensor_frame,
+                    engine,
+                    t_req: p.req.t_req,
+                    t_deadline: p.req.t_deadline,
+                    t_start,
+                    t_end,
+                    energy_j: cost.energy_j,
+                });
+            }
+
+            // 5. Advance to the next event.
+            let mut next = f64::INFINITY;
+            if let Some(r) = arrivals.peek() {
+                next = next.min(r.t_req);
+            }
+            for &(t, _, _) in &completions {
+                if t > now + 1e-15 {
+                    next = next.min(t);
+                }
+            }
+            if next.is_infinite() {
+                break;
+            }
+            now = next;
+        }
+
+        // Anything still waiting at drain time had an upstream that
+        // never resolved within the run; count as dropped.
+        for p in waiting {
+            stats.entry(p.req.model).or_default().dropped_frames += 1;
+        }
+        for p in ready {
+            stats.entry(p.req.model).or_default().dropped_frames += 1;
+        }
+
+        records.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        SimResult {
+            records,
+            stats,
+            num_engines,
+            duration_s: self.config.duration_s,
+        }
+    }
+
+    /// Deterministic cascade-trigger draw for a dependent frame: the
+    /// joint probability over its control/data dependencies.
+    fn trigger(&self, req: &InferenceRequest, deps: &[(ModelId, f64)]) -> bool {
+        deps.iter().all(|(up, p)| {
+            if *p >= 1.0 {
+                return true;
+            }
+            let mut rng = StdRng::seed_from_u64(
+                self.config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ ((req.model as u64) << 32)
+                    ^ ((*up as u64) << 24)
+                    ^ req.frame_id,
+            );
+            rng.gen_range(0.0..1.0) < *p
+        })
+    }
+}
+
+/// Drops any not-yet-started older frame of the same model (freshness
+/// policy), updating drop stats.
+fn drop_older(
+    queue: &mut Vec<Pending>,
+    newer: &InferenceRequest,
+    stats: &mut BTreeMap<ModelId, ModelStats>,
+) {
+    queue.retain(|p| {
+        let stale = p.req.model == newer.model && p.req.frame_id < newer.frame_id;
+        if stale {
+            let st = stats.entry(p.req.model).or_default();
+            st.dropped_frames += 1;
+            let _ = DropReason::Superseded;
+        }
+        !stale
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{InferenceCost, TableProvider, UniformProvider};
+    use crate::scheduler::{LatencyGreedy, RoundRobin};
+    use xrbench_workload::UsageScenario;
+
+    fn run_scenario(
+        scenario: UsageScenario,
+        provider: &dyn CostProvider,
+        seed: u64,
+    ) -> SimResult {
+        let sim = Simulator::new(SimConfig {
+            duration_s: 1.0,
+            seed,
+        });
+        sim.run(&scenario.spec(), provider, &mut LatencyGreedy::new())
+    }
+
+    #[test]
+    fn fast_system_executes_every_frame() {
+        // 0.1 ms per inference on 2 engines: nothing can drop.
+        let p = UniformProvider::new(2, 0.0001, 0.001);
+        let r = run_scenario(UsageScenario::VrGaming, &p, 1);
+        for (m, st) in &r.stats {
+            assert_eq!(st.dropped_frames, 0, "{m}");
+            assert_eq!(st.executed_frames, st.total_frames, "{m}");
+            assert_eq!(st.missed_deadlines, 0, "{m}");
+        }
+        // 45 + 60 + 60 inferences.
+        assert_eq!(r.records.len(), 165);
+    }
+
+    #[test]
+    fn overloaded_system_drops_frames() {
+        // 40 ms per inference on 1 engine: far beyond 165 req/s.
+        let p = UniformProvider::new(1, 0.040, 0.001);
+        let r = run_scenario(UsageScenario::VrGaming, &p, 1);
+        let dropped: u64 = r.stats.values().map(|s| s.dropped_frames).sum();
+        assert!(dropped > 50, "expected heavy drops, got {dropped}");
+        // Conservation: total = executed + dropped (+ nothing else for
+        // the 1.0-probability VR gaming pipelines).
+        for (m, st) in &r.stats {
+            assert_eq!(
+                st.total_frames,
+                st.executed_frames + st.dropped_frames,
+                "{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn dependency_order_respected() {
+        let p = UniformProvider::new(4, 0.002, 0.001);
+        let r = run_scenario(UsageScenario::SocialInteractionA, &p, 3);
+        // Every GE record must start at or after the ES record of the
+        // same sensor frame ends (Appendix B.2 dependency condition).
+        for ge in r.records_for(ModelId::GazeEstimation) {
+            let es = r
+                .records_for(ModelId::EyeSegmentation)
+                .find(|e| e.sensor_frame == ge.sensor_frame)
+                .expect("GE ran without its ES upstream");
+            assert!(
+                ge.t_start >= es.t_end - 1e-12,
+                "GE frame {} started before ES finished",
+                ge.sensor_frame
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_occupancy_condition_holds() {
+        // Appendix B.2: one engine never runs two inferences at once.
+        let p = UniformProvider::new(2, 0.004, 0.001);
+        let r = run_scenario(UsageScenario::ArAssistant, &p, 9);
+        for e in 0..2 {
+            let mut recs: Vec<_> = r.records.iter().filter(|x| x.engine == e).collect();
+            recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+            for w in recs.windows(2) {
+                assert!(
+                    w[1].t_start >= w[0].t_end - 1e-12,
+                    "overlap on engine {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_dependency_gates_speech_recognition() {
+        // With p = 0.2 over 3 frames, SR rarely runs all 3; over many
+        // seeds the trigger rate should approach 0.2.
+        let p = UniformProvider::new(2, 0.001, 0.001);
+        let mut triggered = 0u64;
+        let mut possible = 0u64;
+        for seed in 0..100 {
+            let r = run_scenario(UsageScenario::OutdoorActivityA, &p, seed);
+            let st = &r.stats[&ModelId::SpeechRecognition];
+            triggered += st.total_frames;
+            possible += st.total_frames + st.untriggered_frames;
+        }
+        let rate = triggered as f64 / possible as f64;
+        assert!(
+            (rate - 0.2).abs() < 0.06,
+            "KD->SR trigger rate {rate} far from 0.2"
+        );
+    }
+
+    #[test]
+    fn untriggered_frames_do_not_hurt_qoe_accounting() {
+        let p = UniformProvider::new(2, 0.001, 0.001);
+        let r = run_scenario(UsageScenario::OutdoorActivityA, &p, 5);
+        let st = &r.stats[&ModelId::SpeechRecognition];
+        // total excludes untriggered; executed covers all triggered.
+        assert_eq!(st.total_frames, st.executed_frames);
+        assert_eq!(st.total_frames + st.untriggered_frames, 3);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = UniformProvider::new(2, 0.003, 0.001);
+        let a = run_scenario(UsageScenario::ArAssistant, &p, 77);
+        let b = run_scenario(UsageScenario::ArAssistant, &p, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_change_dynamic_scenarios() {
+        let p = UniformProvider::new(2, 0.001, 0.001);
+        let counts: Vec<usize> = (0..20)
+            .map(|s| {
+                run_scenario(UsageScenario::ArAssistant, &p, s)
+                    .records
+                    .len()
+            })
+            .collect();
+        assert!(
+            counts.iter().any(|c| *c != counts[0]),
+            "AR assistant should be non-deterministic across seeds"
+        );
+    }
+
+    #[test]
+    fn slow_engine_avoided_by_latency_greedy() {
+        let mut p = TableProvider::new(2);
+        for m in ModelId::ALL {
+            p.set(m, 0, InferenceCost { latency_s: 0.0001, energy_j: 0.001 });
+            p.set(m, 1, InferenceCost { latency_s: 0.5, energy_j: 0.001 });
+        }
+        let r = run_scenario(UsageScenario::VrGaming, &p, 1);
+        // All work fits on the fast engine; greedy never touches the
+        // slow one after t=0 contention (allow a handful).
+        let on_slow = r.records.iter().filter(|x| x.engine == 1).count();
+        assert!(on_slow <= 3, "latency-greedy used slow engine {on_slow} times");
+    }
+
+    #[test]
+    fn round_robin_spreads_work() {
+        let p = UniformProvider::new(4, 0.002, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let r = sim.run(
+            &UsageScenario::ArAssistant.spec(),
+            &p,
+            &mut RoundRobin::new(),
+        );
+        let used: Vec<usize> = (0..4)
+            .filter(|&e| r.records.iter().any(|x| x.engine == e))
+            .collect();
+        assert!(used.len() >= 3, "round-robin used only {used:?}");
+    }
+
+    #[test]
+    fn records_sorted_by_start_time() {
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let r = run_scenario(UsageScenario::SocialInteractionA, &p, 2);
+        for w in r.records.windows(2) {
+            assert!(w[0].t_start <= w[1].t_start);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_rejected() {
+        let _ = Simulator::new(SimConfig {
+            duration_s: 0.0,
+            seed: 0,
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! # xrbench-workload
+//!
+//! Usage scenarios, input sources, and load generation for XRBench.
+//!
+//! This crate encodes:
+//!
+//! * **Table 3** — the three input sources of a metaverse device
+//!   (camera 60 FPS, lidar 60 FPS, microphone 3 FPS) with per-frame
+//!   jitter ([`sources`]).
+//! * **Table 2** — the seven usage scenarios with per-model target
+//!   processing rates and the data/control dependencies of the eye and
+//!   speech pipelines ([`scenario`]).
+//! * **Box 1** — inference request times, deadlines, and slack,
+//!   including the jitter term
+//!   `2·Jt·(Dist(rand(inSrcID × InFrameID)) − 0.5)` ([`loadgen`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use xrbench_workload::{UsageScenario, LoadGenerator};
+//!
+//! let spec = UsageScenario::VrGaming.spec();
+//! let requests = LoadGenerator::new(42).generate(&spec, 1.0);
+//! // 45 HT + 60 ES + 60 GE requests in one second.
+//! assert_eq!(requests.len(), 45 + 60 + 60);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod scenario;
+pub mod sources;
+
+pub use loadgen::{InferenceRequest, LoadGenerator};
+pub use scenario::{
+    DependencyKind, ModelDependency, ScenarioModel, ScenarioSpec, UsageScenario,
+};
+pub use sources::{source_spec, SourceSpec};

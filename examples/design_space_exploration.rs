@@ -1,0 +1,65 @@
+//! Design-space exploration: sweep all thirteen Table 5 accelerator
+//! configurations at both PE counts across the whole suite and rank
+//! them by XRBench Score — the study the paper's §4.4 observations
+//! come from, usable as a template for custom hardware sweeps.
+//!
+//! ```sh
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use xrbench::prelude::*;
+
+fn main() {
+    let harness = Harness::new();
+    let repeats = 10;
+
+    let mut ranking: Vec<(String, f64, f64)> = Vec::new();
+    for pes in [4096u64, 8192] {
+        for config in table5() {
+            let system = AcceleratorSystem::new(config.clone(), pes);
+            let bench = run_suite(&harness, &system, repeats);
+            // Pareto axes: score vs energy (mean per-scenario mJ).
+            let energy_mj: f64 = bench
+                .scenarios
+                .iter()
+                .map(|s| s.total_energy_mj)
+                .sum::<f64>()
+                / bench.scenarios.len() as f64;
+            ranking.push((system.label(), bench.xrbench_score, energy_mj));
+        }
+    }
+    ranking.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    println!(
+        "{:<46} {:>14} {:>16}",
+        "system", "XRBench Score", "energy (mJ/s)"
+    );
+    for (label, score, energy) in &ranking {
+        println!("{label:<46} {score:>14.3} {energy:>16.0}");
+    }
+
+    let best = &ranking[0];
+    let worst = ranking.last().expect("non-empty");
+    println!(
+        "\nbest {} outscores worst {} by {:.1}x — scenario-aware co-design matters \
+         (paper Observation 1).",
+        best.0,
+        worst.0,
+        best.1 / worst.1.max(1e-9)
+    );
+
+    // Per-scenario winners, the granular view behind Observation 1.
+    println!("\nper-scenario winners (4K PEs):");
+    for scenario in UsageScenario::ALL {
+        let mut best: Option<(String, f64)> = None;
+        for config in table5() {
+            let system = AcceleratorSystem::new(config.clone(), 4096);
+            let report = harness.run_scenario(scenario, &system);
+            if best.as_ref().is_none_or(|(_, s)| report.overall() > *s) {
+                best = Some((format!("{}", config.id), report.overall()));
+            }
+        }
+        let (id, score) = best.expect("13 candidates");
+        println!("  {:<22} -> accelerator {id} ({score:.3})", scenario.name());
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: evaluate one accelerator on one usage scenario and
+//! print the XRBench score breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use xrbench::prelude::*;
+
+fn main() {
+    // 1. Pick an evaluated system: accelerator J (a heterogeneous
+    //    WS+OS dataflow accelerator, Table 5) with 8K PEs.
+    let config = table5()
+        .into_iter()
+        .find(|c| c.id == 'J')
+        .expect("Table 5 defines accelerator J");
+    let system = AcceleratorSystem::new(config, 8192);
+    println!("system under test: {}", system.label());
+
+    // 2. Pick a usage scenario (Table 2) and run the harness: the
+    //    load generator streams one second of jittered inference
+    //    requests, the runtime dispatches them with the default
+    //    latency-greedy scheduler, and the scoring module grades the
+    //    timeline.
+    let report = Harness::new().run_scenario(UsageScenario::ArGaming, &system);
+
+    // 3. Read the results.
+    println!("\nscenario: {} ({})", report.scenario, report.scheduler);
+    println!("  real-time score : {:.3}", report.breakdown.realtime_score);
+    println!("  energy score    : {:.3}", report.breakdown.energy_score);
+    println!("  accuracy score  : {:.3}", report.breakdown.accuracy_score);
+    println!("  QoE score       : {:.3}", report.breakdown.qoe_score);
+    println!("  overall         : {:.3}", report.overall());
+    println!("  frame drop rate : {:.1}%", report.drop_rate * 100.0);
+    for m in &report.models {
+        println!(
+            "  {:>2}: {}/{} frames, {} missed deadlines, mean latency {:.1} ms",
+            m.model, m.executed_frames, m.total_frames, m.missed_deadlines, m.mean_latency_ms
+        );
+    }
+
+    // 4. Or run the whole suite (all seven scenarios) for the overall
+    //    XRBench Score — the single mandatory reporting metric.
+    let bench = run_suite(&Harness::new(), &system, 10);
+    println!("\nXRBench Score: {:.3}", bench.xrbench_score);
+}

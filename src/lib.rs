@@ -1,0 +1,57 @@
+//! # XRBench (Rust reproduction)
+//!
+//! A full reproduction of **XRBench: An Extended Reality (XR) Machine
+//! Learning Benchmark Suite for the Metaverse** (Kwon et al., MLSys
+//! 2023): a real-time, multi-task multi-model (MTMM) inference
+//! benchmark with scenario-driven workloads, dynamic model cascading,
+//! and a hierarchical scoring methodology (real-time × energy ×
+//! accuracy × QoE).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`costmodel`] | `xrbench-costmodel` | MAESTRO-style analytical dataflow cost model |
+//! | [`models`] | `xrbench-models` | the 11 unit-model proxies (Tables 1 & 7) |
+//! | [`workload`] | `xrbench-workload` | input sources, 7 usage scenarios, jittered load generation (Tables 2 & 3, Box 1) |
+//! | [`accel`] | `xrbench-accel` | the 13 simulated accelerators A–M (Table 5) |
+//! | [`sim`] | `xrbench-sim` | the discrete-event benchmark runtime (Figure 2) |
+//! | [`score`] | `xrbench-score` | the four unit scores and their aggregation (Box 2, Figure 4) |
+//! | [`core`] | `xrbench-core` | the harness, reports, and figure regeneration |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xrbench::prelude::*;
+//!
+//! // Evaluate accelerator J (WS+OS HDA) with 8K PEs on VR gaming.
+//! let config = table5().into_iter().find(|c| c.id == 'J').unwrap();
+//! let system = AcceleratorSystem::new(config, 8192);
+//! let report = Harness::new().run_scenario(UsageScenario::VrGaming, &system);
+//! println!("overall score: {:.2}", report.overall());
+//! assert!(report.overall() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use xrbench_accel as accel;
+pub use xrbench_core as core;
+pub use xrbench_costmodel as costmodel;
+pub use xrbench_models as models;
+pub use xrbench_score as score;
+pub use xrbench_sim as sim;
+pub use xrbench_workload as workload;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use xrbench_accel::{table5, AcceleratorConfig, AcceleratorStyle, AcceleratorSystem};
+    pub use xrbench_core::{run_suite, BenchmarkReport, Harness, ScenarioReport};
+    pub use xrbench_costmodel::{Dataflow, HardwareConfig, Layer, LayerKind};
+    pub use xrbench_models::{model_info, ModelId, TaskCategory};
+    pub use xrbench_score::{InferenceScore, ModelOutcome};
+    pub use xrbench_sim::{
+        CostProvider, InferenceCost, LatencyGreedy, RoundRobin, Scheduler, SimConfig, Simulator,
+    };
+    pub use xrbench_workload::{LoadGenerator, ScenarioSpec, UsageScenario};
+}

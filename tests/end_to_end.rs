@@ -1,0 +1,138 @@
+//! End-to-end integration tests spanning the whole stack: workload
+//! generation → accelerator cost model → runtime → scoring.
+
+use xrbench::prelude::*;
+
+fn system(id: char, pes: u64) -> AcceleratorSystem {
+    let cfg = table5()
+        .into_iter()
+        .find(|c| c.id == id)
+        .expect("table 5 id");
+    AcceleratorSystem::new(cfg, pes)
+}
+
+#[test]
+fn every_accelerator_runs_every_scenario() {
+    let harness = Harness::new();
+    for cfg in table5() {
+        let sys = AcceleratorSystem::new(cfg, 4096);
+        for scenario in UsageScenario::ALL {
+            let report = harness.run_scenario(scenario, &sys);
+            assert!(
+                (0.0..=1.0).contains(&report.overall()),
+                "{}: {} out of range",
+                sys.label(),
+                scenario
+            );
+            assert!((0.0..=1.0).contains(&report.breakdown.realtime_score));
+            assert!((0.0..=1.0).contains(&report.breakdown.energy_score));
+            assert!((0.0..=1.0).contains(&report.breakdown.qoe_score));
+        }
+    }
+}
+
+#[test]
+fn full_suite_produces_bounded_xrbench_score() {
+    let bench = run_suite(&Harness::new(), &system('J', 8192), 3);
+    assert_eq!(bench.scenarios.len(), 7);
+    assert!(bench.xrbench_score > 0.0 && bench.xrbench_score <= 1.0);
+}
+
+#[test]
+fn whole_benchmark_is_deterministic_for_a_seed() {
+    let h = Harness::new().with_seed(1234);
+    let a = run_suite(&h, &system('M', 4096), 2);
+    let b = run_suite(&h, &system('M', 4096), 2);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn more_pes_never_hurt_the_overall_score_much() {
+    // 8K should beat or match 4K on every accelerator (small noise
+    // from jitter/cascade draws allowed).
+    let h = Harness::new();
+    for cfg in table5() {
+        let s4 = run_suite(&h, &AcceleratorSystem::new(cfg.clone(), 4096), 3).xrbench_score;
+        let s8 = run_suite(&h, &AcceleratorSystem::new(cfg.clone(), 8192), 3).xrbench_score;
+        assert!(
+            s8 >= s4 - 0.05,
+            "{}: 8K ({s8:.3}) much worse than 4K ({s4:.3})",
+            cfg.id
+        );
+    }
+}
+
+#[test]
+fn figure6_contrast_4k_vs_8k_on_accelerator_j() {
+    // The Figure 6 qualitative claims, end to end.
+    let h = Harness::new();
+    let r4 = h.run_scenario(UsageScenario::ArGaming, &system('J', 4096));
+    let r8 = h.run_scenario(UsageScenario::ArGaming, &system('J', 8192));
+    // 4K drops a large fraction of frames, 8K almost none.
+    assert!(r4.drop_rate > 0.2, "4K drop rate {:.2}", r4.drop_rate);
+    assert!(r8.drop_rate < 0.1, "8K drop rate {:.2}", r8.drop_rate);
+    // 4K is busier yet scores worse: the utilization fallacy.
+    assert!(r4.mean_utilization > r8.mean_utilization);
+    assert!(r4.overall() < r8.overall());
+    // PD misses its 33 ms deadline even at 8K (realtime ≈ (1+1+0)/3).
+    let pd8 = r8.model("PD").expect("PD active in AR gaming");
+    assert!(pd8.missed_deadlines > 25);
+    assert!(r8.breakdown.realtime_score < 0.8);
+}
+
+#[test]
+fn dependency_and_occupancy_conditions_hold_on_real_systems() {
+    // Appendix B.2 schedule-validity conditions on a full-stack run.
+    use xrbench::models::ModelId;
+    let sys = system('M', 4096);
+    let h = Harness::new();
+    let (_, result) = h.run_spec(
+        &UsageScenario::SocialInteractionA.spec(),
+        &sys,
+        &mut LatencyGreedy::new(),
+    );
+    // Dependency: GE after same-frame ES.
+    for ge in result.records_for(ModelId::GazeEstimation) {
+        let es = result
+            .records_for(ModelId::EyeSegmentation)
+            .find(|e| e.sensor_frame == ge.sensor_frame)
+            .expect("upstream ES record");
+        assert!(ge.t_start >= es.t_end - 1e-12);
+    }
+    // Occupancy: no overlap per engine.
+    for e in 0..result.num_engines {
+        let mut recs: Vec<_> = result.records.iter().filter(|r| r.engine == e).collect();
+        recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        for w in recs.windows(2) {
+            assert!(w[1].t_start >= w[0].t_end - 1e-12);
+        }
+    }
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let report = Harness::new().run_scenario(UsageScenario::VrGaming, &system('A', 8192));
+    let json = report.to_json();
+    let value: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+    assert!(value["overall_score"].is_number());
+    assert_eq!(value["scenario"], "VR Gaming");
+    assert!(value["models"].as_array().expect("models").len() == 3);
+}
+
+#[test]
+fn longer_runs_scale_frame_counts() {
+    let sys = system('A', 8192);
+    let h = Harness::new().with_duration(3.0);
+    let report = h.run_scenario(UsageScenario::VrGaming, &sys);
+    let ht = report.model("HT").expect("HT");
+    assert_eq!(ht.total_frames, 135);
+}
+
+#[test]
+fn accuracy_score_stays_one_with_default_quality() {
+    // §4.1: deployed models satisfy the quality goals, so the
+    // accuracy score is 1 and the overall score is driven by
+    // real-time, energy, and QoE.
+    let report = Harness::new().run_scenario(UsageScenario::OutdoorActivityB, &system('C', 8192));
+    assert!((report.breakdown.accuracy_score - 1.0).abs() < 1e-6);
+}

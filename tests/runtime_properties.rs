@@ -1,0 +1,137 @@
+//! Property-based tests over the runtime: frame conservation,
+//! schedule validity, and cost-model monotonicity under randomized
+//! configurations.
+
+use proptest::prelude::*;
+
+use xrbench::costmodel::{evaluate_layers, Dataflow, HardwareConfig, Layer};
+use xrbench::models::{zoo, ModelId};
+use xrbench::prelude::*;
+use xrbench::sim::UniformProvider;
+
+fn scenario_strategy() -> impl Strategy<Value = UsageScenario> {
+    prop::sample::select(UsageScenario::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frame_conservation_holds(
+        scenario in scenario_strategy(),
+        engines in 1usize..5,
+        latency_ms in 0.05_f64..80.0,
+        seed in 0u64..5000,
+    ) {
+        let provider = UniformProvider::new(engines, latency_ms / 1e3, 0.001);
+        let sim = Simulator::new(SimConfig { duration_s: 1.0, seed });
+        let result = sim.run(&scenario.spec(), &provider, &mut LatencyGreedy::new());
+        for (model, st) in &result.stats {
+            // Every triggered frame either executed or dropped.
+            prop_assert_eq!(
+                st.total_frames,
+                st.executed_frames + st.dropped_frames,
+                "{} violates conservation",
+                model
+            );
+            prop_assert!(st.missed_deadlines <= st.executed_frames);
+        }
+        // Executed records match the stats.
+        for (model, st) in &result.stats {
+            let recs = result.records_for(*model).count() as u64;
+            prop_assert_eq!(recs, st.executed_frames);
+        }
+    }
+
+    #[test]
+    fn occupancy_condition_holds_for_any_scheduler_load(
+        scenario in scenario_strategy(),
+        engines in 1usize..5,
+        latency_ms in 0.05_f64..60.0,
+        seed in 0u64..5000,
+        round_robin in any::<bool>(),
+    ) {
+        let provider = UniformProvider::new(engines, latency_ms / 1e3, 0.001);
+        let sim = Simulator::new(SimConfig { duration_s: 1.0, seed });
+        let spec = scenario.spec();
+        let result = if round_robin {
+            sim.run(&spec, &provider, &mut RoundRobin::new())
+        } else {
+            sim.run(&spec, &provider, &mut LatencyGreedy::new())
+        };
+        for e in 0..engines {
+            let mut recs: Vec<_> = result.records.iter().filter(|r| r.engine == e).collect();
+            recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+            for w in recs.windows(2) {
+                prop_assert!(w[1].t_start >= w[0].t_end - 1e-12, "overlap on engine {}", e);
+            }
+        }
+    }
+
+    #[test]
+    fn faster_engines_never_reduce_scores(
+        scenario in scenario_strategy(),
+        latency_ms in 0.5_f64..40.0,
+        speedup in 1.1_f64..4.0,
+    ) {
+        let h = Harness::new();
+        let slow = UniformProvider::new(2, latency_ms / 1e3, 0.001);
+        let fast = UniformProvider::new(2, latency_ms / speedup / 1e3, 0.001);
+        let rs = h.run_scenario(scenario, &slow);
+        let rf = h.run_scenario(scenario, &fast);
+        // Faster hardware can shuffle which frames drop under jitter,
+        // so allow small noise; the trend must hold.
+        prop_assert!(
+            rf.overall() >= rs.overall() - 0.05,
+            "speedup {:.2} lowered score {:.3} -> {:.3}",
+            speedup, rs.overall(), rf.overall()
+        );
+    }
+
+    #[test]
+    fn cost_model_latency_monotone_in_pes(
+        model in prop::sample::select(ModelId::ALL.to_vec()),
+        df in prop::sample::select(Dataflow::ALL.to_vec()),
+        shift in 0u32..3,
+    ) {
+        let layers = zoo::build(model);
+        let small = HardwareConfig::with_pes(1024 << shift);
+        let large = HardwareConfig::with_pes(2048 << shift);
+        let ls = evaluate_layers(&layers, df, &small).latency_s();
+        let ll = evaluate_layers(&layers, df, &large).latency_s();
+        prop_assert!(ll <= ls * 1.001, "{model}/{df}: {ll} > {ls}");
+    }
+
+    #[test]
+    fn cost_model_energy_insensitive_to_pes_scale(
+        model in prop::sample::select(ModelId::ALL.to_vec()),
+        df in prop::sample::select(Dataflow::ALL.to_vec()),
+    ) {
+        // Energy is dominated by work, not array size: doubling PEs
+        // must not change energy by more than ~2x in either direction.
+        let layers = zoo::build(model);
+        let e4 = evaluate_layers(&layers, df, &HardwareConfig::with_pes(4096)).energy_j();
+        let e8 = evaluate_layers(&layers, df, &HardwareConfig::with_pes(8192)).energy_j();
+        prop_assert!(e8 / e4 < 2.0 && e4 / e8 < 2.0, "{model}/{df}: {e4} vs {e8}");
+    }
+
+    #[test]
+    fn single_layer_monotone_in_work(
+        k in 1u64..256,
+        c in 1u64..256,
+        y in 1u64..64,
+        scale in 2u64..4,
+    ) {
+        let hw = HardwareConfig::with_pes(4096);
+        let small = Layer::conv2d("s", k, c, y, y, 3, 3);
+        let big = Layer::conv2d("b", k * scale, c, y, y, 3, 3);
+        let small = [small];
+        let big = [big];
+        for df in Dataflow::ALL {
+            let cs = evaluate_layers(&small, df, &hw);
+            let cb = evaluate_layers(&big, df, &hw);
+            prop_assert!(cb.latency_s() >= cs.latency_s() - 1e-12);
+            prop_assert!(cb.energy_j() > cs.energy_j());
+        }
+    }
+}

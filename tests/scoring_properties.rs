@@ -1,0 +1,110 @@
+//! Property-based tests over the scoring stack and cross-crate
+//! invariants, using randomly generated workload outcomes.
+
+use proptest::prelude::*;
+
+use xrbench::score::{
+    accuracy_score, benchmark_score, energy_score, qoe_score, rt_score, scenario_score,
+    AccuracyParams, EnergyParams, InferenceScore, MetricKind, ModelOutcome, RtParams,
+};
+
+proptest! {
+    #[test]
+    fn rt_score_always_in_unit_interval(
+        latency in 0.0_f64..100.0,
+        slack in -1.0_f64..1.0,
+        k in 0.0_f64..100.0,
+    ) {
+        let s = rt_score(latency, slack, RtParams { k_per_ms: k });
+        prop_assert!((0.0..=1.0).contains(&s), "{s}");
+        prop_assert!(s.is_finite());
+    }
+
+    #[test]
+    fn rt_score_monotone_in_latency(
+        l1 in 0.0_f64..10.0,
+        dl in 0.0_f64..10.0,
+        slack in 0.0_f64..0.1,
+    ) {
+        let p = RtParams::default();
+        let a = rt_score(l1, slack, p);
+        let b = rt_score(l1 + dl, slack, p);
+        prop_assert!(b <= a + 1e-12);
+    }
+
+    #[test]
+    fn rt_score_monotone_in_slack(
+        latency in 0.0_f64..1.0,
+        s1 in 0.0_f64..1.0,
+        ds in 0.0_f64..1.0,
+    ) {
+        let p = RtParams::default();
+        prop_assert!(rt_score(latency, s1 + ds, p) >= rt_score(latency, s1, p) - 1e-12);
+    }
+
+    #[test]
+    fn energy_score_in_unit_interval_and_antitone(
+        e1 in 0.0_f64..10.0,
+        de in 0.0_f64..10.0,
+    ) {
+        let p = EnergyParams::default();
+        let a = energy_score(e1, p);
+        let b = energy_score(e1 + de, p);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b <= a + 1e-12);
+    }
+
+    #[test]
+    fn accuracy_score_in_unit_interval(
+        measured in 0.0_f64..1000.0,
+        target in 0.001_f64..1000.0,
+        hib in any::<bool>(),
+    ) {
+        let kind = if hib { MetricKind::HigherIsBetter } else { MetricKind::LowerIsBetter };
+        let s = accuracy_score(measured, target, kind, AccuracyParams::default());
+        prop_assert!((0.0..=1.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn qoe_is_exact_ratio(total in 1u64..10_000, frac in 0.0_f64..=1.0) {
+        let executed = ((total as f64) * frac).floor() as u64;
+        let q = qoe_score(executed, total);
+        prop_assert!((q - executed as f64 / total as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_score_bounded_by_min_component_product_bound(
+        scores in prop::collection::vec(
+            (0.0_f64..=1.0, 0.0_f64..=1.0, 0.0_f64..=1.0),
+            1..40,
+        ),
+        total_extra in 0u64..20,
+    ) {
+        let inf: Vec<InferenceScore> = scores
+            .iter()
+            .map(|&(r, e, a)| InferenceScore::new(r, e, a))
+            .collect();
+        let outcome = ModelOutcome {
+            total_frames: inf.len() as u64 + total_extra,
+            inference_scores: inf,
+        };
+        let b = scenario_score(&[outcome]);
+        prop_assert!((0.0..=1.0).contains(&b.overall));
+        // Overall = per-model * qoe <= qoe, and <= each mean component
+        // since the product of [0,1] factors is <= each factor.
+        prop_assert!(b.overall <= b.qoe + 1e-12);
+        prop_assert!(b.overall <= b.realtime + 1e-12);
+        prop_assert!(b.overall <= b.energy + 1e-12);
+        prop_assert!(b.overall <= b.accuracy + 1e-12);
+    }
+
+    #[test]
+    fn benchmark_score_between_min_and_max(
+        scores in prop::collection::vec(0.0_f64..=1.0, 1..10)
+    ) {
+        let b = benchmark_score(&scores);
+        let min = scores.iter().cloned().fold(f64::MAX, f64::min);
+        let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(b >= min - 1e-12 && b <= max + 1e-12);
+    }
+}
