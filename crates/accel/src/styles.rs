@@ -58,7 +58,11 @@ impl AcceleratorConfig {
             .subs
             .iter()
             .map(|s| {
-                let unit = self.subs.iter().map(|x| x.fraction).fold(f64::MAX, f64::min);
+                let unit = self
+                    .subs
+                    .iter()
+                    .map(|x| x.fraction)
+                    .fold(f64::MAX, f64::min);
                 format!("{}", (s.fraction / unit).round() as u64)
             })
             .collect();
@@ -75,7 +79,13 @@ impl AcceleratorConfig {
 
 impl fmt::Display for AcceleratorConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] {}", self.id, self.style, self.dataflow_description())
+        write!(
+            f,
+            "{} [{}] {}",
+            self.id,
+            self.style,
+            self.dataflow_description()
+        )
     }
 }
 
@@ -93,59 +103,50 @@ fn uniform(style: AcceleratorStyle, id: char, dataflow: Dataflow, n: usize) -> A
     }
 }
 
+/// A heterogeneous (HDA) configuration from `(dataflow, fraction)`
+/// pairs.
+fn hda(id: char, subs: &[(Dataflow, f64)]) -> AcceleratorConfig {
+    AcceleratorConfig {
+        id,
+        style: AcceleratorStyle::Hda,
+        subs: subs
+            .iter()
+            .map(|&(dataflow, fraction)| SubAccelSpec { dataflow, fraction })
+            .collect(),
+    }
+}
+
 /// Builds the thirteen Table 5 accelerator configurations `A`–`M`.
 pub fn table5() -> Vec<AcceleratorConfig> {
     use AcceleratorStyle::*;
     use Dataflow::*;
-    let mut v = Vec::with_capacity(13);
-    // FDA: single accelerator per dataflow.
-    v.push(uniform(Fda, 'A', WeightStationary, 1));
-    v.push(uniform(Fda, 'B', OutputStationary, 1));
-    v.push(uniform(Fda, 'C', RowStationary, 1));
-    // SFDA: 2-way (1:1) per dataflow.
-    v.push(uniform(Sfda, 'D', WeightStationary, 2));
-    v.push(uniform(Sfda, 'E', OutputStationary, 2));
-    v.push(uniform(Sfda, 'F', RowStationary, 2));
-    // SFDA: 4-way (1:1:1:1) per dataflow.
-    v.push(uniform(Sfda, 'G', WeightStationary, 4));
-    v.push(uniform(Sfda, 'H', OutputStationary, 4));
-    v.push(uniform(Sfda, 'I', RowStationary, 4));
-    // HDA: WS + OS mixes.
-    v.push(AcceleratorConfig {
-        id: 'J',
-        style: Hda,
-        subs: vec![
-            SubAccelSpec { dataflow: WeightStationary, fraction: 0.5 },
-            SubAccelSpec { dataflow: OutputStationary, fraction: 0.5 },
-        ],
-    });
-    v.push(AcceleratorConfig {
-        id: 'K',
-        style: Hda,
-        subs: vec![
-            SubAccelSpec { dataflow: WeightStationary, fraction: 0.75 },
-            SubAccelSpec { dataflow: OutputStationary, fraction: 0.25 },
-        ],
-    });
-    v.push(AcceleratorConfig {
-        id: 'L',
-        style: Hda,
-        subs: vec![
-            SubAccelSpec { dataflow: WeightStationary, fraction: 0.25 },
-            SubAccelSpec { dataflow: OutputStationary, fraction: 0.75 },
-        ],
-    });
-    v.push(AcceleratorConfig {
-        id: 'M',
-        style: Hda,
-        subs: vec![
-            SubAccelSpec { dataflow: WeightStationary, fraction: 0.25 },
-            SubAccelSpec { dataflow: OutputStationary, fraction: 0.25 },
-            SubAccelSpec { dataflow: WeightStationary, fraction: 0.25 },
-            SubAccelSpec { dataflow: OutputStationary, fraction: 0.25 },
-        ],
-    });
-    v
+    vec![
+        // FDA: single accelerator per dataflow.
+        uniform(Fda, 'A', WeightStationary, 1),
+        uniform(Fda, 'B', OutputStationary, 1),
+        uniform(Fda, 'C', RowStationary, 1),
+        // SFDA: 2-way (1:1) per dataflow.
+        uniform(Sfda, 'D', WeightStationary, 2),
+        uniform(Sfda, 'E', OutputStationary, 2),
+        uniform(Sfda, 'F', RowStationary, 2),
+        // SFDA: 4-way (1:1:1:1) per dataflow.
+        uniform(Sfda, 'G', WeightStationary, 4),
+        uniform(Sfda, 'H', OutputStationary, 4),
+        uniform(Sfda, 'I', RowStationary, 4),
+        // HDA: WS + OS mixes.
+        hda('J', &[(WeightStationary, 0.5), (OutputStationary, 0.5)]),
+        hda('K', &[(WeightStationary, 0.75), (OutputStationary, 0.25)]),
+        hda('L', &[(WeightStationary, 0.25), (OutputStationary, 0.75)]),
+        hda(
+            'M',
+            &[
+                (WeightStationary, 0.25),
+                (OutputStationary, 0.25),
+                (WeightStationary, 0.25),
+                (OutputStationary, 0.25),
+            ],
+        ),
+    ]
 }
 
 #[cfg(test)]
@@ -170,9 +171,18 @@ mod tests {
     #[test]
     fn style_counts_match_table5() {
         let cfgs = table5();
-        let fda = cfgs.iter().filter(|c| c.style == AcceleratorStyle::Fda).count();
-        let sfda = cfgs.iter().filter(|c| c.style == AcceleratorStyle::Sfda).count();
-        let hda = cfgs.iter().filter(|c| c.style == AcceleratorStyle::Hda).count();
+        let fda = cfgs
+            .iter()
+            .filter(|c| c.style == AcceleratorStyle::Fda)
+            .count();
+        let sfda = cfgs
+            .iter()
+            .filter(|c| c.style == AcceleratorStyle::Sfda)
+            .count();
+        let hda = cfgs
+            .iter()
+            .filter(|c| c.style == AcceleratorStyle::Hda)
+            .count();
         assert_eq!((fda, sfda, hda), (3, 6, 4));
     }
 
@@ -181,13 +191,22 @@ mod tests {
         let cfgs = table5();
         let get = |id: char| cfgs.iter().find(|c| c.id == id).unwrap();
         assert_eq!(get('A').dataflow_description(), "WS");
-        assert_eq!(get('D').dataflow_description(), "WS + WS (1:1 partitioning)");
+        assert_eq!(
+            get('D').dataflow_description(),
+            "WS + WS (1:1 partitioning)"
+        );
         assert_eq!(
             get('G').dataflow_description(),
             "WS + WS + WS + WS (1:1:1:1 partitioning)"
         );
-        assert_eq!(get('K').dataflow_description(), "WS + OS (3:1 partitioning)");
-        assert_eq!(get('L').dataflow_description(), "WS + OS (1:3 partitioning)");
+        assert_eq!(
+            get('K').dataflow_description(),
+            "WS + OS (3:1 partitioning)"
+        );
+        assert_eq!(
+            get('L').dataflow_description(),
+            "WS + OS (1:3 partitioning)"
+        );
         assert_eq!(
             get('M').dataflow_description(),
             "WS + OS + WS + OS (1:1:1:1 partitioning)"

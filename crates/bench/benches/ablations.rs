@@ -10,8 +10,8 @@ use std::sync::Once;
 use xrbench_accel::{table5, AcceleratorSystem};
 use xrbench_core::Harness;
 use xrbench_costmodel::{HardwareConfig, MappingStrategy};
-use xrbench_sim::{CostProvider, LatencyGreedy, RoundRobin, Scheduler};
 use xrbench_models::ModelId;
+use xrbench_sim::{CostProvider, LatencyGreedy, RoundRobin, Scheduler};
 use xrbench_workload::UsageScenario;
 
 static PRINT_ONCE: Once = Once::new();
@@ -26,8 +26,7 @@ fn print_ablation_scores() {
         let mut schedulers: Vec<Box<dyn Scheduler>> =
             vec![Box::new(LatencyGreedy::new()), Box::new(RoundRobin::new())];
         for s in schedulers.iter_mut() {
-            let (report, _) =
-                h.run_spec(&UsageScenario::ArAssistant.spec(), &system, s.as_mut());
+            let (report, _) = h.run_spec(&UsageScenario::ArAssistant.spec(), &system, s.as_mut());
             eprintln!(
                 "  {:<16} overall={:.3} rt={:.3} qoe={:.3}",
                 report.scheduler,
@@ -70,7 +69,10 @@ fn print_mapping_ablation() {
     ] {
         let lf = fixed.cost(m, 0).latency_s * 1e3;
         let la = adaptive.cost(m, 0).latency_s * 1e3;
-        eprintln!("  {m}: fixed {lf:6.2} ms, adaptive {la:6.2} ms ({:.2}x)", lf / la);
+        eprintln!(
+            "  {m}: fixed {lf:6.2} ms, adaptive {la:6.2} ms ({:.2}x)",
+            lf / la
+        );
     }
 }
 

@@ -6,9 +6,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use xrbench_core::figures::{figure6, figure7, figure8};
-use xrbench_core::{run_suite, Harness};
 use xrbench_accel::{table5, AcceleratorSystem};
+use xrbench_core::figures::{figure6, figure7, figure8};
+use xrbench_core::{run_suite_parallel, run_suite_serial, Harness};
 
 fn bench_figure6(c: &mut Criterion) {
     let h = Harness::new();
@@ -32,11 +32,17 @@ fn bench_figure8(c: &mut Criterion) {
 
 fn bench_full_suite_one_accel(c: &mut Criterion) {
     // One Figure 5 cell group: a full-suite run on one accelerator.
+    // Both paths are timed: the serial run is the stable per-job
+    // signal, while the parallel run includes worker spawn/teardown
+    // (the cost real `run_suite` callers pay per suite).
     let cfg = table5().into_iter().find(|x| x.id == 'A').expect("A");
     let system = AcceleratorSystem::new(cfg, 4096);
     let h = Harness::new();
-    c.bench_function("figure5_one_accel_suite", |b| {
-        b.iter(|| run_suite(black_box(&h), &system, 3));
+    c.bench_function("figure5_one_accel_suite_serial", |b| {
+        b.iter(|| run_suite_serial(black_box(&h), &system, 3));
+    });
+    c.bench_function("figure5_one_accel_suite_parallel", |b| {
+        b.iter(|| run_suite_parallel(black_box(&h), &system, 3));
     });
 }
 

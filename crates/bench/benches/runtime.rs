@@ -18,9 +18,7 @@ fn bench_scenarios(c: &mut Criterion) {
             BenchmarkId::from_parameter(scenario.name().replace(' ', "_")),
             &scenario,
             |b, &s| {
-                b.iter(|| {
-                    sim.run(black_box(&s.spec()), &system, &mut LatencyGreedy::new())
-                });
+                b.iter(|| sim.run(black_box(&s.spec()), &system, &mut LatencyGreedy::new()));
             },
         );
     }

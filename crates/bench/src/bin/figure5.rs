@@ -71,8 +71,7 @@ fn main() {
         .iter()
         .map(|s| (s.to_string(), best_of(4096, s).accel))
         .collect();
-    let distinct: std::collections::BTreeSet<char> =
-        winners_4k.iter().map(|(_, c)| *c).collect();
+    let distinct: std::collections::BTreeSet<char> = winners_4k.iter().map(|(_, c)| *c).collect();
     println!(
         "Observation 1 (per-scenario winners differ, 4K): winners {:?} -> {} distinct styles",
         winners_4k,

@@ -9,10 +9,7 @@ use xrbench_core::{render_timeline, Harness};
 fn main() {
     let data = figure6(&Harness::new());
 
-    for (label, (report, result)) in [
-        ("(a) 4K PEs", &data.four_k),
-        ("(b) 8K PEs", &data.eight_k),
-    ] {
+    for (label, (report, result)) in [("(a) 4K PEs", &data.four_k), ("(b) 8K PEs", &data.eight_k)] {
         println!("=== Figure 6 {label}: AR Gaming on accelerator J ===");
         println!("{}", render_timeline(result, 100));
         println!(

@@ -21,12 +21,15 @@ fn main() {
         let label = 1.0 - i as f64 / 20.0;
         println!("{label:4.2} |{}", row.iter().collect::<String>());
     }
-    println!("      {}^{}", " ".repeat(50), " (deadline)");
-    println!("      0.0 {: >46} 1.0 {: >46} 2.0  latency (s)", "", "");
+    println!("      {}^ (deadline)", " ".repeat(50));
+    println!("      0.0 {0} 1.0 {0} 2.0  latency (s)", " ".repeat(46));
     println!("\nlegend: 0 -> k=0, 1 -> k=1, f -> k=15 (default), F -> k=50");
 
     println!("\nscore at selected latencies:");
-    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "latency", "k=0", "k=1", "k=15", "k=50");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8}",
+        "latency", "k=0", "k=1", "k=15", "k=50"
+    );
     for xi in [0usize, 25, 45, 50, 55, 75, 100] {
         let lat = curves[0].samples[xi].0;
         print!("{lat:>7.2}s");

@@ -82,7 +82,7 @@ fn main() {
     }
 
     println!("\n=== Table 5: accelerator styles ===");
-    println!("{:>3} {:>6}  {}", "ID", "Style", "Dataflow");
+    println!("{:>3} {:>6}  Dataflow", "ID", "Style");
     for cfg in table5() {
         println!(
             "{:>3} {:>6}  {}",

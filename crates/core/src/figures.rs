@@ -40,53 +40,52 @@ pub struct Figure5Row {
 /// accelerators × {4K, 8K} PEs × all 7 usage scenarios, plus the
 /// per-accelerator `"Average"` rows of Figure 5(h).
 ///
-/// Dynamic scenarios are averaged over `repeats` seeds. Accelerators
-/// are evaluated in parallel.
+/// Dynamic scenarios are averaged over `repeats` seeds. The
+/// 26-cell accelerator × PE-count grid is fanned across `std::thread`
+/// workers (each cell runs its suite serially, so the grid itself is
+/// the unit of parallelism and workers never oversubscribe); row
+/// values are identical to a serial evaluation.
 pub fn figure5(harness: &Harness, repeats: u32) -> Vec<Figure5Row> {
     let configs = table5();
-    let mut rows: Vec<Figure5Row> = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for &pes in &[4096u64, 8192] {
-            for cfg in &configs {
-                let h = harness.clone();
-                handles.push(scope.spawn(move |_| {
-                    let system = AcceleratorSystem::new(cfg.clone(), pes);
-                    let bench = crate::suite::run_suite(&h, &system, repeats);
-                    let mut out: Vec<Figure5Row> = bench
-                        .scenarios
-                        .iter()
-                        .map(|s| Figure5Row {
-                            pes,
-                            accel: cfg.id,
-                            style: cfg.style.to_string(),
-                            scenario: s.scenario.clone(),
-                            realtime: s.breakdown.realtime_score,
-                            energy: s.breakdown.energy_score,
-                            qoe: s.breakdown.qoe_score,
-                            overall: s.breakdown.overall_score,
-                        })
-                        .collect();
-                    let n = out.len() as f64;
-                    out.push(Figure5Row {
-                        pes,
-                        accel: cfg.id,
-                        style: cfg.style.to_string(),
-                        scenario: "Average".to_string(),
-                        realtime: out.iter().map(|r| r.realtime).sum::<f64>() / n,
-                        energy: out.iter().map(|r| r.energy).sum::<f64>() / n,
-                        qoe: out.iter().map(|r| r.qoe).sum::<f64>() / n,
-                        overall: out.iter().map(|r| r.overall).sum::<f64>() / n,
-                    });
-                    out
-                }));
-            }
-        }
-        for h in handles {
-            rows.extend(h.join().expect("figure5 worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
+    let grid: Vec<(u64, usize)> = [4096u64, 8192]
+        .iter()
+        .flat_map(|&pes| (0..configs.len()).map(move |ci| (pes, ci)))
+        .collect();
+
+    let per_cell =
+        crate::pool::parallel_map(&grid, crate::pool::default_workers(), |&(pes, ci)| {
+            let cfg = &configs[ci];
+            let system = AcceleratorSystem::new(cfg.clone(), pes);
+            let bench = crate::suite::run_suite_serial(harness, &system, repeats);
+            let mut out: Vec<Figure5Row> = bench
+                .scenarios
+                .iter()
+                .map(|s| Figure5Row {
+                    pes,
+                    accel: cfg.id,
+                    style: cfg.style.to_string(),
+                    scenario: s.scenario.clone(),
+                    realtime: s.breakdown.realtime_score,
+                    energy: s.breakdown.energy_score,
+                    qoe: s.breakdown.qoe_score,
+                    overall: s.breakdown.overall_score,
+                })
+                .collect();
+            let n = out.len() as f64;
+            out.push(Figure5Row {
+                pes,
+                accel: cfg.id,
+                style: cfg.style.to_string(),
+                scenario: "Average".to_string(),
+                realtime: out.iter().map(|r| r.realtime).sum::<f64>() / n,
+                energy: out.iter().map(|r| r.energy).sum::<f64>() / n,
+                qoe: out.iter().map(|r| r.qoe).sum::<f64>() / n,
+                overall: out.iter().map(|r| r.overall).sum::<f64>() / n,
+            });
+            out
+        });
+
+    let mut rows: Vec<Figure5Row> = per_cell.into_iter().flatten().collect();
     rows.sort_by(|a, b| {
         (a.pes, a.accel, a.scenario.clone()).cmp(&(b.pes, b.accel, b.scenario.clone()))
     });
@@ -235,6 +234,7 @@ mod tests {
         let k50 = &curves[3];
         assert!(k50.samples[10].1 > 0.99); // latency 0.2 s
         assert!(k50.samples[90].1 < 0.01); // latency 1.8 s
+
         // All curves cross 0.5 at the deadline.
         for c in &curves {
             let at_deadline = c.samples[50].1;

@@ -232,8 +232,12 @@ mod tests {
     #[test]
     fn seed_controls_reproducibility() {
         let p = UniformProvider::new(2, 0.002, 0.001);
-        let a = Harness::new().with_seed(1).run_scenario(UsageScenario::ArAssistant, &p);
-        let b = Harness::new().with_seed(1).run_scenario(UsageScenario::ArAssistant, &p);
+        let a = Harness::new()
+            .with_seed(1)
+            .run_scenario(UsageScenario::ArAssistant, &p);
+        let b = Harness::new()
+            .with_seed(1)
+            .run_scenario(UsageScenario::ArAssistant, &p);
         assert_eq!(a, b);
     }
 

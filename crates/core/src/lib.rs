@@ -30,12 +30,13 @@
 pub mod figures;
 mod harness;
 pub mod pareto;
+pub mod pool;
 mod report;
 mod suite;
 mod timeline;
 
 pub use harness::{Harness, ScoreParams};
-pub use report::{BenchmarkReport, ModelReport, ScenarioReport};
 pub use pareto::{pareto_frontier, ParetoPoint};
-pub use suite::run_suite;
+pub use report::{BenchmarkReport, BreakdownReport, ModelReport, ScenarioReport};
+pub use suite::{run_suite, run_suite_parallel, run_suite_parallel_with_workers, run_suite_serial};
 pub use timeline::render_timeline;

@@ -1,47 +1,163 @@
 //! Whole-suite runs: all seven usage scenarios → XRBench Score.
+//!
+//! Two execution paths produce bit-for-bit identical reports:
+//!
+//! * [`run_suite_serial`] — one (scenario, repeat) run after another.
+//! * [`run_suite_parallel`] — the same (scenario, repeat) job grid
+//!   fanned across `std::thread` workers. Determinism holds because
+//!   every job derives its seed from the harness seed exactly as the
+//!   serial path does, results land in pre-assigned slots, and the
+//!   order-sensitive float aggregation happens after the join, in
+//!   serial order.
+//!
+//! [`run_suite`] is the public entry point and defaults to the
+//! parallel path — the full 13-accelerator × 7-scenario sweeps behind
+//! the figure binaries are embarrassingly parallel, and the suite is
+//! the unit of work they repeat.
 
 use xrbench_score::benchmark_score;
 use xrbench_sim::CostProvider;
 use xrbench_workload::UsageScenario;
 
 use crate::harness::Harness;
-use crate::report::BenchmarkReport;
+use crate::report::{BenchmarkReport, ScenarioReport};
 
-/// Runs the full benchmark suite `Ω` (all usage scenarios) on one
-/// system and aggregates the overall XRBench Score (Definition 16).
-///
-/// Dynamic scenarios (those with probabilistic cascades) are averaged
-/// over `repeats` independent seeds; static scenarios are run once, as
-/// their outcome is seed-independent up to jitter.
-///
-/// # Panics
-///
-/// Panics if `repeats == 0`.
-pub fn run_suite(harness: &Harness, system: &dyn CostProvider, repeats: u32) -> BenchmarkReport {
-    assert!(repeats > 0, "repeats must be at least 1");
-    let mut scenarios = Vec::with_capacity(UsageScenario::ALL.len());
-    for scenario in UsageScenario::ALL {
+/// One (scenario, repeat) cell of the suite's job grid.
+#[derive(Debug, Clone, Copy)]
+struct SuiteJob {
+    scenario_idx: usize,
+    scenario: UsageScenario,
+    seed_offset: u32,
+}
+
+/// Builds the suite's job grid in deterministic order: scenarios in
+/// Table 2 order, repeats in seed order. Dynamic scenarios (those with
+/// probabilistic cascades) are averaged over `repeats` independent
+/// seeds; static scenarios run once, as their outcome is
+/// seed-independent up to jitter.
+fn suite_jobs(repeats: u32) -> Vec<SuiteJob> {
+    let mut jobs = Vec::new();
+    for (scenario_idx, scenario) in UsageScenario::ALL.into_iter().enumerate() {
         let runs = if scenario.is_dynamic() { repeats } else { 1 };
-        let mut reports = Vec::with_capacity(runs as usize);
-        for i in 0..runs {
-            let h = harness
-                .clone()
-                .with_seed(harness.sim_config().seed.wrapping_add(i as u64));
-            reports.push(h.run_scenario(scenario, system));
+        for seed_offset in 0..runs {
+            jobs.push(SuiteJob {
+                scenario_idx,
+                scenario,
+                seed_offset,
+            });
         }
-        scenarios.push(average_reports(reports));
     }
+    jobs
+}
+
+/// Runs one job exactly as the serial path would.
+fn run_job(harness: &Harness, system: &dyn CostProvider, job: SuiteJob) -> ScenarioReport {
+    let h = harness.clone().with_seed(
+        harness
+            .sim_config()
+            .seed
+            .wrapping_add(u64::from(job.seed_offset)),
+    );
+    h.run_scenario(job.scenario, system)
+}
+
+/// Aggregates per-job reports (grouped by scenario, in run order) into
+/// the final benchmark report.
+fn assemble(system_label: String, per_scenario: Vec<Vec<ScenarioReport>>) -> BenchmarkReport {
+    let scenarios: Vec<ScenarioReport> = per_scenario.into_iter().map(average_reports).collect();
     let overall: Vec<f64> = scenarios.iter().map(|s| s.overall()).collect();
     BenchmarkReport {
-        system: system.label(),
+        system: system_label,
         xrbench_score: benchmark_score(&overall),
         scenarios,
     }
 }
 
+/// Runs the full benchmark suite `Ω` (all usage scenarios) on one
+/// system and aggregates the overall XRBench Score (Definition 16).
+///
+/// This is the parallel path by default (see [`run_suite_parallel`]);
+/// it produces bit-for-bit the same report as [`run_suite_serial`].
+///
+/// # Panics
+///
+/// Panics if `repeats == 0`.
+pub fn run_suite(
+    harness: &Harness,
+    system: &(dyn CostProvider + Sync),
+    repeats: u32,
+) -> BenchmarkReport {
+    run_suite_parallel(harness, system, repeats)
+}
+
+/// Serial reference implementation of the suite run.
+///
+/// # Panics
+///
+/// Panics if `repeats == 0`.
+pub fn run_suite_serial(
+    harness: &Harness,
+    system: &dyn CostProvider,
+    repeats: u32,
+) -> BenchmarkReport {
+    assert!(repeats > 0, "repeats must be at least 1");
+    let mut per_scenario: Vec<Vec<ScenarioReport>> =
+        (0..UsageScenario::ALL.len()).map(|_| Vec::new()).collect();
+    for job in suite_jobs(repeats) {
+        per_scenario[job.scenario_idx].push(run_job(harness, system, job));
+    }
+    assemble(system.label(), per_scenario)
+}
+
+/// Parallel suite run: fans the (scenario × repeat) job grid across
+/// `std::thread` workers and aggregates deterministically.
+///
+/// Worker count is `max(available_parallelism, 2)` capped at the job
+/// count, so the sweep always exercises a real multi-worker fan-out
+/// (workers time-slice on a single-core host).
+///
+/// # Panics
+///
+/// Panics if `repeats == 0`, or propagates a panic from a worker.
+pub fn run_suite_parallel(
+    harness: &Harness,
+    system: &(dyn CostProvider + Sync),
+    repeats: u32,
+) -> BenchmarkReport {
+    run_suite_parallel_with_workers(harness, system, repeats, crate::pool::default_workers())
+}
+
+/// [`run_suite_parallel`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if `repeats == 0` or `workers == 0`, or propagates a panic
+/// from a worker.
+pub fn run_suite_parallel_with_workers(
+    harness: &Harness,
+    system: &(dyn CostProvider + Sync),
+    repeats: u32,
+    workers: usize,
+) -> BenchmarkReport {
+    assert!(repeats > 0, "repeats must be at least 1");
+    let jobs = suite_jobs(repeats);
+    let reports = crate::pool::parallel_map(&jobs, workers, |job| run_job(harness, system, *job));
+
+    // Regroup into (scenario, run-order) exactly like the serial path:
+    // `suite_jobs` emits jobs grouped by scenario in seed order and
+    // `parallel_map` preserves job order, so a linear walk restores
+    // both orders.
+    let mut per_scenario: Vec<Vec<ScenarioReport>> =
+        (0..UsageScenario::ALL.len()).map(|_| Vec::new()).collect();
+    for (job, report) in jobs.iter().zip(reports) {
+        per_scenario[job.scenario_idx].push(report);
+    }
+    assemble(system.label(), per_scenario)
+}
+
 /// Averages the numeric fields of repeated runs of the same scenario,
 /// keeping the first run's structural fields.
-fn average_reports(mut reports: Vec<crate::report::ScenarioReport>) -> crate::report::ScenarioReport {
+fn average_reports(mut reports: Vec<ScenarioReport>) -> ScenarioReport {
     let n = reports.len() as f64;
     if reports.len() == 1 {
         return reports.remove(0);
@@ -115,9 +231,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let h = Harness::new();
+        let serial = run_suite_serial(&h, &p, 4);
+        for workers in [1, 2, 5] {
+            let parallel = run_suite_parallel_with_workers(&h, &p, 4, workers);
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "repeats")]
     fn zero_repeats_rejected() {
         let p = UniformProvider::new(1, 0.001, 0.001);
         let _ = run_suite(&Harness::new(), &p, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn zero_repeats_rejected_serial() {
+        let p = UniformProvider::new(1, 0.001, 0.001);
+        let _ = run_suite_serial(&Harness::new(), &p, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "workers")]
+    fn zero_workers_rejected() {
+        let p = UniformProvider::new(1, 0.001, 0.001);
+        let _ = run_suite_parallel_with_workers(&Harness::new(), &p, 1, 0);
     }
 }

@@ -139,7 +139,11 @@ fn compute_cycles_and_traffic(
     let wb = layer.weight_bytes() as f64;
     let outb = layer.output_bytes() as f64;
     // Depthwise convolutions have no cross-channel reduction.
-    let c_eff = if layer.kind() == LayerKind::DwConv2d { 1 } else { d.c };
+    let c_eff = if layer.kind() == LayerKind::DwConv2d {
+        1
+    } else {
+        d.c
+    };
 
     if !layer.kind().is_compute() {
         // Movement layer: vector-lane work, streaming in and out once.
@@ -298,9 +302,7 @@ pub fn evaluate_layer(layer: &Layer, dataflow: Dataflow, hw: &HardwareConfig) ->
     // Compute and memory phases serialize (limited double-buffering:
     // the on-chip and off-chip transfers overlap each other but not
     // the compute pipeline's fill/drain).
-    let latency_cycles = hw.layer_overhead_cycles
-        + compute_cycles
-        + noc_cycles.max(dram_cycles);
+    let latency_cycles = hw.layer_overhead_cycles + compute_cycles + noc_cycles.max(dram_cycles);
 
     let e = hw.energy;
     LayerCost {
@@ -470,8 +472,7 @@ mod tests {
         let big = Layer::dense("fc", 8192, 8192);
         let hw = hw4k();
         let c = evaluate_layer(&big, Dataflow::WeightStationary, &hw);
-        let compulsory =
-            (big.input_bytes() + big.weight_bytes() + big.output_bytes()) as f64;
+        let compulsory = (big.input_bytes() + big.weight_bytes() + big.output_bytes()) as f64;
         let dram_bytes = c.dram_energy_j / hw.energy.dram_byte_j;
         assert!(dram_bytes >= compulsory);
     }

@@ -17,7 +17,10 @@ impl fmt::Display for CostModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CostModelError::UnknownDataflow(s) => {
-                write!(f, "unknown dataflow abbreviation `{s}` (expected WS, OS, or RS)")
+                write!(
+                    f,
+                    "unknown dataflow abbreviation `{s}` (expected WS, OS, or RS)"
+                )
             }
             CostModelError::InvalidHardware(s) => write!(f, "invalid hardware config: {s}"),
         }

@@ -167,9 +167,7 @@ impl HardwareConfig {
             ));
         }
         if self.clock_hz <= 0.0 {
-            return Err(CostModelError::InvalidHardware(
-                "clock must be > 0".into(),
-            ));
+            return Err(CostModelError::InvalidHardware("clock must be > 0".into()));
         }
         if self.vector_lanes == 0 {
             return Err(CostModelError::InvalidHardware(
@@ -230,8 +228,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_pes() {
-        let mut hw = HardwareConfig::default();
-        hw.pes = 0;
+        let hw = HardwareConfig {
+            pes: 0,
+            ..HardwareConfig::default()
+        };
         assert!(hw.validate().is_err());
     }
 

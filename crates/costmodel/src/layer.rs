@@ -96,10 +96,7 @@ impl LayerKind {
     pub fn has_weights(&self) -> bool {
         matches!(
             self,
-            LayerKind::Conv2d
-                | LayerKind::DwConv2d
-                | LayerKind::Deconv2d
-                | LayerKind::Dense
+            LayerKind::Conv2d | LayerKind::DwConv2d | LayerKind::Deconv2d | LayerKind::Dense
         )
     }
 
@@ -168,10 +165,16 @@ impl Layer {
     /// Convenience constructor for a standard convolution with output
     /// spatial size `y × x`, `r × s` kernel, and stride 1.
     pub fn conv2d(name: impl Into<String>, k: u64, c: u64, y: u64, x: u64, r: u64, s: u64) -> Self {
-        Self::new(name, LayerKind::Conv2d, TensorDims::new(k, c, y, x, r, s), 1)
+        Self::new(
+            name,
+            LayerKind::Conv2d,
+            TensorDims::new(k, c, y, x, r, s),
+            1,
+        )
     }
 
     /// Convenience constructor for a strided convolution.
+    #[allow(clippy::too_many_arguments)] // mirrors the conv dimension tuple
     pub fn conv2d_strided(
         name: impl Into<String>,
         k: u64,

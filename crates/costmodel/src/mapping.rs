@@ -50,11 +50,7 @@ pub fn spatial_map(dims: &[u64], pes: u64) -> SpatialMapping {
     let mut stack = vec![0usize; dims.len()];
     // Iterative cartesian product over candidate tiles.
     'outer: loop {
-        let tiles: Vec<u64> = stack
-            .iter()
-            .zip(&candidates)
-            .map(|(&i, c)| c[i])
-            .collect();
+        let tiles: Vec<u64> = stack.iter().zip(&candidates).map(|(&i, c)| c[i]).collect();
         let pes_used: u64 = tiles.iter().product();
         if pes_used <= pes {
             let steps: u64 = dims
@@ -69,9 +65,7 @@ pub fn spatial_map(dims: &[u64], pes: u64) -> SpatialMapping {
                 .product();
             let better = match &best {
                 None => true,
-                Some(b) => {
-                    steps < b.steps || (steps == b.steps && utilization > b.utilization)
-                }
+                Some(b) => steps < b.steps || (steps == b.steps && utilization > b.utilization),
             };
             if better {
                 best = Some(SpatialMapping {

@@ -25,11 +25,15 @@ impl GraphBuilder {
     }
 
     pub(crate) fn finish(self) -> Vec<Layer> {
-        assert!(!self.layers.is_empty(), "model must have at least one layer");
+        assert!(
+            !self.layers.is_empty(),
+            "model must have at least one layer"
+        );
         self.layers
     }
 
     /// Conv + fused activation (BN folded at 8-bit inference).
+    #[allow(clippy::too_many_arguments)] // mirrors the conv dimension tuple
     pub(crate) fn conv_act(
         &mut self,
         name: &str,
@@ -61,7 +65,14 @@ impl GraphBuilder {
     }
 
     /// Two 3×3 convs with a residual add (ResNet basic block).
-    pub(crate) fn basic_residual(&mut self, name: &str, k: u64, c: u64, y: u64, x: u64) -> &mut Self {
+    pub(crate) fn basic_residual(
+        &mut self,
+        name: &str,
+        k: u64,
+        c: u64,
+        y: u64,
+        x: u64,
+    ) -> &mut Self {
         self.conv_act(&format!("{name}.a"), k, c, y, x, 3, 3, 1);
         self.conv_act(&format!("{name}.b"), k, k, y, x, 3, 3, 1);
         self.push(Layer::new(
@@ -98,6 +109,7 @@ impl GraphBuilder {
 
     /// Inverted residual (MBConv, FBNet/MobileNet style):
     /// 1×1 expand → depthwise r×s → 1×1 project (+ add when shapes match).
+    #[allow(clippy::too_many_arguments)] // mirrors the conv dimension tuple
     pub(crate) fn inverted_residual(
         &mut self,
         name: &str,
@@ -110,7 +122,16 @@ impl GraphBuilder {
         stride: u64,
     ) -> &mut Self {
         let mid = c * expand;
-        self.conv_act(&format!("{name}.expand"), mid, c, y * stride, x * stride, 1, 1, 1);
+        self.conv_act(
+            &format!("{name}.expand"),
+            mid,
+            c,
+            y * stride,
+            x * stride,
+            1,
+            1,
+            1,
+        );
         self.push(Layer::new(
             format!("{name}.dw"),
             LayerKind::DwConv2d,
@@ -283,9 +304,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.inverted_residual("m", 32, 32, 6, 14, 14, 3, 1);
         let layers = b.finish();
-        assert!(layers
-            .iter()
-            .any(|l| l.kind() == LayerKind::DwConv2d));
+        assert!(layers.iter().any(|l| l.kind() == LayerKind::DwConv2d));
         assert!(layers.iter().any(|l| l.name().ends_with(".add")));
 
         let mut b2 = GraphBuilder::new();

@@ -225,10 +225,7 @@ mod tests {
 
     #[test]
     fn parse_is_case_insensitive_and_rejects_unknown() {
-        assert_eq!(
-            "ht".parse::<ModelId>().unwrap(),
-            ModelId::HandTracking
-        );
+        assert_eq!("ht".parse::<ModelId>().unwrap(), ModelId::HandTracking);
         assert!("QQ".parse::<ModelId>().is_err());
     }
 
@@ -267,6 +264,9 @@ mod tests {
         let srcs = ModelId::DepthRefinement.input_sources();
         assert_eq!(srcs.len(), 2);
         assert!(srcs.contains(&InputSource::Lidar));
-        assert_eq!(ModelId::DepthRefinement.driving_source(), InputSource::Camera);
+        assert_eq!(
+            ModelId::DepthRefinement.driving_source(),
+            InputSource::Camera
+        );
     }
 }

@@ -105,12 +105,7 @@ fn metadata(id: ModelId) -> (&'static str, &'static str, &'static str, &'static 
             "Transformer",
             "Cityscapes",
         ),
-        ModelId::ObjectDetection => (
-            "D2Go (Meta, 2022)",
-            "Faster-RCNN-FBNetV3A",
-            "R-CNN",
-            "COCO",
-        ),
+        ModelId::ObjectDetection => ("D2Go (Meta, 2022)", "Faster-RCNN-FBNetV3A", "R-CNN", "COCO"),
         ModelId::ActionSegmentation => ("TCN (Lea et al., 2017)", "ED-TCN", "CNN", "GTEA"),
         ModelId::DepthEstimation => (
             "MiDaS (Ranftl et al., 2020)",
@@ -150,8 +145,14 @@ mod tests {
 
     #[test]
     fn table7_model_types() {
-        assert_eq!(model_info(ModelId::SpeechRecognition).model_type, "Transformer");
-        assert_eq!(model_info(ModelId::SemanticSegmentation).model_type, "Transformer");
+        assert_eq!(
+            model_info(ModelId::SpeechRecognition).model_type,
+            "Transformer"
+        );
+        assert_eq!(
+            model_info(ModelId::SemanticSegmentation).model_type,
+            "Transformer"
+        );
         assert_eq!(model_info(ModelId::ObjectDetection).model_type, "R-CNN");
         assert_eq!(model_info(ModelId::PlaneDetection).model_type, "R-CNN");
         assert_eq!(model_info(ModelId::HandTracking).model_type, "CNN");

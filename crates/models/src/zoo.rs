@@ -319,23 +319,56 @@ pub fn plane_detection() -> Vec<Layer> {
     b.conv_act("stem", 64, 3, 160, 48, 7, 7, 2);
     b.pool("pool", 64, 80, 24, 2);
     for i in 0..3 {
-        b.bottleneck_residual(&format!("c2.{i}"), 256, if i == 0 { 64 } else { 256 }, 64, 80, 24);
+        b.bottleneck_residual(
+            &format!("c2.{i}"),
+            256,
+            if i == 0 { 64 } else { 256 },
+            64,
+            80,
+            24,
+        );
     }
     for i in 0..4 {
-        b.bottleneck_residual(&format!("c3.{i}"), 512, if i == 0 { 256 } else { 512 }, 128, 40, 12);
+        b.bottleneck_residual(
+            &format!("c3.{i}"),
+            512,
+            if i == 0 { 256 } else { 512 },
+            128,
+            40,
+            12,
+        );
     }
     for i in 0..23 {
-        b.bottleneck_residual(&format!("c4.{i}"), 1024, if i == 0 { 512 } else { 1024 }, 256, 40, 12);
+        b.bottleneck_residual(
+            &format!("c4.{i}"),
+            1024,
+            if i == 0 { 512 } else { 1024 },
+            256,
+            40,
+            12,
+        );
     }
     for i in 0..3 {
-        b.bottleneck_residual(&format!("c5.{i}"), 2048, if i == 0 { 1024 } else { 2048 }, 512, 10, 3);
+        b.bottleneck_residual(
+            &format!("c5.{i}"),
+            2048,
+            if i == 0 { 1024 } else { 2048 },
+            512,
+            10,
+            3,
+        );
     }
     // FPN lateral + output convs.
     b.conv_act("fpn.p5", 256, 2048, 10, 3, 1, 1, 1);
     b.conv_act("fpn.p4", 256, 1024, 20, 6, 1, 1, 1);
     b.conv_act("fpn.p3", 256, 512, 40, 12, 1, 1, 1);
     b.conv_act("fpn.p2", 256, 256, 80, 24, 1, 1, 1);
-    for (lvl, (y, x)) in [(2u32, (80u64, 24u64)), (3, (40, 12)), (4, (20, 6)), (5, (10, 3))] {
+    for (lvl, (y, x)) in [
+        (2u32, (80u64, 24u64)),
+        (3, (40, 12)),
+        (4, (20, 6)),
+        (5, (10, 3)),
+    ] {
         b.conv_act(&format!("fpn.out{lvl}"), 256, 256, y, x, 3, 3, 1);
         // RPN head shared across levels.
         b.conv_act(&format!("rpn{lvl}.conv"), 256, 256, y, x, 3, 3, 1);

@@ -20,7 +20,11 @@ impl InferenceScore {
     ///
     /// Panics if any component is outside `[0, 1]` or not finite.
     pub fn new(realtime: f64, energy: f64, accuracy: f64) -> Self {
-        for (name, v) in [("realtime", realtime), ("energy", energy), ("accuracy", accuracy)] {
+        for (name, v) in [
+            ("realtime", realtime),
+            ("energy", energy),
+            ("accuracy", accuracy),
+        ] {
             assert!(
                 v.is_finite() && (0.0..=1.0).contains(&v),
                 "{name} score must be in [0, 1], got {v}"
@@ -110,8 +114,7 @@ pub struct ScenarioBreakdown {
 pub fn scenario_score(models: &[ModelOutcome]) -> ScenarioBreakdown {
     assert!(!models.is_empty(), "scenario must have at least one model");
     let k = models.len() as f64;
-    let mean =
-        |f: &dyn Fn(&ModelOutcome) -> f64| models.iter().map(f).sum::<f64>() / k;
+    let mean = |f: &dyn Fn(&ModelOutcome) -> f64| models.iter().map(f).sum::<f64>() / k;
     // Component breakdowns average over models that executed at least
     // one inference — a fully-dropped model has no latency or energy
     // to grade (its failure is captured by QoE and the overall score).
@@ -123,11 +126,7 @@ pub fn scenario_score(models: &[ModelOutcome]) -> ScenarioBreakdown {
         if executed.is_empty() {
             return 0.0;
         }
-        executed
-            .iter()
-            .map(|m| m.component_mean(f))
-            .sum::<f64>()
-            / executed.len() as f64
+        executed.iter().map(|m| m.component_mean(f)).sum::<f64>() / executed.len() as f64
     };
     ScenarioBreakdown {
         realtime: comp_mean(&|s| s.realtime),

@@ -33,6 +33,6 @@ pub use aggregate::{
     ScenarioBreakdown,
 };
 pub use unit::{
-    accuracy_score, energy_score, qoe_score, rt_score, AccuracyParams, EnergyParams,
-    MetricKind, RtParams,
+    accuracy_score, energy_score, qoe_score, rt_score, AccuracyParams, EnergyParams, MetricKind,
+    RtParams,
 };

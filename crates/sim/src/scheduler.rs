@@ -128,11 +128,7 @@ impl Scheduler for RoundRobin {
         let (ri, _) = ready
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.t_req
-                    .total_cmp(&b.t_req)
-                    .then(a.model.cmp(&b.model))
-            })
+            .min_by(|(_, a), (_, b)| a.t_req.total_cmp(&b.t_req).then(a.model.cmp(&b.model)))
             .expect("ready is non-empty");
         // Next engine in rotation among the free ones.
         let engine = free_engines

@@ -81,8 +81,7 @@ impl Simulator {
         provider: &dyn CostProvider,
         scheduler: &mut dyn Scheduler,
     ) -> SimResult {
-        let requests =
-            LoadGenerator::new(self.config.seed).generate(spec, self.config.duration_s);
+        let requests = LoadGenerator::new(self.config.seed).generate(spec, self.config.duration_s);
         self.run_requests(spec, requests, provider, scheduler)
     }
 
@@ -153,10 +152,7 @@ impl Simulator {
             }
 
             // 2. Ingest arrivals due now.
-            while arrivals
-                .peek()
-                .is_some_and(|r| r.t_req <= now + 1e-15)
-            {
+            while arrivals.peek().is_some_and(|r| r.t_req <= now + 1e-15) {
                 let req = arrivals.next().expect("peeked");
                 let model = req.model;
                 stats.entry(model).or_default().total_frames += 1;
@@ -297,9 +293,7 @@ impl Simulator {
                 return true;
             }
             let mut rng = StdRng::seed_from_u64(
-                self.config
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     ^ ((req.model as u64) << 32)
                     ^ ((*up as u64) << 24)
                     ^ req.frame_id,
@@ -334,11 +328,7 @@ mod tests {
     use crate::scheduler::{LatencyGreedy, RoundRobin};
     use xrbench_workload::UsageScenario;
 
-    fn run_scenario(
-        scenario: UsageScenario,
-        provider: &dyn CostProvider,
-        seed: u64,
-    ) -> SimResult {
+    fn run_scenario(scenario: UsageScenario, provider: &dyn CostProvider, seed: u64) -> SimResult {
         let sim = Simulator::new(SimConfig {
             duration_s: 1.0,
             seed,
@@ -406,10 +396,7 @@ mod tests {
             let mut recs: Vec<_> = r.records.iter().filter(|x| x.engine == e).collect();
             recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
             for w in recs.windows(2) {
-                assert!(
-                    w[1].t_start >= w[0].t_end - 1e-12,
-                    "overlap on engine {e}"
-                );
+                assert!(w[1].t_start >= w[0].t_end - 1e-12, "overlap on engine {e}");
             }
         }
     }
@@ -472,14 +459,31 @@ mod tests {
     fn slow_engine_avoided_by_latency_greedy() {
         let mut p = TableProvider::new(2);
         for m in ModelId::ALL {
-            p.set(m, 0, InferenceCost { latency_s: 0.0001, energy_j: 0.001 });
-            p.set(m, 1, InferenceCost { latency_s: 0.5, energy_j: 0.001 });
+            p.set(
+                m,
+                0,
+                InferenceCost {
+                    latency_s: 0.0001,
+                    energy_j: 0.001,
+                },
+            );
+            p.set(
+                m,
+                1,
+                InferenceCost {
+                    latency_s: 0.5,
+                    energy_j: 0.001,
+                },
+            );
         }
         let r = run_scenario(UsageScenario::VrGaming, &p, 1);
         // All work fits on the fast engine; greedy never touches the
         // slow one after t=0 contention (allow a handful).
         let on_slow = r.records.iter().filter(|x| x.engine == 1).count();
-        assert!(on_slow <= 3, "latency-greedy used slow engine {on_slow} times");
+        assert!(
+            on_slow <= 3,
+            "latency-greedy used slow engine {on_slow} times"
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ mod tests {
         let r = run();
         let csv = stats_csv(&r);
         for m in ["HT", "ES", "GE"] {
-            assert!(csv.contains(&format!("\n{m},")) || csv.contains(&format!("{m},")), "{m}");
+            assert!(
+                csv.contains(&format!("\n{m},")) || csv.contains(&format!("{m},")),
+                "{m}"
+            );
         }
     }
 

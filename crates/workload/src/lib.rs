@@ -33,7 +33,5 @@ pub mod scenario;
 pub mod sources;
 
 pub use loadgen::{InferenceRequest, LoadGenerator};
-pub use scenario::{
-    DependencyKind, ModelDependency, ScenarioModel, ScenarioSpec, UsageScenario,
-};
+pub use scenario::{DependencyKind, ModelDependency, ScenarioModel, ScenarioSpec, UsageScenario};
 pub use sources::{source_spec, SourceSpec};

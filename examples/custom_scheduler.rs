@@ -91,11 +91,7 @@ fn main() {
         Box::new(AffinityScheduler),
     ];
     for s in schedulers.iter_mut() {
-        let (report, _) = harness.run_spec(
-            &UsageScenario::ArGaming.spec(),
-            &system,
-            s.as_mut(),
-        );
+        let (report, _) = harness.run_spec(&UsageScenario::ArGaming.spec(), &system, s.as_mut());
         let misses: u64 = report.models.iter().map(|m| m.missed_deadlines).sum();
         println!(
             "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.1}% {:>7}",

@@ -46,10 +46,16 @@ pub use xrbench_workload as workload;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use xrbench_accel::{table5, AcceleratorConfig, AcceleratorStyle, AcceleratorSystem};
-    pub use xrbench_core::{run_suite, BenchmarkReport, Harness, ScenarioReport};
-    pub use xrbench_costmodel::{Dataflow, HardwareConfig, Layer, LayerKind};
+    pub use xrbench_core::{
+        run_suite, run_suite_parallel, run_suite_serial, BenchmarkReport, BreakdownReport, Harness,
+        ModelReport, ScenarioReport,
+    };
+    pub use xrbench_costmodel::{
+        evaluate_layer, evaluate_layers, Dataflow, HardwareConfig, Layer, LayerKind,
+        MappingStrategy, TensorDims,
+    };
     pub use xrbench_models::{model_info, ModelId, TaskCategory};
-    pub use xrbench_score::{InferenceScore, ModelOutcome};
+    pub use xrbench_score::{benchmark_score, InferenceScore, ModelOutcome};
     pub use xrbench_sim::{
         CostProvider, InferenceCost, LatencyGreedy, RoundRobin, Scheduler, SimConfig, Simulator,
     };

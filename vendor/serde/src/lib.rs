@@ -1,0 +1,236 @@
+//! A minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! This workspace vendors its third-party dependencies so it builds
+//! offline. Instead of serde's visitor architecture, the shim's
+//! [`Serialize`] trait converts a value directly into an in-memory
+//! JSON tree ([`json::JsonValue`]), which the vendored `serde_json`
+//! shim pretty-prints and parses. `#[derive(Serialize)]` (from the
+//! vendored `serde_derive`) supports structs with named fields and the
+//! `#[serde(flatten)]` field attribute — the subset this workspace's
+//! report types use.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// The in-memory JSON tree produced by [`Serialize`].
+pub mod json {
+    /// A JSON value. Object entries preserve insertion order so that
+    /// serialized reports keep their field order.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (integers are representable exactly up to
+        /// 2^53, far beyond the frame counters serialized here).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Array(Vec<JsonValue>),
+        /// An object, as ordered key/value pairs.
+        Object(Vec<(String, JsonValue)>),
+    }
+
+    impl JsonValue {
+        /// Whether this value is a number.
+        pub fn is_number(&self) -> bool {
+            matches!(self, JsonValue::Num(_))
+        }
+
+        /// Whether this value is a string.
+        pub fn is_string(&self) -> bool {
+            matches!(self, JsonValue::Str(_))
+        }
+
+        /// The value as a float, if it is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                JsonValue::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice, if it is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array, if it is one.
+        pub fn as_array(&self) -> Option<&Vec<JsonValue>> {
+            match self {
+                JsonValue::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// Looks up an object key, returning [`JsonValue::Null`] when
+        /// absent (matching `serde_json`'s indexing behaviour).
+        pub fn get(&self, key: &str) -> &JsonValue {
+            static NULL: JsonValue = JsonValue::Null;
+            match self {
+                JsonValue::Object(entries) => entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .unwrap_or(&NULL),
+                _ => &NULL,
+            }
+        }
+    }
+
+    impl std::ops::Index<&str> for JsonValue {
+        type Output = JsonValue;
+
+        fn index(&self, key: &str) -> &JsonValue {
+            self.get(key)
+        }
+    }
+
+    impl PartialEq<str> for JsonValue {
+        fn eq(&self, other: &str) -> bool {
+            self.as_str() == Some(other)
+        }
+    }
+
+    impl PartialEq<&str> for JsonValue {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+}
+
+use json::JsonValue;
+
+/// Conversion into an in-memory JSON tree.
+///
+/// Derivable for structs with named fields via
+/// `#[derive(serde::Serialize)]`; `#[serde(flatten)]` splices a
+/// field's object entries into the parent object.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Num(*self as f64)
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<A: Serialize> Serialize for (A,) {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_json_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::JsonValue;
+    use super::Serialize;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(1.5f64.to_json_value(), JsonValue::Num(1.5));
+        assert_eq!(3u64.to_json_value(), JsonValue::Num(3.0));
+        assert_eq!('J'.to_json_value(), JsonValue::Str("J".into()));
+        assert_eq!(true.to_json_value(), JsonValue::Bool(true));
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1.0f64, 2.0f64)];
+        let j = v.to_json_value();
+        assert_eq!(
+            j,
+            JsonValue::Array(vec![JsonValue::Array(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.0)
+            ])])
+        );
+    }
+
+    #[test]
+    fn index_missing_key_is_null() {
+        let obj = JsonValue::Object(vec![("a".into(), JsonValue::Num(1.0))]);
+        assert_eq!(obj["a"], JsonValue::Num(1.0));
+        assert_eq!(obj["b"], JsonValue::Null);
+    }
+}

@@ -1,0 +1,188 @@
+//! `#[derive(Serialize)]` for the vendored `serde` shim.
+//!
+//! Supports exactly the shapes this workspace serializes: non-generic
+//! structs with named fields, plus the `#[serde(flatten)]` field
+//! attribute (which splices a field's object entries into the parent
+//! object). Anything else — enums, tuple structs, generics — is
+//! rejected with a compile error naming the limitation, so a future
+//! consumer fails loudly instead of silently mis-serializing.
+//!
+//! The macro parses the token stream by hand (no `syn`/`quote`): the
+//! grammar of a named-field struct is small enough that a direct
+//! token-tree walk is clearer than vendoring a full parser.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    flatten: bool,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok((name, fields)) => generate_impl(&name, &fields),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Parses `struct Name { fields }`, skipping attributes and
+/// visibility, and rejecting unsupported shapes.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<Field>), String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            match id.to_string().as_str() {
+                "struct" => {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                        _ => return Err("expected struct name".to_string()),
+                    }
+                    break;
+                }
+                "enum" | "union" => {
+                    return Err("serde shim: #[derive(Serialize)] only supports structs".to_string())
+                }
+                _ => {}
+            }
+        }
+    }
+    let name = name.ok_or_else(|| "expected `struct`".to_string())?;
+
+    // The next token must open the named-field body; generics or a
+    // tuple/unit struct are out of scope for the shim.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("serde shim: generic structs are not supported".to_string())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("serde shim: tuple structs are not supported".to_string())
+            }
+            Some(_) => continue,
+            None => return Err("serde shim: unit structs are not supported".to_string()),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut body_tokens = body.stream().into_iter().peekable();
+    'fields: loop {
+        // Field attributes: `#[...]`, watching for `serde(flatten)`.
+        let mut flatten = false;
+        loop {
+            match body_tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    body_tokens.next();
+                    match body_tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            if attr_is_serde_flatten(&g.stream()) {
+                                flatten = true;
+                            }
+                        }
+                        _ => return Err("malformed attribute".to_string()),
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+
+        // Visibility: `pub` or `pub(...)`.
+        if let Some(TokenTree::Ident(id)) = body_tokens.peek() {
+            if id.to_string() == "pub" {
+                body_tokens.next();
+                if let Some(TokenTree::Group(g)) = body_tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        body_tokens.next();
+                    }
+                }
+            }
+        }
+
+        // Field name and `:`.
+        let field_name = match body_tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        match body_tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field_name}`")),
+        }
+
+        // Skip the type: consume until a top-level `,` (commas inside
+        // `<...>` angle brackets belong to the type).
+        let mut angle_depth = 0i32;
+        loop {
+            match body_tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => {
+                    fields.push(Field {
+                        name: field_name,
+                        flatten,
+                    });
+                    break 'fields;
+                }
+            }
+        }
+        fields.push(Field {
+            name: field_name,
+            flatten,
+        });
+    }
+
+    Ok((name, fields))
+}
+
+/// Whether a `#[...]` attribute body is `serde(...)` containing a
+/// `flatten` ident.
+fn attr_is_serde_flatten(stream: &TokenStream) -> bool {
+    let mut iter = stream.clone().into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "flatten")),
+        _ => false,
+    }
+}
+
+fn generate_impl(name: &str, fields: &[Field]) -> TokenStream {
+    let mut pushes = String::new();
+    for f in fields {
+        if f.flatten {
+            pushes.push_str(&format!(
+                "match serde::Serialize::to_json_value(&self.{field}) {{\n\
+                     serde::json::JsonValue::Object(entries) => obj.extend(entries),\n\
+                     other => obj.push(({field_name:?}.to_string(), other)),\n\
+                 }}\n",
+                field = f.name,
+                field_name = f.name,
+            ));
+        } else {
+            pushes.push_str(&format!(
+                "obj.push(({field_name:?}.to_string(), \
+                 serde::Serialize::to_json_value(&self.{field})));\n",
+                field = f.name,
+                field_name = f.name,
+            ));
+        }
+    }
+    let code = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> serde::json::JsonValue {{\n\
+                 let mut obj: Vec<(String, serde::json::JsonValue)> = Vec::new();\n\
+                 {pushes}\
+                 serde::json::JsonValue::Object(obj)\n\
+             }}\n\
+         }}\n"
+    );
+    code.parse().expect("generated impl parses")
+}
