@@ -6,9 +6,9 @@ use xrbench_score::{
     InferenceScore, MetricKind, ModelOutcome, RtParams,
 };
 use xrbench_sim::{CostProvider, LatencyGreedy, Scheduler, SimConfig, SimResult, Simulator};
-use xrbench_workload::{ScenarioSpec, UsageScenario};
+use xrbench_workload::{ScenarioSpec, SessionSpec, UsageScenario};
 
-use crate::report::{BreakdownReport, ModelReport, ScenarioReport};
+use crate::report::{BreakdownReport, ModelReport, ScenarioReport, SessionReport, UserReport};
 
 /// Scoring parameters for all four unit scores.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -100,6 +100,57 @@ impl Harness {
         (report, result)
     }
 
+    /// Runs a multi-user session: all users' merged request streams
+    /// share the system's engines concurrently, and the report breaks
+    /// scores down per user plus a session-level aggregate
+    /// (`xrbench_score::session_breakdown` / `session_score`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no users, session user ids are not
+    /// unique, or the system has no engines.
+    pub fn run_session(
+        &self,
+        session: &SessionSpec,
+        system: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+    ) -> SessionReport {
+        let scheduler_name = scheduler.name();
+        let sim = Simulator::new(self.sim);
+        let result = sim.run_session(session, system, scheduler);
+        let mut users = Vec::with_capacity(session.users.len());
+        for u in &session.users {
+            let r = result
+                .user(u.user)
+                .expect("simulator returns every session user");
+            let report = self.score_result(&u.spec, system, scheduler_name, r);
+            users.push(UserReport {
+                user: u.user,
+                start_offset_s: u.start_offset_s,
+                report,
+            });
+        }
+        let breakdowns: Vec<xrbench_score::ScenarioBreakdown> =
+            users.iter().map(|u| u.report.breakdown.into()).collect();
+        let aggregate = BreakdownReport::from(xrbench_score::session_breakdown(&breakdowns));
+        SessionReport {
+            session: session.name.clone(),
+            system: system.label(),
+            scheduler: scheduler_name.to_string(),
+            num_users: users.len(),
+            span_s: result.span_s,
+            // The session score is the aggregate's overall (the mean
+            // of per-user overalls) — one aggregation path, surfaced
+            // under the name the suite-level score uses.
+            session_score: aggregate.overall_score,
+            aggregate,
+            total_energy_mj: result.total_energy_j() * 1e3,
+            mean_utilization: result.mean_utilization(),
+            drop_rate: result.drop_rate(),
+            users,
+        }
+    }
+
     /// Scores an existing simulation result against a scenario spec.
     pub fn score_result(
         &self,
@@ -149,7 +200,7 @@ impl Harness {
 
         let breakdown = scenario_score(&outcomes);
         ScenarioReport {
-            scenario: spec.scenario.name().to_string(),
+            scenario: spec.name.clone(),
             system: system.label(),
             scheduler: scheduler_name.to_string(),
             breakdown: BreakdownReport::from(breakdown),

@@ -37,6 +37,12 @@ mod timeline;
 
 pub use harness::{Harness, ScoreParams};
 pub use pareto::{pareto_frontier, ParetoPoint};
-pub use report::{BenchmarkReport, BreakdownReport, ModelReport, ScenarioReport};
-pub use suite::{run_suite, run_suite_parallel, run_suite_parallel_with_workers, run_suite_serial};
+pub use report::{
+    BenchmarkReport, BreakdownReport, ModelReport, ScenarioReport, SessionReport, UserReport,
+};
+pub use suite::{
+    run_sessions, run_suite, run_suite_catalog, run_suite_catalog_serial,
+    run_suite_catalog_with_workers, run_suite_parallel, run_suite_parallel_with_workers,
+    run_suite_serial,
+};
 pub use timeline::render_timeline;

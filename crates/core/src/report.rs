@@ -83,6 +83,18 @@ impl From<ScenarioBreakdown> for BreakdownReport {
     }
 }
 
+impl From<BreakdownReport> for ScenarioBreakdown {
+    fn from(b: BreakdownReport) -> Self {
+        Self {
+            realtime: b.realtime_score,
+            energy: b.energy_score,
+            accuracy: b.accuracy_score,
+            qoe: b.qoe_score,
+            overall: b.overall_score,
+        }
+    }
+}
+
 impl ScenarioReport {
     /// The overall scenario score.
     pub fn overall(&self) -> f64 {
@@ -104,6 +116,69 @@ impl ScenarioReport {
     /// Looks up a model's report by abbreviation.
     pub fn model(&self, abbrev: &str) -> Option<&ModelReport> {
         self.models.iter().find(|m| m.model == abbrev)
+    }
+}
+
+/// One user's slice of a multi-user session run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct UserReport {
+    /// Dense user id within the session.
+    pub user: u32,
+    /// When this user joined, relative to session start (s).
+    pub start_offset_s: f64,
+    /// The user's full scenario report, scored against the shared
+    /// engines over the session span.
+    pub report: ScenarioReport,
+}
+
+/// The outcome of running a multi-user [`xrbench_workload::SessionSpec`]
+/// on one system: per-user score breakdowns plus session aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SessionReport {
+    /// Session display name.
+    pub session: String,
+    /// Evaluated system label.
+    pub system: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Number of users simulated concurrently.
+    pub num_users: usize,
+    /// Session span: last join offset plus run duration (s).
+    pub span_s: f64,
+    /// The session score: mean of per-user overall scores.
+    pub session_score: f64,
+    /// Component-wise mean breakdown across users.
+    pub aggregate: BreakdownReport,
+    /// Total energy across all users (mJ).
+    pub total_energy_mj: f64,
+    /// Mean utilization of the shared engines over the span.
+    pub mean_utilization: f64,
+    /// Frame-drop rate across all users.
+    pub drop_rate: f64,
+    /// Per-user reports, in user-id order.
+    pub users: Vec<UserReport>,
+}
+
+impl SessionReport {
+    /// One user's report, if present.
+    pub fn user(&self, user: u32) -> Option<&UserReport> {
+        self.users.iter().find(|u| u.user == user)
+    }
+
+    /// The worst-served user (minimum overall score) — the fairness
+    /// number a session dispatcher is judged by.
+    pub fn worst_user(&self) -> Option<&UserReport> {
+        self.users.iter().min_by(|a, b| {
+            a.report
+                .overall()
+                .total_cmp(&b.report.overall())
+                .then(a.user.cmp(&b.user))
+        })
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
     }
 }
 

@@ -137,6 +137,42 @@ pub fn scenario_score(models: &[ModelOutcome]) -> ScenarioBreakdown {
     }
 }
 
+/// Aggregates per-user scenario breakdowns into a session-level
+/// breakdown: the unweighted mean of every component across users.
+/// Users are peers — a session is only as good as its average tenant,
+/// and the per-user values remain available for fairness analysis.
+///
+/// # Panics
+///
+/// Panics if `users` is empty — a session always has at least one
+/// user.
+pub fn session_breakdown(users: &[ScenarioBreakdown]) -> ScenarioBreakdown {
+    assert!(!users.is_empty(), "session must have at least one user");
+    let n = users.len() as f64;
+    let mean = |f: &dyn Fn(&ScenarioBreakdown) -> f64| users.iter().map(f).sum::<f64>() / n;
+    ScenarioBreakdown {
+        realtime: mean(&|u| u.realtime),
+        energy: mean(&|u| u.energy),
+        accuracy: mean(&|u| u.accuracy),
+        qoe: mean(&|u| u.qoe),
+        overall: mean(&|u| u.overall),
+    }
+}
+
+/// The session score: the mean of the per-user overall scenario
+/// scores (the multi-user analogue of Definition 16's suite mean).
+///
+/// # Panics
+///
+/// Panics if `user_scores` is empty.
+pub fn session_score(user_scores: &[f64]) -> f64 {
+    assert!(
+        !user_scores.is_empty(),
+        "session requires at least one user"
+    );
+    user_scores.iter().sum::<f64>() / user_scores.len() as f64
+}
+
 /// The overall XRBench Score (Definition 16): the average of the
 /// usage-scenario scores across the suite.
 ///
@@ -231,6 +267,48 @@ mod tests {
     #[should_panic(expected = "at least one scenario")]
     fn empty_benchmark_rejected() {
         let _ = benchmark_score(&[]);
+    }
+
+    #[test]
+    fn session_breakdown_is_componentwise_mean() {
+        let a = ScenarioBreakdown {
+            realtime: 1.0,
+            energy: 0.8,
+            accuracy: 1.0,
+            qoe: 1.0,
+            overall: 0.8,
+        };
+        let b = ScenarioBreakdown {
+            realtime: 0.5,
+            energy: 0.4,
+            accuracy: 1.0,
+            qoe: 0.5,
+            overall: 0.2,
+        };
+        let s = session_breakdown(&[a, b]);
+        assert!((s.realtime - 0.75).abs() < 1e-12);
+        assert!((s.energy - 0.6).abs() < 1e-12);
+        assert!((s.accuracy - 1.0).abs() < 1e-12);
+        assert!((s.qoe - 0.75).abs() < 1e-12);
+        assert!((s.overall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_score_is_mean_of_users() {
+        assert!((session_score(&[1.0, 0.5, 0.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(session_score(&[0.7]), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_session_breakdown_rejected() {
+        let _ = session_breakdown(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_session_score_rejected() {
+        let _ = session_score(&[]);
     }
 
     #[test]

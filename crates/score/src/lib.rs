@@ -29,8 +29,8 @@ mod aggregate;
 mod unit;
 
 pub use aggregate::{
-    benchmark_score, per_model_score, scenario_score, InferenceScore, ModelOutcome,
-    ScenarioBreakdown,
+    benchmark_score, per_model_score, scenario_score, session_breakdown, session_score,
+    InferenceScore, ModelOutcome, ScenarioBreakdown,
 };
 pub use unit::{
     accuracy_score, energy_score, qoe_score, rt_score, AccuracyParams, EnergyParams, MetricKind,

@@ -12,11 +12,19 @@
 //! a table of measured latencies, or anything else that can answer
 //! *"how long / how much energy does model µ take on engine h?"*.
 //!
-//! Scheduling is pluggable via the [`Scheduler`] trait; the paper's
-//! default latency-greedy policy ([`LatencyGreedy`]) and the
-//! round-robin policy for real systems ([`RoundRobin`]) are provided,
-//! and users can replace them (the yellow "user-customizable" boxes in
-//! Figure 2).
+//! Scheduling is pluggable via the [`Scheduler`] trait; four policies
+//! ship with the crate — the paper's default latency-greedy policy
+//! ([`LatencyGreedy`]), the round-robin policy for real systems
+//! ([`RoundRobin`]), a slack-aware EDF that triages lost causes
+//! ([`SlackAwareEdf`]), and a least-loaded load balancer
+//! ([`LeastLoaded`]) — and users can replace them (the yellow
+//! "user-customizable" boxes in Figure 2). Every impl must pass the
+//! scheduler conformance harness (`tests/scheduler_conformance.rs`).
+//!
+//! Multi-user sessions ([`xrbench_workload::SessionSpec`]) run through
+//! [`Simulator::run_session`]: the merged request stream of all users
+//! shares the engines concurrently, and the result splits back into
+//! per-user [`SimResult`]s inside a [`SessionSimResult`].
 //!
 //! ## Example
 //!
@@ -45,6 +53,8 @@ mod simulator;
 pub mod trace;
 
 pub use provider::{CostProvider, InferenceCost, TableProvider, UniformProvider};
-pub use result::{DropReason, ExecRecord, ModelStats, SimResult};
-pub use scheduler::{LatencyGreedy, PendingView, RoundRobin, Scheduler};
+pub use result::{DropReason, ExecRecord, ModelStats, SessionSimResult, SimResult};
+pub use scheduler::{
+    LatencyGreedy, LeastLoaded, PendingView, RoundRobin, Scheduler, SlackAwareEdf,
+};
 pub use simulator::{SimConfig, Simulator};

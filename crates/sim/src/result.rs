@@ -146,6 +146,74 @@ impl SimResult {
     }
 }
 
+/// The outcome of one simulated multi-user session: one [`SimResult`]
+/// per user (all sharing the same engines over the same span), plus
+/// session-level aggregates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionSimResult {
+    /// Session display name.
+    pub session: String,
+    /// Per-user results, in user-id order. Each user's `duration_s`
+    /// is the full session span, so utilizations read as
+    /// share-of-session.
+    pub per_user: Vec<(u32, SimResult)>,
+    /// Number of shared engines.
+    pub num_engines: usize,
+    /// The session span: last user's start offset plus run duration.
+    pub span_s: f64,
+}
+
+impl SessionSimResult {
+    /// One user's result, if present.
+    pub fn user(&self, user: u32) -> Option<&SimResult> {
+        self.per_user
+            .iter()
+            .find(|(u, _)| *u == user)
+            .map(|(_, r)| r)
+    }
+
+    /// Total energy across all users (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.per_user.iter().map(|(_, r)| r.total_energy_j()).sum()
+    }
+
+    /// Mean engine utilization across the shared system over the
+    /// session span, summed over users' work.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.num_engines == 0 || self.span_s <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .per_user
+            .iter()
+            .flat_map(|(_, r)| r.records.iter())
+            .map(|r| r.t_end - r.t_start)
+            .sum();
+        busy / (self.span_s * self.num_engines as f64)
+    }
+
+    /// Overall frame-drop rate across all users.
+    pub fn drop_rate(&self) -> f64 {
+        let total: u64 = self
+            .per_user
+            .iter()
+            .flat_map(|(_, r)| r.stats.values())
+            .map(|s| s.total_frames)
+            .sum();
+        let dropped: u64 = self
+            .per_user
+            .iter()
+            .flat_map(|(_, r)| r.stats.values())
+            .map(|s| s.dropped_frames)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            dropped as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,9 @@ use crate::provider::CostProvider;
 /// schedulers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PendingView {
+    /// The originating user (0 for single-scenario runs; session runs
+    /// tag each user so schedulers can balance across tenants).
+    pub user: u32,
     /// The model to run.
     pub model: ModelId,
     /// Model-local frame index.
@@ -22,9 +25,10 @@ pub struct PendingView {
 /// `(ready-request, free-engine)` pair until it returns `None` or
 /// resources run out.
 ///
-/// Implementations must be deterministic for reproducible runs.
-/// Returning an index out of range is a programming error and makes
-/// the simulator panic.
+/// Implementations must be deterministic for reproducible runs (the
+/// conformance harness in `tests/scheduler_conformance.rs` checks
+/// this for every shipped scheduler). Returning an index out of range
+/// is a programming error and makes the simulator panic.
 pub trait Scheduler {
     /// Picks the next dispatch as `(index into ready, engine id)`,
     /// or `None` to leave the remaining engines idle until the next
@@ -67,31 +71,13 @@ impl Scheduler for LatencyGreedy {
         if ready.is_empty() || free_engines.is_empty() {
             return None;
         }
-        // Most urgent request first (earliest deadline, ties by
-        // arrival then model id for determinism).
+        // Most urgent request first, on the fastest idle engine.
         let (ri, req) = ready
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.t_deadline
-                    .total_cmp(&b.t_deadline)
-                    .then(a.t_req.total_cmp(&b.t_req))
-                    .then(a.model.cmp(&b.model))
-            })
+            .min_by(|(_, a), (_, b)| edf_order(a, b))
             .expect("ready is non-empty");
-        // Idle engine with minimal expected latency for this model.
-        let engine = free_engines
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                provider
-                    .cost(req.model, a)
-                    .latency_s
-                    .total_cmp(&provider.cost(req.model, b).latency_s)
-                    .then(a.cmp(&b))
-            })
-            .expect("free_engines is non-empty");
-        Some((ri, engine))
+        Some((ri, fastest_engine(req.model, free_engines, provider)))
     }
 
     fn name(&self) -> &'static str {
@@ -128,7 +114,7 @@ impl Scheduler for RoundRobin {
         let (ri, _) = ready
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.t_req.total_cmp(&b.t_req).then(a.model.cmp(&b.model)))
+            .min_by(|(_, a), (_, b)| fifo_order(a, b))
             .expect("ready is non-empty");
         // Next engine in rotation among the free ones.
         let engine = free_engines
@@ -145,6 +131,143 @@ impl Scheduler for RoundRobin {
     }
 }
 
+/// Slack-aware earliest-deadline-first: walks the ready queue in EDF
+/// order and dispatches the first request that can still *meet* its
+/// deadline on some free engine (on the fastest such engine). Requests
+/// that are already lost causes on every free engine don't block
+/// salvageable ones behind them; if nothing is salvageable, the most
+/// urgent request runs on the fastest engine to limit the overrun.
+#[derive(Debug, Clone, Default)]
+pub struct SlackAwareEdf {
+    _private: (),
+}
+
+impl SlackAwareEdf {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Deterministic EDF ordering: deadline, then arrival, model, user.
+fn edf_order(a: &PendingView, b: &PendingView) -> std::cmp::Ordering {
+    a.t_deadline.total_cmp(&b.t_deadline).then(fifo_order(a, b))
+}
+
+/// Deterministic FIFO ordering: arrival, then model, then user.
+fn fifo_order(a: &PendingView, b: &PendingView) -> std::cmp::Ordering {
+    a.t_req
+        .total_cmp(&b.t_req)
+        .then(a.model.cmp(&b.model))
+        .then(a.user.cmp(&b.user))
+}
+
+/// The free engine with minimal latency for `model` (ties by id).
+fn fastest_engine(model: ModelId, free_engines: &[usize], provider: &dyn CostProvider) -> usize {
+    free_engines
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            provider
+                .cost(model, a)
+                .latency_s
+                .total_cmp(&provider.cost(model, b).latency_s)
+                .then(a.cmp(&b))
+        })
+        .expect("free_engines is non-empty")
+}
+
+impl Scheduler for SlackAwareEdf {
+    fn select(
+        &mut self,
+        ready: &[PendingView],
+        free_engines: &[usize],
+        provider: &dyn CostProvider,
+        now: f64,
+    ) -> Option<(usize, usize)> {
+        if ready.is_empty() || free_engines.is_empty() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..ready.len()).collect();
+        order.sort_by(|&a, &b| edf_order(&ready[a], &ready[b]));
+        // First salvageable request in EDF order, on its fastest
+        // deadline-meeting engine.
+        for &ri in &order {
+            let req = &ready[ri];
+            let feasible: Vec<usize> = free_engines
+                .iter()
+                .copied()
+                .filter(|&e| now + provider.cost(req.model, e).latency_s <= req.t_deadline + 1e-15)
+                .collect();
+            if !feasible.is_empty() {
+                return Some((ri, fastest_engine(req.model, &feasible, provider)));
+            }
+        }
+        // Everything is late: limit damage on the most urgent one.
+        let ri = order[0];
+        Some((ri, fastest_engine(ready[ri].model, free_engines, provider)))
+    }
+
+    fn name(&self) -> &'static str {
+        "slack-edf"
+    }
+}
+
+/// Load-balancing dispatcher: serves requests in arrival order and
+/// sends each to the free engine with the least *accumulated* busy
+/// time for this run (ties by engine id) — the classic least-loaded
+/// policy a multi-tenant session dispatcher would use.
+#[derive(Debug, Clone, Default)]
+pub struct LeastLoaded {
+    /// Accumulated dispatched latency per engine id.
+    loads: Vec<f64>,
+}
+
+impl LeastLoaded {
+    /// Creates the scheduler with all engines unloaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn load(&self, engine: usize) -> f64 {
+        self.loads.get(engine).copied().unwrap_or(0.0)
+    }
+}
+
+impl Scheduler for LeastLoaded {
+    fn select(
+        &mut self,
+        ready: &[PendingView],
+        free_engines: &[usize],
+        provider: &dyn CostProvider,
+        _now: f64,
+    ) -> Option<(usize, usize)> {
+        if ready.is_empty() || free_engines.is_empty() {
+            return None;
+        }
+        // Oldest request first (FIFO across users).
+        let (ri, req) = ready
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| fifo_order(a, b))
+            .expect("ready is non-empty");
+        let engine = free_engines
+            .iter()
+            .copied()
+            .min_by(|&a, &b| self.load(a).total_cmp(&self.load(b)).then(a.cmp(&b)))
+            .expect("free_engines is non-empty");
+        if self.loads.len() <= engine {
+            self.loads.resize(engine + 1, 0.0);
+        }
+        self.loads[engine] += provider.cost(req.model, engine).latency_s;
+        Some((ri, engine))
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +275,7 @@ mod tests {
 
     fn view(model: ModelId, deadline: f64) -> PendingView {
         PendingView {
+            user: 0,
             model,
             frame_id: 0,
             t_req: 0.0,
@@ -217,8 +341,86 @@ mod tests {
     }
 
     #[test]
+    fn slack_edf_skips_lost_causes_for_salvageable_work() {
+        // Request A's deadline is already unmeetable (1 ms latency,
+        // deadline 0.5 ms away); request B can still make it. B must
+        // be dispatched first even though A's deadline is earlier.
+        let p = UniformProvider::new(1, 0.001, 0.0);
+        let ready = vec![
+            view(ModelId::HandTracking, 0.0005),
+            view(ModelId::EyeSegmentation, 0.002),
+        ];
+        let mut s = SlackAwareEdf::new();
+        let (ri, _) = s.select(&ready, &[0], &p, 0.0).unwrap();
+        assert_eq!(ri, 1, "salvageable request must jump the lost cause");
+    }
+
+    #[test]
+    fn slack_edf_prefers_deadline_meeting_engine() {
+        // The fast engine meets the deadline, the slow one does not.
+        let mut p = TableProvider::new(2);
+        p.set(
+            ModelId::HandTracking,
+            0,
+            InferenceCost {
+                latency_s: 0.050,
+                energy_j: 0.0,
+            },
+        );
+        p.set(
+            ModelId::HandTracking,
+            1,
+            InferenceCost {
+                latency_s: 0.002,
+                energy_j: 0.0,
+            },
+        );
+        let ready = vec![view(ModelId::HandTracking, 0.010)];
+        let mut s = SlackAwareEdf::new();
+        let (_, engine) = s.select(&ready, &[0, 1], &p, 0.0).unwrap();
+        assert_eq!(engine, 1);
+    }
+
+    #[test]
+    fn slack_edf_still_dispatches_when_everything_is_late() {
+        let p = UniformProvider::new(1, 0.010, 0.0);
+        let ready = vec![view(ModelId::HandTracking, 0.001)];
+        let mut s = SlackAwareEdf::new();
+        assert!(s.select(&ready, &[0], &p, 0.0).is_some());
+    }
+
+    #[test]
+    fn least_loaded_balances_accumulated_work() {
+        let p = UniformProvider::new(2, 0.004, 0.0);
+        let ready = vec![view(ModelId::HandTracking, 1.0)];
+        let mut s = LeastLoaded::new();
+        let (_, e0) = s.select(&ready, &[0, 1], &p, 0.0).unwrap();
+        assert_eq!(e0, 0, "first dispatch goes to engine 0");
+        // Engine 0 now carries 4 ms of load; even though it is free
+        // again, the next dispatch must go to engine 1.
+        let (_, e1) = s.select(&ready, &[0, 1], &p, 0.0).unwrap();
+        assert_eq!(e1, 1);
+        // Loads now equal; ties break to the lower id.
+        let (_, e2) = s.select(&ready, &[0, 1], &p, 0.0).unwrap();
+        assert_eq!(e2, 0);
+    }
+
+    #[test]
+    fn least_loaded_serves_oldest_request_first() {
+        let p = UniformProvider::new(1, 0.001, 0.0);
+        let mut a = view(ModelId::HandTracking, 1.0);
+        a.t_req = 0.5;
+        let b = view(ModelId::EyeSegmentation, 1.0); // t_req = 0.0
+        let mut s = LeastLoaded::new();
+        let (ri, _) = s.select(&[a, b], &[0], &p, 0.6).unwrap();
+        assert_eq!(ri, 1);
+    }
+
+    #[test]
     fn schedulers_have_names() {
         assert_eq!(LatencyGreedy::new().name(), "latency-greedy");
         assert_eq!(RoundRobin::new().name(), "round-robin");
+        assert_eq!(SlackAwareEdf::new().name(), "slack-edf");
+        assert_eq!(LeastLoaded::new().name(), "least-loaded");
     }
 }

@@ -14,6 +14,15 @@
 //!   becomes ready while an older one still waits, the older frame is
 //!   dropped (its input is stale); drops are what the QoE score
 //!   penalizes.
+//!
+//! The same event loop serves two entry points: [`Simulator::run`] /
+//! [`Simulator::run_requests`] for a single scenario, and
+//! [`Simulator::run_session`] for a multi-user [`SessionSpec`] whose
+//! merged stream shares the engines concurrently. Internally every
+//! request carries a user tag (0 for single-scenario runs), and all
+//! dependency/freshness bookkeeping is keyed per `(user, model)` so
+//! users never interfere with each other's cascades — only with each
+//! other's engine time.
 
 use std::collections::BTreeMap;
 
@@ -21,10 +30,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use xrbench_models::ModelId;
-use xrbench_workload::{InferenceRequest, LoadGenerator, ScenarioSpec};
+use xrbench_workload::{InferenceRequest, LoadGenerator, ScenarioSpec, SessionSpec};
 
 use crate::provider::CostProvider;
-use crate::result::{DropReason, ExecRecord, ModelStats, SimResult};
+use crate::result::{DropReason, ExecRecord, ModelStats, SessionSimResult, SimResult};
 use crate::scheduler::{PendingView, Scheduler};
 
 /// Simulator configuration.
@@ -59,6 +68,7 @@ enum Resolution {
 
 #[derive(Debug, Clone)]
 struct Pending {
+    user: u32,
     req: InferenceRequest,
 }
 
@@ -99,43 +109,113 @@ impl Simulator {
         provider: &dyn CostProvider,
         scheduler: &mut dyn Scheduler,
     ) -> SimResult {
-        assert!(provider.num_engines() > 0, "provider must expose engines");
         assert!(
             requests.windows(2).all(|w| w[0].t_req <= w[1].t_req),
             "requests must be sorted by t_req"
         );
+        let tagged = requests
+            .into_iter()
+            .map(|req| Pending { user: 0, req })
+            .collect();
+        let mut per_user = self.run_tagged(
+            &[(0, spec)],
+            tagged,
+            provider,
+            scheduler,
+            self.config.duration_s,
+        );
+        per_user.remove(&0).expect("user 0 always present")
+    }
 
-        let deps: BTreeMap<ModelId, Vec<(ModelId, f64)>> = spec
-            .models
+    /// Simulates a multi-user session: every user's jittered,
+    /// offset-shifted request stream is merged and dispatched onto the
+    /// *shared* engines, so users compete for compute exactly as
+    /// concurrent tenants would. Returns per-user results (each scored
+    /// against the session's full span) for per-user and aggregate
+    /// breakdowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no users, session user ids are not
+    /// unique, or the provider has no engines.
+    pub fn run_session(
+        &self,
+        session: &SessionSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+    ) -> SessionSimResult {
+        assert!(!session.users.is_empty(), "session has no users");
+        let span_s = session.span_s(self.config.duration_s);
+        let merged = session.generate(self.config.seed, self.config.duration_s);
+        let tagged = merged
+            .into_iter()
+            .map(|r| Pending {
+                user: r.user,
+                req: r.req,
+            })
+            .collect();
+        let specs: Vec<(u32, &ScenarioSpec)> =
+            session.users.iter().map(|u| (u.user, &u.spec)).collect();
+        let per_user_map = self.run_tagged(&specs, tagged, provider, scheduler, span_s);
+        let per_user: Vec<(u32, SimResult)> = per_user_map.into_iter().collect();
+        SessionSimResult {
+            session: session.name.clone(),
+            per_user,
+            num_engines: provider.num_engines(),
+            span_s,
+        }
+    }
+
+    /// The shared event loop over user-tagged requests (`requests`
+    /// must be sorted by `t_req`). Returns one [`SimResult`] per user,
+    /// each with `duration_s = duration_s`.
+    fn run_tagged(
+        &self,
+        specs: &[(u32, &ScenarioSpec)],
+        requests: Vec<Pending>,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+        duration_s: f64,
+    ) -> BTreeMap<u32, SimResult> {
+        assert!(provider.num_engines() > 0, "provider must expose engines");
+
+        type Key = (u32, ModelId);
+        let deps: BTreeMap<Key, Vec<(ModelId, f64)>> = specs
             .iter()
-            .map(|m| {
-                (
-                    m.model,
-                    m.deps
-                        .iter()
-                        .map(|d| (d.upstream, d.trigger_probability))
-                        .collect(),
-                )
+            .flat_map(|&(user, spec)| {
+                spec.models.iter().map(move |m| {
+                    (
+                        (user, m.model),
+                        m.deps
+                            .iter()
+                            .map(|d| (d.upstream, d.trigger_probability))
+                            .collect(),
+                    )
+                })
             })
             .collect();
 
-        let mut stats: BTreeMap<ModelId, ModelStats> = spec
-            .models
+        let mut stats: BTreeMap<Key, ModelStats> = specs
             .iter()
-            .map(|m| (m.model, ModelStats::default()))
+            .flat_map(|&(user, spec)| {
+                spec.models
+                    .iter()
+                    .map(move |m| ((user, m.model), ModelStats::default()))
+            })
             .collect();
 
         // Runtime data structures.
         let num_engines = provider.num_engines();
         let mut engine_free_at = vec![0.0_f64; num_engines];
         let mut ready: Vec<Pending> = Vec::new();
-        // (upstream model, sensor frame) -> resolution.
-        let mut resolved: BTreeMap<(ModelId, u64), Resolution> = BTreeMap::new();
+        // (user, upstream model, sensor frame) -> resolution.
+        let mut resolved: BTreeMap<(u32, ModelId, u64), Resolution> = BTreeMap::new();
         // Dependents that arrived before their upstream resolved.
         let mut waiting: Vec<Pending> = Vec::new();
-        // Completion events: (t_end, model, sensor_frame).
-        let mut completions: Vec<(f64, ModelId, u64)> = Vec::new();
-        let mut records: Vec<ExecRecord> = Vec::new();
+        // Completion events: (t_end, user, model, sensor_frame).
+        let mut completions: Vec<(f64, u32, ModelId, u64)> = Vec::new();
+        let mut records: BTreeMap<u32, Vec<ExecRecord>> =
+            specs.iter().map(|&(user, _)| (user, Vec::new())).collect();
 
         let mut arrivals = requests.into_iter().peekable();
         let mut now = 0.0_f64;
@@ -143,39 +223,40 @@ impl Simulator {
         loop {
             // 1. Process completions due now (resolve dependents).
             completions.sort_by(|a, b| a.0.total_cmp(&b.0));
-            while let Some(&(t, model, sf)) = completions.first() {
+            while let Some(&(t, user, model, sf)) = completions.first() {
                 if t > now + 1e-15 {
                     break;
                 }
                 completions.remove(0);
-                resolved.insert((model, sf), Resolution::Completed);
+                resolved.insert((user, model, sf), Resolution::Completed);
             }
 
             // 2. Ingest arrivals due now.
-            while arrivals.peek().is_some_and(|r| r.t_req <= now + 1e-15) {
-                let req = arrivals.next().expect("peeked");
-                let model = req.model;
-                stats.entry(model).or_default().total_frames += 1;
-                if deps.get(&model).is_some_and(|d| !d.is_empty()) {
+            while arrivals.peek().is_some_and(|p| p.req.t_req <= now + 1e-15) {
+                let p = arrivals.next().expect("peeked");
+                let key = (p.user, p.req.model);
+                stats.entry(key).or_default().total_frames += 1;
+                if deps.get(&key).is_some_and(|d| !d.is_empty()) {
                     // Freshness: a newer dependent frame supersedes an
                     // older one still waiting for its upstream.
-                    drop_older(&mut waiting, &req, &mut stats);
-                    waiting.push(Pending { req });
+                    drop_older(&mut waiting, &p, &mut stats);
+                    waiting.push(p);
                 } else {
-                    drop_older(&mut ready, &req, &mut stats);
-                    ready.push(Pending { req });
+                    drop_older(&mut ready, &p, &mut stats);
+                    ready.push(p);
                 }
             }
 
             // 3. Resolve waiting dependents whose upstream is decided.
             let mut i = 0;
             while i < waiting.len() {
+                let user = waiting[i].user;
                 let model = waiting[i].req.model;
                 let sf = waiting[i].req.sensor_frame;
-                let dep_list = &deps[&model];
+                let dep_list = &deps[&(user, model)];
                 let all = dep_list
                     .iter()
-                    .map(|(up, _)| resolved.get(&(*up, sf)).copied())
+                    .map(|(up, _)| resolved.get(&(user, *up, sf)).copied())
                     .collect::<Option<Vec<_>>>();
                 match all {
                     None => {
@@ -184,19 +265,19 @@ impl Simulator {
                     Some(res) => {
                         let p = waiting.remove(i);
                         if res.contains(&Resolution::Dropped) {
-                            let st = stats.entry(model).or_default();
+                            let st = stats.entry((user, model)).or_default();
                             st.dropped_frames += 1;
                             let _ = DropReason::UpstreamDropped;
-                        } else if self.trigger(&p.req, dep_list) {
-                            drop_older(&mut ready, &p.req, &mut stats);
+                        } else if self.trigger(user, &p.req, dep_list) {
+                            drop_older(&mut ready, &p, &mut stats);
                             ready.push(p);
                         } else {
                             // Legitimately deactivated: not streamed
                             // work for QoE purposes.
-                            let st = stats.entry(model).or_default();
+                            let st = stats.entry((user, model)).or_default();
                             st.untriggered_frames += 1;
                             st.total_frames -= 1;
-                            resolved.insert((model, sf), Resolution::Dropped);
+                            resolved.insert((user, model, sf), Resolution::Dropped);
                         }
                     }
                 }
@@ -213,6 +294,7 @@ impl Simulator {
                 let views: Vec<PendingView> = ready
                     .iter()
                     .map(|p| PendingView {
+                        user: p.user,
                         model: p.req.model,
                         frame_id: p.req.frame_id,
                         t_req: p.req.t_req,
@@ -232,13 +314,13 @@ impl Simulator {
                 let t_start = now;
                 let t_end = t_start + cost.latency_s;
                 engine_free_at[engine] = t_end;
-                completions.push((t_end, p.req.model, p.req.sensor_frame));
-                let st = stats.entry(p.req.model).or_default();
+                completions.push((t_end, p.user, p.req.model, p.req.sensor_frame));
+                let st = stats.entry((p.user, p.req.model)).or_default();
                 st.executed_frames += 1;
                 if t_end > p.req.t_deadline {
                     st.missed_deadlines += 1;
                 }
-                records.push(ExecRecord {
+                records.entry(p.user).or_default().push(ExecRecord {
                     model: p.req.model,
                     frame_id: p.req.frame_id,
                     sensor_frame: p.req.sensor_frame,
@@ -253,10 +335,10 @@ impl Simulator {
 
             // 5. Advance to the next event.
             let mut next = f64::INFINITY;
-            if let Some(r) = arrivals.peek() {
-                next = next.min(r.t_req);
+            if let Some(p) = arrivals.peek() {
+                next = next.min(p.req.t_req);
             }
-            for &(t, _, _) in &completions {
+            for &(t, _, _, _) in &completions {
                 if t > now + 1e-15 {
                     next = next.min(t);
                 }
@@ -270,24 +352,47 @@ impl Simulator {
         // Anything still waiting at drain time had an upstream that
         // never resolved within the run; count as dropped.
         for p in waiting {
-            stats.entry(p.req.model).or_default().dropped_frames += 1;
+            stats
+                .entry((p.user, p.req.model))
+                .or_default()
+                .dropped_frames += 1;
         }
         for p in ready {
-            stats.entry(p.req.model).or_default().dropped_frames += 1;
+            stats
+                .entry((p.user, p.req.model))
+                .or_default()
+                .dropped_frames += 1;
         }
 
-        records.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
-        SimResult {
-            records,
-            stats,
-            num_engines,
-            duration_s: self.config.duration_s,
+        // Assemble one SimResult per user.
+        let mut out = BTreeMap::new();
+        for &(user, _) in specs {
+            let mut recs = records.remove(&user).unwrap_or_default();
+            recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+            let user_stats: BTreeMap<ModelId, ModelStats> = stats
+                .iter()
+                .filter(|((u, _), _)| *u == user)
+                .map(|((_, m), st)| (*m, st.clone()))
+                .collect();
+            out.insert(
+                user,
+                SimResult {
+                    records: recs,
+                    stats: user_stats,
+                    num_engines,
+                    duration_s,
+                },
+            );
         }
+        out
     }
 
     /// Deterministic cascade-trigger draw for a dependent frame: the
-    /// joint probability over its control/data dependencies.
-    fn trigger(&self, req: &InferenceRequest, deps: &[(ModelId, f64)]) -> bool {
+    /// joint probability over its control/data dependencies. The user
+    /// tag is mixed into the seed (as zero for single-scenario runs,
+    /// preserving their streams) so concurrent users of the same
+    /// scenario draw independently.
+    fn trigger(&self, user: u32, req: &InferenceRequest, deps: &[(ModelId, f64)]) -> bool {
         deps.iter().all(|(up, p)| {
             if *p >= 1.0 {
                 return true;
@@ -296,24 +401,27 @@ impl Simulator {
                 self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     ^ ((req.model as u64) << 32)
                     ^ ((*up as u64) << 24)
-                    ^ req.frame_id,
+                    ^ req.frame_id
+                    ^ u64::from(user).wrapping_mul(0xD6E8_FEB8_6659_FD93),
             );
             rng.gen_range(0.0..1.0) < *p
         })
     }
 }
 
-/// Drops any not-yet-started older frame of the same model (freshness
-/// policy), updating drop stats.
+/// Drops any not-yet-started older frame of the same (user, model)
+/// (freshness policy), updating drop stats.
 fn drop_older(
     queue: &mut Vec<Pending>,
-    newer: &InferenceRequest,
-    stats: &mut BTreeMap<ModelId, ModelStats>,
+    newer: &Pending,
+    stats: &mut BTreeMap<(u32, ModelId), ModelStats>,
 ) {
     queue.retain(|p| {
-        let stale = p.req.model == newer.model && p.req.frame_id < newer.frame_id;
+        let stale = p.user == newer.user
+            && p.req.model == newer.req.model
+            && p.req.frame_id < newer.req.frame_id;
         if stale {
-            let st = stats.entry(p.req.model).or_default();
+            let st = stats.entry((p.user, p.req.model)).or_default();
             st.dropped_frames += 1;
             let _ = DropReason::Superseded;
         }
@@ -517,5 +625,126 @@ mod tests {
             duration_s: 0.0,
             seed: 0,
         });
+    }
+
+    // ---- multi-user sessions ----
+
+    use xrbench_workload::SessionSpec;
+
+    #[test]
+    fn single_user_session_matches_scenario_run() {
+        // A 1-user session at offset 0 reduces to the plain run.
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let solo = sim.run(
+            &UsageScenario::VrGaming.spec(),
+            &p,
+            &mut LatencyGreedy::new(),
+        );
+        let session = SessionSpec::uniform("solo", UsageScenario::VrGaming.spec(), 1, 0.0);
+        let sr = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+        assert_eq!(sr.per_user.len(), 1);
+        assert_eq!(sr.per_user[0].0, 0);
+        assert_eq!(sr.per_user[0].1, solo);
+    }
+
+    #[test]
+    fn session_users_share_engines() {
+        // One engine, two users: total busy time must interleave, and
+        // the occupancy condition must hold across users.
+        let p = UniformProvider::new(1, 0.004, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let session = SessionSpec::uniform("duo", UsageScenario::ArGaming.spec(), 2, 0.01);
+        let sr = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+        let mut all: Vec<&ExecRecord> = sr
+            .per_user
+            .iter()
+            .flat_map(|(_, r)| r.records.iter())
+            .collect();
+        all.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        for w in all.windows(2) {
+            assert!(
+                w[1].t_start >= w[0].t_end - 1e-12,
+                "two users overlapped on the single engine"
+            );
+        }
+    }
+
+    #[test]
+    fn session_contention_degrades_each_user() {
+        // Alone, VR gaming fits easily; 8 concurrent users on the same
+        // 2 engines must drop frames somewhere.
+        let p = UniformProvider::new(2, 0.004, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let solo = sim.run(
+            &UsageScenario::VrGaming.spec(),
+            &p,
+            &mut LatencyGreedy::new(),
+        );
+        let solo_drops: u64 = solo.stats.values().map(|s| s.dropped_frames).sum();
+        assert_eq!(solo_drops, 0, "solo run should be drop-free");
+        let session = SessionSpec::uniform("crowd", UsageScenario::VrGaming.spec(), 8, 0.005);
+        let sr = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+        let crowd_drops: u64 = sr
+            .per_user
+            .iter()
+            .flat_map(|(_, r)| r.stats.values())
+            .map(|s| s.dropped_frames)
+            .sum();
+        assert!(crowd_drops > 0, "8-way contention should drop frames");
+    }
+
+    #[test]
+    fn session_dependencies_stay_per_user() {
+        // Each user's GE must wait for *their own* ES of the same
+        // sensor frame, never another user's.
+        let p = UniformProvider::new(4, 0.002, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let session =
+            SessionSpec::uniform("pair", UsageScenario::SocialInteractionA.spec(), 2, 0.02);
+        let sr = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+        for (_, r) in &sr.per_user {
+            for ge in r.records_for(ModelId::GazeEstimation) {
+                let es = r
+                    .records_for(ModelId::EyeSegmentation)
+                    .find(|e| e.sensor_frame == ge.sensor_frame)
+                    .expect("GE ran without this user's ES upstream");
+                assert!(ge.t_start >= es.t_end - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn session_deterministic_across_runs() {
+        let p = UniformProvider::new(2, 0.003, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let specs = [
+            UsageScenario::VrGaming.spec(),
+            UsageScenario::OutdoorActivityA.spec(),
+        ];
+        let session = SessionSpec::mixed("mix", &specs, 4, 0.01);
+        let a = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+        let b = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_span_covers_last_user() {
+        let p = UniformProvider::new(2, 0.001, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let session = SessionSpec::uniform("s", UsageScenario::ArGaming.spec(), 3, 0.5);
+        let sr = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+        assert!((sr.span_s - 2.0).abs() < 1e-12);
+        for (_, r) in &sr.per_user {
+            assert_eq!(r.duration_s, sr.span_s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no users")]
+    fn empty_session_rejected() {
+        let p = UniformProvider::new(1, 0.001, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let _ = sim.run_session(&SessionSpec::new("empty"), &p, &mut LatencyGreedy::new());
     }
 }

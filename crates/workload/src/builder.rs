@@ -1,0 +1,586 @@
+//! Fluent, validated construction of usage scenarios.
+//!
+//! [`ScenarioBuilder`] is the front door of the scenario composition
+//! engine: the seven Table 2 scenarios are expressed through it (see
+//! [`crate::UsageScenario::spec`]), and user-defined scenarios built
+//! the same way flow through load generation, simulation, and scoring
+//! identically. [`ScenarioBuilder::build`] performs the validation the
+//! raw [`ScenarioSpec`] struct cannot: every dependency upstream must
+//! be an active model of the same scenario, the dependency graph must
+//! be acyclic, rates must be positive and not exceed the driving
+//! sensor's rate, and trigger probabilities must lie in `[0, 1]`.
+
+use std::fmt;
+
+use xrbench_models::ModelId;
+
+use crate::scenario::{DependencyKind, ModelDependency, ScenarioModel, ScenarioSpec};
+use crate::sources::source_spec;
+
+/// Why a scenario under construction is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioBuildError {
+    /// The scenario name is empty.
+    EmptyName,
+    /// The scenario lists no models.
+    NoModels,
+    /// The same model was added twice.
+    DuplicateModel(ModelId),
+    /// A target rate is zero, negative, or not finite.
+    InvalidRate {
+        /// The offending model.
+        model: ModelId,
+        /// The rejected rate.
+        target_fps: f64,
+    },
+    /// A target rate exceeds the driving sensor's streaming rate — the
+    /// model would need frames that never arrive.
+    RateExceedsSource {
+        /// The offending model.
+        model: ModelId,
+        /// The rejected rate.
+        target_fps: f64,
+        /// The sensor's streaming rate.
+        source_fps: f64,
+    },
+    /// A dependency names an upstream model that is not an active
+    /// model of this scenario (the latent `ScenarioSpec` footgun).
+    UnknownUpstream {
+        /// The dependent model.
+        model: ModelId,
+        /// The absent upstream.
+        upstream: ModelId,
+    },
+    /// A model depends on itself.
+    SelfDependency(ModelId),
+    /// The same dependency edge was declared twice.
+    DuplicateDependency {
+        /// The dependent model.
+        model: ModelId,
+        /// The repeated upstream.
+        upstream: ModelId,
+    },
+    /// The dependency graph contains a cycle (listed in walk order).
+    DependencyCycle(Vec<ModelId>),
+    /// A trigger probability is outside `[0, 1]`.
+    InvalidProbability {
+        /// The dependent model.
+        model: ModelId,
+        /// The upstream of the offending edge.
+        upstream: ModelId,
+        /// The rejected probability.
+        probability: f64,
+    },
+    /// A dependency was declared for a model never added via
+    /// [`ScenarioBuilder::model`] / [`ScenarioBuilder::dependent`].
+    DependencyForAbsentModel(ModelId),
+}
+
+impl fmt::Display for ScenarioBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyName => write!(f, "scenario name must not be empty"),
+            Self::NoModels => write!(f, "scenario must list at least one model"),
+            Self::DuplicateModel(m) => write!(f, "model {m} added twice"),
+            Self::InvalidRate { model, target_fps } => {
+                write!(
+                    f,
+                    "{model}: target rate {target_fps} must be positive and finite"
+                )
+            }
+            Self::RateExceedsSource {
+                model,
+                target_fps,
+                source_fps,
+            } => write!(
+                f,
+                "{model}: target rate {target_fps} exceeds its sensor's {source_fps} FPS"
+            ),
+            Self::UnknownUpstream { model, upstream } => write!(
+                f,
+                "{model} depends on {upstream}, which is not an active model of this scenario"
+            ),
+            Self::SelfDependency(m) => write!(f, "{m} depends on itself"),
+            Self::DuplicateDependency { model, upstream } => {
+                write!(f, "dependency {upstream} -> {model} declared twice")
+            }
+            Self::DependencyCycle(cycle) => {
+                write!(f, "dependency cycle: ")?;
+                for (i, m) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{m}")?;
+                }
+                Ok(())
+            }
+            Self::InvalidProbability {
+                model,
+                upstream,
+                probability,
+            } => write!(
+                f,
+                "{upstream} -> {model}: trigger probability {probability} must be in [0, 1]"
+            ),
+            Self::DependencyForAbsentModel(m) => {
+                write!(f, "dependency declared for {m}, which was never added")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioBuildError {}
+
+/// Fluent builder for validated [`ScenarioSpec`]s.
+///
+/// ```
+/// use xrbench_workload::{DependencyKind, ScenarioBuilder};
+/// use xrbench_models::ModelId::*;
+///
+/// let spec = ScenarioBuilder::new("AR Co-pilot")
+///     .describe("Hands + scene + voice assistant")
+///     .model(HandTracking, 30.0)
+///     .model(KeywordDetection, 3.0)
+///     .dependent(SpeechRecognition, 3.0, KeywordDetection, DependencyKind::Control, 0.8)
+///     .build()
+///     .unwrap();
+/// assert_eq!(spec.num_models(), 3);
+/// assert!(spec.is_dynamic());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    description: String,
+    models: Vec<(ModelId, f64)>,
+    deps: Vec<(ModelId, ModelDependency)>,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            description: String::new(),
+            models: Vec::new(),
+            deps: Vec::new(),
+        }
+    }
+
+    /// Sets the one-line description.
+    #[must_use]
+    pub fn describe(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Adds an independent model at a target processing rate.
+    #[must_use]
+    pub fn model(mut self, model: ModelId, target_fps: f64) -> Self {
+        self.models.push((model, target_fps));
+        self
+    }
+
+    /// Adds a model with one upstream dependency (the common cascaded
+    /// case: ES → GE, KD → SR). Further edges can be stacked with
+    /// [`Self::dependency`].
+    #[must_use]
+    pub fn dependent(
+        self,
+        model: ModelId,
+        target_fps: f64,
+        upstream: ModelId,
+        kind: DependencyKind,
+        trigger_probability: f64,
+    ) -> Self {
+        self.model(model, target_fps)
+            .dependency(model, upstream, kind, trigger_probability)
+    }
+
+    /// Declares an additional dependency edge for an already-added
+    /// model.
+    #[must_use]
+    pub fn dependency(
+        mut self,
+        model: ModelId,
+        upstream: ModelId,
+        kind: DependencyKind,
+        trigger_probability: f64,
+    ) -> Self {
+        self.deps.push((
+            model,
+            ModelDependency {
+                upstream,
+                kind,
+                trigger_probability,
+            },
+        ));
+        self
+    }
+
+    /// Validates and assembles the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioBuildError`] encountered: empty
+    /// name / model list, duplicate models, invalid or
+    /// sensor-exceeding rates, dependencies on absent models,
+    /// self-dependencies, duplicate edges, out-of-range trigger
+    /// probabilities, or dependency cycles.
+    pub fn build(self) -> Result<ScenarioSpec, ScenarioBuildError> {
+        if self.name.trim().is_empty() {
+            return Err(ScenarioBuildError::EmptyName);
+        }
+        if self.models.is_empty() {
+            return Err(ScenarioBuildError::NoModels);
+        }
+        let mut models: Vec<ScenarioModel> = Vec::with_capacity(self.models.len());
+        for &(model, target_fps) in &self.models {
+            if models.iter().any(|m| m.model == model) {
+                return Err(ScenarioBuildError::DuplicateModel(model));
+            }
+            if !(target_fps.is_finite() && target_fps > 0.0) {
+                return Err(ScenarioBuildError::InvalidRate { model, target_fps });
+            }
+            let src = source_spec(model.driving_source());
+            if target_fps > src.fps + 1e-9 {
+                return Err(ScenarioBuildError::RateExceedsSource {
+                    model,
+                    target_fps,
+                    source_fps: src.fps,
+                });
+            }
+            models.push(ScenarioModel {
+                model,
+                target_fps,
+                deps: Vec::new(),
+            });
+        }
+        for (model, dep) in self.deps {
+            if dep.upstream == model {
+                return Err(ScenarioBuildError::SelfDependency(model));
+            }
+            if !models.iter().any(|m| m.model == dep.upstream) {
+                return Err(ScenarioBuildError::UnknownUpstream {
+                    model,
+                    upstream: dep.upstream,
+                });
+            }
+            if !(dep.trigger_probability.is_finite()
+                && (0.0..=1.0).contains(&dep.trigger_probability))
+            {
+                return Err(ScenarioBuildError::InvalidProbability {
+                    model,
+                    upstream: dep.upstream,
+                    probability: dep.trigger_probability,
+                });
+            }
+            let Some(entry) = models.iter_mut().find(|m| m.model == model) else {
+                return Err(ScenarioBuildError::DependencyForAbsentModel(model));
+            };
+            if entry.deps.iter().any(|d| d.upstream == dep.upstream) {
+                return Err(ScenarioBuildError::DuplicateDependency {
+                    model,
+                    upstream: dep.upstream,
+                });
+            }
+            entry.deps.push(dep);
+        }
+        detect_cycle(&models)?;
+        Ok(ScenarioSpec {
+            name: self.name,
+            description: self.description,
+            models,
+        })
+    }
+}
+
+/// Depth-first cycle detection over the dependency graph.
+fn detect_cycle(models: &[ScenarioModel]) -> Result<(), ScenarioBuildError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    fn visit(
+        models: &[ScenarioModel],
+        idx: usize,
+        marks: &mut [Mark],
+        path: &mut Vec<ModelId>,
+    ) -> Result<(), ScenarioBuildError> {
+        marks[idx] = Mark::Gray;
+        path.push(models[idx].model);
+        for dep in &models[idx].deps {
+            let up = models
+                .iter()
+                .position(|m| m.model == dep.upstream)
+                .expect("upstream presence validated before cycle check");
+            match marks[up] {
+                Mark::Gray => {
+                    // Report only the cycle itself, not the DFS path
+                    // prefix that led into it.
+                    let start = path
+                        .iter()
+                        .position(|m| *m == dep.upstream)
+                        .expect("gray node is on the current path");
+                    let mut cycle = path[start..].to_vec();
+                    cycle.push(dep.upstream);
+                    return Err(ScenarioBuildError::DependencyCycle(cycle));
+                }
+                Mark::White => visit(models, up, marks, path)?,
+                Mark::Black => {}
+            }
+        }
+        path.pop();
+        marks[idx] = Mark::Black;
+        Ok(())
+    }
+    let mut marks = vec![Mark::White; models.len()];
+    let mut path = Vec::new();
+    for i in 0..models.len() {
+        if marks[i] == Mark::White {
+            visit(models, i, &mut marks, &mut path)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::UsageScenario;
+    use xrbench_models::ModelId::*;
+
+    #[test]
+    fn builds_a_valid_custom_scenario() {
+        let spec = ScenarioBuilder::new("Workbench")
+            .describe("test")
+            .model(HandTracking, 30.0)
+            .dependent(
+                GazeEstimation,
+                60.0,
+                EyeSegmentation,
+                DependencyKind::Data,
+                1.0,
+            )
+            .model(EyeSegmentation, 60.0)
+            .build()
+            .unwrap();
+        assert_eq!(spec.name, "Workbench");
+        assert_eq!(spec.num_models(), 3);
+        assert_eq!(
+            spec.model(GazeEstimation).unwrap().deps[0].upstream,
+            EyeSegmentation
+        );
+    }
+
+    #[test]
+    fn rejects_empty_name_and_no_models() {
+        assert_eq!(
+            ScenarioBuilder::new("  ").model(HandTracking, 30.0).build(),
+            Err(ScenarioBuildError::EmptyName)
+        );
+        assert_eq!(
+            ScenarioBuilder::new("x").build(),
+            Err(ScenarioBuildError::NoModels)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_model() {
+        let err = ScenarioBuilder::new("x")
+            .model(HandTracking, 30.0)
+            .model(HandTracking, 45.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioBuildError::DuplicateModel(HandTracking));
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        for fps in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let err = ScenarioBuilder::new("x")
+                .model(HandTracking, fps)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ScenarioBuildError::InvalidRate { model, .. } if model == HandTracking),
+                "{fps}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_rate_beyond_sensor() {
+        // Microphone streams at 3 FPS; 10 FPS keyword detection would
+        // need frames that never arrive.
+        let err = ScenarioBuilder::new("x")
+            .model(KeywordDetection, 10.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioBuildError::RateExceedsSource {
+                model: KeywordDetection,
+                target_fps: 10.0,
+                source_fps: 3.0,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_dependency_on_absent_model() {
+        // The latent ScenarioSpec footgun: a dependency on a model
+        // that is not part of the scenario. The builder refuses it.
+        let err = ScenarioBuilder::new("x")
+            .dependent(
+                GazeEstimation,
+                60.0,
+                EyeSegmentation,
+                DependencyKind::Data,
+                1.0,
+            )
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioBuildError::UnknownUpstream {
+                model: GazeEstimation,
+                upstream: EyeSegmentation,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_self_and_duplicate_dependencies() {
+        let err = ScenarioBuilder::new("x")
+            .model(HandTracking, 30.0)
+            .dependency(HandTracking, HandTracking, DependencyKind::Data, 1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioBuildError::SelfDependency(HandTracking));
+
+        let err = ScenarioBuilder::new("x")
+            .model(EyeSegmentation, 60.0)
+            .dependent(
+                GazeEstimation,
+                60.0,
+                EyeSegmentation,
+                DependencyKind::Data,
+                1.0,
+            )
+            .dependency(GazeEstimation, EyeSegmentation, DependencyKind::Data, 1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioBuildError::DuplicateDependency {
+                model: GazeEstimation,
+                upstream: EyeSegmentation,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_dependency_cycles() {
+        let err = ScenarioBuilder::new("x")
+            .model(EyeSegmentation, 60.0)
+            .model(GazeEstimation, 60.0)
+            .dependency(GazeEstimation, EyeSegmentation, DependencyKind::Data, 1.0)
+            .dependency(EyeSegmentation, GazeEstimation, DependencyKind::Data, 1.0)
+            .build()
+            .unwrap_err();
+        match err {
+            ScenarioBuildError::DependencyCycle(cycle) => {
+                assert!(cycle.len() >= 3, "{cycle:?}");
+                assert_eq!(cycle.first(), cycle.last());
+            }
+            other => panic!("expected cycle, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cycle_report_excludes_non_cycle_prefix() {
+        // HT -> ES, ES <-> GE: the DFS enters the cycle through HT,
+        // but HT is not part of it and must not be reported.
+        let err = ScenarioBuilder::new("x")
+            .model(HandTracking, 30.0)
+            .model(EyeSegmentation, 60.0)
+            .model(GazeEstimation, 60.0)
+            .dependency(HandTracking, EyeSegmentation, DependencyKind::Data, 1.0)
+            .dependency(EyeSegmentation, GazeEstimation, DependencyKind::Data, 1.0)
+            .dependency(GazeEstimation, EyeSegmentation, DependencyKind::Data, 1.0)
+            .build()
+            .unwrap_err();
+        match err {
+            ScenarioBuildError::DependencyCycle(cycle) => {
+                assert!(!cycle.contains(&HandTracking), "{cycle:?}");
+                assert_eq!(cycle.first(), cycle.last(), "{cycle:?}");
+                assert_eq!(cycle.len(), 3, "{cycle:?}");
+            }
+            other => panic!("expected cycle, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_probability() {
+        for p in [-0.1, 1.5, f64::NAN] {
+            let err = ScenarioBuilder::new("x")
+                .model(KeywordDetection, 3.0)
+                .dependent(
+                    SpeechRecognition,
+                    3.0,
+                    KeywordDetection,
+                    DependencyKind::Control,
+                    p,
+                )
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ScenarioBuildError::InvalidProbability { .. }),
+                "{p}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn dependency_for_model_never_added_is_rejected() {
+        let err = ScenarioBuilder::new("x")
+            .model(EyeSegmentation, 60.0)
+            .dependency(GazeEstimation, EyeSegmentation, DependencyKind::Data, 1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioBuildError::DependencyForAbsentModel(GazeEstimation)
+        );
+    }
+
+    #[test]
+    fn table2_scenarios_round_trip_through_the_builder() {
+        // Every paper scenario is itself expressed via the builder;
+        // sanity-check the shape survives.
+        for s in UsageScenario::ALL {
+            let spec = s.spec();
+            assert_eq!(spec.name, s.name());
+            assert_eq!(spec.description, s.description());
+            assert!(!spec.models.is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = ScenarioBuildError::UnknownUpstream {
+            model: GazeEstimation,
+            upstream: EyeSegmentation,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("not an active model"), "{msg}");
+        let e = ScenarioBuildError::DependencyCycle(vec![
+            EyeSegmentation,
+            GazeEstimation,
+            EyeSegmentation,
+        ]);
+        assert!(e.to_string().contains("->"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Runtime registry of usage scenarios.
+//!
+//! The benchmark suite `Ω` (Definition 5) is no longer a closed enum:
+//! a [`ScenarioCatalog`] is an ordered, name-keyed collection of
+//! [`ScenarioSpec`]s. [`ScenarioCatalog::builtin`] registers the seven
+//! Table 2 scenarios (in Table 2 order, so suite scores are unchanged),
+//! and user-defined scenarios registered alongside them flow through
+//! `run_suite` and friends identically.
+
+use std::fmt;
+
+use crate::scenario::{ScenarioSpec, UsageScenario};
+
+/// Why a scenario could not be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A scenario with the same name is already registered.
+    DuplicateName(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateName(name) => {
+                write!(f, "scenario {name:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// An ordered registry of usage scenarios: the suite `Ω` as data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioCatalog {
+    entries: Vec<ScenarioSpec>,
+}
+
+impl ScenarioCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The seven paper scenarios, in Table 2 order.
+    pub fn builtin() -> Self {
+        let mut c = Self::new();
+        for s in UsageScenario::ALL {
+            c.register(s.spec()).expect("builtin names are unique");
+        }
+        c
+    }
+
+    /// Registers a scenario at the end of the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::DuplicateName`] if a scenario with the
+    /// same name is already present.
+    pub fn register(&mut self, spec: ScenarioSpec) -> Result<(), CatalogError> {
+        if self.contains(&spec.name) {
+            return Err(CatalogError::DuplicateName(spec.name));
+        }
+        self.entries.push(spec);
+        Ok(())
+    }
+
+    /// Looks up a scenario by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.entries.iter().find(|s| s.name == name)
+    }
+
+    /// Whether a scenario with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// The registered scenarios, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScenarioSpec> {
+        self.entries.iter()
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a ScenarioCatalog {
+    type Item = &'a ScenarioSpec;
+    type IntoIter = std::slice::Iter<'a, ScenarioSpec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScenarioBuilder;
+    use xrbench_models::ModelId::*;
+
+    #[test]
+    fn builtin_matches_table2_order() {
+        let c = ScenarioCatalog::builtin();
+        assert_eq!(c.len(), 7);
+        let expected: Vec<&str> = UsageScenario::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(c.names(), expected);
+        for s in UsageScenario::ALL {
+            assert_eq!(c.get(s.name()), Some(&s.spec()));
+        }
+    }
+
+    #[test]
+    fn registers_user_scenarios_after_builtins() {
+        let mut c = ScenarioCatalog::builtin();
+        let custom = ScenarioBuilder::new("Fitness Coach")
+            .model(HandTracking, 30.0)
+            .model(DepthEstimation, 30.0)
+            .build()
+            .unwrap();
+        c.register(custom.clone()).unwrap();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.names().last(), Some(&"Fitness Coach"));
+        assert_eq!(c.get("Fitness Coach"), Some(&custom));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = ScenarioCatalog::builtin();
+        let err = c.register(UsageScenario::VrGaming.spec()).unwrap_err();
+        assert_eq!(err, CatalogError::DuplicateName("VR Gaming".into()));
+        assert!(err.to_string().contains("VR Gaming"));
+        assert_eq!(c.len(), 7, "failed registration must not mutate");
+    }
+
+    #[test]
+    fn empty_catalog_behaves() {
+        let c = ScenarioCatalog::new();
+        assert!(c.is_empty());
+        assert!(c.get("anything").is_none());
+        assert_eq!(c.iter().count(), 0);
+    }
+}

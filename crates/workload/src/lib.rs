@@ -14,6 +14,17 @@
 //!   including the jitter term
 //!   `2·Jt·(Dist(rand(inSrcID × InFrameID)) − 0.5)` ([`loadgen`]).
 //!
+//! Beyond the paper, the crate hosts the scenario composition engine:
+//!
+//! * a fluent, validated [`ScenarioBuilder`] (cycle detection,
+//!   rate/probability sanity, no dependencies on absent models) that
+//!   the seven Table 2 scenarios are themselves expressed through;
+//! * a runtime [`ScenarioCatalog`] registry so user-defined scenarios
+//!   flow through load generation, simulation, and scoring exactly
+//!   like the built-ins;
+//! * multi-user [`SessionSpec`]s that overlay N staggered, jittered
+//!   scenario instances into one merged request stream ([`session`]).
+//!
 //! ## Example
 //!
 //! ```
@@ -28,10 +39,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
+pub mod catalog;
 pub mod loadgen;
 pub mod scenario;
+pub mod session;
 pub mod sources;
 
+pub use builder::{ScenarioBuildError, ScenarioBuilder};
+pub use catalog::{CatalogError, ScenarioCatalog};
 pub use loadgen::{InferenceRequest, LoadGenerator};
 pub use scenario::{DependencyKind, ModelDependency, ScenarioModel, ScenarioSpec, UsageScenario};
+pub use session::{SessionRequest, SessionSpec, SessionUser};
 pub use sources::{source_spec, SourceSpec};

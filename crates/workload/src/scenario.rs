@@ -56,39 +56,20 @@ pub struct ScenarioModel {
     pub deps: Vec<ModelDependency>,
 }
 
-impl ScenarioModel {
-    fn independent(model: ModelId, target_fps: f64) -> Self {
-        Self {
-            model,
-            target_fps,
-            deps: Vec::new(),
-        }
-    }
-
-    fn dependent(
-        model: ModelId,
-        target_fps: f64,
-        upstream: ModelId,
-        kind: DependencyKind,
-        trigger_probability: f64,
-    ) -> Self {
-        Self {
-            model,
-            target_fps,
-            deps: vec![ModelDependency {
-                upstream,
-                kind,
-                trigger_probability,
-            }],
-        }
-    }
-}
-
 /// A fully-specified usage scenario (Definition 4).
+///
+/// Specs are *open*: the seven Table 2 scenarios are ordinary values
+/// built through [`crate::ScenarioBuilder`] and registered in
+/// [`crate::ScenarioCatalog::builtin`], and user-defined scenarios
+/// flow through load generation, simulation, and scoring identically.
+/// Use the builder to construct validated specs — it rejects unknown
+/// upstream models, dependency cycles, and insane rates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
-    /// Which scenario this is.
-    pub scenario: UsageScenario,
+    /// Display name (unique within a catalog).
+    pub name: String,
+    /// One-line description of the usage the scenario models.
+    pub description: String,
     /// The active models with rates and dependencies.
     pub models: Vec<ScenarioModel>,
 }
@@ -102,6 +83,14 @@ impl ScenarioSpec {
     /// Number of active models (`K = NumModels(S)`).
     pub fn num_models(&self) -> usize {
         self.models.len()
+    }
+
+    /// Whether the scenario contains a probabilistic dependency,
+    /// making its simulated workload dynamic across seeds (§4.1).
+    pub fn is_dynamic(&self) -> bool {
+        self.models
+            .iter()
+            .any(|m| m.deps.iter().any(|d| d.trigger_probability < 1.0))
     }
 
     /// Returns a copy with the ES → GE trigger probability replaced
@@ -190,13 +179,11 @@ impl UsageScenario {
     /// notes Outdoor A/B and AR Assistant produce non-deterministic
     /// results).
     pub fn is_dynamic(&self) -> bool {
-        self.spec()
-            .models
-            .iter()
-            .any(|m| m.deps.iter().any(|d| d.trigger_probability < 1.0))
+        self.spec().is_dynamic()
     }
 
-    /// Builds the Table 2 specification for this scenario.
+    /// Builds the Table 2 specification for this scenario through
+    /// [`crate::ScenarioBuilder`].
     ///
     /// Keyword-utterance probabilities follow §4.1: 0.2 for the
     /// outdoor scenarios, 0.5 for AR assistant. The ES → GE data
@@ -204,52 +191,44 @@ impl UsageScenario {
     pub fn spec(&self) -> ScenarioSpec {
         use DependencyKind::{Control, Data};
         use ModelId::*;
-        let models = match self {
-            UsageScenario::SocialInteractionA => vec![
-                ScenarioModel::independent(HandTracking, 30.0),
-                ScenarioModel::independent(EyeSegmentation, 60.0),
-                ScenarioModel::dependent(GazeEstimation, 60.0, EyeSegmentation, Data, 1.0),
-                ScenarioModel::independent(DepthRefinement, 30.0),
-            ],
-            UsageScenario::SocialInteractionB => vec![
-                ScenarioModel::independent(EyeSegmentation, 60.0),
-                ScenarioModel::dependent(GazeEstimation, 60.0, EyeSegmentation, Data, 1.0),
-                ScenarioModel::independent(DepthRefinement, 30.0),
-            ],
-            UsageScenario::OutdoorActivityA => vec![
-                ScenarioModel::independent(KeywordDetection, 3.0),
-                ScenarioModel::dependent(SpeechRecognition, 3.0, KeywordDetection, Control, 0.2),
-                ScenarioModel::independent(ObjectDetection, 10.0),
-                ScenarioModel::independent(DepthRefinement, 30.0),
-            ],
-            UsageScenario::OutdoorActivityB => vec![
-                ScenarioModel::independent(HandTracking, 30.0),
-                ScenarioModel::independent(KeywordDetection, 3.0),
-                ScenarioModel::dependent(SpeechRecognition, 3.0, KeywordDetection, Control, 0.2),
-            ],
-            UsageScenario::ArAssistant => vec![
-                ScenarioModel::independent(KeywordDetection, 3.0),
-                ScenarioModel::dependent(SpeechRecognition, 3.0, KeywordDetection, Control, 0.5),
-                ScenarioModel::independent(SemanticSegmentation, 10.0),
-                ScenarioModel::independent(ObjectDetection, 10.0),
-                ScenarioModel::independent(DepthEstimation, 30.0),
-                ScenarioModel::independent(DepthRefinement, 30.0),
-            ],
-            UsageScenario::ArGaming => vec![
-                ScenarioModel::independent(HandTracking, 45.0),
-                ScenarioModel::independent(DepthEstimation, 30.0),
-                ScenarioModel::independent(PlaneDetection, 30.0),
-            ],
-            UsageScenario::VrGaming => vec![
-                ScenarioModel::independent(HandTracking, 45.0),
-                ScenarioModel::independent(EyeSegmentation, 60.0),
-                ScenarioModel::dependent(GazeEstimation, 60.0, EyeSegmentation, Data, 1.0),
-            ],
+        let b = crate::ScenarioBuilder::new(self.name()).describe(self.description());
+        let b = match self {
+            UsageScenario::SocialInteractionA => b
+                .model(HandTracking, 30.0)
+                .model(EyeSegmentation, 60.0)
+                .dependent(GazeEstimation, 60.0, EyeSegmentation, Data, 1.0)
+                .model(DepthRefinement, 30.0),
+            UsageScenario::SocialInteractionB => b
+                .model(EyeSegmentation, 60.0)
+                .dependent(GazeEstimation, 60.0, EyeSegmentation, Data, 1.0)
+                .model(DepthRefinement, 30.0),
+            UsageScenario::OutdoorActivityA => b
+                .model(KeywordDetection, 3.0)
+                .dependent(SpeechRecognition, 3.0, KeywordDetection, Control, 0.2)
+                .model(ObjectDetection, 10.0)
+                .model(DepthRefinement, 30.0),
+            UsageScenario::OutdoorActivityB => b
+                .model(HandTracking, 30.0)
+                .model(KeywordDetection, 3.0)
+                .dependent(SpeechRecognition, 3.0, KeywordDetection, Control, 0.2),
+            UsageScenario::ArAssistant => b
+                .model(KeywordDetection, 3.0)
+                .dependent(SpeechRecognition, 3.0, KeywordDetection, Control, 0.5)
+                .model(SemanticSegmentation, 10.0)
+                .model(ObjectDetection, 10.0)
+                .model(DepthEstimation, 30.0)
+                .model(DepthRefinement, 30.0),
+            UsageScenario::ArGaming => b
+                .model(HandTracking, 45.0)
+                .model(DepthEstimation, 30.0)
+                .model(PlaneDetection, 30.0),
+            UsageScenario::VrGaming => b
+                .model(HandTracking, 45.0)
+                .model(EyeSegmentation, 60.0)
+                .dependent(GazeEstimation, 60.0, EyeSegmentation, Data, 1.0),
         };
-        ScenarioSpec {
-            scenario: *self,
-            models,
-        }
+        b.build()
+            .expect("the Table 2 scenarios are valid by construction")
     }
 }
 

@@ -1,0 +1,309 @@
+//! Multi-user sessions: overlaid, staggered scenario instances.
+//!
+//! A [`SessionSpec`] composes N users, each running their own (possibly
+//! different) [`ScenarioSpec`] starting at a per-user offset, into one
+//! merged inference-request stream. Every user's stream is generated
+//! with an independent jitter seed, so identical scenarios still
+//! de-synchronize the way real concurrent users do. The merged stream
+//! is simulated *concurrently* on one shared system — the first step
+//! toward serving production-scale populations rather than a single
+//! headset.
+
+use crate::loadgen::{InferenceRequest, LoadGenerator};
+use crate::scenario::ScenarioSpec;
+
+/// One user's slot within a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionUser {
+    /// Dense user id (0-based, assigned in registration order).
+    pub user: u32,
+    /// The scenario this user runs.
+    pub spec: ScenarioSpec,
+    /// When the user's streams start, relative to session start (s).
+    pub start_offset_s: f64,
+}
+
+/// One request of the merged session stream, tagged with its user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRequest {
+    /// The originating user.
+    pub user: u32,
+    /// The request, with times already shifted by the user's offset.
+    pub req: InferenceRequest,
+}
+
+/// A multi-user session: N staggered scenario instances merged into
+/// one request stream.
+///
+/// ```
+/// use xrbench_workload::{SessionSpec, UsageScenario};
+///
+/// let session = SessionSpec::uniform(
+///     "vr-party",
+///     UsageScenario::VrGaming.spec(),
+///     4,      // users
+///     0.050,  // 50 ms stagger between joins
+/// );
+/// let merged = session.generate(42, 1.0);
+/// // 4 users × (45 HT + 60 ES + 60 GE) requests.
+/// assert_eq!(merged.len(), 4 * 165);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Session display name.
+    pub name: String,
+    /// The users, in id order.
+    pub users: Vec<SessionUser>,
+}
+
+impl SessionSpec {
+    /// An empty session with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            users: Vec::new(),
+        }
+    }
+
+    /// Adds one user running `spec`, starting `start_offset_s` after
+    /// session start. User ids are assigned densely in call order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is negative or not finite.
+    #[must_use]
+    pub fn with_user(mut self, spec: ScenarioSpec, start_offset_s: f64) -> Self {
+        assert!(
+            start_offset_s.is_finite() && start_offset_s >= 0.0,
+            "start offset must be finite and non-negative, got {start_offset_s}"
+        );
+        let user = self.users.len() as u32;
+        self.users.push(SessionUser {
+            user,
+            spec,
+            start_offset_s,
+        });
+        self
+    }
+
+    /// N users all running the same scenario, joining `stagger_s`
+    /// apart (user k starts at `k × stagger_s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users == 0` or `stagger_s` is negative/not finite.
+    pub fn uniform(
+        name: impl Into<String>,
+        spec: ScenarioSpec,
+        users: u32,
+        stagger_s: f64,
+    ) -> Self {
+        Self::mixed(name, &[spec], users, stagger_s)
+    }
+
+    /// N users drawing scenarios round-robin from `specs`, joining
+    /// `stagger_s` apart — the mixed-population case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, `users == 0`, or `stagger_s` is
+    /// negative/not finite.
+    pub fn mixed(
+        name: impl Into<String>,
+        specs: &[ScenarioSpec],
+        users: u32,
+        stagger_s: f64,
+    ) -> Self {
+        assert!(!specs.is_empty(), "session needs at least one scenario");
+        assert!(users > 0, "session needs at least one user");
+        assert!(
+            stagger_s.is_finite() && stagger_s >= 0.0,
+            "stagger must be finite and non-negative, got {stagger_s}"
+        );
+        let mut s = Self::new(name);
+        for k in 0..users {
+            let spec = specs[k as usize % specs.len()].clone();
+            s = s.with_user(spec, f64::from(k) * stagger_s);
+        }
+        s
+    }
+
+    /// Number of users in the session.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The session's total simulated span for a per-user run duration:
+    /// the last user's offset plus the duration.
+    pub fn span_s(&self, duration_s: f64) -> f64 {
+        let max_offset = self
+            .users
+            .iter()
+            .map(|u| u.start_offset_s)
+            .fold(0.0, f64::max);
+        max_offset + duration_s
+    }
+
+    /// Generates the merged, time-sorted session request stream.
+    ///
+    /// Each user's stream comes from its own [`LoadGenerator`] seeded
+    /// with `seed` mixed with the user id (user 0 sees exactly the
+    /// single-user stream for `seed`), then shifted by the user's
+    /// start offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no users, user ids are not unique
+    /// (the simulator keys all bookkeeping per user — duplicates would
+    /// silently merge two users' streams), or `duration_s` is not
+    /// positive.
+    pub fn generate(&self, seed: u64, duration_s: f64) -> Vec<SessionRequest> {
+        assert!(!self.users.is_empty(), "session has no users");
+        let mut seen: Vec<u32> = self.users.iter().map(|u| u.user).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(
+            seen.len() == self.users.len(),
+            "session user ids must be unique (got {} users, {} distinct ids)",
+            self.users.len(),
+            seen.len()
+        );
+        let mut out = Vec::new();
+        for u in &self.users {
+            let user_seed = seed ^ u64::from(u.user).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            for mut req in LoadGenerator::new(user_seed).generate(&u.spec, duration_s) {
+                req.t_req += u.start_offset_s;
+                req.t_deadline += u.start_offset_s;
+                out.push(SessionRequest { user: u.user, req });
+            }
+        }
+        out.sort_by(|a, b| {
+            a.req
+                .t_req
+                .total_cmp(&b.req.t_req)
+                .then(a.user.cmp(&b.user))
+                .then(a.req.model.cmp(&b.req.model))
+                .then(a.req.frame_id.cmp(&b.req.frame_id))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::UsageScenario;
+
+    #[test]
+    fn uniform_session_staggers_users() {
+        let s = SessionSpec::uniform("s", UsageScenario::ArGaming.spec(), 3, 0.1);
+        assert_eq!(s.num_users(), 3);
+        for (k, u) in s.users.iter().enumerate() {
+            assert_eq!(u.user, k as u32);
+            assert!((u.start_offset_s - 0.1 * k as f64).abs() < 1e-12);
+        }
+        assert!((s.span_s(1.0) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_session_round_robins_scenarios() {
+        let specs = [
+            UsageScenario::VrGaming.spec(),
+            UsageScenario::ArGaming.spec(),
+        ];
+        let s = SessionSpec::mixed("m", &specs, 5, 0.0);
+        assert_eq!(s.users[0].spec.name, "VR Gaming");
+        assert_eq!(s.users[1].spec.name, "AR Gaming");
+        assert_eq!(s.users[4].spec.name, "VR Gaming");
+    }
+
+    #[test]
+    fn merged_stream_is_sorted_and_complete() {
+        let s = SessionSpec::uniform("s", UsageScenario::VrGaming.spec(), 4, 0.05);
+        let reqs = s.generate(7, 1.0);
+        assert_eq!(reqs.len(), 4 * 165);
+        for w in reqs.windows(2) {
+            assert!(w[0].req.t_req <= w[1].req.t_req);
+        }
+        for u in 0..4u32 {
+            assert_eq!(reqs.iter().filter(|r| r.user == u).count(), 165);
+        }
+    }
+
+    #[test]
+    fn user_zero_matches_single_user_stream() {
+        let spec = UsageScenario::SocialInteractionA.spec();
+        let single = LoadGenerator::new(99).generate(&spec, 1.0);
+        let s = SessionSpec::uniform("s", spec, 2, 0.0);
+        let merged = s.generate(99, 1.0);
+        let user0: Vec<_> = merged
+            .iter()
+            .filter(|r| r.user == 0)
+            .map(|r| r.req.clone())
+            .collect();
+        assert_eq!(user0, single);
+    }
+
+    #[test]
+    fn users_get_independent_jitter() {
+        let s = SessionSpec::uniform("s", UsageScenario::VrGaming.spec(), 2, 0.0);
+        let reqs = s.generate(3, 1.0);
+        let t0: Vec<f64> = reqs
+            .iter()
+            .filter(|r| r.user == 0)
+            .map(|r| r.req.t_req)
+            .collect();
+        let t1: Vec<f64> = reqs
+            .iter()
+            .filter(|r| r.user == 1)
+            .map(|r| r.req.t_req)
+            .collect();
+        assert_ne!(t0, t1, "users must not share jitter streams");
+    }
+
+    #[test]
+    fn offsets_shift_both_times() {
+        let spec = UsageScenario::ArGaming.spec();
+        let base = SessionSpec::uniform("a", spec.clone(), 1, 0.0).generate(1, 1.0);
+        let shifted = SessionSpec::new("b").with_user(spec, 0.25).generate(1, 1.0);
+        for (a, b) in base.iter().zip(&shifted) {
+            assert!((b.req.t_req - a.req.t_req - 0.25).abs() < 1e-12);
+            assert!((b.req.t_deadline - a.req.t_deadline - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn negative_offset_rejected() {
+        let _ = SessionSpec::new("s").with_user(UsageScenario::VrGaming.spec(), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_rejected() {
+        let _ = SessionSpec::uniform("s", UsageScenario::VrGaming.spec(), 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no users")]
+    fn generating_empty_session_rejected() {
+        let _ = SessionSpec::new("s").generate(1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_user_ids_rejected() {
+        // Hand-built sessions (bypassing with_user's dense ids) must
+        // not silently merge two users' streams.
+        let u = SessionUser {
+            user: 0,
+            spec: UsageScenario::VrGaming.spec(),
+            start_offset_s: 0.0,
+        };
+        let s = SessionSpec {
+            name: "dup".into(),
+            users: vec![u.clone(), u],
+        };
+        let _ = s.generate(1, 1.0);
+    }
+}

@@ -1,9 +1,11 @@
 //! Defining a custom usage scenario and a custom evaluated system.
 //!
 //! XRBench's Table 2 scenarios are data, not code: a scenario is a
-//! list of (model, target FPS, dependencies). This example builds a
-//! hypothetical "AR Co-pilot" scenario — simultaneous hand
-//! interaction, scene understanding, and voice — and evaluates it on
+//! list of (model, target FPS, dependencies), assembled through the
+//! validated `ScenarioBuilder` (which rejects dependency cycles,
+//! unknown upstreams, and rates the sensors cannot deliver). This
+//! example builds a hypothetical "AR Co-pilot" scenario — simultaneous
+//! hand interaction, scene understanding, and voice — and evaluates it on
 //! (a) a Table 5 accelerator and (b) a custom measured-latency table
 //! (the path real systems take: measure, fill a table, score).
 //!
@@ -13,48 +15,27 @@
 
 use xrbench::prelude::*;
 use xrbench::sim::TableProvider;
-use xrbench::workload::{DependencyKind, ModelDependency, ScenarioModel};
+use xrbench::workload::DependencyKind;
 
 fn ar_copilot() -> ScenarioSpec {
     use xrbench::models::ModelId::*;
-    ScenarioSpec {
-        // Reuse an existing scenario tag for reporting purposes; the
-        // model list below is what actually runs.
-        scenario: UsageScenario::ArAssistant,
-        models: vec![
-            ScenarioModel {
-                model: HandTracking,
-                target_fps: 30.0,
-                deps: vec![],
-            },
-            ScenarioModel {
-                model: SemanticSegmentation,
-                target_fps: 10.0,
-                deps: vec![],
-            },
-            ScenarioModel {
-                model: KeywordDetection,
-                target_fps: 3.0,
-                deps: vec![],
-            },
-            // Voice commands are expected often in a co-pilot: 80%
-            // keyword-utterance probability.
-            ScenarioModel {
-                model: SpeechRecognition,
-                target_fps: 3.0,
-                deps: vec![ModelDependency {
-                    upstream: KeywordDetection,
-                    kind: DependencyKind::Control,
-                    trigger_probability: 0.8,
-                }],
-            },
-            ScenarioModel {
-                model: DepthEstimation,
-                target_fps: 30.0,
-                deps: vec![],
-            },
-        ],
-    }
+    ScenarioBuilder::new("AR Co-pilot")
+        .describe("Simultaneous hand interaction, scene understanding, and voice")
+        .model(HandTracking, 30.0)
+        .model(SemanticSegmentation, 10.0)
+        .model(KeywordDetection, 3.0)
+        // Voice commands are expected often in a co-pilot: 80%
+        // keyword-utterance probability.
+        .dependent(
+            SpeechRecognition,
+            3.0,
+            KeywordDetection,
+            DependencyKind::Control,
+            0.8,
+        )
+        .model(DepthEstimation, 30.0)
+        .build()
+        .expect("valid scenario")
 }
 
 fn main() {

@@ -1,0 +1,77 @@
+//! A 32-user mixed-scenario session on shared accelerator hardware.
+//!
+//! Users join 20 ms apart, drawing scenarios round-robin from the
+//! whole built-in catalog, and their merged request stream is
+//! simulated *concurrently* — every inference competes for the same
+//! engines. The report breaks scores down per user (who got served,
+//! who starved) plus the session aggregate, and the same session is
+//! re-run under all four shipped schedulers to compare dispatch
+//! policies under multi-tenant load.
+//!
+//! ```sh
+//! cargo run --release --example multi_user_session
+//! ```
+
+use xrbench::prelude::*;
+use xrbench::workload::ScenarioCatalog;
+
+fn main() {
+    // Population: 32 users cycling through all 7 built-in scenarios.
+    let catalog = ScenarioCatalog::builtin();
+    let specs: Vec<ScenarioSpec> = catalog.iter().cloned().collect();
+    let session = SessionSpec::mixed("metaverse-pod-32", &specs, 32, 0.020);
+    println!(
+        "session {:?}: {} users over {:.2} s",
+        session.name,
+        session.num_users(),
+        session.span_s(1.0)
+    );
+
+    // Shared hardware: accelerator J (WS + OS HDA) at 8K PEs.
+    let config = table5().into_iter().find(|c| c.id == 'J').expect("J");
+    let system = AcceleratorSystem::new(config, 8192);
+    let harness = Harness::new();
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(LatencyGreedy::new()),
+        Box::new(RoundRobin::new()),
+        Box::new(SlackAwareEdf::new()),
+        Box::new(LeastLoaded::new()),
+    ];
+    for scheduler in &mut schedulers {
+        let report = harness.run_session(&session, &system, scheduler.as_mut());
+        let worst = report.worst_user().expect("non-empty session");
+        println!(
+            "\n{:>14}: session score {:.3} (rt {:.3}, qoe {:.3}), \
+             util {:.1}%, drops {:.1}%, worst user #{} at {:.3} ({})",
+            report.scheduler,
+            report.session_score,
+            report.aggregate.realtime_score,
+            report.aggregate.qoe_score,
+            report.mean_utilization * 100.0,
+            report.drop_rate * 100.0,
+            worst.user,
+            worst.report.overall(),
+            worst.report.scenario,
+        );
+    }
+
+    // Per-user breakdown under the default scheduler.
+    let report = harness.run_session(&session, &system, &mut LatencyGreedy::new());
+    println!("\nper-user breakdown (latency-greedy):");
+    for u in &report.users {
+        println!(
+            "  user {:>2} (+{:>5.0} ms) {:22} overall {:.3}  qoe {:.3}  drops {:>3}",
+            u.user,
+            u.start_offset_s * 1e3,
+            u.report.scenario,
+            u.report.overall(),
+            u.report.breakdown.qoe_score,
+            u.report
+                .models
+                .iter()
+                .map(|m| m.dropped_frames)
+                .sum::<u64>(),
+        );
+    }
+}

@@ -47,8 +47,9 @@ pub use xrbench_workload as workload;
 pub mod prelude {
     pub use xrbench_accel::{table5, AcceleratorConfig, AcceleratorStyle, AcceleratorSystem};
     pub use xrbench_core::{
-        run_suite, run_suite_parallel, run_suite_serial, BenchmarkReport, BreakdownReport, Harness,
-        ModelReport, ScenarioReport,
+        run_sessions, run_suite, run_suite_catalog, run_suite_parallel, run_suite_serial,
+        BenchmarkReport, BreakdownReport, Harness, ModelReport, ScenarioReport, SessionReport,
+        UserReport,
     };
     pub use xrbench_costmodel::{
         evaluate_layer, evaluate_layers, Dataflow, HardwareConfig, Layer, LayerKind,
@@ -57,7 +58,10 @@ pub mod prelude {
     pub use xrbench_models::{model_info, ModelId, TaskCategory};
     pub use xrbench_score::{benchmark_score, InferenceScore, ModelOutcome};
     pub use xrbench_sim::{
-        CostProvider, InferenceCost, LatencyGreedy, RoundRobin, Scheduler, SimConfig, Simulator,
+        CostProvider, InferenceCost, LatencyGreedy, LeastLoaded, RoundRobin, Scheduler,
+        SessionSimResult, SimConfig, Simulator, SlackAwareEdf,
     };
-    pub use xrbench_workload::{LoadGenerator, ScenarioSpec, UsageScenario};
+    pub use xrbench_workload::{
+        LoadGenerator, ScenarioBuilder, ScenarioCatalog, ScenarioSpec, SessionSpec, UsageScenario,
+    };
 }

@@ -1,0 +1,189 @@
+//! Property tests for the load generator (Definitions 7 and 8),
+//! exercised across *random* scenario specs from `ScenarioBuilder` —
+//! not just the seven built-ins:
+//!
+//! * request-time jitter stays within `±Jt` of the nominal frame time;
+//! * deadlines are un-jittered (they sit exactly on the sensor's
+//!   frame grid) and monotone per model;
+//! * frame ids are gapless per model (`0, 1, 2, ...`).
+
+use proptest::prelude::*;
+
+use xrbench::models::ModelId;
+use xrbench::prelude::*;
+use xrbench::workload::{source_spec, InferenceRequest};
+
+/// A random valid scenario: a non-empty subset of the model zoo, each
+/// at a random rate the driving sensor can actually deliver
+/// (`fps = sensor_fps / divisor`).
+fn random_spec(selector: u64, divisors: u64) -> ScenarioSpec {
+    let mut b = ScenarioBuilder::new(format!("random-{selector:x}"));
+    let mut any = false;
+    for (i, model) in ModelId::ALL.into_iter().enumerate() {
+        // Bit i of the selector decides membership.
+        if selector >> i & 1 == 1 {
+            let d = ((divisors >> (i * 5)) & 0x1F) % 6 + 1;
+            let d = d as f64;
+            let fps = source_spec(model.driving_source()).fps / d;
+            b = b.model(model, fps);
+            any = true;
+        }
+    }
+    if !any {
+        // Empty subset: fall back to a single-model scenario.
+        b = b.model(ModelId::HandTracking, 30.0);
+    }
+    b.build().expect("random spec is valid by construction")
+}
+
+fn per_model(reqs: &[InferenceRequest]) -> Vec<(ModelId, Vec<&InferenceRequest>)> {
+    ModelId::ALL
+        .into_iter()
+        .map(|m| (m, reqs.iter().filter(|r| r.model == m).collect::<Vec<_>>()))
+        .filter(|(_, v)| !v.is_empty())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jitter_bounded_by_jt_for_any_builder_spec(
+        selector in 1u64..(1 << 11),
+        divisors in any::<u64>(),
+        seed in 0u64..10_000,
+        duration_ds in 1u32..30,
+    ) {
+        let spec = random_spec(selector, divisors);
+        let duration = f64::from(duration_ds) / 10.0;
+        let reqs = LoadGenerator::new(seed).generate(&spec, duration);
+        for r in &reqs {
+            let src = source_spec(r.model.driving_source());
+            // Definition 7: Treq = Linit + frame/FPS + 2·Jt·(Dist−0.5),
+            // with Dist ∈ [0, 1] ⇒ |Treq − nominal| ≤ Jt.
+            let nominal = src.init_latency_ms / 1e3 + r.sensor_frame as f64 / src.fps;
+            prop_assert!(
+                (r.t_req - nominal).abs() <= src.jitter_ms / 1e3 + 1e-12,
+                "{}: jitter {} exceeds Jt {}",
+                r.model,
+                (r.t_req - nominal).abs(),
+                src.jitter_ms / 1e3
+            );
+        }
+    }
+
+    #[test]
+    fn deadlines_unjittered_and_monotone(
+        selector in 1u64..(1 << 11),
+        divisors in any::<u64>(),
+        seed in 0u64..10_000,
+    ) {
+        let spec = random_spec(selector, divisors);
+        let reqs = LoadGenerator::new(seed).generate(&spec, 1.0);
+        for (model, rs) in per_model(&reqs) {
+            let src = source_spec(model.driving_source());
+            let linit = src.init_latency_ms / 1e3;
+            let mut sorted = rs.clone();
+            sorted.sort_by_key(|r| r.frame_id);
+            for w in sorted.windows(2) {
+                // Definition 8: deadlines advance with consumed frames.
+                prop_assert!(
+                    w[1].t_deadline > w[0].t_deadline,
+                    "{model}: deadline not monotone"
+                );
+            }
+            for r in &sorted {
+                // Un-jittered: Tdl sits exactly on the sensor grid.
+                let frames = (r.t_deadline - linit) * src.fps;
+                prop_assert!(
+                    (frames - frames.round()).abs() < 1e-6,
+                    "{model}: deadline {} off the frame grid",
+                    r.t_deadline
+                );
+                // And it is the *next* consumed frame: strictly after
+                // the un-jittered arrival.
+                let nominal = linit + r.sensor_frame as f64 / src.fps;
+                prop_assert!(r.t_deadline > nominal, "{model}: deadline not in the future");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_ids_gapless_per_model(
+        selector in 1u64..(1 << 11),
+        divisors in any::<u64>(),
+        seed in 0u64..10_000,
+        duration_ds in 1u32..25,
+    ) {
+        let spec = random_spec(selector, divisors);
+        let duration = f64::from(duration_ds) / 10.0;
+        let reqs = LoadGenerator::new(seed).generate(&spec, duration);
+        for (model, rs) in per_model(&reqs) {
+            let mut ids: Vec<u64> = rs.iter().map(|r| r.frame_id).collect();
+            ids.sort_unstable();
+            let expect: Vec<u64> = (0..ids.len() as u64).collect();
+            prop_assert_eq!(&ids, &expect, "{} has frame-id gaps", model);
+            // And the count honors the target rate over the duration.
+            let target = spec.model(model).unwrap().target_fps;
+            prop_assert_eq!(
+                ids.len() as u64,
+                (target * duration).ceil() as u64,
+                "{} emitted the wrong number of requests",
+                model
+            );
+        }
+    }
+
+    #[test]
+    fn sensor_frames_monotone_per_model(
+        selector in 1u64..(1 << 11),
+        divisors in any::<u64>(),
+        seed in 0u64..10_000,
+    ) {
+        // Consumed sensor frames never repeat or regress: the skip
+        // pattern is strictly increasing.
+        let spec = random_spec(selector, divisors);
+        let reqs = LoadGenerator::new(seed).generate(&spec, 1.0);
+        for (model, rs) in per_model(&reqs) {
+            let mut sorted = rs.clone();
+            sorted.sort_by_key(|r| r.frame_id);
+            for w in sorted.windows(2) {
+                prop_assert!(
+                    w[1].sensor_frame > w[0].sensor_frame,
+                    "{model}: sensor frames not strictly increasing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_streams_inherit_loadgen_properties(
+        users in 1u32..6,
+        stagger_ms in 0u32..100,
+        seed in 0u64..10_000,
+    ) {
+        // The merged multi-user stream preserves per-user jitter
+        // bounds and gapless frame ids after the offset shift.
+        let spec = UsageScenario::VrGaming.spec();
+        let stagger = f64::from(stagger_ms) / 1e3;
+        let session = SessionSpec::uniform("prop", spec, users, stagger);
+        let merged = session.generate(seed, 1.0);
+        for u in 0..users {
+            let offset = f64::from(u) * stagger;
+            for sr in merged.iter().filter(|r| r.user == u) {
+                let src = source_spec(sr.req.model.driving_source());
+                let nominal =
+                    offset + src.init_latency_ms / 1e3 + sr.req.sensor_frame as f64 / src.fps;
+                prop_assert!((sr.req.t_req - nominal).abs() <= src.jitter_ms / 1e3 + 1e-12);
+            }
+            let mut ht: Vec<u64> = merged
+                .iter()
+                .filter(|r| r.user == u && r.req.model == ModelId::HandTracking)
+                .map(|r| r.req.frame_id)
+                .collect();
+            ht.sort_unstable();
+            let expect: Vec<u64> = (0..ht.len() as u64).collect();
+            prop_assert_eq!(ht, expect);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Scheduler conformance harness.
+//!
+//! A reusable, generic suite asserting that every [`Scheduler`]
+//! implementation honors the trait contract the simulator relies on:
+//!
+//! 1. **Determinism** — two fresh instances fed the same call
+//!    sequence produce the same dispatch decisions (reproducible
+//!    benchmark runs depend on it).
+//! 2. **In-range picks** — the returned request index is always
+//!    within the ready queue and the returned engine is always one of
+//!    the free engines (only ready requests go to free engines).
+//! 3. **Starvation honesty** — with no ready requests or no free
+//!    engines, the scheduler returns `None`.
+//! 4. **Whole-run invariants** — driven through the real simulator on
+//!    every built-in scenario and a mixed multi-user session: engine
+//!    occupancy, frame conservation, and run-to-run determinism hold.
+//!
+//! To conformance-test a new scheduler, add a factory to
+//! [`all_schedulers`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xrbench::models::ModelId;
+use xrbench::prelude::*;
+use xrbench::sim::{PendingView, UniformProvider};
+use xrbench::workload::ScenarioCatalog;
+
+/// A named factory producing fresh scheduler instances.
+type SchedulerFactory = (&'static str, Box<dyn Fn() -> Box<dyn Scheduler>>);
+
+/// Every shipped scheduler, by fresh-instance factory.
+fn all_schedulers() -> Vec<SchedulerFactory> {
+    vec![
+        (
+            "latency-greedy",
+            Box::new(|| Box::new(LatencyGreedy::new())),
+        ),
+        ("round-robin", Box::new(|| Box::new(RoundRobin::new()))),
+        ("slack-edf", Box::new(|| Box::new(SlackAwareEdf::new()))),
+        ("least-loaded", Box::new(|| Box::new(LeastLoaded::new()))),
+    ]
+}
+
+/// One randomized `select` call: a ready queue, a free-engine subset,
+/// and the current time.
+fn random_call(rng: &mut StdRng, num_engines: usize) -> (Vec<PendingView>, Vec<usize>, f64) {
+    let now = rng.gen_range(0.0..1.0);
+    let n_ready = rng.gen_range(0usize..8);
+    let ready: Vec<PendingView> = (0..n_ready)
+        .map(|_| {
+            let t_req = now - rng.gen_range(0.0..0.05);
+            PendingView {
+                user: rng.gen_range(0u32..4),
+                model: ModelId::ALL[rng.gen_range(0usize..ModelId::ALL.len())],
+                frame_id: rng.gen_range(0u64..120),
+                t_req,
+                t_deadline: t_req + rng.gen_range(0.0001..0.05),
+            }
+        })
+        .collect();
+    // A sorted subset of engines, as the simulator provides.
+    let free: Vec<usize> = (0..num_engines)
+        .filter(|_| rng.gen_range(0u32..3) > 0)
+        .collect();
+    (ready, free, now)
+}
+
+#[test]
+fn conformance_in_range_and_only_free_engines() {
+    let num_engines = 5;
+    let provider = UniformProvider::new(num_engines, 0.002, 0.001);
+    for (name, factory) in all_schedulers() {
+        let mut s = factory();
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for call in 0..500 {
+            let (ready, free, now) = random_call(&mut rng, num_engines);
+            match s.select(&ready, &free, &provider, now) {
+                None => {}
+                Some((ri, engine)) => {
+                    assert!(
+                        ri < ready.len(),
+                        "{name} call {call}: request index {ri} out of range ({} ready)",
+                        ready.len()
+                    );
+                    assert!(
+                        free.contains(&engine),
+                        "{name} call {call}: dispatched to busy engine {engine} (free: {free:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_starved_schedulers_return_none() {
+    let provider = UniformProvider::new(3, 0.002, 0.001);
+    let view = PendingView {
+        user: 0,
+        model: ModelId::HandTracking,
+        frame_id: 0,
+        t_req: 0.0,
+        t_deadline: 0.033,
+    };
+    for (name, factory) in all_schedulers() {
+        let mut s = factory();
+        assert!(
+            s.select(&[], &[0, 1, 2], &provider, 0.0).is_none(),
+            "{name} dispatched without ready requests"
+        );
+        assert!(
+            s.select(&[view], &[], &provider, 0.0).is_none(),
+            "{name} dispatched without free engines"
+        );
+    }
+}
+
+#[test]
+fn conformance_deterministic_replay() {
+    // Two fresh instances fed the identical call sequence must make
+    // identical decisions — including stateful schedulers (rotation
+    // pointers, load accumulators).
+    let num_engines = 4;
+    let provider = UniformProvider::new(num_engines, 0.003, 0.001);
+    for (name, factory) in all_schedulers() {
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        let calls: Vec<(Vec<PendingView>, Vec<usize>, f64)> = (0..300)
+            .map(|_| random_call(&mut rng, num_engines))
+            .collect();
+        let mut a = factory();
+        let mut b = factory();
+        for (i, (ready, free, now)) in calls.iter().enumerate() {
+            let da = a.select(ready, free, &provider, *now);
+            let db = b.select(ready, free, &provider, *now);
+            assert_eq!(da, db, "{name} diverged on call {i}");
+        }
+    }
+}
+
+#[test]
+fn conformance_whole_run_invariants_per_scenario() {
+    // Drive each scheduler through the real simulator on every
+    // built-in scenario; the simulator panics on out-of-range or
+    // busy-engine picks, and we assert occupancy + conservation +
+    // determinism on top.
+    let provider = UniformProvider::new(3, 0.004, 0.001);
+    for (name, factory) in all_schedulers() {
+        for spec in &ScenarioCatalog::builtin() {
+            let sim = Simulator::new(SimConfig {
+                duration_s: 1.0,
+                seed: 41,
+            });
+            let a = sim.run(spec, &provider, factory().as_mut());
+            let b = sim.run(spec, &provider, factory().as_mut());
+            assert_eq!(a, b, "{name} not reproducible on {}", spec.name);
+            for e in 0..3 {
+                let mut recs: Vec<_> = a.records.iter().filter(|r| r.engine == e).collect();
+                recs.sort_by(|x, y| x.t_start.total_cmp(&y.t_start));
+                for w in recs.windows(2) {
+                    assert!(
+                        w[1].t_start >= w[0].t_end - 1e-12,
+                        "{name}/{}: overlap on engine {e}",
+                        spec.name
+                    );
+                }
+            }
+            for (m, st) in &a.stats {
+                assert_eq!(
+                    st.total_frames,
+                    st.executed_frames + st.dropped_frames,
+                    "{name}/{}/{m}: frame conservation violated",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_whole_run_invariants_multi_user() {
+    // The same invariants must hold when users share the engines.
+    let provider = UniformProvider::new(2, 0.003, 0.001);
+    let specs: Vec<ScenarioSpec> = ScenarioCatalog::builtin().iter().cloned().collect();
+    let session = SessionSpec::mixed("conformance", &specs, 6, 0.015);
+    for (name, factory) in all_schedulers() {
+        let sim = Simulator::new(SimConfig::default());
+        let a = sim.run_session(&session, &provider, factory().as_mut());
+        let b = sim.run_session(&session, &provider, factory().as_mut());
+        assert_eq!(a, b, "{name} session run not reproducible");
+        // Occupancy across *all* users' records.
+        let mut all: Vec<_> = a
+            .per_user
+            .iter()
+            .flat_map(|(_, r)| r.records.iter())
+            .collect();
+        all.sort_by(|x, y| x.t_start.total_cmp(&y.t_start));
+        for e in 0..2 {
+            let recs: Vec<_> = all.iter().filter(|r| r.engine == e).collect();
+            for w in recs.windows(2) {
+                assert!(
+                    w[1].t_start >= w[0].t_end - 1e-12,
+                    "{name}: cross-user overlap on engine {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_all_four_schedulers_are_registered() {
+    let names: Vec<&str> = all_schedulers()
+        .iter()
+        .map(|(_, f)| {
+            let s = f();
+            s.name()
+        })
+        .collect();
+    assert_eq!(
+        names,
+        vec!["latency-greedy", "round-robin", "slack-edf", "least-loaded"]
+    );
+}

@@ -1,0 +1,133 @@
+//! End-to-end multi-user session runs: the acceptance-criterion
+//! 32-user mixed-scenario session through the session-aware suite
+//! path, with per-user score breakdowns.
+
+use xrbench::prelude::*;
+use xrbench::sim::UniformProvider;
+use xrbench::workload::ScenarioCatalog;
+
+fn mixed_32_user_session() -> SessionSpec {
+    let specs: Vec<ScenarioSpec> = ScenarioCatalog::builtin().iter().cloned().collect();
+    SessionSpec::mixed("metaverse-pod-32", &specs, 32, 0.010)
+}
+
+#[test]
+fn thirty_two_user_mixed_session_end_to_end() {
+    let session = mixed_32_user_session();
+    assert_eq!(session.num_users(), 32);
+
+    // A reasonably beefy shared system so most users get served.
+    let system = UniformProvider::new(8, 0.0005, 0.001);
+    let reports = run_sessions(&Harness::new(), &system, std::slice::from_ref(&session));
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+
+    // Per-user breakdowns: one report per user, cycling through the
+    // whole built-in catalog.
+    assert_eq!(report.num_users, 32);
+    assert_eq!(report.users.len(), 32);
+    let catalog = ScenarioCatalog::builtin();
+    let names = catalog.names();
+    for (k, u) in report.users.iter().enumerate() {
+        assert_eq!(u.user, k as u32);
+        assert!((u.start_offset_s - 0.010 * k as f64).abs() < 1e-12);
+        // Each user is scored against exactly its round-robin-assigned
+        // scenario.
+        assert_eq!(
+            u.report.scenario,
+            names[k % names.len()],
+            "user {k} scored against the wrong scenario"
+        );
+        let b = &u.report.breakdown;
+        for (name, v) in [
+            ("realtime", b.realtime_score),
+            ("energy", b.energy_score),
+            ("accuracy", b.accuracy_score),
+            ("qoe", b.qoe_score),
+            ("overall", b.overall_score),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "user {k} {name} score {v} out of range"
+            );
+        }
+        assert!(!u.report.models.is_empty());
+    }
+    // Adjacent users run different scenarios (mixed population).
+    assert_ne!(
+        report.users[0].report.scenario,
+        report.users[1].report.scenario
+    );
+
+    // The aggregate is the mean of the per-user breakdowns.
+    let mean: f64 = report.users.iter().map(|u| u.report.overall()).sum::<f64>() / 32.0;
+    assert!((report.session_score - mean).abs() < 1e-12);
+    assert!((report.aggregate.overall_score - mean).abs() < 1e-12);
+
+    // Session metadata.
+    assert_eq!(report.session, "metaverse-pod-32");
+    assert!((report.span_s - (31.0 * 0.010 + 1.0)).abs() < 1e-12);
+    assert!(report.mean_utilization > 0.0);
+    assert!(report.total_energy_mj > 0.0);
+
+    // The worst user is a real member and no better than the mean.
+    let worst = report.worst_user().expect("32 users");
+    assert!(worst.report.overall() <= report.session_score + 1e-12);
+
+    // JSON round-trips with per-user sections.
+    let json = report.to_json();
+    assert!(json.contains("\"session_score\""));
+    assert!(json.contains("\"users\""));
+}
+
+#[test]
+fn session_runs_are_reproducible_end_to_end() {
+    let session = mixed_32_user_session();
+    let system = UniformProvider::new(8, 0.0005, 0.001);
+    let h = Harness::new();
+    let a = h.run_session(&session, &system, &mut LatencyGreedy::new());
+    let b = h.run_session(&session, &system, &mut LatencyGreedy::new());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn contention_shows_up_in_per_user_scores() {
+    // 32 users on a starved 1-engine system: the session score must
+    // collapse relative to a single user, and drops must appear.
+    let session = mixed_32_user_session();
+    let starved = UniformProvider::new(1, 0.004, 0.001);
+    let h = Harness::new();
+    let crowded = h.run_session(&session, &starved, &mut LatencyGreedy::new());
+    let solo = h.run_session(
+        &SessionSpec::uniform("solo", UsageScenario::VrGaming.spec(), 1, 0.0),
+        &starved,
+        &mut LatencyGreedy::new(),
+    );
+    assert!(
+        crowded.session_score < solo.session_score,
+        "32-way contention should hurt: {} vs {}",
+        crowded.session_score,
+        solo.session_score
+    );
+    assert!(crowded.drop_rate > 0.0);
+}
+
+#[test]
+fn schedulers_are_interchangeable_on_sessions() {
+    let session = mixed_32_user_session();
+    let system = UniformProvider::new(4, 0.001, 0.001);
+    let h = Harness::new();
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(LatencyGreedy::new()),
+        Box::new(RoundRobin::new()),
+        Box::new(SlackAwareEdf::new()),
+        Box::new(LeastLoaded::new()),
+    ];
+    for s in &mut schedulers {
+        let name = s.name();
+        let r = h.run_session(&session, &system, s.as_mut());
+        assert_eq!(r.scheduler, name);
+        assert_eq!(r.num_users, 32);
+        assert!(r.session_score > 0.0, "{name} starved the whole session");
+    }
+}
