@@ -16,6 +16,10 @@
 //!   (appendix Figure 8).
 //! * `tables` — Tables 1/7 (models), 2 (scenarios), 3 (input sources),
 //!   and 5 (accelerators) as the implementation sees them.
+//! * `perf_gate` — the committed simulator-core performance gate:
+//!   measures 1/32/256/1024-user session event throughput against the
+//!   pre-refactor reference loop, writes `BENCH_PR3.json`, and exits
+//!   non-zero on regression below the committed floor.
 //!
 //! Criterion benches (`cargo bench -p xrbench-bench`):
 //!
@@ -24,10 +28,42 @@
 //! * `figures` — full figure-regeneration timings.
 //! * `ablations` — scheduler, bandwidth, and drop-policy ablations
 //!   called out in DESIGN.md.
+//! * `session_scale` — multi-user session throughput (the interactive
+//!   counterpart of `perf_gate`).
 
 /// Formats a score table row of four unit scores plus overall.
 pub fn fmt_scores(rt: f64, en: f64, qoe: f64, overall: f64) -> String {
     format!("rt={rt:5.2} en={en:5.2} qoe={qoe:5.2} overall={overall:5.2}")
+}
+
+/// The PR-3 session-scale workload, shared by the `perf_gate` gate
+/// binary and the `session_scale` Criterion bench so interactive
+/// profiling measures exactly what the gate enforces.
+pub mod session_scale {
+    use xrbench_sim::UniformProvider;
+    use xrbench_workload::{ScenarioCatalog, ScenarioSpec, SessionSpec};
+
+    /// Engines in the shared system: enough for real dispatch
+    /// pressure without the run degenerating into pure drops.
+    pub const ENGINES: usize = 16;
+    /// Uniform per-inference latency (seconds).
+    pub const LATENCY_S: f64 = 0.001;
+    /// Uniform per-inference energy (joules).
+    pub const ENERGY_J: f64 = 0.001;
+    /// Per-user join stagger (seconds).
+    pub const STAGGER_S: f64 = 0.002;
+
+    /// The evaluated system for the session-scale workload.
+    pub fn provider() -> UniformProvider {
+        UniformProvider::new(ENGINES, LATENCY_S, ENERGY_J)
+    }
+
+    /// `users` concurrent tenants cycling through all built-in
+    /// scenarios, joining [`STAGGER_S`] apart.
+    pub fn mixed_session(users: u32) -> SessionSpec {
+        let specs: Vec<ScenarioSpec> = ScenarioCatalog::builtin().iter().cloned().collect();
+        SessionSpec::mixed(format!("scale-{users}"), &specs, users, STAGGER_S)
+    }
 }
 
 #[cfg(test)]

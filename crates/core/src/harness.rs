@@ -8,7 +8,10 @@ use xrbench_score::{
 use xrbench_sim::{CostProvider, LatencyGreedy, Scheduler, SimConfig, SimResult, Simulator};
 use xrbench_workload::{ScenarioSpec, SessionSpec, UsageScenario};
 
-use crate::report::{BreakdownReport, ModelReport, ScenarioReport, SessionReport, UserReport};
+use crate::report::{
+    BreakdownReport, DropBreakdownReport, ModelDropReport, ModelReport, ScenarioReport,
+    SessionReport, UserReport,
+};
 
 /// Scoring parameters for all four unit scores.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -119,14 +122,35 @@ impl Harness {
         let sim = Simulator::new(self.sim);
         let result = sim.run_session(session, system, scheduler);
         let mut users = Vec::with_capacity(session.users.len());
+        let mut session_drops = DropBreakdownReport::default();
         for u in &session.users {
             let r = result
                 .user(u.user)
                 .expect("simulator returns every session user");
             let report = self.score_result(&u.spec, system, scheduler_name, r);
+            let model_drops: Vec<ModelDropReport> = u
+                .spec
+                .models
+                .iter()
+                .map(|sm| {
+                    let st = r.stats.get(&sm.model).cloned().unwrap_or_default();
+                    ModelDropReport {
+                        model: sm.model.abbrev().to_string(),
+                        drops: DropBreakdownReport {
+                            superseded: st.dropped_superseded,
+                            upstream_dropped: st.dropped_upstream,
+                            starved: st.dropped_starved,
+                        },
+                    }
+                })
+                .collect();
+            for m in &model_drops {
+                session_drops.add(&m.drops);
+            }
             users.push(UserReport {
                 user: u.user,
                 start_offset_s: u.start_offset_s,
+                model_drops,
                 report,
             });
         }
@@ -147,6 +171,7 @@ impl Harness {
             total_energy_mj: result.total_energy_j() * 1e3,
             mean_utilization: result.mean_utilization(),
             drop_rate: result.drop_rate(),
+            drops: session_drops,
             users,
         }
     }
@@ -305,5 +330,45 @@ mod tests {
     #[should_panic(expected = "duration")]
     fn invalid_duration_rejected() {
         let _ = Harness::new().with_duration(-1.0);
+    }
+
+    #[test]
+    fn session_report_surfaces_drop_reasons() {
+        use xrbench_sim::LatencyGreedy;
+        use xrbench_workload::SessionSpec;
+
+        // 8 users on one slow engine: drops are guaranteed, and every
+        // drop must be attributed to a cause in the report.
+        let p = UniformProvider::new(1, 0.004, 0.001);
+        let session = SessionSpec::uniform("crowd", UsageScenario::VrGaming.spec(), 8, 0.005);
+        let r = Harness::new().run_session(&session, &p, &mut LatencyGreedy::new());
+
+        let total_dropped: u64 = r
+            .users
+            .iter()
+            .flat_map(|u| u.report.models.iter())
+            .map(|m| m.dropped_frames)
+            .sum();
+        assert!(total_dropped > 0, "contention must drop frames");
+        assert_eq!(r.drops.total(), total_dropped);
+
+        let mut sum = crate::report::DropBreakdownReport::default();
+        for u in &r.users {
+            // Per-user totals line up with the user's scenario report.
+            let user_dropped: u64 = u.report.models.iter().map(|m| m.dropped_frames).sum();
+            assert_eq!(u.drops().total(), user_dropped, "user {}", u.user);
+            // model_drops mirrors the scenario's model order.
+            let names: Vec<&str> = u.model_drops.iter().map(|m| m.model.as_str()).collect();
+            let expected: Vec<&str> = u.report.models.iter().map(|m| m.model.as_str()).collect();
+            assert_eq!(names, expected);
+            sum.add(&u.drops());
+        }
+        assert_eq!(sum, r.drops);
+
+        // The causes serialize with the report.
+        let json = r.to_json();
+        assert!(json.contains("\"superseded\""));
+        assert!(json.contains("\"upstream_dropped\""));
+        assert!(json.contains("\"starved\""));
     }
 }

@@ -119,6 +119,45 @@ impl ScenarioReport {
     }
 }
 
+/// Frame drops split by cause — the accounting a session dispatcher
+/// tunes against: `superseded` means the system fell behind and the
+/// freshness policy discarded stale inputs, `upstream_dropped` means a
+/// cascade collapsed, `starved` means the run ended with work still
+/// queued.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DropBreakdownReport {
+    /// Frames superseded by a newer frame of the same model.
+    pub superseded: u64,
+    /// Dependent frames whose upstream frame was itself dropped.
+    pub upstream_dropped: u64,
+    /// Frames still queued when the run ended.
+    pub starved: u64,
+}
+
+impl DropBreakdownReport {
+    /// Total drops across all causes.
+    pub fn total(&self) -> u64 {
+        self.superseded + self.upstream_dropped + self.starved
+    }
+
+    /// Accumulates another breakdown into this one.
+    pub fn add(&mut self, other: &DropBreakdownReport) {
+        self.superseded += other.superseded;
+        self.upstream_dropped += other.upstream_dropped;
+        self.starved += other.starved;
+    }
+}
+
+/// One model's drop-cause split within a user's session slice.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ModelDropReport {
+    /// The model's two-letter abbreviation.
+    pub model: String,
+    /// The drop-cause split.
+    #[serde(flatten)]
+    pub drops: DropBreakdownReport,
+}
+
 /// One user's slice of a multi-user session run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct UserReport {
@@ -126,9 +165,22 @@ pub struct UserReport {
     pub user: u32,
     /// When this user joined, relative to session start (s).
     pub start_offset_s: f64,
+    /// Per-model drop causes, in scenario-model order.
+    pub model_drops: Vec<ModelDropReport>,
     /// The user's full scenario report, scored against the shared
     /// engines over the session span.
     pub report: ScenarioReport,
+}
+
+impl UserReport {
+    /// This user's drop-cause totals across models.
+    pub fn drops(&self) -> DropBreakdownReport {
+        let mut total = DropBreakdownReport::default();
+        for m in &self.model_drops {
+            total.add(&m.drops);
+        }
+        total
+    }
 }
 
 /// The outcome of running a multi-user [`xrbench_workload::SessionSpec`]
@@ -155,6 +207,8 @@ pub struct SessionReport {
     pub mean_utilization: f64,
     /// Frame-drop rate across all users.
     pub drop_rate: f64,
+    /// Session-wide drop causes, summed over users and models.
+    pub drops: DropBreakdownReport,
     /// Per-user reports, in user-id order.
     pub users: Vec<UserReport>,
 }

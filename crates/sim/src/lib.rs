@@ -46,13 +46,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
+mod naive;
 mod provider;
 mod result;
 mod scheduler;
 mod simulator;
 pub mod trace;
 
-pub use provider::{CostProvider, InferenceCost, TableProvider, UniformProvider};
+pub use provider::{CostProvider, DenseCostCache, InferenceCost, TableProvider, UniformProvider};
 pub use result::{DropReason, ExecRecord, ModelStats, SessionSimResult, SimResult};
 pub use scheduler::{
     LatencyGreedy, LeastLoaded, PendingView, RoundRobin, Scheduler, SlackAwareEdf,

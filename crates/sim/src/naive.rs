@@ -1,0 +1,263 @@
+//! The pre-heap reference event loop, kept verbatim for differential
+//! testing and the `perf_gate` before/after measurement.
+//!
+//! This is the simulator's original `run_tagged` implementation: it
+//! re-sorts the completion list on every iteration, linearly scans the
+//! whole waiting set per event, rebuilds the scheduler's
+//! [`PendingView`] slice per pick, and never retires resolved
+//! entries — super-linear in the number of events. The production
+//! engine (`crate::engine`) must produce **bit-identical** results;
+//! `tests/runtime_properties.rs` proves it on randomized sessions and
+//! `crates/bench/src/bin/perf_gate.rs` measures the speedup.
+//!
+//! The module is `#[doc(hidden)]` rather than `#[cfg(test)]` because
+//! the differential property tests and the perf gate live outside this
+//! crate; it is not part of the supported API.
+
+use std::collections::BTreeMap;
+
+use xrbench_models::ModelId;
+use xrbench_workload::ScenarioSpec;
+
+use crate::provider::CostProvider;
+use crate::result::{DropReason, ExecRecord, ModelStats, SimResult};
+use crate::scheduler::{PendingView, Scheduler};
+use crate::simulator::{trigger_all, Pending, Resolution, SimConfig, EPS};
+
+/// The original O(n²) event loop over user-tagged requests (`requests`
+/// must be sorted by `t_req`). Returns one [`SimResult`] per user.
+pub(crate) fn run_tagged_naive(
+    config: SimConfig,
+    specs: &[(u32, &ScenarioSpec)],
+    requests: Vec<Pending>,
+    provider: &dyn CostProvider,
+    scheduler: &mut dyn Scheduler,
+    duration_s: f64,
+) -> BTreeMap<u32, SimResult> {
+    assert!(provider.num_engines() > 0, "provider must expose engines");
+
+    type Key = (u32, ModelId);
+    let deps: BTreeMap<Key, Vec<(ModelId, f64)>> = specs
+        .iter()
+        .flat_map(|&(user, spec)| {
+            spec.models.iter().map(move |m| {
+                (
+                    (user, m.model),
+                    m.deps
+                        .iter()
+                        .map(|d| (d.upstream, d.trigger_probability))
+                        .collect(),
+                )
+            })
+        })
+        .collect();
+
+    let mut stats: BTreeMap<Key, ModelStats> = specs
+        .iter()
+        .flat_map(|&(user, spec)| {
+            spec.models
+                .iter()
+                .map(move |m| ((user, m.model), ModelStats::default()))
+        })
+        .collect();
+
+    // Runtime data structures.
+    let num_engines = provider.num_engines();
+    let mut engine_free_at = vec![0.0_f64; num_engines];
+    let mut ready: Vec<Pending> = Vec::new();
+    // (user, upstream model, sensor frame) -> resolution.
+    let mut resolved: BTreeMap<(u32, ModelId, u64), Resolution> = BTreeMap::new();
+    // Dependents that arrived before their upstream resolved.
+    let mut waiting: Vec<Pending> = Vec::new();
+    // Completion events: (t_end, user, model, sensor_frame).
+    let mut completions: Vec<(f64, u32, ModelId, u64)> = Vec::new();
+    let mut records: BTreeMap<u32, Vec<ExecRecord>> =
+        specs.iter().map(|&(user, _)| (user, Vec::new())).collect();
+
+    let mut arrivals = requests.into_iter().peekable();
+    let mut now = 0.0_f64;
+
+    loop {
+        // 1. Process completions due now (resolve dependents).
+        completions.sort_by(|a, b| a.0.total_cmp(&b.0));
+        while let Some(&(t, user, model, sf)) = completions.first() {
+            if t > now + EPS {
+                break;
+            }
+            completions.remove(0);
+            resolved.insert((user, model, sf), Resolution::Completed);
+        }
+
+        // 2. Ingest arrivals due now.
+        while arrivals.peek().is_some_and(|p| p.req.t_req <= now + EPS) {
+            let p = arrivals.next().expect("peeked");
+            let key = (p.user, p.req.model);
+            stats.entry(key).or_default().total_frames += 1;
+            if deps.get(&key).is_some_and(|d| !d.is_empty()) {
+                // Freshness: a newer dependent frame supersedes an
+                // older one still waiting for its upstream.
+                drop_older(&mut waiting, &p, &mut stats);
+                waiting.push(p);
+            } else {
+                drop_older(&mut ready, &p, &mut stats);
+                ready.push(p);
+            }
+        }
+
+        // 3. Resolve waiting dependents whose upstream is decided.
+        let mut i = 0;
+        while i < waiting.len() {
+            let user = waiting[i].user;
+            let model = waiting[i].req.model;
+            let sf = waiting[i].req.sensor_frame;
+            let dep_list = &deps[&(user, model)];
+            let all = dep_list
+                .iter()
+                .map(|(up, _)| resolved.get(&(user, *up, sf)).copied())
+                .collect::<Option<Vec<_>>>();
+            match all {
+                None => {
+                    i += 1; // upstream still in flight
+                }
+                Some(res) => {
+                    let p = waiting.remove(i);
+                    if res.contains(&Resolution::Dropped) {
+                        let st = stats.entry((user, model)).or_default();
+                        st.record_drop(DropReason::UpstreamDropped);
+                    } else if trigger_all(config.seed, user, &p.req, dep_list) {
+                        drop_older(&mut ready, &p, &mut stats);
+                        ready.push(p);
+                    } else {
+                        // Legitimately deactivated: not streamed
+                        // work for QoE purposes.
+                        let st = stats.entry((user, model)).or_default();
+                        st.untriggered_frames += 1;
+                        st.total_frames -= 1;
+                        resolved.insert((user, model, sf), Resolution::Dropped);
+                    }
+                }
+            }
+        }
+
+        // 4. Dispatch ready requests onto free engines.
+        loop {
+            let free: Vec<usize> = (0..num_engines)
+                .filter(|&e| engine_free_at[e] <= now + EPS)
+                .collect();
+            if free.is_empty() || ready.is_empty() {
+                break;
+            }
+            let views: Vec<PendingView> = ready
+                .iter()
+                .map(|p| PendingView {
+                    user: p.user,
+                    model: p.req.model,
+                    frame_id: p.req.frame_id,
+                    t_req: p.req.t_req,
+                    t_deadline: p.req.t_deadline,
+                })
+                .collect();
+            let Some((ri, engine)) = scheduler.select(&views, &free, provider, now) else {
+                break;
+            };
+            assert!(ri < ready.len(), "scheduler returned bad request index");
+            assert!(
+                free.contains(&engine),
+                "scheduler returned busy engine {engine}"
+            );
+            let p = ready.remove(ri);
+            let cost = provider.cost(p.req.model, engine);
+            let t_start = now;
+            let t_end = t_start + cost.latency_s;
+            engine_free_at[engine] = t_end;
+            completions.push((t_end, p.user, p.req.model, p.req.sensor_frame));
+            let st = stats.entry((p.user, p.req.model)).or_default();
+            st.executed_frames += 1;
+            if t_end > p.req.t_deadline {
+                st.missed_deadlines += 1;
+            }
+            records.entry(p.user).or_default().push(ExecRecord {
+                model: p.req.model,
+                frame_id: p.req.frame_id,
+                sensor_frame: p.req.sensor_frame,
+                engine,
+                t_req: p.req.t_req,
+                t_deadline: p.req.t_deadline,
+                t_start,
+                t_end,
+                energy_j: cost.energy_j,
+            });
+        }
+
+        // 5. Advance to the next event.
+        let mut next = f64::INFINITY;
+        if let Some(p) = arrivals.peek() {
+            next = next.min(p.req.t_req);
+        }
+        for &(t, _, _, _) in &completions {
+            if t > now + EPS {
+                next = next.min(t);
+            }
+        }
+        if next.is_infinite() {
+            break;
+        }
+        now = next;
+    }
+
+    // Anything still waiting at drain time had an upstream that
+    // never resolved within the run; count as dropped.
+    for p in waiting {
+        stats
+            .entry((p.user, p.req.model))
+            .or_default()
+            .record_drop(DropReason::Starved);
+    }
+    for p in ready {
+        stats
+            .entry((p.user, p.req.model))
+            .or_default()
+            .record_drop(DropReason::Starved);
+    }
+
+    // Assemble one SimResult per user.
+    let mut out = BTreeMap::new();
+    for &(user, _) in specs {
+        let mut recs = records.remove(&user).unwrap_or_default();
+        recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        let user_stats: BTreeMap<ModelId, ModelStats> = stats
+            .iter()
+            .filter(|((u, _), _)| *u == user)
+            .map(|((_, m), st)| (*m, st.clone()))
+            .collect();
+        out.insert(
+            user,
+            SimResult {
+                records: recs,
+                stats: user_stats,
+                num_engines,
+                duration_s,
+            },
+        );
+    }
+    out
+}
+
+/// Drops any not-yet-started older frame of the same (user, model)
+/// (freshness policy), updating drop stats.
+fn drop_older(
+    queue: &mut Vec<Pending>,
+    newer: &Pending,
+    stats: &mut BTreeMap<(u32, ModelId), ModelStats>,
+) {
+    queue.retain(|p| {
+        let stale = p.user == newer.user
+            && p.req.model == newer.req.model
+            && p.req.frame_id < newer.req.frame_id;
+        if stale {
+            let st = stats.entry((p.user, p.req.model)).or_default();
+            st.record_drop(DropReason::Superseded);
+        }
+        !stale
+    });
+}

@@ -1,8 +1,12 @@
 //! The interface between the runtime and the evaluated ML system.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
 use xrbench_models::ModelId;
+
+/// Number of unit models, used to size every dense `(model, engine)`
+/// and `(user, model)` table in this crate.
+pub(crate) const NUM_MODELS: usize = ModelId::ALL.len();
 
 /// The cost of running one inference of a model on one engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,11 +80,15 @@ impl CostProvider for UniformProvider {
 }
 
 /// A provider backed by an explicit `(model, engine) → cost` table.
+///
+/// Costs are stored densely (`model as usize * engines + engine`), so
+/// [`CostProvider::cost`] is a single array index on the simulator's
+/// hot dispatch path rather than a hash probe.
 #[derive(Debug, Clone, Default)]
 pub struct TableProvider {
     engines: usize,
     labels: Vec<String>,
-    table: HashMap<(ModelId, usize), InferenceCost>,
+    table: Vec<Option<InferenceCost>>,
 }
 
 impl TableProvider {
@@ -94,8 +102,25 @@ impl TableProvider {
         Self {
             engines,
             labels: (0..engines).map(|i| format!("engine{i}")).collect(),
-            table: HashMap::new(),
+            table: vec![None; NUM_MODELS * engines],
         }
+    }
+
+    /// Creates a fully-populated table by evaluating `f` for every
+    /// `(model, engine)` pair — the one-shot way to snapshot an
+    /// analytical cost model into a dense lookup table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines == 0`.
+    pub fn from_fn(engines: usize, mut f: impl FnMut(ModelId, usize) -> InferenceCost) -> Self {
+        let mut p = Self::new(engines);
+        for model in ModelId::ALL {
+            for engine in 0..engines {
+                p.set(model, engine, f(model, engine));
+            }
+        }
+        p
     }
 
     /// Sets the cost of `model` on `engine`.
@@ -105,7 +130,7 @@ impl TableProvider {
     /// Panics if `engine` is out of range.
     pub fn set(&mut self, model: ModelId, engine: usize, cost: InferenceCost) -> &mut Self {
         assert!(engine < self.engines, "engine index out of range");
-        self.table.insert((model, engine), cost);
+        self.table[model as usize * self.engines + engine] = Some(cost);
         self
     }
 
@@ -130,10 +155,89 @@ impl CostProvider for TableProvider {
     /// Panics if no cost was registered for `(model, engine)` — a
     /// benchmark must know the cost of every model it dispatches.
     fn cost(&self, model: ModelId, engine: usize) -> InferenceCost {
-        *self
-            .table
-            .get(&(model, engine))
+        // Bound-check before indexing: an out-of-range engine must not
+        // alias another model's dense slot.
+        if engine >= self.engines {
+            panic!("no cost registered for {model} on engine {engine}");
+        }
+        self.table[model as usize * self.engines + engine]
             .unwrap_or_else(|| panic!("no cost registered for {model} on engine {engine}"))
+    }
+}
+
+/// A memoizing dense snapshot of any [`CostProvider`].
+///
+/// The simulator's event loop (and most schedulers) ask for the same
+/// `(model, engine)` costs over and over — once per dispatch and once
+/// per scheduling decision. `DenseCostCache` wraps an arbitrary
+/// provider and caches each answer in a flat
+/// `Vec<Cell<Option<InferenceCost>>>` indexed by
+/// `model as usize * num_engines + engine`, so every repeat lookup is
+/// an array index regardless of how expensive the underlying provider
+/// is (analytical cost models re-evaluate whole layer stacks per
+/// call).
+///
+/// Entries are filled lazily on first use, which preserves the
+/// underlying provider's behavior for pairs that are never queried
+/// (e.g. a [`TableProvider`] panics only for pairs that are actually
+/// dispatched). The wrapped provider must be pure — returning
+/// different costs for the same pair across calls already breaks the
+/// simulator's determinism contract.
+pub struct DenseCostCache<'a> {
+    inner: &'a dyn CostProvider,
+    engines: usize,
+    cells: Vec<Cell<Option<InferenceCost>>>,
+}
+
+impl<'a> DenseCostCache<'a> {
+    /// Wraps `inner`, caching lazily.
+    pub fn new(inner: &'a dyn CostProvider) -> Self {
+        let engines = inner.num_engines();
+        Self {
+            inner,
+            engines,
+            cells: vec![Cell::new(None); NUM_MODELS * engines],
+        }
+    }
+}
+
+impl std::fmt::Debug for DenseCostCache<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseCostCache")
+            .field("label", &self.inner.label())
+            .field("engines", &self.engines)
+            .finish()
+    }
+}
+
+impl CostProvider for DenseCostCache<'_> {
+    fn num_engines(&self) -> usize {
+        self.engines
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+
+    fn engine_label(&self, engine: usize) -> String {
+        self.inner.engine_label(engine)
+    }
+
+    fn cost(&self, model: ModelId, engine: usize) -> InferenceCost {
+        if engine >= self.engines {
+            // Out-of-range engines are forwarded so the wrapped
+            // provider's own diagnostics (or tolerance) apply.
+            return self.inner.cost(model, engine);
+        }
+        let cell = &self.cells[model as usize * self.engines + engine];
+        match cell.get() {
+            Some(cost) => cost,
+            None => {
+                let cost = self.inner.cost(model, engine);
+                cell.set(Some(cost));
+                cost
+            }
+        }
     }
 }
 
@@ -174,6 +278,87 @@ mod tests {
     fn table_provider_missing_entry_panics() {
         let p = TableProvider::new(1);
         let _ = p.cost(ModelId::HandTracking, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cost registered")]
+    fn table_provider_out_of_range_engine_panics() {
+        // An out-of-range engine must not alias another model's dense
+        // slot.
+        let mut p = TableProvider::new(2);
+        for m in ModelId::ALL {
+            for e in 0..2 {
+                p.set(
+                    m,
+                    e,
+                    InferenceCost {
+                        latency_s: 0.001,
+                        energy_j: 0.0,
+                    },
+                );
+            }
+        }
+        let _ = p.cost(ModelId::HandTracking, 2);
+    }
+
+    #[test]
+    fn table_provider_from_fn_fills_every_pair() {
+        let p = TableProvider::from_fn(3, |m, e| InferenceCost {
+            latency_s: (m as usize + 1) as f64 * 1e-3,
+            energy_j: e as f64,
+        });
+        for m in ModelId::ALL {
+            for e in 0..3 {
+                let c = p.cost(m, e);
+                assert_eq!(c.latency_s, (m as usize + 1) as f64 * 1e-3);
+                assert_eq!(c.energy_j, e as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_cache_returns_inner_costs_and_memoizes() {
+        use std::cell::Cell;
+
+        struct Counting {
+            calls: Cell<u64>,
+        }
+        impl CostProvider for Counting {
+            fn num_engines(&self) -> usize {
+                2
+            }
+            fn cost(&self, model: ModelId, engine: usize) -> InferenceCost {
+                self.calls.set(self.calls.get() + 1);
+                InferenceCost {
+                    latency_s: (model as usize + 1) as f64 * 1e-3 + engine as f64,
+                    energy_j: 0.5,
+                }
+            }
+        }
+
+        let inner = Counting {
+            calls: Cell::new(0),
+        };
+        let cache = DenseCostCache::new(&inner);
+        assert_eq!(cache.num_engines(), 2);
+        for _ in 0..5 {
+            for m in ModelId::ALL {
+                for e in 0..2 {
+                    assert_eq!(cache.cost(m, e), inner.cost(m, e));
+                }
+            }
+        }
+        // 5 rounds × direct comparison calls (110) + one fill per pair.
+        assert_eq!(inner.calls.get(), 5 * 22 + 22);
+    }
+
+    #[test]
+    fn dense_cache_forwards_labels() {
+        let mut p = TableProvider::new(2);
+        p.set_label(1, "OS@4096");
+        let cache = DenseCostCache::new(&p);
+        assert_eq!(cache.engine_label(1), "OS@4096");
+        assert_eq!(cache.label(), p.label());
     }
 
     #[test]

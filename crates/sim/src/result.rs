@@ -14,6 +14,9 @@ pub enum DropReason {
     /// The upstream model's frame was itself dropped, so this
     /// dependent frame could never be triggered.
     UpstreamDropped,
+    /// The run ended while the frame was still queued (ready but never
+    /// dispatched, or waiting on an upstream that never resolved).
+    Starved,
 }
 
 /// One completed inference in the execution timeline.
@@ -71,12 +74,43 @@ pub struct ModelStats {
     pub total_frames: u64,
     /// Frames that actually executed (`NumFrm_exec`).
     pub executed_frames: u64,
-    /// Frames dropped, by reason.
+    /// Frames dropped (all reasons; equals the sum of the per-reason
+    /// counters below).
     pub dropped_frames: u64,
     /// Frames whose control-dependency draw deactivated them.
     pub untriggered_frames: u64,
     /// Executed frames that missed their deadline.
     pub missed_deadlines: u64,
+    /// Drops caused by a newer frame superseding this one
+    /// ([`DropReason::Superseded`]).
+    pub dropped_superseded: u64,
+    /// Drops caused by the upstream frame itself being dropped
+    /// ([`DropReason::UpstreamDropped`]).
+    pub dropped_upstream: u64,
+    /// Drops caused by the run ending with the frame still queued
+    /// ([`DropReason::Starved`]).
+    pub dropped_starved: u64,
+}
+
+impl ModelStats {
+    /// Records one dropped frame, attributing it to `reason`.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        self.dropped_frames += 1;
+        match reason {
+            DropReason::Superseded => self.dropped_superseded += 1,
+            DropReason::UpstreamDropped => self.dropped_upstream += 1,
+            DropReason::Starved => self.dropped_starved += 1,
+        }
+    }
+
+    /// The drop count attributed to `reason`.
+    pub fn drops_for(&self, reason: DropReason) -> u64 {
+        match reason {
+            DropReason::Superseded => self.dropped_superseded,
+            DropReason::UpstreamDropped => self.dropped_upstream,
+            DropReason::Starved => self.dropped_starved,
+        }
+    }
 }
 
 /// The full outcome of one simulated run.

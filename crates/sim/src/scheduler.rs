@@ -6,6 +6,12 @@ use crate::provider::CostProvider;
 
 /// A read-only view of one dispatchable (ready) request, handed to
 /// schedulers.
+///
+/// The simulator maintains the view slice incrementally across picks
+/// (in ready-queue insertion order) rather than rebuilding it, and the
+/// free-engine slice is a sorted, incrementally-maintained set —
+/// implementations may rely on both orderings being stable and
+/// deterministic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PendingView {
     /// The originating user (0 for single-scenario runs; session runs

@@ -23,6 +23,15 @@
 //! dependency/freshness bookkeeping is keyed per `(user, model)` so
 //! users never interfere with each other's cascades — only with each
 //! other's engine time.
+//!
+//! The event loop itself is the heap-driven engine of
+//! [`crate::engine`]: a binary-heap completion calendar with a total
+//! deterministic tie-break, slot-indexed pending queues, an
+//! incrementally-maintained scheduler view, and retirement of spent
+//! dependency resolutions — O(log n) per event where the original
+//! loop was linear (see `DESIGN.md`). The original loop survives
+//! verbatim in [`crate::naive`] as the differential-testing reference;
+//! both produce bit-identical results.
 
 use std::collections::BTreeMap;
 
@@ -33,8 +42,11 @@ use xrbench_models::ModelId;
 use xrbench_workload::{InferenceRequest, LoadGenerator, ScenarioSpec, SessionSpec};
 
 use crate::provider::CostProvider;
-use crate::result::{DropReason, ExecRecord, ModelStats, SessionSimResult, SimResult};
-use crate::scheduler::{PendingView, Scheduler};
+use crate::result::{SessionSimResult, SimResult};
+use crate::scheduler::Scheduler;
+
+/// The time-comparison slack used when grouping events at one instant.
+pub(crate) const EPS: f64 = 1e-15;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,16 +72,57 @@ pub struct Simulator {
     config: SimConfig,
 }
 
+/// How an upstream inference of one sensor frame ended — the state a
+/// dependent frame waits on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Resolution {
+pub(crate) enum Resolution {
     Completed,
     Dropped,
 }
 
+/// A user-tagged inference request flowing through the event loop.
 #[derive(Debug, Clone)]
-struct Pending {
+pub(crate) struct Pending {
+    pub(crate) user: u32,
+    pub(crate) req: InferenceRequest,
+}
+
+/// One deterministic cascade-trigger draw: seeded per
+/// `(seed, user, model, upstream, frame)`, so the decision is a pure
+/// function of the run configuration and the frame identity. The user
+/// tag is mixed into the seed (as zero for single-scenario runs,
+/// preserving their streams) so concurrent users of the same scenario
+/// draw independently.
+pub(crate) fn trigger_draw(
+    seed: u64,
     user: u32,
-    req: InferenceRequest,
+    model: ModelId,
+    upstream: ModelId,
+    frame_id: u64,
+    probability: f64,
+) -> bool {
+    if probability >= 1.0 {
+        return true;
+    }
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ ((model as u64) << 32)
+            ^ ((upstream as u64) << 24)
+            ^ frame_id
+            ^ u64::from(user).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+    );
+    rng.gen_range(0.0..1.0) < probability
+}
+
+/// Joint trigger decision over all of a frame's dependencies.
+pub(crate) fn trigger_all(
+    seed: u64,
+    user: u32,
+    req: &InferenceRequest,
+    deps: &[(ModelId, f64)],
+) -> bool {
+    deps.iter()
+        .all(|&(up, p)| trigger_draw(seed, user, req.model, up, req.frame_id, p))
 }
 
 impl Simulator {
@@ -100,8 +153,11 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the provider has no engines or the request stream is
-    /// not sorted by `t_req`.
+    /// Panics if the provider has no engines, the request stream is
+    /// not sorted by `t_req`, or any model's requests are not strictly
+    /// increasing in both `frame_id` and `sensor_frame` (the freshness
+    /// drop policy is defined over monotone per-model streams, which
+    /// is what [`LoadGenerator`] produces).
     pub fn run_requests(
         &self,
         spec: &ScenarioSpec,
@@ -117,7 +173,8 @@ impl Simulator {
             .into_iter()
             .map(|req| Pending { user: 0, req })
             .collect();
-        let mut per_user = self.run_tagged(
+        let mut per_user = crate::engine::run_tagged(
+            self.config,
             &[(0, spec)],
             tagged,
             provider,
@@ -144,6 +201,17 @@ impl Simulator {
         provider: &dyn CostProvider,
         scheduler: &mut dyn Scheduler,
     ) -> SessionSimResult {
+        let (specs, tagged, span_s) = self.session_inputs(session);
+        let per_user_map =
+            crate::engine::run_tagged(self.config, &specs, tagged, provider, scheduler, span_s);
+        Self::assemble_session(session, per_user_map, provider, span_s)
+    }
+
+    /// Prepares the merged, user-tagged session stream.
+    fn session_inputs<'s>(
+        &self,
+        session: &'s SessionSpec,
+    ) -> (Vec<(u32, &'s ScenarioSpec)>, Vec<Pending>, f64) {
         assert!(!session.users.is_empty(), "session has no users");
         let span_s = session.span_s(self.config.duration_s);
         let merged = session.generate(self.config.seed, self.config.duration_s);
@@ -156,7 +224,16 @@ impl Simulator {
             .collect();
         let specs: Vec<(u32, &ScenarioSpec)> =
             session.users.iter().map(|u| (u.user, &u.spec)).collect();
-        let per_user_map = self.run_tagged(&specs, tagged, provider, scheduler, span_s);
+        (specs, tagged, span_s)
+    }
+
+    /// Packages per-user results into a [`SessionSimResult`].
+    fn assemble_session(
+        session: &SessionSpec,
+        per_user_map: BTreeMap<u32, SimResult>,
+        provider: &dyn CostProvider,
+        span_s: f64,
+    ) -> SessionSimResult {
         let per_user: Vec<(u32, SimResult)> = per_user_map.into_iter().collect();
         SessionSimResult {
             session: session.name.clone(),
@@ -166,273 +243,63 @@ impl Simulator {
         }
     }
 
-    /// The shared event loop over user-tagged requests (`requests`
-    /// must be sorted by `t_req`). Returns one [`SimResult`] per user,
-    /// each with `duration_s = duration_s`.
-    fn run_tagged(
+    /// Reference (pre-heap) counterpart of [`Simulator::run_requests`]
+    /// — the original quadratic event loop, kept for differential
+    /// testing and before/after benchmarking. Not a supported API.
+    #[doc(hidden)]
+    pub fn run_requests_reference(
         &self,
-        specs: &[(u32, &ScenarioSpec)],
-        requests: Vec<Pending>,
+        spec: &ScenarioSpec,
+        requests: Vec<InferenceRequest>,
         provider: &dyn CostProvider,
         scheduler: &mut dyn Scheduler,
-        duration_s: f64,
-    ) -> BTreeMap<u32, SimResult> {
-        assert!(provider.num_engines() > 0, "provider must expose engines");
-
-        type Key = (u32, ModelId);
-        let deps: BTreeMap<Key, Vec<(ModelId, f64)>> = specs
-            .iter()
-            .flat_map(|&(user, spec)| {
-                spec.models.iter().map(move |m| {
-                    (
-                        (user, m.model),
-                        m.deps
-                            .iter()
-                            .map(|d| (d.upstream, d.trigger_probability))
-                            .collect(),
-                    )
-                })
-            })
+    ) -> SimResult {
+        assert!(
+            requests.windows(2).all(|w| w[0].t_req <= w[1].t_req),
+            "requests must be sorted by t_req"
+        );
+        let tagged = requests
+            .into_iter()
+            .map(|req| Pending { user: 0, req })
             .collect();
-
-        let mut stats: BTreeMap<Key, ModelStats> = specs
-            .iter()
-            .flat_map(|&(user, spec)| {
-                spec.models
-                    .iter()
-                    .map(move |m| ((user, m.model), ModelStats::default()))
-            })
-            .collect();
-
-        // Runtime data structures.
-        let num_engines = provider.num_engines();
-        let mut engine_free_at = vec![0.0_f64; num_engines];
-        let mut ready: Vec<Pending> = Vec::new();
-        // (user, upstream model, sensor frame) -> resolution.
-        let mut resolved: BTreeMap<(u32, ModelId, u64), Resolution> = BTreeMap::new();
-        // Dependents that arrived before their upstream resolved.
-        let mut waiting: Vec<Pending> = Vec::new();
-        // Completion events: (t_end, user, model, sensor_frame).
-        let mut completions: Vec<(f64, u32, ModelId, u64)> = Vec::new();
-        let mut records: BTreeMap<u32, Vec<ExecRecord>> =
-            specs.iter().map(|&(user, _)| (user, Vec::new())).collect();
-
-        let mut arrivals = requests.into_iter().peekable();
-        let mut now = 0.0_f64;
-
-        loop {
-            // 1. Process completions due now (resolve dependents).
-            completions.sort_by(|a, b| a.0.total_cmp(&b.0));
-            while let Some(&(t, user, model, sf)) = completions.first() {
-                if t > now + 1e-15 {
-                    break;
-                }
-                completions.remove(0);
-                resolved.insert((user, model, sf), Resolution::Completed);
-            }
-
-            // 2. Ingest arrivals due now.
-            while arrivals.peek().is_some_and(|p| p.req.t_req <= now + 1e-15) {
-                let p = arrivals.next().expect("peeked");
-                let key = (p.user, p.req.model);
-                stats.entry(key).or_default().total_frames += 1;
-                if deps.get(&key).is_some_and(|d| !d.is_empty()) {
-                    // Freshness: a newer dependent frame supersedes an
-                    // older one still waiting for its upstream.
-                    drop_older(&mut waiting, &p, &mut stats);
-                    waiting.push(p);
-                } else {
-                    drop_older(&mut ready, &p, &mut stats);
-                    ready.push(p);
-                }
-            }
-
-            // 3. Resolve waiting dependents whose upstream is decided.
-            let mut i = 0;
-            while i < waiting.len() {
-                let user = waiting[i].user;
-                let model = waiting[i].req.model;
-                let sf = waiting[i].req.sensor_frame;
-                let dep_list = &deps[&(user, model)];
-                let all = dep_list
-                    .iter()
-                    .map(|(up, _)| resolved.get(&(user, *up, sf)).copied())
-                    .collect::<Option<Vec<_>>>();
-                match all {
-                    None => {
-                        i += 1; // upstream still in flight
-                    }
-                    Some(res) => {
-                        let p = waiting.remove(i);
-                        if res.contains(&Resolution::Dropped) {
-                            let st = stats.entry((user, model)).or_default();
-                            st.dropped_frames += 1;
-                            let _ = DropReason::UpstreamDropped;
-                        } else if self.trigger(user, &p.req, dep_list) {
-                            drop_older(&mut ready, &p, &mut stats);
-                            ready.push(p);
-                        } else {
-                            // Legitimately deactivated: not streamed
-                            // work for QoE purposes.
-                            let st = stats.entry((user, model)).or_default();
-                            st.untriggered_frames += 1;
-                            st.total_frames -= 1;
-                            resolved.insert((user, model, sf), Resolution::Dropped);
-                        }
-                    }
-                }
-            }
-
-            // 4. Dispatch ready requests onto free engines.
-            loop {
-                let free: Vec<usize> = (0..num_engines)
-                    .filter(|&e| engine_free_at[e] <= now + 1e-15)
-                    .collect();
-                if free.is_empty() || ready.is_empty() {
-                    break;
-                }
-                let views: Vec<PendingView> = ready
-                    .iter()
-                    .map(|p| PendingView {
-                        user: p.user,
-                        model: p.req.model,
-                        frame_id: p.req.frame_id,
-                        t_req: p.req.t_req,
-                        t_deadline: p.req.t_deadline,
-                    })
-                    .collect();
-                let Some((ri, engine)) = scheduler.select(&views, &free, provider, now) else {
-                    break;
-                };
-                assert!(ri < ready.len(), "scheduler returned bad request index");
-                assert!(
-                    free.contains(&engine),
-                    "scheduler returned busy engine {engine}"
-                );
-                let p = ready.remove(ri);
-                let cost = provider.cost(p.req.model, engine);
-                let t_start = now;
-                let t_end = t_start + cost.latency_s;
-                engine_free_at[engine] = t_end;
-                completions.push((t_end, p.user, p.req.model, p.req.sensor_frame));
-                let st = stats.entry((p.user, p.req.model)).or_default();
-                st.executed_frames += 1;
-                if t_end > p.req.t_deadline {
-                    st.missed_deadlines += 1;
-                }
-                records.entry(p.user).or_default().push(ExecRecord {
-                    model: p.req.model,
-                    frame_id: p.req.frame_id,
-                    sensor_frame: p.req.sensor_frame,
-                    engine,
-                    t_req: p.req.t_req,
-                    t_deadline: p.req.t_deadline,
-                    t_start,
-                    t_end,
-                    energy_j: cost.energy_j,
-                });
-            }
-
-            // 5. Advance to the next event.
-            let mut next = f64::INFINITY;
-            if let Some(p) = arrivals.peek() {
-                next = next.min(p.req.t_req);
-            }
-            for &(t, _, _, _) in &completions {
-                if t > now + 1e-15 {
-                    next = next.min(t);
-                }
-            }
-            if next.is_infinite() {
-                break;
-            }
-            now = next;
-        }
-
-        // Anything still waiting at drain time had an upstream that
-        // never resolved within the run; count as dropped.
-        for p in waiting {
-            stats
-                .entry((p.user, p.req.model))
-                .or_default()
-                .dropped_frames += 1;
-        }
-        for p in ready {
-            stats
-                .entry((p.user, p.req.model))
-                .or_default()
-                .dropped_frames += 1;
-        }
-
-        // Assemble one SimResult per user.
-        let mut out = BTreeMap::new();
-        for &(user, _) in specs {
-            let mut recs = records.remove(&user).unwrap_or_default();
-            recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
-            let user_stats: BTreeMap<ModelId, ModelStats> = stats
-                .iter()
-                .filter(|((u, _), _)| *u == user)
-                .map(|((_, m), st)| (*m, st.clone()))
-                .collect();
-            out.insert(
-                user,
-                SimResult {
-                    records: recs,
-                    stats: user_stats,
-                    num_engines,
-                    duration_s,
-                },
-            );
-        }
-        out
+        let mut per_user = crate::naive::run_tagged_naive(
+            self.config,
+            &[(0, spec)],
+            tagged,
+            provider,
+            scheduler,
+            self.config.duration_s,
+        );
+        per_user.remove(&0).expect("user 0 always present")
     }
 
-    /// Deterministic cascade-trigger draw for a dependent frame: the
-    /// joint probability over its control/data dependencies. The user
-    /// tag is mixed into the seed (as zero for single-scenario runs,
-    /// preserving their streams) so concurrent users of the same
-    /// scenario draw independently.
-    fn trigger(&self, user: u32, req: &InferenceRequest, deps: &[(ModelId, f64)]) -> bool {
-        deps.iter().all(|(up, p)| {
-            if *p >= 1.0 {
-                return true;
-            }
-            let mut rng = StdRng::seed_from_u64(
-                self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    ^ ((req.model as u64) << 32)
-                    ^ ((*up as u64) << 24)
-                    ^ req.frame_id
-                    ^ u64::from(user).wrapping_mul(0xD6E8_FEB8_6659_FD93),
-            );
-            rng.gen_range(0.0..1.0) < *p
-        })
+    /// Reference (pre-heap) counterpart of [`Simulator::run_session`].
+    /// Not a supported API.
+    #[doc(hidden)]
+    pub fn run_session_reference(
+        &self,
+        session: &SessionSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+    ) -> SessionSimResult {
+        let (specs, tagged, span_s) = self.session_inputs(session);
+        let per_user_map = crate::naive::run_tagged_naive(
+            self.config,
+            &specs,
+            tagged,
+            provider,
+            scheduler,
+            span_s,
+        );
+        Self::assemble_session(session, per_user_map, provider, span_s)
     }
-}
-
-/// Drops any not-yet-started older frame of the same (user, model)
-/// (freshness policy), updating drop stats.
-fn drop_older(
-    queue: &mut Vec<Pending>,
-    newer: &Pending,
-    stats: &mut BTreeMap<(u32, ModelId), ModelStats>,
-) {
-    queue.retain(|p| {
-        let stale = p.user == newer.user
-            && p.req.model == newer.req.model
-            && p.req.frame_id < newer.req.frame_id;
-        if stale {
-            let st = stats.entry((p.user, p.req.model)).or_default();
-            st.dropped_frames += 1;
-            let _ = DropReason::Superseded;
-        }
-        !stale
-    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::provider::{InferenceCost, TableProvider, UniformProvider};
+    use crate::result::ExecRecord;
     use crate::scheduler::{LatencyGreedy, RoundRobin};
     use xrbench_workload::UsageScenario;
 
@@ -474,6 +341,75 @@ mod tests {
                 "{m}"
             );
         }
+    }
+
+    #[test]
+    fn drop_reasons_partition_the_drop_count() {
+        // Per-reason counters must always sum to dropped_frames, on
+        // both light and heavy load.
+        for latency in [0.0005, 0.006, 0.040] {
+            let p = UniformProvider::new(1, latency, 0.001);
+            for scenario in UsageScenario::ALL {
+                let r = run_scenario(scenario, &p, 7);
+                for (m, st) in &r.stats {
+                    assert_eq!(
+                        st.dropped_frames,
+                        st.dropped_superseded + st.dropped_upstream + st.dropped_starved,
+                        "{scenario:?}/{m} at {latency}s"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overload_drops_are_attributed_to_reasons() {
+        let p = UniformProvider::new(1, 0.040, 0.001);
+        let r = run_scenario(UsageScenario::SocialInteractionA, &p, 1);
+        let superseded: u64 = r.stats.values().map(|s| s.dropped_superseded).sum();
+        assert!(superseded > 0, "freshness policy must fire under overload");
+    }
+
+    #[test]
+    fn untriggered_upstream_drops_are_attributed() {
+        // A chained probabilistic cascade OD -> DE -> DR (all camera
+        // models at the same rate, so sensor frames line up): whenever
+        // the OD->DE draw deactivates DE, the dependent DR frame must
+        // be recorded as an upstream-dropped drop.
+        use xrbench_workload::{DependencyKind, ScenarioBuilder};
+        let spec = ScenarioBuilder::new("chain")
+            .model(ModelId::ObjectDetection, 30.0)
+            .dependent(
+                ModelId::DepthEstimation,
+                30.0,
+                ModelId::ObjectDetection,
+                DependencyKind::Control,
+                0.2,
+            )
+            .dependent(
+                ModelId::DepthRefinement,
+                30.0,
+                ModelId::DepthEstimation,
+                DependencyKind::Data,
+                1.0,
+            )
+            .build()
+            .expect("valid chain scenario");
+        let p = UniformProvider::new(2, 0.0005, 0.001);
+        let sim = Simulator::new(SimConfig {
+            duration_s: 1.0,
+            seed: 3,
+        });
+        let r = sim.run(&spec, &p, &mut LatencyGreedy::new());
+        let st = &r.stats[&ModelId::DepthRefinement];
+        assert!(
+            st.dropped_upstream > 0,
+            "with p = 0.2 over 30 frames, some DR frame must lose its upstream"
+        );
+        assert_eq!(
+            st.dropped_frames,
+            st.dropped_superseded + st.dropped_upstream + st.dropped_starved
+        );
     }
 
     #[test]
@@ -619,12 +555,48 @@ mod tests {
     }
 
     #[test]
+    fn engine_matches_reference_loop_on_every_scenario() {
+        // The crate-internal sanity slice of the full differential
+        // suite in tests/runtime_properties.rs.
+        for scenario in UsageScenario::ALL {
+            for (engines, latency) in [(1, 0.020), (2, 0.003), (4, 0.0008)] {
+                let p = UniformProvider::new(engines, latency, 0.001);
+                let sim = Simulator::new(SimConfig {
+                    duration_s: 1.0,
+                    seed: 11,
+                });
+                let spec = scenario.spec();
+                let requests = LoadGenerator::new(11).generate(&spec, 1.0);
+                let fast = sim.run_requests(&spec, requests.clone(), &p, &mut LatencyGreedy::new());
+                let slow =
+                    sim.run_requests_reference(&spec, requests, &p, &mut LatencyGreedy::new());
+                assert_eq!(fast, slow, "{scenario:?} on {engines}x{latency}s");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "duration")]
     fn zero_duration_rejected() {
         let _ = Simulator::new(SimConfig {
             duration_s: 0.0,
             seed: 0,
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_streams_rejected() {
+        let p = UniformProvider::new(1, 0.001, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let spec = UsageScenario::VrGaming.spec();
+        let mut requests = LoadGenerator::new(1).generate(&spec, 1.0);
+        // Replay an old frame id out of order.
+        if let Some(last) = requests.last_mut() {
+            last.frame_id = 0;
+            last.sensor_frame = 0;
+        }
+        let _ = sim.run_requests(&spec, requests, &p, &mut LatencyGreedy::new());
     }
 
     // ---- multi-user sessions ----
@@ -726,6 +698,21 @@ mod tests {
         let a = sim.run_session(&session, &p, &mut LatencyGreedy::new());
         let b = sim.run_session(&session, &p, &mut LatencyGreedy::new());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_matches_reference_loop() {
+        let p = UniformProvider::new(2, 0.003, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let specs = [
+            UsageScenario::SocialInteractionA.spec(),
+            UsageScenario::OutdoorActivityA.spec(),
+            UsageScenario::ArAssistant.spec(),
+        ];
+        let session = SessionSpec::mixed("mix", &specs, 6, 0.013);
+        let fast = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+        let slow = sim.run_session_reference(&session, &p, &mut LatencyGreedy::new());
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub mod prelude {
     pub use xrbench_models::{model_info, ModelId, TaskCategory};
     pub use xrbench_score::{benchmark_score, InferenceScore, ModelOutcome};
     pub use xrbench_sim::{
-        CostProvider, InferenceCost, LatencyGreedy, LeastLoaded, RoundRobin, Scheduler,
-        SessionSimResult, SimConfig, Simulator, SlackAwareEdf,
+        CostProvider, DenseCostCache, InferenceCost, LatencyGreedy, LeastLoaded, RoundRobin,
+        Scheduler, SessionSimResult, SimConfig, Simulator, SlackAwareEdf, TableProvider,
     };
     pub use xrbench_workload::{
         LoadGenerator, ScenarioBuilder, ScenarioCatalog, ScenarioSpec, SessionSpec, UsageScenario,

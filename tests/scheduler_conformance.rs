@@ -207,6 +207,118 @@ fn conformance_whole_run_invariants_multi_user() {
     }
 }
 
+/// A scenario and hand-crafted request stream engineered for event
+/// ties: every sensor frame emits three requests (HT, ES, and the
+/// ES-dependent GE) with *exactly* equal `t_req` and equal deadlines,
+/// on engines with exactly equal latencies — so arrival ingestion,
+/// dispatch picks, engine choice, and completion processing all face
+/// same-timestamp ties that only the deterministic tie-break orders.
+fn tie_fixture() -> (
+    xrbench::workload::ScenarioSpec,
+    Vec<xrbench::workload::InferenceRequest>,
+    xrbench::sim::TableProvider,
+) {
+    use xrbench::sim::{InferenceCost, TableProvider};
+    use xrbench::workload::{DependencyKind, InferenceRequest, ScenarioBuilder};
+
+    let spec = ScenarioBuilder::new("tie-break")
+        .model(ModelId::HandTracking, 30.0)
+        .model(ModelId::EyeSegmentation, 30.0)
+        .dependent(
+            ModelId::GazeEstimation,
+            30.0,
+            ModelId::EyeSegmentation,
+            DependencyKind::Data,
+            1.0,
+        )
+        .build()
+        .expect("valid tie scenario");
+
+    let mut requests = Vec::new();
+    for k in 0..12u64 {
+        let t = k as f64 * 0.01;
+        for model in [
+            ModelId::GazeEstimation, // deliberately not in model order
+            ModelId::HandTracking,
+            ModelId::EyeSegmentation,
+        ] {
+            requests.push(InferenceRequest {
+                model,
+                frame_id: k,
+                sensor_frame: k,
+                t_req: t,
+                t_deadline: t + 0.015,
+            });
+        }
+    }
+
+    // Two engines with identical costs: engine choice is a pure tie.
+    let mut provider = TableProvider::new(2);
+    for m in ModelId::ALL {
+        for e in 0..2 {
+            provider.set(
+                m,
+                e,
+                InferenceCost {
+                    latency_s: 0.004,
+                    energy_j: 0.001,
+                },
+            );
+        }
+    }
+    (spec, requests, provider)
+}
+
+#[test]
+fn conformance_same_timestamp_ties_are_deterministic() {
+    // Same-timestamp arrival/dispatch/completion orderings must be
+    // reproducible across runs for every scheduler.
+    let (spec, requests, provider) = tie_fixture();
+    for (name, factory) in all_schedulers() {
+        let sim = Simulator::new(SimConfig {
+            duration_s: 0.4,
+            seed: 5,
+        });
+        let a = sim.run_requests(&spec, requests.clone(), &provider, factory().as_mut());
+        let b = sim.run_requests(&spec, requests.clone(), &provider, factory().as_mut());
+        assert_eq!(a, b, "{name} tie-break order not reproducible");
+        assert!(!a.records.is_empty(), "{name} dispatched nothing");
+    }
+}
+
+#[test]
+fn conformance_same_timestamp_ties_match_reference_loop() {
+    // The heap calendar's (t, user, model, sensor_frame, token)
+    // tie-break must reproduce the pre-refactor loop's insertion-order
+    // behavior bit-for-bit, including under exact event-time ties.
+    let (spec, requests, provider) = tie_fixture();
+    for (name, factory) in all_schedulers() {
+        let sim = Simulator::new(SimConfig {
+            duration_s: 0.4,
+            seed: 5,
+        });
+        let fast = sim.run_requests(&spec, requests.clone(), &provider, factory().as_mut());
+        let slow =
+            sim.run_requests_reference(&spec, requests.clone(), &provider, factory().as_mut());
+        assert_eq!(fast, slow, "{name} diverges from reference under ties");
+    }
+}
+
+#[test]
+fn conformance_multi_user_zero_stagger_matches_reference_loop() {
+    // Zero stagger maximizes cross-user timestamp collisions; the
+    // engines must still agree for every scheduler.
+    let provider = UniformProvider::new(2, 0.003, 0.001);
+    let specs: Vec<ScenarioSpec> = ScenarioCatalog::builtin().iter().cloned().collect();
+    let session = SessionSpec::mixed("tied-users", &specs, 5, 0.0);
+    for (name, factory) in all_schedulers() {
+        let sim = Simulator::new(SimConfig::default());
+        let fast = sim.run_session(&session, &provider, factory().as_mut());
+        let slow = sim.run_session_reference(&session, &provider, factory().as_mut());
+        assert_eq!(fast, slow, "{name} session diverges from reference");
+    }
+}
+
 #[test]
 fn conformance_all_four_schedulers_are_registered() {
     let names: Vec<&str> = all_schedulers()
