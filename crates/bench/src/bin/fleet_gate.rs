@@ -1,0 +1,268 @@
+//! The committed fleet-scale gate (PR 4).
+//!
+//! Runs the shared [`xrbench_bench::fleet_scale`] workload —
+//! independent 32-user device sessions grouped by built-in scenario —
+//! at 2,048 / 16,384 / **65,536** users, then:
+//!
+//! 1. **Determinism**: verifies the 65,536-user `FleetReport` of a
+//!    1-worker run and an 8-worker run are **byte-identical** (plus a
+//!    quick 1/2/8-worker check at 2,048 users), failing otherwise;
+//! 2. **Throughput**: computes events/sec (arrivals + completions per
+//!    wall-clock second, best over the gated runs) and fails if the
+//!    65,536-user figure falls below the committed
+//!    `floor_events_per_sec_65536` read from the repo-root
+//!    `BENCH_PR4.json`;
+//! 3. **Memory**: reads the process peak RSS (`VmHWM`) — which stays
+//!    O(workers × groups) because no per-request vector is ever
+//!    retained — and fails if it exceeds the committed `max_rss_mib`.
+//!
+//! Measurements always land in `target/BENCH_PR4.json`; the committed
+//! repo-root baseline is only rewritten when blessing. On failure the
+//! gate prints the measured-vs-floor delta, not just a verdict.
+//!
+//! ```sh
+//! cargo run -p xrbench-bench --release --bin fleet_gate --locked
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `XRBENCH_BLESS_FLEET=1` — re-derive the committed floor as 10%
+//!   of the measured 65,536-user throughput (and the RSS bound as 4×
+//!   the measured peak, minimum 256 MiB) and rewrite the repo-root
+//!   `BENCH_PR4.json`.
+
+use std::time::Instant;
+
+use xrbench_bench::fleet_scale::{fleet, provider, GATED_USERS, USERS_PER_SESSION};
+use xrbench_fleet::{run_fleet, FleetReport, FleetRunConfig};
+
+/// Fleet sizes measured for context. The last one is the gated size.
+const USER_COUNTS: [u32; 3] = [2_048, 16_384, GATED_USERS];
+/// Fraction of measured throughput committed as the floor when
+/// blessing — loose enough to survive CI runners several times
+/// slower than the blessing machine.
+const BLESS_FLOOR_FRACTION: f64 = 0.10;
+/// Headroom factor for the blessed peak-RSS bound.
+const RSS_BLESS_FACTOR: f64 = 4.0;
+/// Minimum blessed RSS bound (MiB), so tiny measurements don't
+/// produce a bound the allocator's natural jitter would trip.
+const RSS_BLESS_MIN_MIB: f64 = 256.0;
+/// The committed baseline at the workspace root.
+const COMMITTED_BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+/// Where each run's measurements land (never committed).
+const MEASURED_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_PR4.json");
+
+struct Measurement {
+    users: u32,
+    sessions: u64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+/// Extracts `"field": <number>` from a JSON string without a parser
+/// (the vendored serde_json is serialize-only).
+fn json_number(text: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Peak resident set size of this process in MiB (Linux `VmHWM`).
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// One timed fleet run with an explicit worker count.
+fn timed_run(users: u32, workers: usize) -> (FleetReport, f64) {
+    let spec = fleet(users);
+    let system = provider();
+    let config = FleetRunConfig {
+        workers,
+        ..FleetRunConfig::default()
+    };
+    let start = Instant::now();
+    let report = run_fleet(&spec, &system, &config);
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let bless = std::env::var("XRBENCH_BLESS_FLEET").is_ok_and(|v| v == "1");
+    let mut failed = false;
+
+    // 1a. Quick worker-count determinism sweep at the smallest size.
+    let small = USER_COUNTS[0];
+    let small_json = timed_run(small, 1).0.to_json();
+    for workers in [2, 8] {
+        let other = timed_run(small, workers).0.to_json();
+        if other != small_json {
+            eprintln!(
+                "fleet_gate: FAIL — {small}-user FleetReport differs between 1 and \
+                 {workers} workers"
+            );
+            failed = true;
+        }
+    }
+
+    // Context sizes (single rep, default workers).
+    let mut results: Vec<Measurement> = Vec::new();
+    for &users in &USER_COUNTS[..USER_COUNTS.len() - 1] {
+        let (report, elapsed) = timed_run(users, FleetRunConfig::default().workers);
+        let eps = report.events as f64 / elapsed;
+        eprintln!(
+            "fleet_gate: {users:>6} users | {:>5} sessions | {:>9} events | {eps:>12.0} ev/s",
+            report.num_sessions, report.events
+        );
+        results.push(Measurement {
+            users,
+            sessions: report.num_sessions,
+            events: report.events,
+            events_per_sec: eps,
+        });
+    }
+
+    // 1b + 2. The gated size: a 1-worker and an 8-worker run must be
+    // byte-identical; both (plus a default-worker run) count toward
+    // the throughput measurement.
+    let (r1, t1) = timed_run(GATED_USERS, 1);
+    let (r8, t8) = timed_run(GATED_USERS, 8);
+    let (rd, td) = timed_run(GATED_USERS, FleetRunConfig::default().workers);
+    if r1.to_json() != r8.to_json() {
+        eprintln!(
+            "fleet_gate: FAIL — {GATED_USERS}-user FleetReport differs between 1 and 8 \
+             workers (determinism regression)"
+        );
+        failed = true;
+    }
+    let gated_events = rd.events;
+    let gated_eps = [
+        r1.events as f64 / t1,
+        r8.events as f64 / t8,
+        rd.events as f64 / td,
+    ]
+    .into_iter()
+    .fold(0.0, f64::max);
+    eprintln!(
+        "fleet_gate: {GATED_USERS:>6} users | {:>5} sessions | {:>9} events | {gated_eps:>12.0} ev/s \
+         (gated; best of 1/8/default workers)",
+        rd.num_sessions, gated_events
+    );
+    assert!(
+        rd.num_users >= 65_536 && rd.num_sessions >= 2_048,
+        "gated fleet must cover >= 65,536 users across >= 2,048 sessions"
+    );
+    results.push(Measurement {
+        users: GATED_USERS,
+        sessions: rd.num_sessions,
+        events: gated_events,
+        events_per_sec: gated_eps,
+    });
+
+    // 3. Peak RSS (covers every run above — the most pessimistic
+    // moment of the whole process).
+    let rss_mib = peak_rss_mib();
+
+    // Committed bounds.
+    let committed = std::fs::read_to_string(COMMITTED_BASELINE).ok();
+    let committed_floor = committed
+        .as_deref()
+        .and_then(|t| json_number(t, "floor_events_per_sec_65536"));
+    let committed_rss = committed
+        .as_deref()
+        .and_then(|t| json_number(t, "max_rss_mib"));
+    let (floor, rss_bound) = if bless {
+        (
+            gated_eps * BLESS_FLOOR_FRACTION,
+            rss_mib.map_or(RSS_BLESS_MIN_MIB, |r| {
+                (r * RSS_BLESS_FACTOR).max(RSS_BLESS_MIN_MIB)
+            }),
+        )
+    } else {
+        let floor = committed_floor.unwrap_or_else(|| {
+            eprintln!(
+                "fleet_gate: FAIL — cannot read floor_events_per_sec_65536 from \
+                 {COMMITTED_BASELINE} (set XRBENCH_BLESS_FLEET=1 to establish a baseline)"
+            );
+            std::process::exit(1);
+        });
+        (floor, committed_rss.unwrap_or(RSS_BLESS_MIN_MIB))
+    };
+
+    // Emit BENCH_PR4.json.
+    let mut out = String::from("{\n  \"bench\": \"fleet_scale\",\n");
+    out.push_str(&format!(
+        "  \"users_per_session\": {USERS_PER_SESSION},\n  \"groups\": {},\n  \"scheduler\": \"latency-greedy\",\n",
+        rd.num_groups
+    ));
+    out.push_str("  \"fleets\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"users\": {}, \"sessions\": {}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            m.users,
+            m.sessions,
+            m.events,
+            m.events_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    if let Some(rss) = rss_mib {
+        out.push_str(&format!("  \"peak_rss_mib\": {rss:.0},\n"));
+    }
+    out.push_str(&format!("  \"max_rss_mib\": {rss_bound:.0},\n"));
+    out.push_str(&format!(
+        "  \"floor_events_per_sec_65536\": {floor:.0}\n}}\n"
+    ));
+    if let Some(dir) = std::path::Path::new(MEASURED_OUT).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(MEASURED_OUT, &out).expect("write measured BENCH_PR4.json");
+    if bless {
+        std::fs::write(COMMITTED_BASELINE, &out).expect("write committed BENCH_PR4.json");
+    }
+    println!("{out}");
+
+    // Gate: absolute committed throughput floor, with the delta
+    // spelled out either way.
+    let delta = (gated_eps / floor - 1.0) * 100.0;
+    if gated_eps < floor {
+        eprintln!(
+            "fleet_gate: FAIL — 65,536-user throughput {gated_eps:.0} ev/s below committed \
+             floor {floor:.0} ev/s (measured-vs-floor: {delta:+.1}%)"
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "fleet_gate: throughput {gated_eps:.0} ev/s vs floor {floor:.0} ev/s \
+             ({delta:+.1}%)"
+        );
+    }
+    // Gate: peak-RSS bound (memory must stay O(workers × groups)).
+    if let Some(rss) = rss_mib {
+        let rss_delta = (rss / rss_bound - 1.0) * 100.0;
+        if rss > rss_bound {
+            eprintln!(
+                "fleet_gate: FAIL — peak RSS {rss:.0} MiB above committed bound \
+                 {rss_bound:.0} MiB (measured-vs-bound: {rss_delta:+.1}%)"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "fleet_gate: peak RSS {rss:.0} MiB vs bound {rss_bound:.0} MiB ({rss_delta:+.1}%)"
+            );
+        }
+    } else {
+        eprintln!("fleet_gate: peak RSS unavailable on this platform; memory gate skipped");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("fleet_gate: PASS");
+}

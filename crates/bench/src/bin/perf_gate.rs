@@ -189,21 +189,31 @@ fn main() {
     }
     println!("{out}");
 
-    // Gate 1: absolute committed floor.
+    // Gate 1: absolute committed floor, with the measured-vs-floor
+    // delta spelled out either way.
     let mut failed = false;
+    let delta = (gated.events_per_sec / floor - 1.0) * 100.0;
     if gated.events_per_sec < floor {
         eprintln!(
-            "perf_gate: FAIL — 1024-user throughput {:.0} ev/s below committed floor {:.0} ev/s",
+            "perf_gate: FAIL — 1024-user throughput {:.0} ev/s below committed floor {:.0} ev/s \
+             (measured-vs-floor: {delta:+.1}%)",
             gated.events_per_sec, floor
         );
         failed = true;
+    } else {
+        eprintln!(
+            "perf_gate: throughput {:.0} ev/s vs floor {floor:.0} ev/s ({delta:+.1}%)",
+            gated.events_per_sec
+        );
     }
     // Gate 2: machine-independent speedup over the reference loop.
     if let Some(naive) = gated.naive_events_per_sec {
         let speedup = gated.events_per_sec / naive;
         if speedup < NAIVE_SPEEDUP_FLOOR {
             eprintln!(
-                "perf_gate: FAIL — speedup over reference loop {speedup:.2}x below {NAIVE_SPEEDUP_FLOOR}x"
+                "perf_gate: FAIL — speedup over reference loop {speedup:.2}x below \
+                 {NAIVE_SPEEDUP_FLOOR}x (measured-vs-floor: {:+.1}%)",
+                (speedup / NAIVE_SPEEDUP_FLOOR - 1.0) * 100.0
             );
             failed = true;
         }

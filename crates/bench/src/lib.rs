@@ -20,6 +20,11 @@
 //!   measures 1/32/256/1024-user session event throughput against the
 //!   pre-refactor reference loop, writes `BENCH_PR3.json`, and exits
 //!   non-zero on regression below the committed floor.
+//! * `fleet_gate` — the committed fleet-scale gate: runs a
+//!   ≥65,536-user / ≥2,048-session fleet, verifies the 1-worker and
+//!   8-worker reports are byte-identical, writes `BENCH_PR4.json`,
+//!   and exits non-zero below the committed events/sec floor or above
+//!   the committed peak-RSS bound.
 //!
 //! Criterion benches (`cargo bench -p xrbench-bench`):
 //!
@@ -30,6 +35,8 @@
 //!   called out in DESIGN.md.
 //! * `session_scale` — multi-user session throughput (the interactive
 //!   counterpart of `perf_gate`).
+//! * `fleet_scale` — fleet execution throughput (the interactive
+//!   counterpart of `fleet_gate`).
 
 /// Formats a score table row of four unit scores plus overall.
 pub fn fmt_scores(rt: f64, en: f64, qoe: f64, overall: f64) -> String {
@@ -66,9 +73,87 @@ pub mod session_scale {
     }
 }
 
+/// The PR-4 fleet-scale workload, shared by the `fleet_gate` gate
+/// binary and the `fleet_scale` Criterion bench so interactive
+/// profiling measures exactly what the gate enforces: independent
+/// 32-user devices, grouped by built-in scenario, on 16-engine
+/// systems.
+pub mod fleet_scale {
+    use xrbench_fleet::FleetSpec;
+    use xrbench_sim::UniformProvider;
+    use xrbench_workload::{ScenarioCatalog, SessionSpec};
+
+    /// Engines per device (same system as [`crate::session_scale`]).
+    pub const ENGINES: usize = 16;
+    /// Uniform per-inference latency (seconds).
+    pub const LATENCY_S: f64 = 0.001;
+    /// Uniform per-inference energy (joules).
+    pub const ENERGY_J: f64 = 0.001;
+    /// Concurrent users per device session.
+    pub const USERS_PER_SESSION: u32 = 32;
+    /// Per-user join stagger within a device session (seconds).
+    pub const STAGGER_S: f64 = 0.002;
+    /// The gated fleet size: 65,536 users across 2,048 sessions.
+    pub const GATED_USERS: u32 = 65_536;
+
+    /// The evaluated per-device system.
+    pub fn provider() -> UniformProvider {
+        UniformProvider::new(ENGINES, LATENCY_S, ENERGY_J)
+    }
+
+    /// A fleet of `total_users / 32` independent 32-user device
+    /// sessions, split into one device group per built-in scenario
+    /// (sessions distributed as evenly as group order allows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_users` is not a positive multiple of
+    /// [`USERS_PER_SESSION`].
+    pub fn fleet(total_users: u32) -> FleetSpec {
+        assert!(
+            total_users > 0 && total_users.is_multiple_of(USERS_PER_SESSION),
+            "fleet size must be a positive multiple of {USERS_PER_SESSION}, got {total_users}"
+        );
+        let sessions = total_users / USERS_PER_SESSION;
+        let catalog = ScenarioCatalog::builtin();
+        let n = catalog.iter().count() as u32;
+        let mut fleet = FleetSpec::new(format!("fleet-{total_users}"));
+        for (i, spec) in catalog.iter().enumerate() {
+            let i = i as u32;
+            let replicas = sessions / n + u32::from(i < sessions % n);
+            if replicas == 0 {
+                continue;
+            }
+            let session = SessionSpec::uniform(
+                format!("{}-device", spec.name),
+                spec.clone(),
+                USERS_PER_SESSION,
+                STAGGER_S,
+            );
+            fleet = fleet.group(spec.name.clone(), session, replicas);
+        }
+        fleet
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_workload_hits_the_gated_size() {
+        let f = fleet_scale::fleet(fleet_scale::GATED_USERS);
+        assert_eq!(f.total_users(), 65_536);
+        assert_eq!(f.total_sessions(), 2_048);
+        assert_eq!(f.num_groups(), 7);
+    }
+
+    #[test]
+    fn small_fleets_skip_empty_groups() {
+        let f = fleet_scale::fleet(fleet_scale::USERS_PER_SESSION * 3);
+        assert_eq!(f.total_sessions(), 3);
+        assert_eq!(f.num_groups(), 3);
+    }
 
     #[test]
     fn fmt_scores_is_stable() {

@@ -176,6 +176,42 @@ impl Harness {
         }
     }
 
+    /// Runs a **fleet**: `Σ replicas` independent device sessions
+    /// (each its own [`xrbench_fleet::FleetSpec`] group replica with a
+    /// derived seed, simulated against its own replica of `system`)
+    /// across a bounded worker pool, folding every result into a
+    /// streaming, exactly-mergeable aggregate. Memory stays
+    /// O(workers × groups) and the returned
+    /// [`xrbench_fleet::FleetReport`] is bit-identical for any
+    /// `workers` value — see `xrbench-fleet` and `DESIGN.md`.
+    ///
+    /// The harness's seed, duration, and score parameters apply to
+    /// every device session, exactly as they would in
+    /// [`Harness::run_session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has no groups, `workers == 0`, or the
+    /// system has no engines.
+    pub fn run_fleet(
+        &self,
+        fleet: &xrbench_fleet::FleetSpec,
+        system: &(dyn CostProvider + Sync),
+        workers: usize,
+    ) -> xrbench_fleet::FleetReport {
+        xrbench_fleet::run_fleet(
+            fleet,
+            system,
+            &xrbench_fleet::FleetRunConfig {
+                sim: self.sim,
+                rt: self.score.rt,
+                energy: self.score.energy,
+                accuracy: self.score.accuracy,
+                workers,
+            },
+        )
+    }
+
     /// Scores an existing simulation result against a scenario spec.
     pub fn score_result(
         &self,
@@ -330,6 +366,24 @@ mod tests {
     #[should_panic(expected = "duration")]
     fn invalid_duration_rejected() {
         let _ = Harness::new().with_duration(-1.0);
+    }
+
+    #[test]
+    fn harness_runs_fleets() {
+        use xrbench_fleet::FleetSpec;
+        use xrbench_workload::SessionSpec;
+
+        let p = UniformProvider::new(4, 0.001, 0.001);
+        let session = SessionSpec::uniform("party", UsageScenario::VrGaming.spec(), 4, 0.002);
+        let fleet = FleetSpec::uniform("arcade", session, 6);
+        let h = Harness::new();
+        let a = h.run_fleet(&fleet, &p, 1);
+        let b = h.run_fleet(&fleet, &p, 4);
+        assert_eq!(a, b, "worker count must not change the report");
+        assert_eq!(a.num_sessions, 6);
+        assert_eq!(a.num_users, 24);
+        assert!(a.fleet_score > 0.9, "uncontended VR fleet scores high");
+        assert_eq!(a.scheduler, "latency-greedy");
     }
 
     #[test]

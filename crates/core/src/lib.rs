@@ -46,3 +46,6 @@ pub use suite::{
     run_suite_serial,
 };
 pub use timeline::render_timeline;
+// The fleet layer's user-facing types, re-exported so harness users
+// can build and consume fleets without naming the crate.
+pub use xrbench_fleet::{DeviceGroup, FleetReport, FleetRunConfig, FleetSpec};

@@ -1,0 +1,310 @@
+//! The fleet executor: a bounded work-stealing worker pool running
+//! each device session through the heap engine's folding path, with
+//! per-worker accumulators merged deterministically at the end.
+//!
+//! ## Determinism under parallelism
+//!
+//! Which worker runs which session is scheduler noise — but it cannot
+//! leak into the result:
+//!
+//! 1. each device session is seeded purely by
+//!    [`replica_seed`]`(base, group, replica)` and simulated
+//!    single-threaded, so its folded [`FleetAccumulator`] contribution
+//!    is a pure function of the fleet spec and base seed;
+//! 2. contributions are folded into per-`(worker, group)`
+//!    accumulators, and [`FleetAccumulator::merge`] is **exact**
+//!    (integer counters, fixed-point sums, histogram buckets, min/max)
+//!    — associative and commutative, so any merge tree over the same
+//!    session set yields bit-identical state;
+//! 3. the final reduction runs in group order.
+//!
+//! Together: the [`FleetReport`] of a 1-worker run and a 64-worker run
+//! are byte-identical, and memory stays O(workers × groups) — no
+//! per-request vector survives a session (see `DESIGN.md`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use xrbench_score::{session_breakdown, AccuracyParams, EnergyParams, RtParams};
+use xrbench_sim::{CostProvider, LatencyGreedy, Scheduler, SimConfig, Simulator};
+
+use crate::accumulator::{FleetAccumulator, SCORE_SCALE};
+use crate::report::{build_report, FleetReport};
+use crate::scoring::{InferenceScorer, SessionFold};
+use crate::spec::{replica_seed, DeviceGroup, FleetSpec};
+
+/// Everything a fleet run needs besides the spec and the system:
+/// simulation base config, scoring parameters, and the worker budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetRunConfig {
+    /// Base simulator configuration. `seed` is the fleet base seed
+    /// (each replica derives its own via [`replica_seed`]);
+    /// `duration_s` is the per-user run duration.
+    pub sim: SimConfig,
+    /// Real-time sigmoid parameters.
+    pub rt: RtParams,
+    /// Energy score parameters.
+    pub energy: EnergyParams,
+    /// Accuracy score parameters.
+    pub accuracy: AccuracyParams,
+    /// Worker threads (capped at the session count; must be ≥ 1).
+    pub workers: usize,
+}
+
+impl Default for FleetRunConfig {
+    fn default() -> Self {
+        Self {
+            sim: SimConfig::default(),
+            rt: RtParams::default(),
+            energy: EnergyParams::default(),
+            accuracy: AccuracyParams::default(),
+            workers: default_workers(),
+        }
+    }
+}
+
+/// The default fleet worker count:
+/// `max(available_parallelism, 2)`, so the merge path is exercised
+/// even on a single-core host.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2)
+}
+
+/// Runs one device session through the folding path, accumulating
+/// into `acc` and never retaining per-request vectors.
+fn fold_session(
+    group: &DeviceGroup,
+    sim: &Simulator,
+    system: &dyn CostProvider,
+    scheduler: &mut dyn Scheduler,
+    scorer: &InferenceScorer,
+    acc: &mut FleetAccumulator,
+) {
+    let session = &group.session;
+    let mut fold = SessionFold::new(session);
+    let result = sim.run_session_folded(session, system, scheduler, &mut |user, rec| {
+        let combined = fold.record(user, rec, scorer);
+        acc.latency.record(rec.latency_s());
+        acc.overrun.record(rec.overrun_s());
+        acc.score.record(combined);
+        acc.model_mut(rec.model).record_exec(rec);
+    });
+    for (_, r) in &result.per_user {
+        for (m, st) in &r.stats {
+            acc.model_mut(*m).absorb_stats(st);
+        }
+    }
+    let breakdowns = fold.finish(session, &result);
+    let aggregate = session_breakdown(&breakdowns);
+    acc.sessions += 1;
+    acc.users += breakdowns.len() as u64;
+    acc.session_score.record(aggregate.overall, SCORE_SCALE);
+    for (su, b) in session.users.iter().zip(&breakdowns) {
+        acc.scenario_mut(&su.spec.name).record_user(b);
+    }
+}
+
+/// Runs a fleet under the default latency-greedy scheduler.
+///
+/// # Panics
+///
+/// Panics if the fleet is invalid (see [`FleetSpec::validate`]),
+/// `config.workers == 0`, or the system has no engines.
+pub fn run_fleet(
+    spec: &FleetSpec,
+    system: &(dyn CostProvider + Sync),
+    config: &FleetRunConfig,
+) -> FleetReport {
+    run_fleet_with(spec, system, config, &|| Box::new(LatencyGreedy::new()))
+}
+
+/// [`run_fleet`] under an explicit scheduler (one fresh instance per
+/// device session, exactly as [`xrbench_sim::Simulator::run_session`]
+/// would use it).
+///
+/// # Panics
+///
+/// Panics if the fleet is invalid, `config.workers == 0`, or the
+/// system has no engines; propagates worker panics.
+pub fn run_fleet_with(
+    spec: &FleetSpec,
+    system: &(dyn CostProvider + Sync),
+    config: &FleetRunConfig,
+    scheduler_factory: &(dyn Fn() -> Box<dyn Scheduler> + Sync),
+) -> FleetReport {
+    spec.validate();
+    assert!(config.workers > 0, "fleet needs at least one worker");
+    let scorer = InferenceScorer::new(config.rt, config.energy, config.accuracy);
+    let scheduler_name = scheduler_factory().name();
+
+    // The flat job list: (group, replica), in group order.
+    let jobs: Vec<(u32, u32)> = spec
+        .groups
+        .iter()
+        .enumerate()
+        .flat_map(|(g, grp)| (0..grp.replicas).map(move |r| (g as u32, r)))
+        .collect();
+    let workers = config.workers.min(jobs.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Vec<FleetAccumulator>>>> =
+        (0..workers).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for slot in &slots {
+            let (next, jobs, scorer) = (&next, &jobs, &scorer);
+            scope.spawn(move || {
+                let mut local = vec![FleetAccumulator::new(); spec.groups.len()];
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(g, r)) = jobs.get(idx) else {
+                        break;
+                    };
+                    let sim = Simulator::new(SimConfig {
+                        duration_s: config.sim.duration_s,
+                        seed: replica_seed(config.sim.seed, g, r),
+                    });
+                    let mut scheduler = scheduler_factory();
+                    fold_session(
+                        &spec.groups[g as usize],
+                        &sim,
+                        system,
+                        scheduler.as_mut(),
+                        scorer,
+                        &mut local[g as usize],
+                    );
+                }
+                *slot.lock().expect("worker slot poisoned") = Some(local);
+            });
+        }
+    });
+
+    // Reduce: per-group accumulators (exact merges, so worker order
+    // is immaterial), then the fleet total in group order.
+    let mut group_accs: Vec<FleetAccumulator> = vec![FleetAccumulator::new(); spec.groups.len()];
+    for slot in slots {
+        let worker = slot
+            .into_inner()
+            .expect("worker slot poisoned")
+            .expect("worker completed");
+        for (g, acc) in worker.iter().enumerate() {
+            group_accs[g].merge(acc);
+        }
+    }
+    let mut fleet_acc = FleetAccumulator::new();
+    for g in &group_accs {
+        fleet_acc.merge(g);
+    }
+    build_report(
+        spec,
+        &system.label(),
+        scheduler_name,
+        &group_accs,
+        &fleet_acc,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrbench_sim::UniformProvider;
+    use xrbench_workload::{SessionSpec, UsageScenario};
+
+    fn small_fleet() -> FleetSpec {
+        FleetSpec::new("test")
+            .group(
+                "vr",
+                SessionSpec::uniform("vr", UsageScenario::VrGaming.spec(), 3, 0.002),
+                4,
+            )
+            .group(
+                "social",
+                SessionSpec::uniform("soc", UsageScenario::SocialInteractionA.spec(), 2, 0.003),
+                3,
+            )
+    }
+
+    #[test]
+    fn fleet_runs_and_counts_everyone() {
+        let p = UniformProvider::new(4, 0.001, 0.001);
+        let r = run_fleet(&small_fleet(), &p, &FleetRunConfig::default());
+        assert_eq!(r.num_sessions, 7);
+        assert_eq!(r.num_users, 4 * 3 + 3 * 2);
+        assert_eq!(r.num_groups, 2);
+        assert!(r.fleet_score > 0.0 && r.fleet_score <= 1.0);
+        assert!(r.executed_inferences > 0);
+        assert_eq!(
+            r.events,
+            r.total_requests + r.untriggered_frames + r.executed_inferences
+        );
+        assert_eq!(r.groups.len(), 2);
+        assert_eq!(r.groups[0].sessions, 4);
+        assert_eq!(r.groups[1].users, 6);
+        // Both scenarios appear, in name order.
+        let names: Vec<&str> = r.scenarios.iter().map(|s| s.scenario.as_str()).collect();
+        assert_eq!(names, ["Social Interaction A", "VR Gaming"]);
+        // Reported percentiles never exceed their own maxima, and
+        // score percentiles stay on [0, 1] (the histogram's raw upper
+        // edges would overshoot both).
+        assert!(r.latency.p50_ms <= r.latency.p95_ms);
+        assert!(r.latency.p95_ms <= r.latency.p99_ms);
+        assert!(r.latency.p99_ms <= r.latency.max_ms);
+        assert!(r.overrun_p95_ms <= r.overrun_p99_ms);
+        assert!(r.overrun_p99_ms <= r.latency.max_ms);
+        assert!(r.inference_score_p05 <= r.inference_score_p50);
+        assert!(r.inference_score_p50 <= 1.0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let spec = small_fleet();
+        let base = FleetRunConfig {
+            workers: 1,
+            ..FleetRunConfig::default()
+        };
+        let one = run_fleet(&spec, &p, &base);
+        for workers in [2, 3, 8] {
+            let cfg = FleetRunConfig { workers, ..base };
+            let many = run_fleet(&spec, &p, &cfg);
+            assert_eq!(one, many, "workers = {workers}");
+            assert_eq!(one.to_json(), many.to_json(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn replicas_are_independent_devices() {
+        // Two replicas of the same session must not produce identical
+        // per-session scores under contention-free jitter (their seeds
+        // differ), yet the fleet total is reproducible.
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let spec = FleetSpec::uniform(
+            "twins",
+            SessionSpec::uniform("s", UsageScenario::ArAssistant.spec(), 2, 0.002),
+            2,
+        );
+        let cfg = FleetRunConfig::default();
+        let a = run_fleet(&spec, &p, &cfg);
+        let b = run_fleet(&spec, &p, &cfg);
+        assert_eq!(a, b);
+        // AR Assistant has probabilistic cascades: distinct seeds show
+        // up as distinct work (with overwhelming probability).
+        assert!(
+            a.session_score_min != a.session_score_max || a.untriggered_frames > 0,
+            "replicas look seed-correlated"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_rejected() {
+        let p = UniformProvider::new(1, 0.001, 0.001);
+        let cfg = FleetRunConfig {
+            workers: 0,
+            ..FleetRunConfig::default()
+        };
+        let _ = run_fleet(&small_fleet(), &p, &cfg);
+    }
+}

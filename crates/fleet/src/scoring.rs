@@ -1,0 +1,241 @@
+//! Streaming per-session scoring: the harness scoring path
+//! re-expressed as a fold, so a device session is scored without ever
+//! retaining its per-request vectors.
+//!
+//! The arithmetic deliberately mirrors `xrbench-core`'s
+//! `Harness::score_result` + `xrbench_score::scenario_score` **to the
+//! operation**: per-model sums accumulate in record order, component
+//! means divide in the same order, and the per-inference triple is the
+//! same [`InferenceScore`] product. A 1-session fleet therefore
+//! reproduces `Harness::run_session`'s per-user breakdowns
+//! bit-for-bit (the fleet-level aggregates then quantize them to
+//! fixed point for exact merging).
+
+use xrbench_models::{quality_for, ModelId, QualityType};
+use xrbench_score::{
+    accuracy_score, energy_score, qoe_score, rt_score, AccuracyParams, EnergyParams,
+    InferenceScore, MetricKind, RtParams, ScenarioBreakdown,
+};
+use xrbench_sim::{ExecRecord, SessionSimResult};
+use xrbench_workload::SessionSpec;
+
+/// Per-inference scorer with the accuracy component precomputed per
+/// model (it is a pure function of the model's quality table and the
+/// accuracy parameters, so computing it once per fleet instead of
+/// once per inference changes nothing but the cost).
+#[derive(Debug, Clone)]
+pub struct InferenceScorer {
+    rt: RtParams,
+    energy: EnergyParams,
+    accuracy_by_model: Vec<f64>,
+}
+
+impl InferenceScorer {
+    /// Builds the scorer for one parameter set.
+    pub fn new(rt: RtParams, energy: EnergyParams, accuracy: AccuracyParams) -> Self {
+        let accuracy_by_model = ModelId::ALL
+            .iter()
+            .map(|&m| {
+                let q = quality_for(m);
+                let kind = match q.quality_type {
+                    QualityType::HigherIsBetter => MetricKind::HigherIsBetter,
+                    QualityType::LowerIsBetter => MetricKind::LowerIsBetter,
+                };
+                accuracy_score(q.measured, q.target, kind, accuracy)
+            })
+            .collect();
+        Self {
+            rt,
+            energy,
+            accuracy_by_model,
+        }
+    }
+
+    /// Scores one executed inference (Definition 14's three factors),
+    /// identically to `Harness::score_inference`.
+    pub fn score(&self, rec: &ExecRecord) -> InferenceScore {
+        InferenceScore::new(
+            rt_score(rec.latency_s(), rec.slack_s(), self.rt),
+            energy_score(rec.energy_j, self.energy),
+            self.accuracy_by_model[rec.model as usize],
+        )
+    }
+}
+
+/// Per-(user, model) score sums for one in-flight device session.
+#[derive(Debug, Clone, Copy, Default)]
+struct ModelFold {
+    count: u64,
+    combined_sum: f64,
+    rt_sum: f64,
+    en_sum: f64,
+    acc_sum: f64,
+}
+
+/// One user's fold slots, parallel to their scenario's model list.
+#[derive(Debug, Clone)]
+struct UserFold {
+    user: u32,
+    models: Vec<ModelFold>,
+    /// `ModelId as usize` → index into `models` (the user's scenario
+    /// model order).
+    slot_of: Vec<Option<u32>>,
+}
+
+/// The streaming scorer for one device session: folds records as the
+/// simulator dispatches them, then closes each user's scenario
+/// breakdown against the session's final frame accounting.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionFold {
+    /// Per-user folds, in `SessionSpec::users` order.
+    users: Vec<UserFold>,
+    /// Sorted `(user id, index)` pairs for record routing.
+    index: Vec<(u32, u32)>,
+}
+
+impl SessionFold {
+    pub(crate) fn new(session: &SessionSpec) -> Self {
+        let users: Vec<UserFold> = session
+            .users
+            .iter()
+            .map(|u| {
+                let mut slot_of = vec![None; ModelId::ALL.len()];
+                for (i, sm) in u.spec.models.iter().enumerate() {
+                    slot_of[sm.model as usize] = Some(i as u32);
+                }
+                UserFold {
+                    user: u.user,
+                    models: vec![ModelFold::default(); u.spec.models.len()],
+                    slot_of,
+                }
+            })
+            .collect();
+        let mut index: Vec<(u32, u32)> = users
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.user, i as u32))
+            .collect();
+        index.sort_unstable();
+        Self { users, index }
+    }
+
+    /// Folds one executed inference; returns its combined score for
+    /// histogramming.
+    pub(crate) fn record(&mut self, user: u32, rec: &ExecRecord, scorer: &InferenceScorer) -> f64 {
+        let ui = self.index[self
+            .index
+            .binary_search_by_key(&user, |e| e.0)
+            .expect("record for unknown session user")]
+        .1 as usize;
+        let uf = &mut self.users[ui];
+        let slot = uf.slot_of[rec.model as usize].expect("record for model outside user's scenario")
+            as usize;
+        let s = scorer.score(rec);
+        let m = &mut uf.models[slot];
+        m.count += 1;
+        m.combined_sum += s.combined();
+        m.rt_sum += s.realtime;
+        m.en_sum += s.energy;
+        m.acc_sum += s.accuracy;
+        s.combined()
+    }
+
+    /// Closes the session: per-user scenario breakdowns (in
+    /// `SessionSpec::users` order) computed exactly as
+    /// `xrbench_score::scenario_score` would from the materialized
+    /// vectors.
+    pub(crate) fn finish(
+        &self,
+        session: &SessionSpec,
+        result: &SessionSimResult,
+    ) -> Vec<ScenarioBreakdown> {
+        session
+            .users
+            .iter()
+            .zip(&self.users)
+            .map(|(su, uf)| {
+                debug_assert_eq!(su.user, uf.user);
+                let stats = &result.user(su.user).expect("simulated every user").stats;
+                let k = su.spec.models.len() as f64;
+                // Same iteration order and operation order as
+                // `scenario_score`: QoE and overall average over all
+                // models; components average over executed models.
+                let mut qoe_sum = 0.0;
+                let mut overall_sum = 0.0;
+                let mut rt_sum = 0.0;
+                let mut en_sum = 0.0;
+                let mut acc_sum = 0.0;
+                let mut executed_models = 0u64;
+                for (sm, mf) in su.spec.models.iter().zip(&uf.models) {
+                    let total = stats.get(&sm.model).map_or(0, |s| s.total_frames);
+                    let per_model = if mf.count == 0 {
+                        0.0
+                    } else {
+                        mf.combined_sum / mf.count as f64
+                    };
+                    let qoe = qoe_score(mf.count, total);
+                    qoe_sum += qoe;
+                    overall_sum += per_model * qoe;
+                    if mf.count > 0 {
+                        executed_models += 1;
+                        let n = mf.count as f64;
+                        rt_sum += mf.rt_sum / n;
+                        en_sum += mf.en_sum / n;
+                        acc_sum += mf.acc_sum / n;
+                    }
+                }
+                let comp = |sum: f64| {
+                    if executed_models == 0 {
+                        0.0
+                    } else {
+                        sum / executed_models as f64
+                    }
+                };
+                ScenarioBreakdown {
+                    realtime: comp(rt_sum),
+                    energy: comp(en_sum),
+                    accuracy: comp(acc_sum),
+                    qoe: qoe_sum / k,
+                    overall: overall_sum / k,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scorer_matches_componentwise_recomputation() {
+        let scorer = InferenceScorer::new(
+            RtParams::default(),
+            EnergyParams::default(),
+            AccuracyParams::default(),
+        );
+        let rec = ExecRecord {
+            model: ModelId::HandTracking,
+            frame_id: 0,
+            sensor_frame: 0,
+            engine: 0,
+            t_req: 0.0,
+            t_deadline: 0.010,
+            t_start: 0.0,
+            t_end: 0.005,
+            energy_j: 0.1,
+        };
+        let s = scorer.score(&rec);
+        assert_eq!(s.realtime, rt_score(0.005, 0.010, RtParams::default()));
+        assert_eq!(s.energy, energy_score(0.1, EnergyParams::default()));
+        let q = quality_for(ModelId::HandTracking);
+        let kind = match q.quality_type {
+            QualityType::HigherIsBetter => MetricKind::HigherIsBetter,
+            QualityType::LowerIsBetter => MetricKind::LowerIsBetter,
+        };
+        assert_eq!(
+            s.accuracy,
+            accuracy_score(q.measured, q.target, kind, AccuracyParams::default())
+        );
+    }
+}

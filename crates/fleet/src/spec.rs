@@ -1,0 +1,210 @@
+//! Fleet topology: device groups of replicated sessions, with
+//! deterministic per-replica seed derivation.
+//!
+//! A [`FleetSpec`] describes M **device groups**; each group is one
+//! [`SessionSpec`] (the device's concurrent-tenant workload) stamped
+//! out `replicas` times. Every replica is an *independent* device: it
+//! gets its own seed — derived from the base run seed, the group
+//! index, and the replica index — so two replicas of the same session
+//! spec never share jitter or cascade draws, exactly as two physical
+//! headsets running the same app would not.
+
+use xrbench_workload::SessionSpec;
+
+/// One device group: a session spec replicated across independent
+/// devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceGroup {
+    /// Group display name.
+    pub name: String,
+    /// The per-device workload (scenarios, users, stagger).
+    pub session: SessionSpec,
+    /// How many independent devices run this session.
+    pub replicas: u32,
+}
+
+/// A fleet: M device groups, executed as `Σ replicas` independent
+/// device sessions.
+///
+/// ```
+/// use xrbench_fleet::FleetSpec;
+/// use xrbench_workload::{SessionSpec, UsageScenario};
+///
+/// let fleet = FleetSpec::new("demo")
+///     .group(
+///         "vr",
+///         SessionSpec::uniform("vr", UsageScenario::VrGaming.spec(), 4, 0.002),
+///         8,
+///     )
+///     .group(
+///         "ar",
+///         SessionSpec::uniform("ar", UsageScenario::ArGaming.spec(), 2, 0.002),
+///         4,
+///     );
+/// assert_eq!(fleet.total_sessions(), 12);
+/// assert_eq!(fleet.total_users(), 8 * 4 + 4 * 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Fleet display name.
+    pub name: String,
+    /// The device groups, in declaration order.
+    pub groups: Vec<DeviceGroup>,
+}
+
+/// One splitmix64 finalization round.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of one device session from the fleet's base seed:
+/// two chained splitmix64 rounds over the group and replica indices.
+/// A pure function of `(base_seed, group, replica)`, so a fleet run is
+/// reproducible session-by-session and replicas never share streams.
+pub fn replica_seed(base_seed: u64, group: u32, replica: u32) -> u64 {
+    let g = mix64(
+        base_seed
+            ^ u64::from(group)
+                .wrapping_add(1)
+                .wrapping_mul(0xA24B_AED4_963E_E407),
+    );
+    mix64(
+        g ^ u64::from(replica)
+            .wrapping_add(1)
+            .wrapping_mul(0x9FB2_1C65_1E98_DF25),
+    )
+}
+
+impl FleetSpec {
+    /// An empty fleet with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Adds one device group running `session` on `replicas`
+    /// independent devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0` or the session has no users.
+    #[must_use]
+    pub fn group(mut self, name: impl Into<String>, session: SessionSpec, replicas: u32) -> Self {
+        assert!(replicas > 0, "device group needs at least one replica");
+        assert!(
+            !session.users.is_empty(),
+            "device group session needs at least one user"
+        );
+        self.groups.push(DeviceGroup {
+            name: name.into(),
+            session,
+            replicas,
+        });
+        self
+    }
+
+    /// A single-group fleet: `replicas` devices of one session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0` or the session has no users.
+    pub fn uniform(name: impl Into<String>, session: SessionSpec, replicas: u32) -> Self {
+        let name = name.into();
+        let group_name = format!("{name}-devices");
+        Self::new(name).group(group_name, session, replicas)
+    }
+
+    /// Number of device groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total device sessions across all groups.
+    pub fn total_sessions(&self) -> u64 {
+        self.groups.iter().map(|g| u64::from(g.replicas)).sum()
+    }
+
+    /// Total concurrent users across all device sessions.
+    pub fn total_users(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| u64::from(g.replicas) * g.session.num_users() as u64)
+            .sum()
+    }
+
+    /// Validates the fleet for execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has no groups (group-level invariants are
+    /// enforced at construction by [`FleetSpec::group`]).
+    pub fn validate(&self) {
+        assert!(!self.groups.is_empty(), "fleet has no device groups");
+        for g in &self.groups {
+            assert!(g.replicas > 0, "device group needs at least one replica");
+            assert!(
+                !g.session.users.is_empty(),
+                "device group session needs at least one user"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrbench_workload::UsageScenario;
+
+    fn session(users: u32) -> SessionSpec {
+        SessionSpec::uniform("s", UsageScenario::VrGaming.spec(), users, 0.001)
+    }
+
+    #[test]
+    fn totals_sum_over_groups() {
+        let f = FleetSpec::new("f")
+            .group("a", session(4), 3)
+            .group("b", session(2), 5);
+        assert_eq!(f.num_groups(), 2);
+        assert_eq!(f.total_sessions(), 8);
+        assert_eq!(f.total_users(), 3 * 4 + 5 * 2);
+        f.validate();
+    }
+
+    #[test]
+    fn uniform_is_one_group() {
+        let f = FleetSpec::uniform("u", session(2), 7);
+        assert_eq!(f.num_groups(), 1);
+        assert_eq!(f.total_sessions(), 7);
+    }
+
+    #[test]
+    fn replica_seeds_are_distinct_and_reproducible() {
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
+        for g in 0..16 {
+            for r in 0..64 {
+                let s = replica_seed(0xC0FF_EE00, g, r);
+                assert_eq!(s, replica_seed(0xC0FF_EE00, g, r), "reproducible");
+                assert!(seen.insert(s), "seed collision at group {g} replica {r}");
+            }
+        }
+        // Different base seeds decorrelate the whole fleet.
+        assert_ne!(replica_seed(1, 0, 0), replica_seed(2, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "replica")]
+    fn zero_replicas_rejected() {
+        let _ = FleetSpec::new("f").group("a", session(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no device groups")]
+    fn empty_fleet_rejected() {
+        FleetSpec::new("f").validate();
+    }
+}

@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 mod aggregate;
+mod histogram;
 mod unit;
 
 pub use aggregate::{
     benchmark_score, per_model_score, scenario_score, session_breakdown, session_score,
     InferenceScore, ModelOutcome, ScenarioBreakdown,
 };
+pub use histogram::{FixedHistogram, Quantiles, NUM_BUCKETS};
 pub use unit::{
     accuracy_score, energy_score, qoe_score, rt_score, AccuracyParams, EnergyParams, MetricKind,
     RtParams,

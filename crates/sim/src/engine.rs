@@ -337,6 +337,23 @@ fn process_completion(
     }
 }
 
+/// Where completed inferences go: materialized per-user vectors (the
+/// classic path), or streamed into a fold callback so the run's memory
+/// stays proportional to the in-flight window instead of the request
+/// count (the fleet path).
+///
+/// Records reach the sink in dispatch order, which is nondecreasing in
+/// `t_start` — exactly the order `SimResult::records` ends up in after
+/// its (stable, already-sorted) final sort. The two modes are
+/// otherwise bit-identical: same events, same stats, same tie-breaks.
+pub(crate) enum RecordMode<'a> {
+    /// Retain every [`ExecRecord`] in per-user vectors.
+    Collect,
+    /// Stream each record to the callback as `(user, record)` and
+    /// retain nothing.
+    Fold(&'a mut dyn FnMut(u32, &ExecRecord)),
+}
+
 /// The production event loop over user-tagged requests (`requests`
 /// must be sorted by `t_req`, and strictly frame-monotone per
 /// `(user, model)`). Returns one [`SimResult`] per user. Bit-identical
@@ -348,6 +365,29 @@ pub(crate) fn run_tagged(
     provider: &dyn CostProvider,
     scheduler: &mut dyn Scheduler,
     duration_s: f64,
+) -> BTreeMap<u32, SimResult> {
+    run_tagged_mode(
+        config,
+        specs,
+        requests,
+        provider,
+        scheduler,
+        duration_s,
+        RecordMode::Collect,
+    )
+}
+
+/// [`run_tagged`] with an explicit [`RecordMode`]. In `Fold` mode the
+/// returned [`SimResult`]s carry empty `records` vectors (stats are
+/// still complete).
+pub(crate) fn run_tagged_mode(
+    config: SimConfig,
+    specs: &[(u32, &ScenarioSpec)],
+    requests: Vec<Pending>,
+    provider: &dyn CostProvider,
+    scheduler: &mut dyn Scheduler,
+    duration_s: f64,
+    mut mode: RecordMode<'_>,
 ) -> BTreeMap<u32, SimResult> {
     assert!(provider.num_engines() > 0, "provider must expose engines");
 
@@ -597,7 +637,7 @@ pub(crate) fn run_tagged(
             if t_end > view.t_deadline {
                 stats[key].missed_deadlines += 1;
             }
-            records[key / nm].push(ExecRecord {
+            let record = ExecRecord {
                 model: view.model,
                 frame_id: view.frame_id,
                 sensor_frame,
@@ -607,7 +647,11 @@ pub(crate) fn run_tagged(
                 t_start: now,
                 t_end,
                 energy_j: cost.energy_j,
-            });
+            };
+            match &mut mode {
+                RecordMode::Collect => records[key / nm].push(record),
+                RecordMode::Fold(sink) => sink(users_raw[key / nm], &record),
+            }
             let token = next_token;
             next_token += 1;
             if t_end > now + EPS {

@@ -207,6 +207,54 @@ impl Simulator {
         Self::assemble_session(session, per_user_map, provider, span_s)
     }
 
+    /// [`Simulator::run_session`] with **streaming result folding**:
+    /// every completed inference is handed to `sink` as
+    /// `(user, &ExecRecord)` the moment it is dispatched (records
+    /// arrive in nondecreasing `t_start` order, per user exactly the
+    /// order `SimResult::records` would list them), and **no**
+    /// per-request vectors are retained — the returned
+    /// [`SessionSimResult`] carries complete per-user stats but empty
+    /// `records`.
+    ///
+    /// This is the memory contract fleet-scale execution builds on:
+    /// a session's footprint stays proportional to its in-flight
+    /// window (users × models) instead of its request count. Apart
+    /// from the empty `records`, the run is bit-identical to
+    /// [`Simulator::run_session`]: same events, same stats, same
+    /// tie-breaks.
+    ///
+    /// **Caveat:** every records-derived metric on the returned value
+    /// — [`SimResult::total_energy_j`], [`SimResult::engine_busy_s`],
+    /// the utilization helpers, and their
+    /// [`SessionSimResult`] counterparts — reads as zero, because the
+    /// records backing them were folded away. Accumulate those
+    /// quantities in the sink instead (the fleet accumulator keeps
+    /// its own exact energy/latency sums for precisely this reason).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no users, session user ids are not
+    /// unique, or the provider has no engines.
+    pub fn run_session_folded(
+        &self,
+        session: &SessionSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn FnMut(u32, &crate::result::ExecRecord),
+    ) -> SessionSimResult {
+        let (specs, tagged, span_s) = self.session_inputs(session);
+        let per_user_map = crate::engine::run_tagged_mode(
+            self.config,
+            &specs,
+            tagged,
+            provider,
+            scheduler,
+            span_s,
+            crate::engine::RecordMode::Fold(sink),
+        );
+        Self::assemble_session(session, per_user_map, provider, span_s)
+    }
+
     /// Prepares the merged, user-tagged session stream.
     fn session_inputs<'s>(
         &self,
@@ -725,6 +773,37 @@ mod tests {
         for (_, r) in &sr.per_user {
             assert_eq!(r.duration_s, sr.span_s);
         }
+    }
+
+    #[test]
+    fn folded_session_streams_the_collected_records() {
+        // The folding path must observe exactly the records the
+        // collecting path materializes — same values, same per-user
+        // order — while returning empty `records` vectors itself.
+        let p = UniformProvider::new(2, 0.003, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let specs = [
+            UsageScenario::VrGaming.spec(),
+            UsageScenario::ArAssistant.spec(),
+        ];
+        let session = SessionSpec::mixed("fold", &specs, 5, 0.007);
+        let collected = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+
+        let mut streamed: BTreeMap<u32, Vec<ExecRecord>> = BTreeMap::new();
+        let folded =
+            sim.run_session_folded(&session, &p, &mut LatencyGreedy::new(), &mut |u, r| {
+                streamed.entry(u).or_default().push(r.clone());
+            });
+
+        for (u, r) in &collected.per_user {
+            assert_eq!(streamed.get(u).expect("user streamed"), &r.records, "{u}");
+            let f = folded.user(*u).expect("user folded");
+            assert!(f.records.is_empty());
+            assert_eq!(f.stats, r.stats, "user {u} stats must match");
+            assert_eq!(f.duration_s, r.duration_s);
+        }
+        assert_eq!(folded.span_s, collected.span_s);
+        assert_eq!(folded.num_engines, collected.num_engines);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`accel`] | `xrbench-accel` | the 13 simulated accelerators A–M (Table 5) |
 //! | [`sim`] | `xrbench-sim` | the discrete-event benchmark runtime (Figure 2) |
 //! | [`score`] | `xrbench-score` | the four unit scores and their aggregation (Box 2, Figure 4) |
+//! | [`fleet`] | `xrbench-fleet` | fleet-scale execution: sharded device sessions, streaming mergeable aggregation |
 //! | [`core`] | `xrbench-core` | the harness, reports, and figure regeneration |
 //!
 //! ## Quickstart
@@ -38,6 +39,7 @@
 pub use xrbench_accel as accel;
 pub use xrbench_core as core;
 pub use xrbench_costmodel as costmodel;
+pub use xrbench_fleet as fleet;
 pub use xrbench_models as models;
 pub use xrbench_score as score;
 pub use xrbench_sim as sim;
@@ -55,6 +57,7 @@ pub mod prelude {
         evaluate_layer, evaluate_layers, Dataflow, HardwareConfig, Layer, LayerKind,
         MappingStrategy, TensorDims,
     };
+    pub use xrbench_fleet::{run_fleet, DeviceGroup, FleetReport, FleetRunConfig, FleetSpec};
     pub use xrbench_models::{model_info, ModelId, TaskCategory};
     pub use xrbench_score::{benchmark_score, InferenceScore, ModelOutcome};
     pub use xrbench_sim::{

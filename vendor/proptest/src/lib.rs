@@ -10,6 +10,14 @@
 //! `prop_assert!` without shrinking. That keeps runs reproducible and
 //! the implementation small; the tests in this workspace assert
 //! invariants, not minimal counterexamples.
+//!
+//! A second deliberate difference: the `PROPTEST_CASES` environment
+//! variable overrides the case count even when a test sets an
+//! explicit `ProptestConfig::with_cases` (upstream only overrides the
+//! default). This workspace's property suites pin small per-test
+//! counts for fast PR feedback and rely on the nightly CI job
+//! exporting `PROPTEST_CASES=2048` to run the same suites deep —
+//! env-wins is what makes that single knob sufficient.
 
 #![forbid(unsafe_code)]
 
@@ -275,16 +283,30 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// Parses a `PROPTEST_CASES`-style value (positive integer).
+fn parse_cases(raw: Option<String>) -> Option<u32> {
+    raw.and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0)
+}
+
+/// The environment override, if set (see the module docs: it wins
+/// over explicit `with_cases` so one CI knob deepens every suite).
+fn env_cases() -> Option<u32> {
+    parse_cases(std::env::var("PROPTEST_CASES").ok())
+}
+
 impl ProptestConfig {
-    /// A configuration running `cases` cases per test.
+    /// A configuration running `cases` cases per test (overridden by
+    /// the `PROPTEST_CASES` environment variable when set).
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 256 }
+        Self::with_cases(256)
     }
 }
 
@@ -406,6 +428,17 @@ mod tests {
         ) {
             prop_assert!([1, 2, 3].contains(&x));
         }
+    }
+
+    #[test]
+    fn case_count_parsing() {
+        // The env override parser (exercised without touching the
+        // process environment, which other tests share).
+        assert_eq!(crate::parse_cases(Some("2048".into())), Some(2048));
+        assert_eq!(crate::parse_cases(Some(" 64 ".into())), Some(64));
+        assert_eq!(crate::parse_cases(Some("0".into())), None);
+        assert_eq!(crate::parse_cases(Some("nope".into())), None);
+        assert_eq!(crate::parse_cases(None), None);
     }
 
     #[test]
