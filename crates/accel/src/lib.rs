@@ -36,5 +36,5 @@
 mod styles;
 mod system;
 
-pub use styles::{table5, AcceleratorConfig, AcceleratorStyle, SubAccelSpec};
+pub use styles::{config_by_id, table5, AcceleratorConfig, AcceleratorStyle, SubAccelSpec};
 pub use system::AcceleratorSystem;

@@ -149,9 +149,29 @@ pub fn table5() -> Vec<AcceleratorConfig> {
     ]
 }
 
+/// Looks up one Table 5 configuration by its identifier,
+/// case-insensitively (`'a'` and `'A'` both name the WS FDA).
+///
+/// The by-name entry point spec files and the CLI resolve accelerator
+/// references through.
+pub fn config_by_id(id: char) -> Option<AcceleratorConfig> {
+    let id = id.to_ascii_uppercase();
+    table5().into_iter().find(|c| c.id == id)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_by_id_finds_every_row_case_insensitively() {
+        for id in 'A'..='M' {
+            assert_eq!(config_by_id(id).unwrap().id, id);
+            assert_eq!(config_by_id(id.to_ascii_lowercase()).unwrap().id, id);
+        }
+        assert_eq!(config_by_id('N'), None);
+        assert_eq!(config_by_id('1'), None);
+    }
 
     #[test]
     fn thirteen_configs_a_through_m() {

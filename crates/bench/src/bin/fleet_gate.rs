@@ -59,8 +59,8 @@ struct Measurement {
     events_per_sec: f64,
 }
 
-/// Extracts `"field": <number>` from a JSON string without a parser
-/// (the vendored serde_json is serialize-only).
+/// Extracts `"field": <number>` from a JSON string without building a
+/// value tree.
 fn json_number(text: &str, field: &str) -> Option<f64> {
     let needle = format!("\"{field}\":");
     let at = text.find(&needle)? + needle.len();
@@ -133,7 +133,8 @@ fn main() {
     let (r1, t1) = timed_run(GATED_USERS, 1);
     let (r8, t8) = timed_run(GATED_USERS, 8);
     let (rd, td) = timed_run(GATED_USERS, FleetRunConfig::default().workers);
-    if r1.to_json() != r8.to_json() {
+    let byte_identical = r1.to_json() == r8.to_json();
+    if !byte_identical {
         eprintln!(
             "fleet_gate: FAIL — {GATED_USERS}-user FleetReport differs between 1 and 8 \
              workers (determinism regression)"
@@ -260,6 +261,50 @@ fn main() {
     } else {
         eprintln!("fleet_gate: peak RSS unavailable on this platform; memory gate skipped");
     }
+
+    // Mirror the verdicts and measurements into the Actions job
+    // summary, so a regression is readable from the run page without
+    // downloading artifacts.
+    let mut summary = String::from("## Fleet gate (65,536-user fleet throughput & memory)\n\n");
+    summary.push_str("| users | sessions | events | events/sec |\n");
+    summary.push_str("|---:|---:|---:|---:|\n");
+    for m in &results {
+        summary.push_str(&format!(
+            "| {} | {} | {} | {:.0} |\n",
+            m.users, m.sessions, m.events, m.events_per_sec
+        ));
+    }
+    summary.push_str("\n| gate | bound | measured | delta | verdict |\n");
+    summary.push_str("|---|---:|---:|---:|---|\n");
+    summary.push_str(&format!(
+        "| 65,536-user throughput | {floor:.0} ev/s | {gated_eps:.0} ev/s | {delta:+.1}% | {} |\n",
+        if gated_eps < floor {
+            "❌ FAIL"
+        } else {
+            "✅ pass"
+        }
+    ));
+    match rss_mib {
+        Some(rss) => summary.push_str(&format!(
+            "| peak RSS | {rss_bound:.0} MiB | {rss:.0} MiB | {:+.1}% | {} |\n",
+            (rss / rss_bound - 1.0) * 100.0,
+            if rss > rss_bound {
+                "❌ FAIL"
+            } else {
+                "✅ pass"
+            }
+        )),
+        None => summary.push_str("| peak RSS | — | unavailable | — | skipped |\n"),
+    }
+    summary.push_str(&format!(
+        "| 1-vs-8-worker byte identity | — | — | — | {} |\n",
+        if byte_identical {
+            "✅ pass"
+        } else {
+            "❌ FAIL"
+        }
+    ));
+    xrbench_bench::ci::append_step_summary(&summary);
 
     if failed {
         std::process::exit(1);

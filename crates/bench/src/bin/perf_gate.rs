@@ -73,8 +73,8 @@ fn measure(reps: u32, arrivals: u64, mut f: impl FnMut() -> u64) -> (u64, f64) {
     (events, 1.0 / best)
 }
 
-/// Extracts `"field": <number>` from a JSON string without a parser
-/// (the vendored serde_json is serialize-only).
+/// Extracts `"field": <number>` from a JSON string without building a
+/// value tree.
 fn json_number(text: &str, field: &str) -> Option<f64> {
     let needle = format!("\"{field}\":");
     let at = text.find(&needle)? + needle.len();
@@ -218,6 +218,43 @@ fn main() {
             failed = true;
         }
     }
+    // Mirror the verdict and the measurement table into the Actions
+    // job summary, so a regression is readable from the run page
+    // without downloading artifacts.
+    let mut summary = String::from("## Perf gate (1024-user session throughput)\n\n");
+    summary.push_str("| users | events | events/sec | reference ev/s | speedup |\n");
+    summary.push_str("|---:|---:|---:|---:|---:|\n");
+    for m in &results {
+        let (naive, speedup) = match m.naive_events_per_sec {
+            Some(n) => (format!("{n:.0}"), format!("{:.1}x", m.events_per_sec / n)),
+            None => ("—".to_string(), "—".to_string()),
+        };
+        summary.push_str(&format!(
+            "| {} | {} | {:.0} | {naive} | {speedup} |\n",
+            m.users, m.events, m.events_per_sec
+        ));
+    }
+    summary.push_str("\n| gate | floor | measured | delta | verdict |\n");
+    summary.push_str("|---|---:|---:|---:|---|\n");
+    summary.push_str(&format!(
+        "| 1024-user throughput | {floor:.0} ev/s | {:.0} ev/s | {delta:+.1}% | {} |\n",
+        gated.events_per_sec,
+        if gated.events_per_sec < floor {
+            "❌ FAIL"
+        } else {
+            "✅ pass"
+        }
+    ));
+    if let Some(naive) = gated.naive_events_per_sec {
+        let speedup = gated.events_per_sec / naive;
+        summary.push_str(&format!(
+            "| speedup over reference loop | {NAIVE_SPEEDUP_FLOOR:.1}x | {speedup:.2}x | {:+.1}% | {} |\n",
+            (speedup / NAIVE_SPEEDUP_FLOOR - 1.0) * 100.0,
+            if speedup < NAIVE_SPEEDUP_FLOOR { "❌ FAIL" } else { "✅ pass" }
+        ));
+    }
+    xrbench_bench::ci::append_step_summary(&summary);
+
     if failed {
         std::process::exit(1);
     }

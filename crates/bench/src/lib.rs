@@ -43,6 +43,33 @@ pub fn fmt_scores(rt: f64, en: f64, qoe: f64, overall: f64) -> String {
     format!("rt={rt:5.2} en={en:5.2} qoe={qoe:5.2} overall={overall:5.2}")
 }
 
+/// CI affordances shared by the gate binaries.
+pub mod ci {
+    use std::io::Write as _;
+
+    /// Appends a markdown fragment to the GitHub Actions job summary
+    /// (the file named by `$GITHUB_STEP_SUMMARY`), so gate verdicts
+    /// and their measured-vs-floor deltas are readable straight from
+    /// the run page. A silent no-op outside Actions or when the file
+    /// cannot be written — the gate's stderr output remains the
+    /// source of truth.
+    pub fn append_step_summary(markdown: &str) {
+        let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "{markdown}");
+        }
+    }
+}
+
 /// The PR-3 session-scale workload, shared by the `perf_gate` gate
 /// binary and the `session_scale` Criterion bench so interactive
 /// profiling measures exactly what the gate enforces.

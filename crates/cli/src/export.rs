@@ -1,0 +1,102 @@
+//! The builtin spec catalog `export-specs` writes.
+//!
+//! The committed `specs/` directory at the repository root is exactly
+//! this module's output: the seven Table 2 scenarios (serialized
+//! through `xrbench_workload::scenario_to_json`) plus the three
+//! default run documents below. CI re-exports into a scratch
+//! directory on every push and diffs against the committed files, so
+//! `specs/` can never drift from the code; re-bless with
+//! `XRBENCH_BLESS=1 cargo test -p xrbench-cli`.
+
+/// The canonical file name of a scenario spec (lowercased, spaces to
+/// underscores — the same convention the golden suite fixtures use).
+pub fn scenario_file_name(scenario: &str) -> String {
+    format!("{}.json", scenario.to_ascii_lowercase().replace(' ', "_"))
+}
+
+/// The default suite run: the quickstart configuration (accelerator J
+/// at 8192 PEs, 10 repeats, paper-default seed and duration), whose
+/// XRBench Score is 0.888.
+pub const SUITE_DEFAULT: &str = r#"{
+  "kind": "suite",
+  "hardware": { "accelerator": { "id": "J", "pes": 8192 } },
+  "repeats": 10
+}
+"#;
+
+/// The default session run: a four-user VR Gaming party joining 50 ms
+/// apart on accelerator J at 8192 PEs, under the paper-default
+/// latency-greedy scheduler.
+pub const SESSION_DEFAULT: &str = r#"{
+  "kind": "session",
+  "hardware": { "accelerator": { "id": "J", "pes": 8192 } },
+  "session": {
+    "name": "vr-party",
+    "uniform": { "scenario": "VR Gaming", "users": 4, "stagger_s": 0.05 }
+  }
+}
+"#;
+
+/// The default fleet run: two device groups (VR parties and AR
+/// assistant walkers) on accelerator J at 8192 PEs. AR Assistant has
+/// probabilistic cascades, so this document also pins the seeded
+/// dynamic path.
+pub const FLEET_DEFAULT: &str = r#"{
+  "kind": "fleet",
+  "hardware": { "accelerator": { "id": "J", "pes": 8192 } },
+  "fleet": {
+    "name": "demo-arcade",
+    "groups": [
+      {
+        "name": "vr",
+        "replicas": 4,
+        "session": {
+          "name": "party",
+          "uniform": { "scenario": "VR Gaming", "users": 4, "stagger_s": 0.002 }
+        }
+      },
+      {
+        "name": "assistant",
+        "replicas": 2,
+        "session": {
+          "name": "walk",
+          "uniform": { "scenario": "AR Assistant", "users": 2, "stagger_s": 0.01 }
+        }
+      }
+    ]
+  }
+}
+"#;
+
+/// The default run documents, as `(file name, contents)` pairs.
+pub fn default_documents() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("suite_default.json", SUITE_DEFAULT),
+        ("session_default.json", SESSION_DEFAULT),
+        ("fleet_default.json", FLEET_DEFAULT),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrbench_core::RunDocument;
+
+    #[test]
+    fn default_documents_parse_as_their_kinds() {
+        for (name, body) in default_documents() {
+            let doc = RunDocument::from_json_str(body).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let expected = name.split('_').next().unwrap();
+            assert_eq!(doc.kind(), expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn scenario_file_names_are_slugs() {
+        assert_eq!(
+            scenario_file_name("Social Interaction A"),
+            "social_interaction_a.json"
+        );
+        assert_eq!(scenario_file_name("VR Gaming"), "vr_gaming.json");
+    }
+}

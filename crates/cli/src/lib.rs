@@ -1,0 +1,609 @@
+//! The `xrbench` command-line driver.
+//!
+//! Turns the declarative workload subsystem into a benchmark *suite*
+//! anyone can drive from text files: spec documents go in, the
+//! library's report JSON comes out. Every run subcommand executes
+//! through [`xrbench_core::RunDocument`] — the same validated entry
+//! points the library exposes — so the CLI path is bit-for-bit
+//! identical to the programmatic path (CI enforces this on every
+//! push).
+//!
+//! ```text
+//! xrbench run-suite   <SPEC.json> [--out FILE]
+//! xrbench run-session <SPEC.json> [--out FILE]
+//! xrbench run-fleet   <SPEC.json> [--out FILE]
+//! xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
+//!                       [--min-models N] [--max-models N]
+//! xrbench list <models|scenarios|accelerators>
+//! xrbench export-specs [--dir DIR]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xrbench_core::RunDocument;
+use xrbench_workload::{scenario_to_json, ScenarioCatalog, ScenarioSpace, UsageScenario};
+
+pub mod export;
+
+/// The usage text printed by `--help` and on argument errors.
+pub const USAGE: &str = "\
+xrbench — the XRBench benchmark suite driver
+
+USAGE:
+  xrbench run-suite   <SPEC.json> [--out FILE]   run a `kind: suite` document
+  xrbench run-session <SPEC.json> [--out FILE]   run a `kind: session` document
+  xrbench run-fleet   <SPEC.json> [--out FILE]   run a `kind: fleet` document
+  xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
+                        [--min-models N] [--max-models N]
+                                                 sample random valid scenarios
+  xrbench list <models|scenarios|accelerators>   print the builtin catalogs
+  xrbench export-specs [--dir DIR]               write the builtin specs (default: specs/)
+
+Reports are the library's JSON, printed to stdout (or --out FILE).
+Diagnostics go to stderr; exit code 0 on success, 1 on a spec/run
+error, 2 on a usage error.";
+
+/// A fatal CLI error with its exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Message for stderr.
+    pub message: String,
+    /// Process exit code (1 = spec/run error, 2 = usage error).
+    pub code: i32,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage_error(message: impl Into<String>) -> CliError {
+    CliError {
+        message: format!("{}\n\n{USAGE}", message.into()),
+        code: 2,
+    }
+}
+
+fn run_error(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 1,
+    }
+}
+
+/// What `list` should print.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListKind {
+    /// The eleven Table 1 unit models.
+    Models,
+    /// The seven builtin Table 2 scenarios.
+    Scenarios,
+    /// The thirteen Table 5 accelerator configurations.
+    Accelerators,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `run-suite` / `run-session` / `run-fleet`.
+    Run {
+        /// The document kind the subcommand requires (`suite`,
+        /// `session`, or `fleet`).
+        kind: &'static str,
+        /// The spec file to load.
+        spec: PathBuf,
+        /// Where to write the report instead of stdout.
+        out: Option<PathBuf>,
+    },
+    /// `gen-scenarios`.
+    GenScenarios {
+        /// Base seed (consecutive seeds sample the scenarios).
+        seed: u64,
+        /// How many scenarios to sample.
+        count: u32,
+        /// Write one file per scenario here instead of a JSON array
+        /// on stdout.
+        out_dir: Option<PathBuf>,
+        /// Override the space's minimum model count.
+        min_models: Option<usize>,
+        /// Override the space's maximum model count.
+        max_models: Option<usize>,
+    },
+    /// `list`.
+    List(ListKind),
+    /// `export-specs`.
+    ExportSpecs {
+        /// Target directory (default `specs/`).
+        dir: PathBuf,
+    },
+    /// `--help` / `help`.
+    Help,
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
+    let value = value.ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
+    value
+        .parse()
+        .map_err(|_| usage_error(format!("invalid value for {flag}: `{value}`")))
+}
+
+impl Command {
+    /// Parses the arguments after the program name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a code-2 [`CliError`] (with usage text) for unknown
+    /// subcommands, missing operands, or malformed flag values.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut it = args.iter().cloned();
+        let Some(sub) = it.next() else {
+            return Err(usage_error("missing subcommand"));
+        };
+        match sub.as_str() {
+            "--help" | "-h" | "help" => Ok(Command::Help),
+            "run-suite" | "run-session" | "run-fleet" => {
+                let kind = &sub["run-".len()..];
+                let kind = match kind {
+                    "suite" => "suite",
+                    "session" => "session",
+                    _ => "fleet",
+                };
+                let mut spec = None;
+                let mut out = None;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--out" => {
+                            out = Some(PathBuf::from(parse_value::<String>("--out", it.next())?))
+                        }
+                        _ if arg.starts_with('-') => {
+                            return Err(usage_error(format!("unknown flag `{arg}`")))
+                        }
+                        _ if spec.is_none() => spec = Some(PathBuf::from(arg)),
+                        _ => return Err(usage_error(format!("unexpected argument `{arg}`"))),
+                    }
+                }
+                let spec =
+                    spec.ok_or_else(|| usage_error(format!("{sub} needs a spec file argument")))?;
+                Ok(Command::Run { kind, spec, out })
+            }
+            "gen-scenarios" => {
+                let mut seed = 0u64;
+                let mut count = 8u32;
+                let mut out_dir = None;
+                let mut min_models = None;
+                let mut max_models = None;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--seed" => seed = parse_value("--seed", it.next())?,
+                        "--count" => count = parse_value("--count", it.next())?,
+                        "--min-models" => {
+                            min_models = Some(parse_value("--min-models", it.next())?)
+                        }
+                        "--max-models" => {
+                            max_models = Some(parse_value("--max-models", it.next())?)
+                        }
+                        "--out-dir" => {
+                            out_dir = Some(PathBuf::from(parse_value::<String>(
+                                "--out-dir",
+                                it.next(),
+                            )?))
+                        }
+                        _ => return Err(usage_error(format!("unknown argument `{arg}`"))),
+                    }
+                }
+                if count == 0 {
+                    return Err(usage_error("--count must be at least 1"));
+                }
+                Ok(Command::GenScenarios {
+                    seed,
+                    count,
+                    out_dir,
+                    min_models,
+                    max_models,
+                })
+            }
+            "list" => {
+                let what = it.next().ok_or_else(|| {
+                    usage_error("list needs one of: models, scenarios, accelerators")
+                })?;
+                if let Some(extra) = it.next() {
+                    return Err(usage_error(format!("unexpected argument `{extra}`")));
+                }
+                match what.as_str() {
+                    "models" => Ok(Command::List(ListKind::Models)),
+                    "scenarios" => Ok(Command::List(ListKind::Scenarios)),
+                    "accelerators" => Ok(Command::List(ListKind::Accelerators)),
+                    other => Err(usage_error(format!(
+                        "unknown list target `{other}` (expected models, scenarios, or accelerators)"
+                    ))),
+                }
+            }
+            "export-specs" => {
+                let mut dir = PathBuf::from("specs");
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--dir" => dir = PathBuf::from(parse_value::<String>("--dir", it.next())?),
+                        _ => return Err(usage_error(format!("unknown argument `{arg}`"))),
+                    }
+                }
+                Ok(Command::ExportSpecs { dir })
+            }
+            other => Err(usage_error(format!("unknown subcommand `{other}`"))),
+        }
+    }
+}
+
+/// What an executed command wants done with the world: text for
+/// stdout, files to write, and lines for stderr.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Output {
+    /// Text for stdout (already newline-terminated when non-empty).
+    pub stdout: String,
+    /// Files to write, in order.
+    pub files: Vec<(PathBuf, String)>,
+    /// Progress lines for stderr.
+    pub notes: Vec<String>,
+}
+
+/// Executes a parsed command, returning its output (pure except for
+/// reading the spec file).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] carrying the exit code: 1 for unreadable or
+/// invalid specs, 2 never (usage errors are caught at parse time).
+pub fn execute(command: &Command) -> Result<Output, CliError> {
+    match command {
+        Command::Help => Ok(Output {
+            stdout: format!("{USAGE}\n"),
+            ..Output::default()
+        }),
+        Command::Run { kind, spec, out } => run_document(kind, spec, out.as_deref()),
+        Command::GenScenarios {
+            seed,
+            count,
+            out_dir,
+            min_models,
+            max_models,
+        } => gen_scenarios(*seed, *count, out_dir.as_deref(), *min_models, *max_models),
+        Command::List(kind) => Ok(Output {
+            stdout: list(*kind),
+            ..Output::default()
+        }),
+        Command::ExportSpecs { dir } => Ok(export_specs(dir)),
+    }
+}
+
+fn run_document(kind: &str, spec: &Path, out: Option<&Path>) -> Result<Output, CliError> {
+    let text = fs::read_to_string(spec)
+        .map_err(|e| run_error(format!("cannot read {}: {e}", spec.display())))?;
+    let doc = RunDocument::from_json_str(&text)
+        .map_err(|e| run_error(format!("{}: {e}", spec.display())))?;
+    if doc.kind() != kind {
+        return Err(run_error(format!(
+            "{}: document kind is `{}` — use `xrbench run-{}` for it",
+            spec.display(),
+            doc.kind(),
+            doc.kind()
+        )));
+    }
+    let report = match &doc {
+        RunDocument::Suite(run) => run.run().to_json(),
+        RunDocument::Session(run) => run.run().to_json(),
+        RunDocument::Fleet(run) => run.run().to_json(),
+    } + "\n";
+    Ok(match out {
+        Some(path) => Output {
+            files: vec![(path.to_path_buf(), report)],
+            notes: vec![format!("report written to {}", path.display())],
+            ..Output::default()
+        },
+        None => Output {
+            stdout: report,
+            ..Output::default()
+        },
+    })
+}
+
+fn gen_scenarios(
+    seed: u64,
+    count: u32,
+    out_dir: Option<&Path>,
+    min_models: Option<usize>,
+    max_models: Option<usize>,
+) -> Result<Output, CliError> {
+    let mut space = ScenarioSpace::default();
+    if let Some(min) = min_models {
+        space.min_models = min;
+    }
+    if let Some(max) = max_models {
+        space.max_models = max;
+    }
+    if space.min_models < 1
+        || space.min_models > space.max_models
+        || space.max_models > xrbench_models::ModelId::ALL.len()
+    {
+        return Err(run_error(format!(
+            "model count bounds must satisfy 1 <= min <= max <= {}, got {}..={}",
+            xrbench_models::ModelId::ALL.len(),
+            space.min_models,
+            space.max_models
+        )));
+    }
+    let specs = space.sample_many(seed, count);
+    match out_dir {
+        Some(dir) => {
+            let mut output = Output::default();
+            for (i, spec) in specs.iter().enumerate() {
+                let path = dir.join(format!("sampled_{}.json", seed.wrapping_add(i as u64)));
+                output.files.push((path, scenario_to_json(spec) + "\n"));
+            }
+            output.notes.push(format!(
+                "{count} scenario specs written to {}",
+                dir.display()
+            ));
+            Ok(output)
+        }
+        None => {
+            // One JSON array on stdout: each element is a loadable
+            // scenario document.
+            let mut stdout = String::from("[\n");
+            for (i, spec) in specs.iter().enumerate() {
+                for line in scenario_to_json(spec).lines() {
+                    stdout.push_str("  ");
+                    stdout.push_str(line);
+                    stdout.push('\n');
+                }
+                if i + 1 < specs.len() {
+                    stdout.truncate(stdout.len() - 1);
+                    stdout.push_str(",\n");
+                }
+            }
+            stdout.push_str("]\n");
+            Ok(Output {
+                stdout,
+                ..Output::default()
+            })
+        }
+    }
+}
+
+fn list(kind: ListKind) -> String {
+    let mut out = String::new();
+    match kind {
+        ListKind::Models => {
+            for m in xrbench_models::ModelId::ALL {
+                out.push_str(&format!(
+                    "{:<2}  {:<22}  {:<21}  {}\n",
+                    m.abbrev(),
+                    m.task_name(),
+                    m.category().to_string(),
+                    m.driving_source()
+                ));
+            }
+        }
+        ListKind::Scenarios => {
+            for spec in ScenarioCatalog::builtin().iter() {
+                let models: Vec<&str> = spec.models.iter().map(|m| m.model.abbrev()).collect();
+                out.push_str(&format!(
+                    "{:<20}  {} models [{}]{}  — {}\n",
+                    spec.name,
+                    spec.num_models(),
+                    models.join(", "),
+                    if spec.is_dynamic() { " (dynamic)" } else { "" },
+                    spec.description
+                ));
+            }
+        }
+        ListKind::Accelerators => {
+            for cfg in xrbench_accel::table5() {
+                out.push_str(&format!(
+                    "{}  {:<4}  {}\n",
+                    cfg.id,
+                    cfg.style.to_string(),
+                    cfg.dataflow_description()
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn export_specs(dir: &Path) -> Output {
+    let mut output = Output::default();
+    for s in UsageScenario::ALL {
+        let path = dir
+            .join("scenarios")
+            .join(export::scenario_file_name(&s.spec().name));
+        output
+            .files
+            .push((path, scenario_to_json(&s.spec()) + "\n"));
+    }
+    for (name, body) in export::default_documents() {
+        output.files.push((dir.join(name), body.to_string()));
+    }
+    output.notes.push(format!(
+        "{} spec files written to {}",
+        output.files.len(),
+        dir.display()
+    ));
+    output
+}
+
+/// Applies an [`Output`] to the real world: writes files (creating
+/// parent directories), prints stdout text, and emits notes on stderr.
+///
+/// # Errors
+///
+/// Returns a code-1 [`CliError`] if a file cannot be written.
+pub fn apply(output: &Output) -> Result<(), CliError> {
+    for (path, body) in &output.files {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| run_error(format!("cannot create {}: {e}", parent.display())))?;
+        }
+        fs::write(path, body)
+            .map_err(|e| run_error(format!("cannot write {}: {e}", path.display())))?;
+    }
+    if !output.stdout.is_empty() {
+        print!("{}", output.stdout);
+    }
+    for note in &output.notes {
+        eprintln!("xrbench: {note}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_subcommands() {
+        let cmd = Command::parse(&args(&["run-suite", "specs/suite_default.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                kind: "suite",
+                spec: PathBuf::from("specs/suite_default.json"),
+                out: None,
+            }
+        );
+        let cmd = Command::parse(&args(&["run-fleet", "f.json", "--out", "r.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                kind: "fleet",
+                spec: PathBuf::from("f.json"),
+                out: Some(PathBuf::from("r.json")),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_gen_and_list_and_export() {
+        let cmd = Command::parse(&args(&[
+            "gen-scenarios",
+            "--seed",
+            "42",
+            "--count",
+            "3",
+            "--max-models",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::GenScenarios {
+                seed: 42,
+                count: 3,
+                out_dir: None,
+                min_models: None,
+                max_models: Some(4),
+            }
+        );
+        assert_eq!(
+            Command::parse(&args(&["list", "models"])).unwrap(),
+            Command::List(ListKind::Models)
+        );
+        assert_eq!(
+            Command::parse(&args(&["export-specs", "--dir", "x"])).unwrap(),
+            Command::ExportSpecs {
+                dir: PathBuf::from("x")
+            }
+        );
+    }
+
+    #[test]
+    fn usage_errors_have_code_2() {
+        for bad in [
+            vec!["frobnicate"],
+            vec![],
+            vec!["run-suite"],
+            vec!["run-suite", "a.json", "b.json"],
+            vec!["list"],
+            vec!["list", "sandwiches"],
+            vec!["gen-scenarios", "--count", "zero"],
+            vec!["gen-scenarios", "--count", "0"],
+        ] {
+            let err = Command::parse(&args(&bad)).unwrap_err();
+            assert_eq!(err.code, 2, "{bad:?}");
+            assert!(err.message.contains("USAGE"), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn missing_spec_file_is_a_run_error() {
+        let err = execute(&Command::Run {
+            kind: "suite",
+            spec: PathBuf::from("/nonexistent/spec.json"),
+            out: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn list_outputs_cover_the_catalogs() {
+        let models = list(ListKind::Models);
+        assert_eq!(models.lines().count(), 11);
+        assert!(models.contains("Hand Tracking"));
+        let scenarios = list(ListKind::Scenarios);
+        assert_eq!(scenarios.lines().count(), 7);
+        assert!(scenarios.contains("(dynamic)"));
+        let accels = list(ListKind::Accelerators);
+        assert_eq!(accels.lines().count(), 13);
+        assert!(accels.contains("WS + OS (1:3 partitioning)"));
+    }
+
+    #[test]
+    fn gen_scenarios_stdout_is_a_loadable_array() {
+        let out = execute(&Command::GenScenarios {
+            seed: 5,
+            count: 3,
+            out_dir: None,
+            min_models: None,
+            max_models: None,
+        })
+        .unwrap();
+        let value = xrbench_workload::spec::parse_json(&out.stdout).unwrap();
+        let items = serde::de::Cursor::root(&value).items().unwrap();
+        assert_eq!(items.len(), 3);
+        for item in &items {
+            xrbench_workload::spec::scenario_from_value(item).unwrap();
+        }
+        // Deterministic for a fixed seed.
+        let again = execute(&Command::GenScenarios {
+            seed: 5,
+            count: 3,
+            out_dir: None,
+            min_models: None,
+            max_models: None,
+        })
+        .unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn export_specs_writes_scenarios_and_documents() {
+        let out = export_specs(Path::new("specs"));
+        assert_eq!(out.files.len(), 7 + export::default_documents().len());
+        for (path, body) in &out.files {
+            assert!(path.starts_with("specs"), "{}", path.display());
+            assert!(body.ends_with('\n'), "{}", path.display());
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! The `xrbench` binary: parse, execute, apply, exit.
+
+use xrbench_cli::{apply, execute, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = Command::parse(&args)
+        .and_then(|cmd| execute(&cmd))
+        .and_then(|out| apply(&out));
+    if let Err(e) = result {
+        eprintln!("xrbench: error: {e}");
+        std::process::exit(e.code);
+    }
+}

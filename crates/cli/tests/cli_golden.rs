@@ -1,0 +1,304 @@
+//! End-to-end tests for the `xrbench` binary.
+//!
+//! Three invariants are pinned here, and re-checked by the `cli-smoke`
+//! CI job on every push:
+//!
+//! 1. **`specs/` never drifts**: `export-specs` into a scratch
+//!    directory must reproduce the committed `specs/` tree
+//!    byte-for-byte.
+//! 2. **CLI = library**: `run-suite specs/suite_default.json` must
+//!    emit exactly the JSON the library's `run_suite` path produces
+//!    (the quickstart configuration, XRBench Score 0.888).
+//! 3. **Reports are frozen**: all three default run documents must
+//!    reproduce the golden fixtures in `tests/fixtures/cli/`.
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```sh
+//! XRBENCH_BLESS=1 cargo test -p xrbench-cli
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn bless() -> bool {
+    std::env::var("XRBENCH_BLESS").is_ok_and(|v| v == "1")
+}
+
+fn xrbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xrbench"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("spawn xrbench")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = xrbench(args);
+    assert!(
+        out.status.success(),
+        "xrbench {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 report")
+}
+
+/// A scratch directory unique to one test, cleaned up on entry.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xrbench-cli-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            walk(&path, files);
+        } else {
+            files.push(path);
+        }
+    }
+}
+
+fn relative_files(dir: &Path) -> Vec<(PathBuf, String)> {
+    let mut files = Vec::new();
+    walk(dir, &mut files);
+    let mut out: Vec<(PathBuf, String)> = files
+        .into_iter()
+        .map(|p| {
+            let rel = p.strip_prefix(dir).expect("under root").to_path_buf();
+            let body = fs::read_to_string(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (rel, body)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn export_specs_matches_committed_directory() {
+    let committed = repo_root().join("specs");
+    if bless() {
+        let out = xrbench(&["export-specs", "--dir", committed.to_str().unwrap()]);
+        assert!(out.status.success());
+        return;
+    }
+    let dir = scratch("export");
+    let out = xrbench(&["export-specs", "--dir", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let exported = relative_files(&dir);
+    assert!(!exported.is_empty(), "export produced no files");
+    let committed = relative_files(&committed);
+    let names =
+        |v: &[(PathBuf, String)]| -> Vec<PathBuf> { v.iter().map(|(p, _)| p.clone()).collect() };
+    assert_eq!(
+        names(&exported),
+        names(&committed),
+        "specs/ file set drifted from export-specs (re-bless with XRBENCH_BLESS=1)"
+    );
+    for ((path, exported_body), (_, committed_body)) in exported.iter().zip(&committed) {
+        assert_eq!(
+            exported_body,
+            committed_body,
+            "specs/{} drifted from export-specs (re-bless with XRBENCH_BLESS=1)",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn suite_cli_is_bit_identical_to_the_library_path() {
+    use xrbench_accel::{config_by_id, AcceleratorSystem};
+    use xrbench_core::{run_suite, Harness};
+
+    // The library quickstart configuration: accelerator J at 8192 PEs,
+    // 10 repeats, default seed and duration.
+    let system = AcceleratorSystem::new(config_by_id('J').expect("J exists"), 8192);
+    let expected = run_suite(&Harness::new(), &system, 10);
+
+    let stdout = stdout_of(&["run-suite", "specs/suite_default.json"]);
+    assert_eq!(
+        stdout,
+        expected.to_json() + "\n",
+        "CLI suite report diverged from the library path"
+    );
+    assert!(
+        (expected.xrbench_score - 0.888).abs() < 5e-4,
+        "quickstart XRBench Score moved: {}",
+        expected.xrbench_score
+    );
+}
+
+#[test]
+fn run_documents_match_golden_fixtures() {
+    let fixture_dir = repo_root().join("tests").join("fixtures").join("cli");
+    let cases = [
+        (
+            "run-suite",
+            "specs/suite_default.json",
+            "suite_default.report.json",
+        ),
+        (
+            "run-session",
+            "specs/session_default.json",
+            "session_default.report.json",
+        ),
+        (
+            "run-fleet",
+            "specs/fleet_default.json",
+            "fleet_default.report.json",
+        ),
+    ];
+    if bless() {
+        fs::create_dir_all(&fixture_dir).expect("create fixture dir");
+    }
+    let mut mismatches = Vec::new();
+    for (subcommand, spec, fixture) in cases {
+        let stdout = stdout_of(&[subcommand, spec]);
+        let path = fixture_dir.join(fixture);
+        if bless() {
+            fs::write(&path, &stdout).expect("write fixture");
+            continue;
+        }
+        let expected = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        if expected != stdout {
+            mismatches.push(fixture);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "CLI reports diverge from golden fixtures: {mismatches:?} \
+         (run with XRBENCH_BLESS=1 to re-bless after an intentional change)"
+    );
+}
+
+#[test]
+fn out_flag_writes_the_stdout_bytes() {
+    let stdout = stdout_of(&["run-session", "specs/session_default.json"]);
+    let dir = scratch("out");
+    let out_file = dir.join("report.json");
+    let run = xrbench(&[
+        "run-session",
+        "specs/session_default.json",
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert!(run.status.success());
+    assert!(run.stdout.is_empty(), "--out must suppress stdout");
+    assert_eq!(fs::read_to_string(&out_file).unwrap(), stdout);
+}
+
+#[test]
+fn kind_mismatch_and_bad_specs_fail_cleanly() {
+    // Suite subcommand on a session document: exit 1, points at the
+    // right subcommand.
+    let out = xrbench(&["run-suite", "specs/session_default.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("run-session"), "{stderr}");
+
+    // Malformed JSON: exit 1 with the parser's diagnostic.
+    let dir = scratch("badspec");
+    let bad = dir.join("bad.json");
+    fs::write(&bad, "{ not json").unwrap();
+    let out = xrbench(&["run-suite", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("invalid JSON"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A semantically invalid spec: the builder's diagnostic reaches
+    // stderr, with no panic.
+    let invalid = dir.join("invalid.json");
+    fs::write(
+        &invalid,
+        r#"{ "kind": "suite",
+             "hardware": { "uniform": { "engines": 1, "latency_s": 0.001, "energy_j": 0.0 } },
+             "scenarios": [ { "name": "x", "models": [
+                 { "model": "KD", "target_fps": 10.0 } ] } ] }"#,
+    )
+    .unwrap();
+    let out = xrbench(&["run-suite", invalid.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("exceeds its sensor's"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Usage errors exit 2.
+    let out = xrbench(&["run-suite"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = xrbench(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn gen_scenarios_writes_loadable_deterministic_files() {
+    let dir = scratch("gen");
+    let out = xrbench(&[
+        "gen-scenarios",
+        "--seed",
+        "42",
+        "--count",
+        "5",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let files = relative_files(&dir);
+    assert_eq!(files.len(), 5);
+    for (name, body) in &files {
+        let spec = xrbench_workload::scenario_from_str(body)
+            .unwrap_or_else(|e| panic!("{}: {e}", name.display()));
+        assert!(spec.name.starts_with("Sampled #"), "{}", spec.name);
+    }
+    // Same seed → same files.
+    let dir2 = scratch("gen2");
+    let out = xrbench(&[
+        "gen-scenarios",
+        "--seed",
+        "42",
+        "--count",
+        "5",
+        "--out-dir",
+        dir2.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert_eq!(files, relative_files(&dir2));
+}
+
+#[test]
+fn exported_scenarios_reload_into_the_builtin_catalog() {
+    let scenarios_dir = repo_root().join("specs").join("scenarios");
+    let mut loaded = 0;
+    for (name, body) in relative_files(&scenarios_dir) {
+        let spec = xrbench_workload::scenario_from_str(&body)
+            .unwrap_or_else(|e| panic!("{}: {e}", name.display()));
+        let builtin = xrbench_workload::ScenarioCatalog::builtin();
+        assert_eq!(
+            builtin.get(&spec.name),
+            Some(&spec),
+            "{}: committed spec drifted from the builtin scenario",
+            name.display()
+        );
+        loaded += 1;
+    }
+    assert_eq!(loaded, 7, "expected the seven Table 2 scenario files");
+}

@@ -32,6 +32,7 @@ mod harness;
 pub mod pareto;
 pub mod pool;
 mod report;
+pub mod spec;
 mod suite;
 mod timeline;
 
@@ -40,6 +41,7 @@ pub use pareto::{pareto_frontier, ParetoPoint};
 pub use report::{
     BenchmarkReport, BreakdownReport, ModelReport, ScenarioReport, SessionReport, UserReport,
 };
+pub use spec::{FleetRun, RunDocument, RunParams, SchedulerSpec, SessionRun, SuiteRun, SystemSpec};
 pub use suite::{
     run_sessions, run_suite, run_suite_catalog, run_suite_catalog_serial,
     run_suite_catalog_with_workers, run_suite_parallel, run_suite_parallel_with_workers,

@@ -51,6 +51,7 @@ mod executor;
 mod report;
 mod scoring;
 mod spec;
+pub mod specfile;
 
 pub use accumulator::{
     DropCounts, FleetAccumulator, ModelAccumulator, ScenarioAccumulator, StatAgg, ENERGY_SCALE,
@@ -63,3 +64,4 @@ pub use report::{
 };
 pub use scoring::InferenceScorer;
 pub use spec::{replica_seed, DeviceGroup, FleetSpec};
+pub use specfile::{fleet_from_str, fleet_to_json};

@@ -1,0 +1,223 @@
+//! The JSON wire format for fleet topologies.
+//!
+//! A [`FleetSpec`] can be defined in a text file: M device groups,
+//! each an embedded session document (the same schema
+//! [`xrbench_workload::spec`] loads) stamped out `replicas` times.
+//! Scenario references resolve against the caller's catalog extended
+//! by the document's top-level `scenarios` definitions (shared by all
+//! groups), then by each session's own local definitions.
+//!
+//! ```json
+//! {
+//!   "name": "arcade",
+//!   "scenarios": [ /* optional shared scenario definitions */ ],
+//!   "groups": [
+//!     { "name": "vr", "replicas": 8,
+//!       "session": { "name": "party",
+//!                    "uniform": { "scenario": "VR Gaming",
+//!                                 "users": 4, "stagger_s": 0.002 } } }
+//!   ]
+//! }
+//! ```
+
+use serde::de::Cursor;
+use serde::json::JsonValue;
+
+use xrbench_workload::spec::{
+    extend_catalog, parse_json, session_from_value, session_to_value, SpecError,
+};
+use xrbench_workload::ScenarioCatalog;
+
+use crate::spec::FleetSpec;
+
+/// Decodes a fleet from a parsed JSON value.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for shape problems, zero-replica or
+/// group-less fleets, or any error from the embedded session and
+/// scenario documents.
+pub fn fleet_from_value(
+    cursor: &Cursor<'_>,
+    catalog: &ScenarioCatalog,
+) -> Result<FleetSpec, SpecError> {
+    cursor.deny_unknown_fields(&["name", "scenarios", "groups"])?;
+    let name: String = cursor.get_field("name")?;
+    let catalog = extend_catalog(cursor, catalog)?;
+
+    let groups = cursor.field("groups")?.items()?;
+    if groups.is_empty() {
+        return Err(SpecError::Invalid {
+            path: cursor.path().to_string(),
+            message: "fleet needs at least one device group".to_string(),
+        });
+    }
+    let mut fleet = FleetSpec::new(name);
+    for group in groups {
+        group.deny_unknown_fields(&["name", "replicas", "session"])?;
+        let group_name: String = group.get_field("name")?;
+        let replicas_cursor = group.field("replicas")?;
+        let replicas: u32 = replicas_cursor.get()?;
+        if replicas == 0 {
+            return Err(SpecError::Invalid {
+                path: replicas_cursor.path().to_string(),
+                message: "device group needs at least one replica".to_string(),
+            });
+        }
+        let session = session_from_value(&group.field("session")?, &catalog)?;
+        fleet = fleet.group(group_name, session, replicas);
+    }
+    Ok(fleet)
+}
+
+/// Loads a fleet from JSON text (see [`fleet_from_value`]).
+///
+/// # Errors
+///
+/// See [`fleet_from_value`]; malformed JSON yields [`SpecError::Json`].
+pub fn fleet_from_str(text: &str, catalog: &ScenarioCatalog) -> Result<FleetSpec, SpecError> {
+    let value = parse_json(text)?;
+    fleet_from_value(&Cursor::root(&value), catalog)
+}
+
+/// The serializable wire value of a fleet. Each group's session is
+/// exported through [`session_to_value`], so non-builtin scenarios
+/// travel as local definitions and the result reloads exactly.
+pub fn fleet_to_value(fleet: &FleetSpec) -> JsonValue {
+    JsonValue::Object(vec![
+        ("name".to_string(), JsonValue::Str(fleet.name.clone())),
+        (
+            "groups".to_string(),
+            JsonValue::Array(
+                fleet
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        JsonValue::Object(vec![
+                            ("name".to_string(), JsonValue::Str(g.name.clone())),
+                            (
+                                "replicas".to_string(),
+                                JsonValue::Num(f64::from(g.replicas)),
+                            ),
+                            ("session".to_string(), session_to_value(&g.session)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serializes a fleet as a pretty-printed spec file (the format
+/// [`fleet_from_str`] loads).
+pub fn fleet_to_json(fleet: &FleetSpec) -> String {
+    serde_json::to_string_pretty(&fleet_to_value(fleet)).expect("spec serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrbench_workload::{SessionSpec, UsageScenario};
+
+    #[test]
+    fn loads_a_two_group_fleet() {
+        let fleet = fleet_from_str(
+            r#"{
+                "name": "arcade",
+                "groups": [
+                    { "name": "vr", "replicas": 8,
+                      "session": { "name": "party",
+                                   "uniform": { "scenario": "VR Gaming",
+                                                "users": 4, "stagger_s": 0.002 } } },
+                    { "name": "ar", "replicas": 4,
+                      "session": { "name": "walk",
+                                   "uniform": { "scenario": "AR Assistant",
+                                                "users": 2 } } }
+                ]
+            }"#,
+            &ScenarioCatalog::builtin(),
+        )
+        .unwrap();
+        assert_eq!(fleet.name, "arcade");
+        assert_eq!(fleet.total_sessions(), 12);
+        assert_eq!(fleet.total_users(), 8 * 4 + 4 * 2);
+    }
+
+    #[test]
+    fn shared_scenarios_reach_every_group() {
+        let fleet = fleet_from_str(
+            r#"{
+                "name": "f",
+                "scenarios": [
+                    { "name": "Fitness", "models": [
+                        { "model": "HT", "target_fps": 30.0 } ] }
+                ],
+                "groups": [
+                    { "name": "a", "replicas": 1,
+                      "session": { "name": "s",
+                                   "uniform": { "scenario": "Fitness", "users": 1 } } }
+                ]
+            }"#,
+            &ScenarioCatalog::builtin(),
+        )
+        .unwrap();
+        assert_eq!(fleet.groups[0].session.users[0].spec.name, "Fitness");
+    }
+
+    #[test]
+    fn rejections_never_panic() {
+        let catalog = ScenarioCatalog::builtin();
+        for (text, needle) in [
+            ("{ nope", "invalid JSON"),
+            (
+                r#"{ "name": "f", "groups": [] }"#,
+                "at least one device group",
+            ),
+            (
+                r#"{ "name": "f", "groups": [
+                     { "name": "a", "replicas": 0,
+                       "session": { "name": "s",
+                                    "uniform": { "scenario": "VR Gaming", "users": 1 } } } ] }"#,
+                "at least one replica",
+            ),
+            (
+                r#"{ "name": "f", "groups": [
+                     { "name": "a", "replicas": 1,
+                       "session": { "name": "s",
+                                    "uniform": { "scenario": "Nope", "users": 1 } } } ] }"#,
+                "unknown scenario `Nope`",
+            ),
+            (r#"{ "name": "f", "gruops": [] }"#, "unknown field `gruops`"),
+        ] {
+            let err = fleet_from_str(text, &catalog).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn fleets_round_trip_byte_identically() {
+        let fleet = FleetSpec::new("demo")
+            .group(
+                "vr",
+                SessionSpec::uniform("vr", UsageScenario::VrGaming.spec(), 4, 0.002),
+                8,
+            )
+            .group(
+                "mix",
+                SessionSpec::mixed(
+                    "mix",
+                    &[
+                        UsageScenario::ArGaming.spec(),
+                        UsageScenario::OutdoorActivityA.spec(),
+                    ],
+                    3,
+                    0.01,
+                ),
+                2,
+            );
+        let json = fleet_to_json(&fleet);
+        let reloaded = fleet_from_str(&json, &ScenarioCatalog::builtin()).unwrap();
+        assert_eq!(reloaded, fleet);
+        assert_eq!(fleet_to_json(&reloaded), json);
+    }
+}

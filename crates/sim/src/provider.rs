@@ -135,9 +135,24 @@ impl TableProvider {
     }
 
     /// Sets a human-readable label for an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engine` is out of range.
     pub fn set_label(&mut self, engine: usize, label: impl Into<String>) -> &mut Self {
+        assert!(engine < self.engines, "engine index out of range");
         self.labels[engine] = label.into();
         self
+    }
+
+    /// The registered cost of `model` on `engine`, if any — the
+    /// non-panicking probe validators use to check a table covers the
+    /// models a workload dispatches.
+    pub fn try_cost(&self, model: ModelId, engine: usize) -> Option<InferenceCost> {
+        if engine >= self.engines {
+            return None;
+        }
+        self.table[model as usize * self.engines + engine]
     }
 }
 
@@ -155,12 +170,9 @@ impl CostProvider for TableProvider {
     /// Panics if no cost was registered for `(model, engine)` — a
     /// benchmark must know the cost of every model it dispatches.
     fn cost(&self, model: ModelId, engine: usize) -> InferenceCost {
-        // Bound-check before indexing: an out-of-range engine must not
-        // alias another model's dense slot.
-        if engine >= self.engines {
-            panic!("no cost registered for {model} on engine {engine}");
-        }
-        self.table[model as usize * self.engines + engine]
+        // `try_cost` bound-checks before indexing: an out-of-range
+        // engine must not alias another model's dense slot.
+        self.try_cost(model, engine)
             .unwrap_or_else(|| panic!("no cost registered for {model} on engine {engine}"))
     }
 }
@@ -271,6 +283,16 @@ mod tests {
         assert_eq!(p.cost(ModelId::EyeSegmentation, 1).latency_s, 0.005);
         assert_eq!(p.engine_label(1), "OS@2048");
         assert_eq!(p.engine_label(0), "engine0");
+    }
+
+    #[test]
+    #[should_panic(expected = "engine index out of range")]
+    fn table_provider_set_label_out_of_range_panics_with_diagnostic() {
+        // Regression: `set_label` used to index `labels` directly and
+        // die with a raw slice-bounds panic instead of the same
+        // "engine index out of range" assertion `set` raises.
+        let mut p = TableProvider::new(2);
+        p.set_label(2, "ghost");
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //!   flow through load generation, simulation, and scoring exactly
 //!   like the built-ins;
 //! * multi-user [`SessionSpec`]s that overlay N staggered, jittered
-//!   scenario instances into one merged request stream ([`session`]).
+//!   scenario instances into one merged request stream ([`session`]);
+//! * a declarative JSON spec format for scenarios and sessions
+//!   ([`spec`]) whose loader funnels every document through the same
+//!   validated builder — text files get code's diagnostics;
+//! * a seeded procedural scenario generator ([`ScenarioSpace`]) for
+//!   diversity sweeps beyond the Table 2 catalog ([`space`]).
 //!
 //! ## Example
 //!
@@ -45,6 +50,8 @@ pub mod loadgen;
 pub mod scenario;
 pub mod session;
 pub mod sources;
+pub mod space;
+pub mod spec;
 
 pub use builder::{ScenarioBuildError, ScenarioBuilder};
 pub use catalog::{CatalogError, ScenarioCatalog};
@@ -52,3 +59,5 @@ pub use loadgen::{InferenceRequest, LoadGenerator};
 pub use scenario::{DependencyKind, ModelDependency, ScenarioModel, ScenarioSpec, UsageScenario};
 pub use session::{SessionRequest, SessionSpec, SessionUser};
 pub use sources::{source_spec, SourceSpec};
+pub use space::ScenarioSpace;
+pub use spec::{scenario_from_str, scenario_to_json, session_from_str, session_to_json, SpecError};

@@ -1,0 +1,69 @@
+//! Spec-driven runs: the library face of the `xrbench` CLI.
+//!
+//! Loads the committed default suite document (accelerator J at 8192
+//! PEs, 10 repeats — the quickstart configuration), executes it, and
+//! shows that a run document defined in JSON produces exactly the
+//! report the programmatic path does.
+//!
+//! ```sh
+//! cargo run --release --example spec_driven_run
+//! ```
+
+use xrbench::prelude::*;
+
+fn main() {
+    // 1. A run document is one JSON file naming the system, the
+    //    workload, and the run parameters. This is the committed
+    //    specs/suite_default.json.
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/specs/suite_default.json"
+    ))
+    .expect("committed spec exists");
+    let doc = RunDocument::from_json_str(&text).expect("committed spec is valid");
+    let RunDocument::Suite(suite) = doc else {
+        panic!("suite_default.json is a suite document");
+    };
+    println!(
+        "loaded suite document: {} scenarios, {} repeats",
+        suite.catalog.len(),
+        suite.repeats
+    );
+
+    // 2. Executing it goes through the same `run_suite_catalog` entry
+    //    point a Rust caller uses — the report is bit-identical to the
+    //    programmatic path.
+    let from_spec = suite.run();
+    let system = AcceleratorSystem::new(config_by_id('J').expect("Table 5 defines J"), 8192);
+    let programmatic = run_suite(&Harness::new(), &system, 10);
+    assert_eq!(from_spec.to_json(), programmatic.to_json());
+    println!("spec path == library path, byte for byte");
+    println!("XRBench Score: {:.3}", from_spec.xrbench_score);
+
+    // 3. Custom scenarios come from text too: a scenario document is
+    //    validated by the same ScenarioBuilder that code uses, so bad
+    //    files fail with the builder's diagnostics.
+    let copilot = scenario_from_str(
+        r#"{
+            "name": "AR Co-pilot",
+            "description": "Hands + gated voice pipeline",
+            "models": [
+                { "model": "HT", "target_fps": 30.0 },
+                { "model": "KD", "target_fps": 3.0 },
+                { "model": "SR", "target_fps": 3.0,
+                  "deps": [ { "upstream": "KD", "kind": "control",
+                              "trigger_probability": 0.8 } ] }
+            ]
+        }"#,
+    )
+    .expect("valid scenario document");
+    let report = Harness::new().run_spec(&copilot, &system, &mut LatencyGreedy::new());
+    println!("AR Co-pilot overall: {:.3}", report.0.overall());
+
+    // 4. And invalid files surface the builder's exact diagnostic:
+    let err = scenario_from_str(
+        r#"{ "name": "bad", "models": [ { "model": "KD", "target_fps": 10.0 } ] }"#,
+    )
+    .unwrap_err();
+    println!("rejected as expected: {err}");
+}

@@ -47,11 +47,13 @@ pub use xrbench_workload as workload;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
-    pub use xrbench_accel::{table5, AcceleratorConfig, AcceleratorStyle, AcceleratorSystem};
+    pub use xrbench_accel::{
+        config_by_id, table5, AcceleratorConfig, AcceleratorStyle, AcceleratorSystem,
+    };
     pub use xrbench_core::{
         run_sessions, run_suite, run_suite_catalog, run_suite_parallel, run_suite_serial,
-        BenchmarkReport, BreakdownReport, Harness, ModelReport, ScenarioReport, SessionReport,
-        UserReport,
+        BenchmarkReport, BreakdownReport, FleetRun, Harness, ModelReport, RunDocument,
+        ScenarioReport, SchedulerSpec, SessionReport, SessionRun, SuiteRun, SystemSpec, UserReport,
     };
     pub use xrbench_costmodel::{
         evaluate_layer, evaluate_layers, Dataflow, HardwareConfig, Layer, LayerKind,
@@ -65,6 +67,8 @@ pub mod prelude {
         Scheduler, SessionSimResult, SimConfig, Simulator, SlackAwareEdf, TableProvider,
     };
     pub use xrbench_workload::{
-        LoadGenerator, ScenarioBuilder, ScenarioCatalog, ScenarioSpec, SessionSpec, UsageScenario,
+        scenario_from_str, scenario_to_json, session_from_str, session_to_json, LoadGenerator,
+        ScenarioBuilder, ScenarioCatalog, ScenarioSpace, ScenarioSpec, SessionSpec, SpecError,
+        UsageScenario,
     };
 }

@@ -105,6 +105,287 @@ pub mod json {
     }
 }
 
+/// Deserialization out of an in-memory JSON tree.
+///
+/// The mirror image of [`Serialize`]: a [`de::Deserialize`] value is
+/// decoded from a [`json::JsonValue`] through a path-tracking
+/// [`de::Cursor`], so every error names the exact JSON location
+/// (`$.groups[2].session.users`) alongside what was expected. The
+/// XRBench workload/fleet/core spec loaders implement the trait by
+/// hand for their wire types — the shapes are few enough that a derive
+/// macro would cost more than it saves.
+pub mod de {
+    use super::json::JsonValue;
+    use std::fmt;
+
+    /// A deserialization failure: where in the document, and why.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DeError {
+        /// JSON-path-style location, e.g. `$.models[1].target_fps`.
+        pub path: String,
+        /// What went wrong at that location.
+        pub message: String,
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}: {}", self.path, self.message)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    /// What a [`JsonValue`] variant is called in error messages.
+    fn type_name(v: &JsonValue) -> &'static str {
+        match v {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "a boolean",
+            JsonValue::Num(_) => "a number",
+            JsonValue::Str(_) => "a string",
+            JsonValue::Array(_) => "an array",
+            JsonValue::Object(_) => "an object",
+        }
+    }
+
+    /// A read-only view into a [`JsonValue`] that remembers its path
+    /// from the document root, so errors pinpoint their location.
+    #[derive(Debug, Clone)]
+    pub struct Cursor<'a> {
+        value: &'a JsonValue,
+        path: String,
+    }
+
+    impl<'a> Cursor<'a> {
+        /// A cursor at the document root (path `$`).
+        pub fn root(value: &'a JsonValue) -> Self {
+            Self {
+                value,
+                path: "$".to_string(),
+            }
+        }
+
+        /// The raw value under the cursor.
+        pub fn value(&self) -> &'a JsonValue {
+            self.value
+        }
+
+        /// The cursor's JSON path from the root.
+        pub fn path(&self) -> &str {
+            &self.path
+        }
+
+        /// An error at this cursor's location.
+        pub fn error(&self, message: impl Into<String>) -> DeError {
+            DeError {
+                path: self.path.clone(),
+                message: message.into(),
+            }
+        }
+
+        /// Descends into a required object field.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not an object or the field is absent.
+        pub fn field(&self, name: &str) -> Result<Cursor<'a>, DeError> {
+            match self.opt_field(name)? {
+                Some(c) => Ok(c),
+                None => Err(self.error(format!("missing required field `{name}`"))),
+            }
+        }
+
+        /// Descends into an optional object field; absent fields and
+        /// explicit `null`s both read as `None`.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not an object.
+        pub fn opt_field(&self, name: &str) -> Result<Option<Cursor<'a>>, DeError> {
+            let JsonValue::Object(entries) = self.value else {
+                return Err(
+                    self.error(format!("expected an object, got {}", type_name(self.value)))
+                );
+            };
+            Ok(entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .filter(|v| !matches!(v, JsonValue::Null))
+                .map(|v| Cursor {
+                    value: v,
+                    path: format!("{}.{name}", self.path),
+                }))
+        }
+
+        /// Rejects object keys outside `allowed` — the strict-schema
+        /// check that turns a typo'd field name into an error instead
+        /// of a silently ignored setting.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not an object or an unknown key is
+        /// present (the message lists the allowed keys).
+        pub fn deny_unknown_fields(&self, allowed: &[&str]) -> Result<(), DeError> {
+            let JsonValue::Object(entries) = self.value else {
+                return Err(
+                    self.error(format!("expected an object, got {}", type_name(self.value)))
+                );
+            };
+            for (k, _) in entries {
+                if !allowed.contains(&k.as_str()) {
+                    return Err(self.error(format!(
+                        "unknown field `{k}` (expected one of: {})",
+                        allowed.join(", ")
+                    )));
+                }
+            }
+            Ok(())
+        }
+
+        /// The elements of an array value, each with an indexed path.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not an array.
+        pub fn items(&self) -> Result<Vec<Cursor<'a>>, DeError> {
+            let JsonValue::Array(items) = self.value else {
+                return Err(self.error(format!("expected an array, got {}", type_name(self.value))));
+            };
+            Ok(items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| Cursor {
+                    value: v,
+                    path: format!("{}[{i}]", self.path),
+                })
+                .collect())
+        }
+
+        /// Decodes the value under the cursor as `T`.
+        pub fn get<T: Deserialize>(&self) -> Result<T, DeError> {
+            T::deserialize(self)
+        }
+
+        /// Decodes a required field as `T` in one step.
+        pub fn get_field<T: Deserialize>(&self, name: &str) -> Result<T, DeError> {
+            self.field(name)?.get()
+        }
+
+        /// Decodes an optional field as `T`, `None` when absent/null.
+        pub fn get_opt_field<T: Deserialize>(&self, name: &str) -> Result<Option<T>, DeError> {
+            self.opt_field(name)?.map(|c| c.get()).transpose()
+        }
+
+        /// The value as a string slice.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not a string.
+        pub fn as_str(&self) -> Result<&'a str, DeError> {
+            match self.value {
+                JsonValue::Str(s) => Ok(s),
+                other => Err(self.error(format!("expected a string, got {}", type_name(other)))),
+            }
+        }
+
+        /// The value as a float.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not a number.
+        pub fn as_f64(&self) -> Result<f64, DeError> {
+            match self.value {
+                JsonValue::Num(n) => Ok(*n),
+                other => Err(self.error(format!("expected a number, got {}", type_name(other)))),
+            }
+        }
+
+        /// The value as a non-negative integer.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not a whole non-negative number
+        /// representable in a `u64`. The upper bound is exclusive of
+        /// 2^64: `u64::MAX as f64` rounds up to exactly 2^64, so an
+        /// inclusive range would silently saturate that input.
+        pub fn as_u64(&self) -> Result<u64, DeError> {
+            let n = self.as_f64()?;
+            if n.fract() == 0.0 && n >= 0.0 && n < u64::MAX as f64 {
+                Ok(n as u64)
+            } else {
+                Err(self.error(format!("expected a non-negative integer, got {n}")))
+            }
+        }
+    }
+
+    /// Conversion out of an in-memory JSON tree.
+    pub trait Deserialize: Sized {
+        /// Decodes `Self` from the value under `cursor`.
+        ///
+        /// # Errors
+        ///
+        /// Returns a [`DeError`] naming the JSON path of the first
+        /// mismatch.
+        fn deserialize(cursor: &Cursor<'_>) -> Result<Self, DeError>;
+    }
+
+    impl Deserialize for f64 {
+        fn deserialize(cursor: &Cursor<'_>) -> Result<Self, DeError> {
+            cursor.as_f64()
+        }
+    }
+
+    impl Deserialize for u64 {
+        fn deserialize(cursor: &Cursor<'_>) -> Result<Self, DeError> {
+            cursor.as_u64()
+        }
+    }
+
+    impl Deserialize for u32 {
+        fn deserialize(cursor: &Cursor<'_>) -> Result<Self, DeError> {
+            let n = cursor.as_u64()?;
+            u32::try_from(n).map_err(|_| cursor.error(format!("{n} does not fit in a u32")))
+        }
+    }
+
+    impl Deserialize for usize {
+        fn deserialize(cursor: &Cursor<'_>) -> Result<Self, DeError> {
+            let n = cursor.as_u64()?;
+            usize::try_from(n).map_err(|_| cursor.error(format!("{n} does not fit in a usize")))
+        }
+    }
+
+    impl Deserialize for bool {
+        fn deserialize(cursor: &Cursor<'_>) -> Result<Self, DeError> {
+            match cursor.value() {
+                JsonValue::Bool(b) => Ok(*b),
+                other => Err(cursor.error(format!("expected a boolean, got {}", type_name(other)))),
+            }
+        }
+    }
+
+    impl Deserialize for String {
+        fn deserialize(cursor: &Cursor<'_>) -> Result<Self, DeError> {
+            cursor.as_str().map(str::to_string)
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn deserialize(cursor: &Cursor<'_>) -> Result<Self, DeError> {
+            cursor.items()?.iter().map(Cursor::get).collect()
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn deserialize(cursor: &Cursor<'_>) -> Result<Self, DeError> {
+            match cursor.value() {
+                JsonValue::Null => Ok(None),
+                _ => cursor.get().map(Some),
+            }
+        }
+    }
+}
+
 use json::JsonValue;
 
 /// Conversion into an in-memory JSON tree.
@@ -131,6 +412,12 @@ serialize_float!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Serialize for bool {
     fn to_json_value(&self) -> JsonValue {
         JsonValue::Bool(*self)
+    }
+}
+
+impl Serialize for JsonValue {
+    fn to_json_value(&self) -> JsonValue {
+        self.clone()
     }
 }
 
@@ -232,5 +519,92 @@ mod tests {
         let obj = JsonValue::Object(vec![("a".into(), JsonValue::Num(1.0))]);
         assert_eq!(obj["a"], JsonValue::Num(1.0));
         assert_eq!(obj["b"], JsonValue::Null);
+    }
+
+    mod de {
+        use crate::de::{Cursor, Deserialize};
+        use crate::json::JsonValue;
+
+        fn doc() -> JsonValue {
+            JsonValue::Object(vec![
+                ("name".into(), JsonValue::Str("vr".into())),
+                ("rate".into(), JsonValue::Num(45.0)),
+                (
+                    "models".into(),
+                    JsonValue::Array(vec![
+                        JsonValue::Object(vec![("fps".into(), JsonValue::Num(60.0))]),
+                        JsonValue::Object(vec![("fps".into(), JsonValue::Str("x".into()))]),
+                    ]),
+                ),
+                ("absent".into(), JsonValue::Null),
+            ])
+        }
+
+        #[test]
+        fn primitives_and_fields_decode() {
+            let v = doc();
+            let c = Cursor::root(&v);
+            assert_eq!(c.get_field::<String>("name").unwrap(), "vr");
+            assert_eq!(c.get_field::<f64>("rate").unwrap(), 45.0);
+            assert_eq!(c.get_field::<u32>("rate").unwrap(), 45);
+            assert_eq!(c.get_opt_field::<f64>("absent").unwrap(), None);
+            assert_eq!(c.get_opt_field::<f64>("missing").unwrap(), None);
+        }
+
+        #[test]
+        fn errors_carry_json_paths() {
+            let v = doc();
+            let c = Cursor::root(&v);
+            let items = c.field("models").unwrap().items().unwrap();
+            let err = items[1].get_field::<f64>("fps").unwrap_err();
+            assert_eq!(err.path, "$.models[1].fps");
+            assert!(err.message.contains("expected a number"), "{err}");
+            let err = c.field("nope").unwrap_err();
+            assert!(err.message.contains("`nope`"), "{err}");
+            assert_eq!(err.path, "$");
+        }
+
+        #[test]
+        fn integer_decoding_rejects_fractions_and_negatives() {
+            let v = JsonValue::Num(1.5);
+            assert!(Cursor::root(&v).get::<u64>().is_err());
+            let v = JsonValue::Num(-2.0);
+            assert!(Cursor::root(&v).get::<u64>().is_err());
+            let v = JsonValue::Num(7.0);
+            assert_eq!(Cursor::root(&v).get::<u64>().unwrap(), 7);
+        }
+
+        #[test]
+        fn integer_decoding_rejects_two_to_the_64() {
+            // u64::MAX as f64 rounds up to exactly 2^64; it must not
+            // silently saturate to u64::MAX.
+            let v = JsonValue::Num(u64::MAX as f64);
+            assert!(Cursor::root(&v).get::<u64>().is_err());
+            // The largest representable-in-f64 u64 below 2^64 decodes.
+            let v = JsonValue::Num(9_007_199_254_740_992.0); // 2^53
+            assert_eq!(Cursor::root(&v).get::<u64>().unwrap(), 1 << 53);
+        }
+
+        #[test]
+        fn vec_and_option_decode() {
+            let v = JsonValue::Array(vec![JsonValue::Num(1.0), JsonValue::Num(2.0)]);
+            assert_eq!(
+                Vec::<f64>::deserialize(&Cursor::root(&v)).unwrap(),
+                [1.0, 2.0]
+            );
+            let n = JsonValue::Null;
+            assert_eq!(Option::<f64>::deserialize(&Cursor::root(&n)).unwrap(), None);
+        }
+
+        #[test]
+        fn unknown_fields_are_rejected_when_asked() {
+            let v = doc();
+            let c = Cursor::root(&v);
+            assert!(c
+                .deny_unknown_fields(&["name", "rate", "models", "absent"])
+                .is_ok());
+            let err = c.deny_unknown_fields(&["name", "rate"]).unwrap_err();
+            assert!(err.message.contains("unknown field `models`"), "{err}");
+        }
     }
 }
