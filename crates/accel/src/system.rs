@@ -2,8 +2,6 @@
 //! with every unit model pre-evaluated through the analytical cost
 //! model.
 
-use std::collections::HashMap;
-
 use xrbench_costmodel::{evaluate_layers, HardwareConfig, ModelCost};
 use xrbench_models::{registry, ModelId};
 use xrbench_sim::{CostProvider, InferenceCost};
@@ -19,7 +17,9 @@ pub struct AcceleratorSystem {
     config: AcceleratorConfig,
     total_pes: u64,
     subs_hw: Vec<HardwareConfig>,
-    costs: HashMap<(ModelId, usize), InferenceCost>,
+    /// Dense cost table indexed `model as usize * num_engines + engine`
+    /// (every pair is filled at construction).
+    costs: Vec<InferenceCost>,
 }
 
 impl AcceleratorSystem {
@@ -44,17 +44,19 @@ impl AcceleratorSystem {
             .iter()
             .map(|s| base.partition_shared_bw(s.fraction))
             .collect();
-        let mut costs = HashMap::new();
+        let engines = config.subs.len();
+        let fill = InferenceCost {
+            latency_s: 0.0,
+            energy_j: 0.0,
+        };
+        let mut costs = vec![fill; ModelId::ALL.len() * engines];
         for info in registry::all_models() {
             for (e, (sub, hw)) in config.subs.iter().zip(&subs_hw).enumerate() {
                 let mc: ModelCost = evaluate_layers(&info.layers, sub.dataflow, hw);
-                costs.insert(
-                    (info.id, e),
-                    InferenceCost {
-                        latency_s: mc.latency_s(),
-                        energy_j: mc.energy_j(),
-                    },
-                );
+                costs[info.id as usize * engines + e] = InferenceCost {
+                    latency_s: mc.latency_s(),
+                    energy_j: mc.energy_j(),
+                };
             }
         }
         Self {
@@ -110,10 +112,9 @@ impl CostProvider for AcceleratorSystem {
     }
 
     fn cost(&self, model: ModelId, engine: usize) -> InferenceCost {
-        *self
-            .costs
-            .get(&(model, engine))
-            .unwrap_or_else(|| panic!("engine {engine} out of range for {model}"))
+        let engines = self.num_engines();
+        assert!(engine < engines, "engine {engine} out of range for {model}");
+        self.costs[model as usize * engines + engine]
     }
 }
 

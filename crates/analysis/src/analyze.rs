@@ -1,0 +1,682 @@
+//! The spec schedulability analyzer: pure static passes over
+//! scenario / session / fleet specs against a cost provider.
+//!
+//! Every check here is a *lower bound* argument: costs are taken at
+//! each model's best engine, dependency latency at the critical path,
+//! and trigger mass at its expectation. When a lower bound already
+//! exceeds capacity, no scheduler on the analyzed hardware can do
+//! better — that is what makes an error-severity diagnostic sound
+//! without running the simulator. See `DESIGN.md` ("Static analysis")
+//! for the derivations, including why deadline violations are
+//! warnings (XRBench deadlines are soft: a missed deadline zeroes the
+//! real-time score but drops nothing) while capacity violations are
+//! errors (backlog growth forces drops under any scheduler).
+
+use xrbench_core::spec::RunDocument;
+use xrbench_fleet::FleetSpec;
+use xrbench_models::ModelId;
+use xrbench_sim::CostProvider;
+use xrbench_workload::{source_spec, ScenarioSpec, SessionSpec};
+
+use crate::diag::{Analysis, Diagnostic, Severity};
+
+/// Guard band on floating-point capacity comparisons, so a demand of
+/// exactly 1.0 engine-s/s per engine analyzes as schedulable.
+const EPS: f64 = 1e-9;
+
+/// Reach probability below which a cascade is flagged near-dead.
+const NEAR_DEAD_P: f64 = 0.01;
+
+/// Downstream-dependent count at which fan-out is flagged degenerate.
+const FAN_OUT_LIMIT: usize = 4;
+
+/// Static facts derived for one model of a scenario.
+struct ModelFacts {
+    /// Best-engine inference latency (s) — the latency lower bound.
+    min_lat: f64,
+    /// The engine achieving `min_lat` (first engine wins ties).
+    best_engine: usize,
+    /// Expected cascade-trigger probability mass reaching this model.
+    reach_p: f64,
+    /// Dependency critical-path latency (s): `min_lat` plus the
+    /// longest chain of upstream best-engine latencies.
+    critical_path: f64,
+    /// Tightest arrival-to-deadline window (s), jitter included.
+    window_min: f64,
+    /// Loosest arrival-to-deadline window (s), jitter included.
+    window_max: f64,
+    /// Sensor-frames-per-request ratio (`sensor fps / target fps`).
+    ratio: f64,
+    /// Whether `ratio` is integral (regular deadline windows).
+    integral_ratio: bool,
+}
+
+/// All per-model facts for one scenario, in spec order.
+struct ScenarioFacts {
+    facts: Vec<ModelFacts>,
+    /// Downstream dependents (dependency edges in) per spec index.
+    fan_out: Vec<usize>,
+    engines: usize,
+}
+
+impl ScenarioFacts {
+    fn compute(spec: &ScenarioSpec, provider: &dyn CostProvider) -> Self {
+        let engines = provider.num_engines();
+        assert!(engines > 0, "cost provider exposes no engines");
+
+        // Dense spec-index lookup; the builder guarantees every
+        // dependency's upstream is an active model of the scenario.
+        let mut index = [usize::MAX; ModelId::ALL.len()];
+        for (i, m) in spec.models.iter().enumerate() {
+            index[m.model as usize] = i;
+        }
+
+        let mut min_lat = Vec::with_capacity(spec.models.len());
+        let mut best_engine = Vec::with_capacity(spec.models.len());
+        for m in &spec.models {
+            let mut best = f64::INFINITY;
+            let mut best_e = 0;
+            for e in 0..engines {
+                let lat = provider.cost(m.model, e).latency_s;
+                if lat < best {
+                    best = lat;
+                    best_e = e;
+                }
+            }
+            min_lat.push(best);
+            best_engine.push(best_e);
+        }
+
+        // Memoized recursions over the (acyclic, builder-validated)
+        // dependency graph.
+        let mut reach_p = vec![f64::NAN; spec.models.len()];
+        let mut critical = vec![f64::NAN; spec.models.len()];
+        for i in 0..spec.models.len() {
+            Self::reach(spec, &index, &mut reach_p, i);
+            Self::cp(spec, &index, &min_lat, &mut critical, i);
+        }
+
+        let mut fan_out = vec![0usize; spec.models.len()];
+        for m in &spec.models {
+            for dep in &m.deps {
+                fan_out[index[dep.upstream as usize]] += 1;
+            }
+        }
+
+        let facts = spec
+            .models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let src = source_spec(m.model.driving_source());
+                let ratio = src.fps / m.target_fps;
+                let jitter_s = src.jitter_ms / 1_000.0;
+                let integral = (ratio - ratio.round()).abs() < 1e-9;
+                let (gap_min, gap_max) = if integral {
+                    (ratio.round(), ratio.round())
+                } else {
+                    (ratio.floor(), ratio.ceil())
+                };
+                ModelFacts {
+                    min_lat: min_lat[i],
+                    best_engine: best_engine[i],
+                    reach_p: reach_p[i],
+                    critical_path: critical[i],
+                    window_min: gap_min / src.fps - jitter_s,
+                    window_max: gap_max / src.fps + jitter_s,
+                    ratio,
+                    integral_ratio: integral,
+                }
+            })
+            .collect();
+
+        Self {
+            facts,
+            fan_out,
+            engines,
+        }
+    }
+
+    fn reach(spec: &ScenarioSpec, index: &[usize], memo: &mut [f64], i: usize) -> f64 {
+        if !memo[i].is_nan() {
+            return memo[i];
+        }
+        let mut p = 1.0;
+        for dep in &spec.models[i].deps {
+            let up = Self::reach(spec, index, memo, index[dep.upstream as usize]);
+            p *= up * dep.trigger_probability;
+        }
+        memo[i] = p;
+        p
+    }
+
+    fn cp(
+        spec: &ScenarioSpec,
+        index: &[usize],
+        min_lat: &[f64],
+        memo: &mut [f64],
+        i: usize,
+    ) -> f64 {
+        if !memo[i].is_nan() {
+            return memo[i];
+        }
+        let mut upstream = 0.0f64;
+        for dep in &spec.models[i].deps {
+            let up = Self::cp(spec, index, min_lat, memo, index[dep.upstream as usize]);
+            upstream = upstream.max(up);
+        }
+        let v = min_lat[i] + upstream;
+        memo[i] = v;
+        v
+    }
+
+    /// Expected aggregate demand in engine-seconds per second.
+    fn expected_demand(&self, spec: &ScenarioSpec) -> f64 {
+        spec.models
+            .iter()
+            .zip(&self.facts)
+            .map(|(m, f)| f.reach_p * m.target_fps * f.min_lat)
+            .sum()
+    }
+
+    /// Worst-case demand: every cascade with non-zero reach treated
+    /// as always triggering.
+    fn worst_case_demand(&self, spec: &ScenarioSpec) -> f64 {
+        spec.models
+            .iter()
+            .zip(&self.facts)
+            .map(|(m, f)| {
+                if f.reach_p > 0.0 {
+                    m.target_fps * f.min_lat
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Expected demand routed to each engine under the best-pin
+    /// assignment (every model on its `best_engine`).
+    fn best_pin_demand(&self, spec: &ScenarioSpec) -> Vec<f64> {
+        let mut per_engine = vec![0.0f64; self.engines];
+        for (m, f) in spec.models.iter().zip(&self.facts) {
+            per_engine[f.best_engine] += f.reach_p * m.target_fps * f.min_lat;
+        }
+        per_engine
+    }
+}
+
+/// Emits every scenario-scoped diagnostic for `spec`, with scopes
+/// prefixed by `prefix` (empty for a stand-alone scenario; a group /
+/// user-count tag inside sessions and fleets).
+fn scenario_diags(
+    spec: &ScenarioSpec,
+    provider: &dyn CostProvider,
+    scope: &str,
+) -> Vec<Diagnostic> {
+    let facts = ScenarioFacts::compute(spec, provider);
+    let engines = facts.engines;
+    let mut out = Vec::new();
+
+    let model_diag = |code, severity, model: ModelId, message: String| Diagnostic {
+        code,
+        severity,
+        scope: scope.to_string(),
+        model: Some(model),
+        message,
+    };
+
+    for ((m, f), &fan_out) in spec.models.iter().zip(&facts.facts).zip(&facts.fan_out) {
+        let demand = f.reach_p * m.target_fps * f.min_lat;
+        if demand > engines as f64 + EPS {
+            out.push(model_diag(
+                "XA001",
+                Severity::Error,
+                m.model,
+                format!(
+                    "unsustainable throughput: expected demand {:.3} engine-s/s > {} engine capacity \
+                     (min latency {:.2} ms × {:.1} FPS × reach p {:.3}) — backlog grows without bound",
+                    demand,
+                    engines,
+                    f.min_lat * 1_000.0,
+                    m.target_fps,
+                    f.reach_p
+                ),
+            ));
+        }
+        if f.critical_path > f.window_max + EPS {
+            out.push(model_diag(
+                "XA004",
+                Severity::Warning,
+                m.model,
+                format!(
+                    "critical path {:.2} ms exceeds every deadline window (≤ {:.2} ms): \
+                     no scheduler on this hardware can meet the deadline",
+                    f.critical_path * 1_000.0,
+                    f.window_max * 1_000.0
+                ),
+            ));
+        } else if f.critical_path > f.window_min + EPS {
+            out.push(model_diag(
+                "XA005",
+                Severity::Warning,
+                m.model,
+                format!(
+                    "critical path {:.2} ms exceeds the tightest deadline window {:.2} ms: \
+                     some frames must miss their deadline",
+                    f.critical_path * 1_000.0,
+                    f.window_min * 1_000.0
+                ),
+            ));
+        }
+        if f.reach_p == 0.0 {
+            out.push(model_diag(
+                "XA006",
+                Severity::Warning,
+                m.model,
+                "dead model: cascade reach probability is 0, it can never trigger".to_string(),
+            ));
+        } else if f.reach_p < NEAR_DEAD_P {
+            out.push(model_diag(
+                "XA007",
+                Severity::Info,
+                m.model,
+                format!(
+                    "near-dead cascade: reach probability {:.4} < {NEAR_DEAD_P}",
+                    f.reach_p
+                ),
+            ));
+        }
+        if fan_out >= FAN_OUT_LIMIT {
+            out.push(model_diag(
+                "XA008",
+                Severity::Warning,
+                m.model,
+                format!(
+                    "degenerate cascade fan-out: {fan_out} downstream dependents hang off this model"
+                ),
+            ));
+        }
+        if !f.integral_ratio {
+            out.push(model_diag(
+                "XA009",
+                Severity::Info,
+                m.model,
+                format!(
+                    "non-integral sensor ratio {:.3} ({:.0} FPS sensor / {:.1} FPS target): \
+                     deadline windows alternate between {:.0} and {:.0} sensor frames",
+                    f.ratio,
+                    source_spec(m.model.driving_source()).fps,
+                    m.target_fps,
+                    f.ratio.floor(),
+                    f.ratio.ceil()
+                ),
+            ));
+        }
+    }
+
+    let expected = facts.expected_demand(spec);
+    let worst = facts.worst_case_demand(spec);
+    let scenario_diag = |code, severity, message| Diagnostic {
+        code,
+        severity,
+        scope: scope.to_string(),
+        model: None,
+        message,
+    };
+    if expected > engines as f64 + EPS {
+        out.push(scenario_diag(
+            "XA002",
+            Severity::Error,
+            format!(
+                "aggregate expected demand {expected:.3} engine-s/s > {engines} engine capacity: \
+                 drops are guaranteed under any scheduler"
+            ),
+        ));
+    } else if worst > engines as f64 + EPS {
+        out.push(scenario_diag(
+            "XA003",
+            Severity::Warning,
+            format!(
+                "worst-case demand {worst:.3} engine-s/s > {engines} engine capacity \
+                 (expected {expected:.3} fits): cascade bursts can transiently overload"
+            ),
+        ));
+    }
+    let per_engine = facts.best_pin_demand(spec);
+    let breakdown = per_engine
+        .iter()
+        .enumerate()
+        .map(|(e, d)| format!("{} {:.3}", provider.engine_label(e), d))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push(scenario_diag(
+        "XA013",
+        Severity::Info,
+        format!(
+            "expected demand {expected:.3} engine-s/s on {engines} engine(s); \
+             best-pin per-engine demand: {breakdown}"
+        ),
+    ));
+
+    out
+}
+
+/// Per-session checks: scenario diagnostics for each distinct
+/// scenario, then the session-level aggregate capacity tests (XA010 /
+/// XA011), all with scopes prefixed by `prefix`.
+fn session_diags(
+    session: &SessionSpec,
+    provider: &dyn CostProvider,
+    prefix: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Distinct scenarios in first-appearance order, with user counts.
+    let mut seen: Vec<(&ScenarioSpec, usize)> = Vec::new();
+    for user in &session.users {
+        match seen.iter_mut().find(|(s, _)| s.name == user.spec.name) {
+            Some(entry) => entry.1 += 1,
+            None => seen.push((&user.spec, 1)),
+        }
+    }
+    for &(spec, users) in &seen {
+        let scope = format!("{prefix}scenario `{}` ({users} users)", spec.name);
+        out.extend(scenario_diags(spec, provider, &scope));
+    }
+
+    let engines = provider.num_engines();
+    let mut expected = 0.0f64;
+    let mut worst = 0.0f64;
+    for user in &session.users {
+        let facts = ScenarioFacts::compute(&user.spec, provider);
+        expected += facts.expected_demand(&user.spec);
+        worst += facts.worst_case_demand(&user.spec);
+    }
+    let scope = format!("{prefix}session `{}`", session.name);
+    if expected > engines as f64 + EPS {
+        out.push(Diagnostic {
+            code: "XA010",
+            severity: Severity::Error,
+            scope,
+            model: None,
+            message: format!(
+                "session aggregate expected demand {expected:.3} engine-s/s from {} user(s) > \
+                 {engines} engine capacity: concurrent users oversubscribe the device",
+                session.num_users()
+            ),
+        });
+    } else if worst > engines as f64 + EPS {
+        out.push(Diagnostic {
+            code: "XA011",
+            severity: Severity::Warning,
+            scope,
+            model: None,
+            message: format!(
+                "session worst-case demand {worst:.3} engine-s/s from {} user(s) > \
+                 {engines} engine capacity (expected {expected:.3} fits)",
+                session.num_users()
+            ),
+        });
+    }
+
+    out
+}
+
+/// Analyzes one scenario against a cost provider.
+pub fn analyze_scenario(spec: &ScenarioSpec, provider: &dyn CostProvider) -> Analysis {
+    let scope = format!("scenario `{}`", spec.name);
+    Analysis {
+        subject: scope.clone(),
+        system: provider.label(),
+        diagnostics: scenario_diags(spec, provider, &scope),
+    }
+}
+
+/// Analyzes a multi-user session (all users share one device's
+/// engines) against a cost provider.
+pub fn analyze_session(session: &SessionSpec, provider: &dyn CostProvider) -> Analysis {
+    Analysis {
+        subject: format!("session `{}`", session.name),
+        system: provider.label(),
+        diagnostics: session_diags(session, provider, ""),
+    }
+}
+
+/// Analyzes a fleet: each device group's session on its own device,
+/// plus the fleet-level oversubscription estimate (XA012).
+pub fn analyze_fleet(fleet: &FleetSpec, provider: &dyn CostProvider) -> Analysis {
+    let engines = provider.num_engines();
+    let mut diagnostics = Vec::new();
+    let mut peak = 0.0f64;
+    let mut aggregate = 0.0f64;
+    for group in &fleet.groups {
+        let prefix = format!("group `{}` · ", group.name);
+        diagnostics.extend(session_diags(&group.session, provider, &prefix));
+        let mut demand = 0.0f64;
+        for user in &group.session.users {
+            demand += ScenarioFacts::compute(&user.spec, provider).expected_demand(&user.spec);
+        }
+        peak = peak.max(demand);
+        aggregate += demand * f64::from(group.replicas);
+    }
+    let devices = fleet.total_sessions();
+    diagnostics.push(Diagnostic {
+        code: "XA012",
+        severity: Severity::Info,
+        scope: format!("fleet `{}`", fleet.name),
+        model: None,
+        message: format!(
+            "oversubscription estimate: {devices} device(s) across {} group(s); peak per-device \
+             expected demand {peak:.3} engine-s/s, fleet aggregate {aggregate:.3} vs capacity \
+             {:.3} engine-s/s",
+            fleet.groups.len(),
+            devices as f64 * engines as f64
+        ),
+    });
+    Analysis {
+        subject: format!("fleet `{}`", fleet.name),
+        system: provider.label(),
+        diagnostics,
+    }
+}
+
+/// Analyzes a full run document: builds the document's cost provider
+/// and dispatches on the run kind. Suite documents analyze every
+/// catalog scenario in registration order.
+pub fn analyze_run_document(doc: &RunDocument) -> Analysis {
+    match doc {
+        RunDocument::Suite(run) => {
+            let provider = run.system.build();
+            let mut diagnostics = Vec::new();
+            for spec in run.catalog.iter() {
+                let scope = format!("scenario `{}`", spec.name);
+                diagnostics.extend(scenario_diags(spec, provider.as_ref(), &scope));
+            }
+            Analysis {
+                subject: format!("suite run ({} scenarios)", run.catalog.len()),
+                system: provider.label(),
+                diagnostics,
+            }
+        }
+        RunDocument::Session(run) => analyze_session(&run.session, run.system.build().as_ref()),
+        RunDocument::Fleet(run) => analyze_fleet(&run.fleet, run.system.build().as_ref()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrbench_sim::UniformProvider;
+    use xrbench_workload::{DependencyKind, ScenarioBuilder, UsageScenario};
+
+    /// 2 engines × 1 ms: every builtin scenario fits with slack.
+    fn fast_provider() -> UniformProvider {
+        UniformProvider::new(2, 0.001, 0.001)
+    }
+
+    #[test]
+    fn builtin_scenarios_are_clean_on_fast_hardware() {
+        for scenario in UsageScenario::ALL {
+            let spec = scenario.spec();
+            let analysis = analyze_scenario(&spec, &fast_provider());
+            assert!(
+                !analysis.has_errors(),
+                "{}: {}",
+                spec.name,
+                analysis.to_text()
+            );
+            // XA013 is always present.
+            assert!(analysis.diagnostics.iter().any(|d| d.code == "XA013"));
+        }
+    }
+
+    #[test]
+    fn slow_hardware_trips_unsustainable_and_aggregate_checks() {
+        // 100 ms best-case at 60 FPS is 6 engine-s/s on 2 engines.
+        let spec = ScenarioBuilder::new("hot")
+            .model(ModelId::HandTracking, 60.0)
+            .build()
+            .unwrap();
+        let analysis = analyze_scenario(&spec, &UniformProvider::new(2, 0.1, 0.001));
+        let codes: Vec<_> = analysis.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"XA001"), "{codes:?}");
+        assert!(codes.contains(&"XA002"), "{codes:?}");
+        assert!(analysis.has_errors());
+    }
+
+    #[test]
+    fn critical_path_past_window_warns_not_errors() {
+        // Chain of three 8 ms models at 30 FPS: cp 24 ms > 33.4 ms?
+        // No — use 12 ms each: cp 36 ms > 33.38 ms loosest window,
+        // while demand 3 × 30 × 0.012 = 1.08 < 2 engines.
+        let spec = ScenarioBuilder::new("chain")
+            .model(ModelId::DepthEstimation, 30.0)
+            .model(ModelId::DepthRefinement, 30.0)
+            .model(ModelId::PlaneDetection, 30.0)
+            .dependency(
+                ModelId::DepthRefinement,
+                ModelId::DepthEstimation,
+                DependencyKind::Data,
+                1.0,
+            )
+            .dependency(
+                ModelId::PlaneDetection,
+                ModelId::DepthRefinement,
+                DependencyKind::Data,
+                1.0,
+            )
+            .build()
+            .unwrap();
+        let analysis = analyze_scenario(&spec, &UniformProvider::new(2, 0.012, 0.001));
+        let pd_diags: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.model == Some(ModelId::PlaneDetection))
+            .collect();
+        assert!(pd_diags.iter().any(|d| d.code == "XA004"), "{analysis:?}");
+        assert!(!analysis.has_errors(), "deadline misses are soft");
+    }
+
+    #[test]
+    fn dead_and_near_dead_cascades_are_flagged() {
+        let spec = ScenarioBuilder::new("dead")
+            .model(ModelId::HandTracking, 30.0)
+            .model(ModelId::GazeEstimation, 30.0)
+            .model(ModelId::ObjectDetection, 30.0)
+            .dependency(
+                ModelId::GazeEstimation,
+                ModelId::HandTracking,
+                DependencyKind::Control,
+                0.0,
+            )
+            .dependency(
+                ModelId::ObjectDetection,
+                ModelId::HandTracking,
+                DependencyKind::Control,
+                0.005,
+            )
+            .build()
+            .unwrap();
+        let analysis = analyze_scenario(&spec, &fast_provider());
+        let code_for = |m: ModelId| {
+            analysis
+                .diagnostics
+                .iter()
+                .find(|d| d.model == Some(m) && d.code != "XA009")
+                .map(|d| d.code)
+        };
+        assert_eq!(code_for(ModelId::GazeEstimation), Some("XA006"));
+        assert_eq!(code_for(ModelId::ObjectDetection), Some("XA007"));
+    }
+
+    #[test]
+    fn degenerate_fan_out_flagged_on_the_upstream_model() {
+        let mut builder = ScenarioBuilder::new("fan").model(ModelId::HandTracking, 30.0);
+        for m in [
+            ModelId::GazeEstimation,
+            ModelId::ObjectDetection,
+            ModelId::SemanticSegmentation,
+            ModelId::ActionSegmentation,
+        ] {
+            builder = builder.model(m, 10.0).dependency(
+                m,
+                ModelId::HandTracking,
+                DependencyKind::Data,
+                1.0,
+            );
+        }
+        let analysis = analyze_scenario(&builder.build().unwrap(), &fast_provider());
+        assert!(analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "XA008" && d.model == Some(ModelId::HandTracking)));
+    }
+
+    #[test]
+    fn non_integral_ratio_is_informational() {
+        // HT at 45 FPS on the 60 FPS camera: ratio 4/3.
+        let spec = ScenarioBuilder::new("ratio")
+            .model(ModelId::HandTracking, 45.0)
+            .build()
+            .unwrap();
+        let analysis = analyze_scenario(&spec, &fast_provider());
+        let d = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "XA009")
+            .expect("XA009 emitted");
+        assert_eq!(d.severity, Severity::Info);
+    }
+
+    #[test]
+    fn session_aggregate_oversubscription_is_an_error() {
+        // One user fits (demand 0.96), four do not (3.84 > 2).
+        let spec = ScenarioBuilder::new("user")
+            .model(ModelId::HandTracking, 60.0)
+            .model(ModelId::DepthEstimation, 60.0)
+            .build()
+            .unwrap();
+        let one = SessionSpec::uniform("solo", spec.clone(), 1, 0.0);
+        let four = SessionSpec::uniform("party", spec, 4, 0.0);
+        let provider = UniformProvider::new(2, 0.008, 0.001);
+        assert!(!analyze_session(&one, &provider).has_errors());
+        let analysis = analyze_session(&four, &provider);
+        assert!(analysis.diagnostics.iter().any(|d| d.code == "XA010"));
+        assert!(analysis.has_errors());
+    }
+
+    #[test]
+    fn fleet_analysis_emits_oversubscription_estimate() {
+        let spec = UsageScenario::SocialInteractionA.spec();
+        let session = SessionSpec::uniform("pair", spec, 2, 0.25);
+        let fleet = FleetSpec::uniform("f", session, 3);
+        let analysis = analyze_fleet(&fleet, &fast_provider());
+        let d = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "XA012")
+            .expect("XA012 emitted");
+        assert!(d.message.contains("3 device(s)"), "{}", d.message);
+    }
+}

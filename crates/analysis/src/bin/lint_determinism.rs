@@ -1,0 +1,72 @@
+//! Workspace determinism lint driver.
+//!
+//! Scans the deterministic crates for banned constructs (see
+//! `xrbench_analysis::lint`) and exits non-zero when any finding is
+//! not covered by an inline `lint:allow(...)` escape or the committed
+//! `lint_determinism.allow` file — or when an allowlist entry no
+//! longer matches anything.
+//!
+//! ```text
+//! lint_determinism [--root <workspace-root>]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xrbench_analysis::lint::run_lint;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("lint_determinism: --root needs a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(value);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("USAGE: lint_determinism [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lint_determinism: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match run_lint(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("lint_determinism: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    for entry in &report.unused_allow_entries {
+        println!(
+            "lint_determinism.allow: stale entry `{} {}` matches nothing — remove it",
+            entry.path_suffix, entry.rule
+        );
+    }
+    eprintln!(
+        "lint_determinism: {} file(s) scanned, {} finding(s), {} allowlisted, {} stale allow entr(y/ies)",
+        report.files_scanned,
+        report.findings.len(),
+        report.allowlisted,
+        report.unused_allow_entries.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

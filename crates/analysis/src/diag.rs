@@ -1,0 +1,271 @@
+//! Structured diagnostics: stable `XA###` codes with severity, scope,
+//! and both JSON and human-readable rendering.
+//!
+//! Diagnostics are pure data — the analyzer emits them in a
+//! deterministic order (spec order, then aggregate checks), so the
+//! JSON form is byte-stable and can be pinned as a golden fixture.
+
+use std::fmt;
+
+use serde::json::JsonValue;
+use serde::Serialize;
+
+use xrbench_models::ModelId;
+
+/// How bad a diagnostic is.
+///
+/// *Errors* are statically-proven infeasibility: no scheduler on the
+/// analyzed hardware can avoid dropping frames. *Warnings* are
+/// conditions that cap the achievable score (e.g. a deadline no
+/// scheduler can meet — the run still completes, at real-time score
+/// ~0 for that model). *Infos* are structural observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Statically infeasible; `xrbench analyze` exits non-zero.
+    Error,
+    /// Feasible but score-capping or suspicious.
+    Warning,
+    /// Structural observation.
+    Info,
+}
+
+impl Severity {
+    /// The lowercase wire name (`error` / `warning` / `info`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analyzer finding, tagged with a stable `XA###` code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`"XA001"` …) — see the crate docs for
+    /// the full table.
+    pub code: &'static str,
+    /// Error / warning / info.
+    pub severity: Severity,
+    /// What the finding is about (e.g. ``scenario `VR Gaming` `` or
+    /// ``group `vr` · session `party` ``).
+    pub scope: String,
+    /// The model the finding pins, if model-scoped.
+    pub model: Option<ModelId>,
+    /// Human-readable explanation with the numbers that triggered it.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the one-line human form:
+    /// `error[XA001] scenario `X` · HT: message`.
+    pub fn render(&self) -> String {
+        match self.model {
+            Some(m) => format!(
+                "{}[{}] {} · {}: {}",
+                self.severity, self.code, self.scope, m, self.message
+            ),
+            None => format!(
+                "{}[{}] {}: {}",
+                self.severity, self.code, self.scope, self.message
+            ),
+        }
+    }
+}
+
+impl Serialize for Diagnostic {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("code".to_string(), JsonValue::Str(self.code.to_string())),
+            (
+                "severity".to_string(),
+                JsonValue::Str(self.severity.as_str().to_string()),
+            ),
+            ("scope".to_string(), JsonValue::Str(self.scope.clone())),
+            (
+                "model".to_string(),
+                match self.model {
+                    Some(m) => JsonValue::Str(m.abbrev().to_string()),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("message".to_string(), JsonValue::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// The result of one static analysis: the analyzed subject, the
+/// hardware it was analyzed against, and the findings in emission
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// What was analyzed (``scenario `VR Gaming` ``, ``suite run
+    /// document``, …).
+    pub subject: String,
+    /// The cost provider's label.
+    pub system: String,
+    /// The findings, in deterministic emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of info-severity findings.
+    pub fn info_count(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Whether any finding is an error (the spec is statically
+    /// infeasible on this hardware).
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// The error-severity findings, in order.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Stable pretty-printed JSON (the golden-fixture form).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("analysis serialization cannot fail")
+    }
+
+    /// The multi-line human rendering: header, one line per finding,
+    /// and a summary line.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("analysis of {} on {}\n", self.subject, self.system);
+        for d in &self.diagnostics {
+            out.push_str("  ");
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info(s)\n",
+            self.error_count(),
+            self.warning_count(),
+            self.info_count()
+        ));
+        out
+    }
+}
+
+impl Serialize for Analysis {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("subject".to_string(), JsonValue::Str(self.subject.clone())),
+            ("system".to_string(), JsonValue::Str(self.system.clone())),
+            (
+                "summary".to_string(),
+                JsonValue::Object(vec![
+                    (
+                        "errors".to_string(),
+                        JsonValue::Num(self.error_count() as f64),
+                    ),
+                    (
+                        "warnings".to_string(),
+                        JsonValue::Num(self.warning_count() as f64),
+                    ),
+                    (
+                        "infos".to_string(),
+                        JsonValue::Num(self.info_count() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "diagnostics".to_string(),
+                JsonValue::Array(self.diagnostics.iter().map(|d| d.to_json_value()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: &'static str, severity: Severity, model: Option<ModelId>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            scope: "scenario `T`".to_string(),
+            model,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn counts_and_errors_filter_by_severity() {
+        let a = Analysis {
+            subject: "s".into(),
+            system: "sys".into(),
+            diagnostics: vec![
+                diag("XA001", Severity::Error, Some(ModelId::HandTracking)),
+                diag("XA004", Severity::Warning, None),
+                diag("XA013", Severity::Info, None),
+                diag("XA002", Severity::Error, None),
+            ],
+        };
+        assert_eq!(a.error_count(), 2);
+        assert_eq!(a.warning_count(), 1);
+        assert_eq!(a.info_count(), 1);
+        assert!(a.has_errors());
+        assert_eq!(a.errors().count(), 2);
+    }
+
+    #[test]
+    fn render_includes_model_when_present() {
+        let d = diag("XA001", Severity::Error, Some(ModelId::PlaneDetection));
+        assert!(d.render().starts_with("error[XA001] scenario `T` · PD:"));
+        let d = diag("XA002", Severity::Error, None);
+        assert!(d.render().starts_with("error[XA002] scenario `T`:"));
+    }
+
+    #[test]
+    fn json_is_stable_and_parsable() {
+        let a = Analysis {
+            subject: "s".into(),
+            system: "sys".into(),
+            diagnostics: vec![diag("XA001", Severity::Error, Some(ModelId::HandTracking))],
+        };
+        let json = a.to_json();
+        assert_eq!(json, a.to_json(), "serialization is deterministic");
+        let v = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v.get("subject").as_str(), Some("s"));
+        assert_eq!(v.get("summary").get("errors").as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn text_has_header_and_summary() {
+        let a = Analysis {
+            subject: "s".into(),
+            system: "sys".into(),
+            diagnostics: vec![],
+        };
+        let text = a.to_text();
+        assert!(text.starts_with("analysis of s on sys\n"));
+        assert!(text.ends_with("0 error(s), 0 warning(s), 0 info(s)\n"));
+    }
+}

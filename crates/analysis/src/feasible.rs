@@ -1,0 +1,191 @@
+//! Feasibility-filtered scenario sampling: re-draw from a
+//! [`ScenarioSpace`] until the analyzer reports no errors, so
+//! procedural sweeps never spend simulation time on statically-dead
+//! workloads.
+//!
+//! Filtering is still a pure function of `(space, provider, seed)`:
+//! rejected attempts re-seed deterministically (splitmix64 over the
+//! original seed and the attempt index), so the same inputs always
+//! converge on the same accepted scenario.
+
+use std::fmt;
+
+use xrbench_sim::CostProvider;
+use xrbench_workload::{ScenarioSpace, ScenarioSpec};
+
+use crate::analyze::analyze_scenario;
+
+/// Default cap on re-draws before [`FeasibleSpace::try_sample`] gives
+/// up. Generous: on any hardware where the space is not wholly
+/// infeasible, acceptance typically takes a handful of attempts.
+pub const DEFAULT_MAX_ATTEMPTS: usize = 4096;
+
+/// Extension trait adding analyzer-filtered sampling to
+/// [`ScenarioSpace`].
+pub trait FeasibleSampling {
+    /// Wraps this space so every sample is re-drawn until the
+    /// analyzer reports zero error-severity diagnostics against
+    /// `provider`.
+    fn feasible_only<'a>(&'a self, provider: &'a dyn CostProvider) -> FeasibleSpace<'a>;
+}
+
+impl FeasibleSampling for ScenarioSpace {
+    fn feasible_only<'a>(&'a self, provider: &'a dyn CostProvider) -> FeasibleSpace<'a> {
+        FeasibleSpace {
+            space: self,
+            provider,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+        }
+    }
+}
+
+/// A [`ScenarioSpace`] view whose samples are guaranteed
+/// analyzer-clean (no error diagnostics) on a specific cost provider.
+pub struct FeasibleSpace<'a> {
+    space: &'a ScenarioSpace,
+    provider: &'a dyn CostProvider,
+    max_attempts: usize,
+}
+
+/// Returned when every re-draw within the attempt budget analyzed
+/// infeasible — the space is (practically) dead on this hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfeasibleSpaceError {
+    /// The requested sampling seed.
+    pub seed: u64,
+    /// How many draws were rejected.
+    pub attempts: usize,
+}
+
+impl fmt::Display for InfeasibleSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no feasible scenario found for seed {} after {} attempts: \
+             every sample analyzed with errors on this system",
+            self.seed, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleSpaceError {}
+
+/// The splitmix64 finalizer, the same mixer the fleet layer uses for
+/// replica seeds: decorrelates the retry stream from the seed stream
+/// so `try_sample(seed)` and `try_sample(seed + 1)` don't walk the
+/// same rejection chain.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl<'a> FeasibleSpace<'a> {
+    /// Overrides the re-draw budget (default
+    /// [`DEFAULT_MAX_ATTEMPTS`]).
+    #[must_use]
+    pub fn with_max_attempts(mut self, max_attempts: usize) -> Self {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Draws one analyzer-clean scenario, deterministically from
+    /// `seed`. Attempt 0 samples the space at `seed` itself (so a
+    /// seed that is already feasible yields the identical scenario as
+    /// unfiltered sampling); rejected attempts re-seed through a
+    /// splitmix64 avalanche of `(seed, attempt)`.
+    pub fn try_sample(&self, seed: u64) -> Result<ScenarioSpec, InfeasibleSpaceError> {
+        let mut draw = seed;
+        for attempt in 0..self.max_attempts {
+            let spec = self.space.sample(draw);
+            if !analyze_scenario(&spec, self.provider).has_errors() {
+                return Ok(spec);
+            }
+            draw = mix64(seed ^ mix64(attempt as u64 + 1));
+        }
+        Err(InfeasibleSpaceError {
+            seed,
+            attempts: self.max_attempts,
+        })
+    }
+
+    /// Panicking convenience wrapper around [`Self::try_sample`].
+    pub fn sample(&self, seed: u64) -> ScenarioSpec {
+        self.try_sample(seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Draws `count` feasible scenarios from consecutive seeds
+    /// starting at `base_seed` (mirrors
+    /// [`ScenarioSpace::sample_many`]).
+    pub fn try_sample_many(
+        &self,
+        base_seed: u64,
+        count: u32,
+    ) -> Result<Vec<ScenarioSpec>, InfeasibleSpaceError> {
+        (0..u64::from(count))
+            .map(|i| self.try_sample(base_seed.wrapping_add(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_scenario;
+    use xrbench_sim::UniformProvider;
+
+    #[test]
+    fn feasible_sampling_is_deterministic_and_clean() {
+        // 5 ms × 2 engines: heavy multi-model 60 FPS samples overload
+        // (e.g. 4 models at 60 FPS = 1.2 engine-s/s each), so the
+        // filter has real work to do.
+        let provider = UniformProvider::new(2, 0.005, 0.001);
+        let space = ScenarioSpace::default();
+        let feasible = space.feasible_only(&provider);
+        for seed in 0..64u64 {
+            let spec = feasible.try_sample(seed).expect("space is not dead");
+            assert_eq!(spec, feasible.try_sample(seed).unwrap(), "seed {seed}");
+            assert!(
+                !analyze_scenario(&spec, &provider).has_errors(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn already_feasible_seeds_pass_through_unchanged() {
+        let provider = UniformProvider::new(2, 0.000_1, 0.001);
+        let space = ScenarioSpace::default();
+        let feasible = space.feasible_only(&provider);
+        for seed in 0..32u64 {
+            assert_eq!(feasible.sample(seed), space.sample(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dead_space_reports_instead_of_spinning() {
+        // 1 s per inference: nothing at ≥ 3 FPS can ever fit.
+        let provider = UniformProvider::new(1, 1.0, 0.001);
+        let space = ScenarioSpace::default();
+        let err = space
+            .feasible_only(&provider)
+            .with_max_attempts(16)
+            .try_sample(0)
+            .unwrap_err();
+        assert_eq!(err.attempts, 16);
+        assert!(err.to_string().contains("after 16 attempts"));
+    }
+
+    #[test]
+    fn sample_many_matches_per_seed_sampling() {
+        let provider = UniformProvider::new(2, 0.005, 0.001);
+        let space = ScenarioSpace::default();
+        let feasible = space.feasible_only(&provider);
+        let many = feasible.try_sample_many(10, 8).unwrap();
+        for (i, spec) in many.iter().enumerate() {
+            assert_eq!(*spec, feasible.try_sample(10 + i as u64).unwrap());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Static analysis for XRBench: spec schedulability diagnostics and
+//! a source-level determinism lint.
+//!
+//! Both halves are pure static passes — no simulation:
+//!
+//! - [`analyze_scenario`] / [`analyze_session`] / [`analyze_fleet`] /
+//!   [`analyze_run_document`] check a spec against a
+//!   [`CostProvider`](xrbench_sim::CostProvider) and emit
+//!   [`Diagnostic`]s with stable `XA###` codes.
+//! - [`lint`] scans the deterministic crates' sources for constructs
+//!   that break byte-identical reproducibility (the `lint_determinism`
+//!   binary drives it).
+//! - [`FeasibleSampling`] filters procedural scenario sampling to
+//!   analyzer-clean draws.
+//!
+//! # Diagnostic codes
+//!
+//! Errors are statically-proven infeasibility (drops guaranteed under
+//! any scheduler); deadline violations are *warnings* because XRBench
+//! deadlines are soft — a miss zeroes the real-time score but drops
+//! nothing (the paper's own flagship configuration ships Plane
+//! Detection in exactly this state). See `DESIGN.md` for derivations.
+//!
+//! | code | severity | scope | meaning |
+//! |------|----------|-------|---------|
+//! | XA001 | error | model | unsustainable throughput: best-case expected demand exceeds total engine capacity |
+//! | XA002 | error | scenario | aggregate expected demand exceeds engine capacity (EDF necessary condition) |
+//! | XA003 | warning | scenario | worst-case demand (all cascades firing) exceeds capacity while expected fits |
+//! | XA004 | warning | model | critical path exceeds every deadline window — no scheduler can meet the deadline |
+//! | XA005 | warning | model | critical path exceeds the tightest deadline window — some frames must miss |
+//! | XA006 | warning | model | dead model: cascade reach probability is exactly 0 |
+//! | XA007 | info | model | near-dead cascade: reach probability below 0.01 |
+//! | XA008 | warning | model | degenerate cascade fan-out: ≥ 4 downstream dependents |
+//! | XA009 | info | model | non-integral sensor ratio: deadline windows alternate in length |
+//! | XA010 | error | session | session aggregate expected demand exceeds the shared device's capacity |
+//! | XA011 | warning | session | session worst-case demand exceeds capacity while expected fits |
+//! | XA012 | info | fleet | oversubscription estimate: devices, groups, peak and aggregate demand vs capacity |
+//! | XA013 | info | scenario | utilization summary with best-pin per-engine demand breakdown |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod diag;
+mod feasible;
+pub mod lint;
+
+pub use analyze::{analyze_fleet, analyze_run_document, analyze_scenario, analyze_session};
+pub use diag::{Analysis, Diagnostic, Severity};
+pub use feasible::{FeasibleSampling, FeasibleSpace, InfeasibleSpaceError, DEFAULT_MAX_ATTEMPTS};

@@ -9,11 +9,13 @@
 //! push).
 //!
 //! ```text
-//! xrbench run-suite   <SPEC.json> [--out FILE]
-//! xrbench run-session <SPEC.json> [--out FILE]
-//! xrbench run-fleet   <SPEC.json> [--out FILE]
+//! xrbench run-suite   <SPEC.json> [--out FILE] [--strict]
+//! xrbench run-session <SPEC.json> [--out FILE] [--strict]
+//! xrbench run-fleet   <SPEC.json> [--out FILE] [--strict]
+//! xrbench analyze     <SPEC.json> [--json] [--accelerator ID] [--pes N]
 //! xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
 //!                       [--min-models N] [--max-models N]
+//!                       [--feasible] [--accelerator ID] [--pes N]
 //! xrbench list <models|scenarios|accelerators>
 //! xrbench export-specs [--dir DIR]
 //! ```
@@ -25,6 +27,10 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use xrbench_analysis::{
+    analyze_fleet, analyze_run_document, analyze_scenario, analyze_session, Analysis,
+    FeasibleSampling,
+};
 use xrbench_core::RunDocument;
 use xrbench_workload::{scenario_to_json, ScenarioCatalog, ScenarioSpace, UsageScenario};
 
@@ -35,18 +41,26 @@ pub const USAGE: &str = "\
 xrbench — the XRBench benchmark suite driver
 
 USAGE:
-  xrbench run-suite   <SPEC.json> [--out FILE]   run a `kind: suite` document
-  xrbench run-session <SPEC.json> [--out FILE]   run a `kind: session` document
-  xrbench run-fleet   <SPEC.json> [--out FILE]   run a `kind: fleet` document
+  xrbench run-suite   <SPEC.json> [--out FILE] [--strict]   run a `kind: suite` document
+  xrbench run-session <SPEC.json> [--out FILE] [--strict]   run a `kind: session` document
+  xrbench run-fleet   <SPEC.json> [--out FILE] [--strict]   run a `kind: fleet` document
+  xrbench analyze     <SPEC.json> [--json]       static schedulability analysis (XA###
+                      [--accelerator ID] [--pes N]  diagnostics) of any spec file
   xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
                         [--min-models N] [--max-models N]
+                        [--feasible] [--accelerator ID] [--pes N]
                                                  sample random valid scenarios
   xrbench list <models|scenarios|accelerators>   print the builtin catalogs
   xrbench export-specs [--dir DIR]               write the builtin specs (default: specs/)
 
 Reports are the library's JSON, printed to stdout (or --out FILE).
-Diagnostics go to stderr; exit code 0 on success, 1 on a spec/run
-error, 2 on a usage error.";
+`analyze` accepts run documents as well as bare scenario / session /
+fleet specs; bare specs (and `gen-scenarios --feasible`) are analyzed
+against accelerator --accelerator (default J) at --pes (default 8192)
+PEs. `--strict` refuses run specs with analyzer errors; without it the
+errors are printed as hints before the report. Diagnostics go to
+stderr; exit code 0 on success (or a clean analysis), 1 on a spec/run
+error or an analysis with errors, 2 on a usage error.";
 
 /// A fatal CLI error with its exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +116,20 @@ pub enum Command {
         spec: PathBuf,
         /// Where to write the report instead of stdout.
         out: Option<PathBuf>,
+        /// Refuse to run when the analyzer reports errors.
+        strict: bool,
+    },
+    /// `analyze`.
+    Analyze {
+        /// The spec file to analyze (run document or bare
+        /// scenario / session / fleet spec).
+        spec: PathBuf,
+        /// Emit the stable JSON form instead of the human rendering.
+        json: bool,
+        /// Accelerator id for bare specs (Table 5 letter).
+        accelerator: char,
+        /// PE count for bare specs.
+        pes: u64,
     },
     /// `gen-scenarios`.
     GenScenarios {
@@ -116,6 +144,12 @@ pub enum Command {
         min_models: Option<usize>,
         /// Override the space's maximum model count.
         max_models: Option<usize>,
+        /// Re-sample until each draw is analyzer-clean.
+        feasible: bool,
+        /// Accelerator id the feasibility filter analyzes against.
+        accelerator: char,
+        /// PE count the feasibility filter analyzes against.
+        pes: u64,
     },
     /// `list`.
     List(ListKind),
@@ -158,11 +192,13 @@ impl Command {
                 };
                 let mut spec = None;
                 let mut out = None;
+                let mut strict = false;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--out" => {
                             out = Some(PathBuf::from(parse_value::<String>("--out", it.next())?))
                         }
+                        "--strict" => strict = true,
                         _ if arg.starts_with('-') => {
                             return Err(usage_error(format!("unknown flag `{arg}`")))
                         }
@@ -172,7 +208,37 @@ impl Command {
                 }
                 let spec =
                     spec.ok_or_else(|| usage_error(format!("{sub} needs a spec file argument")))?;
-                Ok(Command::Run { kind, spec, out })
+                Ok(Command::Run {
+                    kind,
+                    spec,
+                    out,
+                    strict,
+                })
+            }
+            "analyze" => {
+                let mut spec = None;
+                let mut json = false;
+                let mut accelerator = 'J';
+                let mut pes = 8192u64;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--json" => json = true,
+                        "--accelerator" => accelerator = parse_value("--accelerator", it.next())?,
+                        "--pes" => pes = parse_value("--pes", it.next())?,
+                        _ if arg.starts_with('-') => {
+                            return Err(usage_error(format!("unknown flag `{arg}`")))
+                        }
+                        _ if spec.is_none() => spec = Some(PathBuf::from(arg)),
+                        _ => return Err(usage_error(format!("unexpected argument `{arg}`"))),
+                    }
+                }
+                let spec = spec.ok_or_else(|| usage_error("analyze needs a spec file argument"))?;
+                Ok(Command::Analyze {
+                    spec,
+                    json,
+                    accelerator,
+                    pes,
+                })
             }
             "gen-scenarios" => {
                 let mut seed = 0u64;
@@ -180,10 +246,16 @@ impl Command {
                 let mut out_dir = None;
                 let mut min_models = None;
                 let mut max_models = None;
+                let mut feasible = false;
+                let mut accelerator = 'J';
+                let mut pes = 8192u64;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--seed" => seed = parse_value("--seed", it.next())?,
                         "--count" => count = parse_value("--count", it.next())?,
+                        "--feasible" => feasible = true,
+                        "--accelerator" => accelerator = parse_value("--accelerator", it.next())?,
+                        "--pes" => pes = parse_value("--pes", it.next())?,
                         "--min-models" => {
                             min_models = Some(parse_value("--min-models", it.next())?)
                         }
@@ -208,6 +280,9 @@ impl Command {
                     out_dir,
                     min_models,
                     max_models,
+                    feasible,
+                    accelerator,
+                    pes,
                 })
             }
             "list" => {
@@ -251,6 +326,9 @@ pub struct Output {
     pub files: Vec<(PathBuf, String)>,
     /// Progress lines for stderr.
     pub notes: Vec<String>,
+    /// Process exit code after a successful apply (non-zero when an
+    /// analysis carried errors).
+    pub exit_code: i32,
 }
 
 /// Executes a parsed command, returning its output (pure except for
@@ -266,14 +344,37 @@ pub fn execute(command: &Command) -> Result<Output, CliError> {
             stdout: format!("{USAGE}\n"),
             ..Output::default()
         }),
-        Command::Run { kind, spec, out } => run_document(kind, spec, out.as_deref()),
+        Command::Run {
+            kind,
+            spec,
+            out,
+            strict,
+        } => run_document(kind, spec, out.as_deref(), *strict),
+        Command::Analyze {
+            spec,
+            json,
+            accelerator,
+            pes,
+        } => analyze_file(spec, *json, *accelerator, *pes),
         Command::GenScenarios {
             seed,
             count,
             out_dir,
             min_models,
             max_models,
-        } => gen_scenarios(*seed, *count, out_dir.as_deref(), *min_models, *max_models),
+            feasible,
+            accelerator,
+            pes,
+        } => gen_scenarios(GenParams {
+            seed: *seed,
+            count: *count,
+            out_dir: out_dir.as_deref(),
+            min_models: *min_models,
+            max_models: *max_models,
+            feasible: *feasible,
+            accelerator: *accelerator,
+            pes: *pes,
+        }),
         Command::List(kind) => Ok(Output {
             stdout: list(*kind),
             ..Output::default()
@@ -282,7 +383,12 @@ pub fn execute(command: &Command) -> Result<Output, CliError> {
     }
 }
 
-fn run_document(kind: &str, spec: &Path, out: Option<&Path>) -> Result<Output, CliError> {
+fn run_document(
+    kind: &str,
+    spec: &Path,
+    out: Option<&Path>,
+    strict: bool,
+) -> Result<Output, CliError> {
     let text = fs::read_to_string(spec)
         .map_err(|e| run_error(format!("cannot read {}: {e}", spec.display())))?;
     let doc = RunDocument::from_json_str(&text)
@@ -295,31 +401,140 @@ fn run_document(kind: &str, spec: &Path, out: Option<&Path>) -> Result<Output, C
             doc.kind()
         )));
     }
+    // Statically-infeasible specs would otherwise surface only as
+    // opaque drop counters in a zero-score report: surface the
+    // analyzer's verdict up front (or refuse outright under --strict).
+    let analysis = analyze_run_document(&doc);
+    let mut notes = Vec::new();
+    if analysis.has_errors() {
+        let lines: Vec<String> = analysis.errors().map(|d| d.render()).collect();
+        if strict {
+            return Err(run_error(format!(
+                "{}: refusing statically-infeasible spec (--strict):\n{}",
+                spec.display(),
+                lines.join("\n")
+            )));
+        }
+        notes.extend(lines.into_iter().map(|l| format!("analyze: {l}")));
+        notes.push(
+            "analyze: the spec is statically infeasible — expect drops; pass --strict to refuse \
+             such runs"
+                .to_string(),
+        );
+    }
     let report = match &doc {
         RunDocument::Suite(run) => run.run().to_json(),
         RunDocument::Session(run) => run.run().to_json(),
         RunDocument::Fleet(run) => run.run().to_json(),
     } + "\n";
     Ok(match out {
-        Some(path) => Output {
-            files: vec![(path.to_path_buf(), report)],
-            notes: vec![format!("report written to {}", path.display())],
-            ..Output::default()
-        },
+        Some(path) => {
+            notes.push(format!("report written to {}", path.display()));
+            Output {
+                files: vec![(path.to_path_buf(), report)],
+                notes,
+                ..Output::default()
+            }
+        }
         None => Output {
             stdout: report,
+            notes,
             ..Output::default()
         },
     })
 }
 
-fn gen_scenarios(
+/// Builds the default system bare specs are analyzed against: a Table
+/// 5 accelerator instantiated at a PE count.
+fn default_system(
+    accelerator: char,
+    pes: u64,
+) -> Result<xrbench_accel::AcceleratorSystem, CliError> {
+    let config = xrbench_accel::config_by_id(accelerator).ok_or_else(|| {
+        run_error(format!(
+            "unknown accelerator `{accelerator}` (expected a Table 5 letter A-M)"
+        ))
+    })?;
+    Ok(xrbench_accel::AcceleratorSystem::new(config, pes))
+}
+
+/// Loads any spec file — run document or bare scenario / session /
+/// fleet spec — and analyzes it. Bare specs (which carry no system)
+/// are analyzed against [`default_system`].
+fn load_analysis(spec: &Path, accelerator: char, pes: u64) -> Result<Analysis, CliError> {
+    let text = fs::read_to_string(spec)
+        .map_err(|e| run_error(format!("cannot read {}: {e}", spec.display())))?;
+    let value = xrbench_workload::spec::parse_json(&text)
+        .map_err(|e| run_error(format!("{}: {e}", spec.display())))?;
+    let root = serde::de::Cursor::root(&value);
+    let has = |field: &str| matches!(root.opt_field(field), Ok(Some(_)));
+    let spec_err = |e: &dyn fmt::Display| run_error(format!("{}: {e}", spec.display()));
+    if has("kind") {
+        let doc = RunDocument::from_json_str(&text).map_err(|e| spec_err(&e))?;
+        Ok(analyze_run_document(&doc))
+    } else if has("groups") {
+        let fleet = xrbench_fleet::fleet_from_str(&text, &ScenarioCatalog::builtin())
+            .map_err(|e| spec_err(&e))?;
+        Ok(analyze_fleet(&fleet, &default_system(accelerator, pes)?))
+    } else if has("models") {
+        let scenario = xrbench_workload::scenario_from_str(&text).map_err(|e| spec_err(&e))?;
+        Ok(analyze_scenario(
+            &scenario,
+            &default_system(accelerator, pes)?,
+        ))
+    } else if has("users") || has("uniform") || has("mixed") {
+        let session = xrbench_workload::session_from_str(&text, &ScenarioCatalog::builtin())
+            .map_err(|e| spec_err(&e))?;
+        Ok(analyze_session(
+            &session,
+            &default_system(accelerator, pes)?,
+        ))
+    } else {
+        Err(run_error(format!(
+            "{}: not a recognizable spec (expected a `kind` run document, or a scenario / \
+             session / fleet spec)",
+            spec.display()
+        )))
+    }
+}
+
+fn analyze_file(spec: &Path, json: bool, accelerator: char, pes: u64) -> Result<Output, CliError> {
+    let analysis = load_analysis(spec, accelerator, pes)?;
+    let stdout = if json {
+        analysis.to_json() + "\n"
+    } else {
+        analysis.to_text()
+    };
+    Ok(Output {
+        stdout,
+        exit_code: i32::from(analysis.has_errors()),
+        ..Output::default()
+    })
+}
+
+/// Bundled `gen-scenarios` parameters.
+struct GenParams<'a> {
     seed: u64,
     count: u32,
-    out_dir: Option<&Path>,
+    out_dir: Option<&'a Path>,
     min_models: Option<usize>,
     max_models: Option<usize>,
-) -> Result<Output, CliError> {
+    feasible: bool,
+    accelerator: char,
+    pes: u64,
+}
+
+fn gen_scenarios(params: GenParams<'_>) -> Result<Output, CliError> {
+    let GenParams {
+        seed,
+        count,
+        out_dir,
+        min_models,
+        max_models,
+        feasible,
+        accelerator,
+        pes,
+    } = params;
     let mut space = ScenarioSpace::default();
     if let Some(min) = min_models {
         space.min_models = min;
@@ -338,7 +553,15 @@ fn gen_scenarios(
             space.max_models
         )));
     }
-    let specs = space.sample_many(seed, count);
+    let specs = if feasible {
+        let system = default_system(accelerator, pes)?;
+        space
+            .feasible_only(&system)
+            .try_sample_many(seed, count)
+            .map_err(|e| run_error(e.to_string()))?
+    } else {
+        space.sample_many(seed, count)
+    };
     match out_dir {
         Some(dir) => {
             let mut output = Output::default();
@@ -453,11 +676,13 @@ pub fn apply(output: &Output) -> Result<(), CliError> {
         fs::write(path, body)
             .map_err(|e| run_error(format!("cannot write {}: {e}", path.display())))?;
     }
-    if !output.stdout.is_empty() {
-        print!("{}", output.stdout);
-    }
+    // Notes first, so analyzer hints land above the report when both
+    // streams share a terminal.
     for note in &output.notes {
         eprintln!("xrbench: {note}");
+    }
+    if !output.stdout.is_empty() {
+        print!("{}", output.stdout);
     }
     Ok(())
 }
@@ -479,15 +704,57 @@ mod tests {
                 kind: "suite",
                 spec: PathBuf::from("specs/suite_default.json"),
                 out: None,
+                strict: false,
             }
         );
-        let cmd = Command::parse(&args(&["run-fleet", "f.json", "--out", "r.json"])).unwrap();
+        let cmd = Command::parse(&args(&[
+            "run-fleet",
+            "f.json",
+            "--out",
+            "r.json",
+            "--strict",
+        ]))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Run {
                 kind: "fleet",
                 spec: PathBuf::from("f.json"),
                 out: Some(PathBuf::from("r.json")),
+                strict: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_analyze() {
+        let cmd = Command::parse(&args(&["analyze", "s.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                spec: PathBuf::from("s.json"),
+                json: false,
+                accelerator: 'J',
+                pes: 8192,
+            }
+        );
+        let cmd = Command::parse(&args(&[
+            "analyze",
+            "s.json",
+            "--json",
+            "--accelerator",
+            "A",
+            "--pes",
+            "4096",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                spec: PathBuf::from("s.json"),
+                json: true,
+                accelerator: 'A',
+                pes: 4096,
             }
         );
     }
@@ -512,6 +779,9 @@ mod tests {
                 out_dir: None,
                 min_models: None,
                 max_models: Some(4),
+                feasible: false,
+                accelerator: 'J',
+                pes: 8192,
             }
         );
         assert_eq!(
@@ -550,6 +820,7 @@ mod tests {
             kind: "suite",
             spec: PathBuf::from("/nonexistent/spec.json"),
             out: None,
+            strict: false,
         })
         .unwrap_err();
         assert_eq!(err.code, 1);
@@ -571,14 +842,17 @@ mod tests {
 
     #[test]
     fn gen_scenarios_stdout_is_a_loadable_array() {
-        let out = execute(&Command::GenScenarios {
+        let gen = Command::GenScenarios {
             seed: 5,
             count: 3,
             out_dir: None,
             min_models: None,
             max_models: None,
-        })
-        .unwrap();
+            feasible: false,
+            accelerator: 'J',
+            pes: 8192,
+        };
+        let out = execute(&gen).unwrap();
         let value = xrbench_workload::spec::parse_json(&out.stdout).unwrap();
         let items = serde::de::Cursor::root(&value).items().unwrap();
         assert_eq!(items.len(), 3);
@@ -586,15 +860,37 @@ mod tests {
             xrbench_workload::spec::scenario_from_value(item).unwrap();
         }
         // Deterministic for a fixed seed.
-        let again = execute(&Command::GenScenarios {
-            seed: 5,
-            count: 3,
+        assert_eq!(out, execute(&gen).unwrap());
+    }
+
+    #[test]
+    fn feasible_gen_scenarios_are_analyzer_clean() {
+        let gen = Command::GenScenarios {
+            seed: 0,
+            count: 4,
             out_dir: None,
             min_models: None,
             max_models: None,
-        })
-        .unwrap();
-        assert_eq!(out, again);
+            // J/4K is slow enough that some default-space samples are
+            // infeasible, so the filter is exercised for real.
+            feasible: true,
+            accelerator: 'J',
+            pes: 4096,
+        };
+        let out = execute(&gen).unwrap();
+        let system = default_system('J', 4096).unwrap();
+        let value = xrbench_workload::spec::parse_json(&out.stdout).unwrap();
+        let items = serde::de::Cursor::root(&value).items().unwrap();
+        assert_eq!(items.len(), 4);
+        for item in &items {
+            let spec = xrbench_workload::spec::scenario_from_value(item).unwrap();
+            assert!(
+                !analyze_scenario(&spec, &system).has_errors(),
+                "{}",
+                spec.name
+            );
+        }
+        assert_eq!(out, execute(&gen).unwrap(), "feasible gen is deterministic");
     }
 
     #[test]

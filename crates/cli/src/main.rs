@@ -6,9 +6,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = Command::parse(&args)
         .and_then(|cmd| execute(&cmd))
-        .and_then(|out| apply(&out));
-    if let Err(e) = result {
-        eprintln!("xrbench: error: {e}");
-        std::process::exit(e.code);
+        .and_then(|out| apply(&out).map(|()| out.exit_code));
+    match result {
+        Ok(code) => {
+            if code != 0 {
+                std::process::exit(code);
+            }
+        }
+        Err(e) => {
+            eprintln!("xrbench: error: {e}");
+            std::process::exit(e.code);
+        }
     }
 }

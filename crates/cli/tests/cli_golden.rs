@@ -285,6 +285,126 @@ fn gen_scenarios_writes_loadable_deterministic_files() {
 }
 
 #[test]
+fn analyze_exit_codes_track_static_feasibility() {
+    // The acceptance bar: the committed default suite is analyzer-clean.
+    let out = xrbench(&["analyze", "specs/suite_default.json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("0 error(s)"), "{text}");
+
+    // A bare scenario spec analyzes against the default J@8192 system.
+    let out = xrbench(&["analyze", "specs/scenarios/vr_gaming.json"]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Each hand-crafted infeasible fixture exits 1, and its JSON form
+    // is byte-identical to the committed golden diagnostic file.
+    for name in [
+        "infeasible_unsustainable",
+        "infeasible_cascade",
+        "infeasible_overload",
+    ] {
+        let spec = format!("tests/fixtures/analyze/{name}.spec.json");
+        let out = xrbench(&["analyze", &spec, "--json"]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name} must analyze with errors:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let golden = repo_root()
+            .join("tests")
+            .join("fixtures")
+            .join("analyze")
+            .join(format!("{name}.diag.json"));
+        let expected = fs::read_to_string(&golden)
+            .unwrap_or_else(|e| panic!("missing {} ({e}); bless via analysis_golden", name));
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            expected,
+            "{name}: `analyze --json` diverged from the golden fixture \
+             (re-bless with XRBENCH_BLESS=1 cargo test --test analysis_golden)"
+        );
+    }
+}
+
+#[test]
+fn strict_runs_refuse_infeasible_specs_and_plain_runs_hint() {
+    let spec = "tests/fixtures/analyze/infeasible_cascade.spec.json";
+
+    // --strict: refuse before simulating, exit 1, name the errors.
+    let out = xrbench(&["run-suite", spec, "--strict"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("statically-infeasible"), "{stderr}");
+    assert!(stderr.contains("XA002"), "{stderr}");
+    assert!(out.stdout.is_empty(), "--strict must not emit a report");
+
+    // Without --strict: the run proceeds, but one-line analyzer hints
+    // land on stderr before the report.
+    let out = xrbench(&["run-suite", spec]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("analyze: "), "{stderr}");
+    assert!(stderr.contains("XA002"), "{stderr}");
+    assert!(stderr.contains("--strict"), "{stderr}");
+    assert!(!out.stdout.is_empty(), "the report must still be produced");
+
+    // A clean spec stays hint-free.
+    let out = xrbench(&["run-session", "specs/session_default.json", "--strict"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("analyze: "),
+        "clean specs must not produce analyzer hints"
+    );
+}
+
+#[test]
+fn feasible_gen_scenarios_filters_against_the_default_system() {
+    let dir = scratch("gen-feasible");
+    // A tiny accelerator (A at 512 PEs) makes several default-space
+    // draws infeasible, so --feasible actually has to resample.
+    let out = xrbench(&[
+        "gen-scenarios",
+        "--seed",
+        "7",
+        "--count",
+        "6",
+        "--feasible",
+        "--accelerator",
+        "A",
+        "--pes",
+        "512",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let files = relative_files(&dir);
+    assert_eq!(files.len(), 6);
+    let system =
+        xrbench_accel::AcceleratorSystem::new(xrbench_accel::config_by_id('A').unwrap(), 512);
+    for (name, body) in &files {
+        let spec = xrbench_workload::scenario_from_str(body)
+            .unwrap_or_else(|e| panic!("{}: {e}", name.display()));
+        let analysis = xrbench_analysis::analyze_scenario(&spec, &system);
+        assert!(
+            !analysis.has_errors(),
+            "{}: --feasible emitted an infeasible spec:\n{}",
+            name.display(),
+            analysis.to_text()
+        );
+    }
+}
+
+#[test]
 fn exported_scenarios_reload_into_the_builtin_catalog() {
     let scenarios_dir = repo_root().join("specs").join("scenarios");
     let mut loaded = 0;

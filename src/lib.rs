@@ -19,6 +19,7 @@
 //! | [`score`] | `xrbench-score` | the four unit scores and their aggregation (Box 2, Figure 4) |
 //! | [`fleet`] | `xrbench-fleet` | fleet-scale execution: sharded device sessions, streaming mergeable aggregation |
 //! | [`core`] | `xrbench-core` | the harness, reports, and figure regeneration |
+//! | [`analysis`] | `xrbench-analysis` | static schedulability analyzer (`XA###` diagnostics) and the determinism lint |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub use xrbench_accel as accel;
+pub use xrbench_analysis as analysis;
 pub use xrbench_core as core;
 pub use xrbench_costmodel as costmodel;
 pub use xrbench_fleet as fleet;
@@ -49,6 +51,10 @@ pub use xrbench_workload as workload;
 pub mod prelude {
     pub use xrbench_accel::{
         config_by_id, table5, AcceleratorConfig, AcceleratorStyle, AcceleratorSystem,
+    };
+    pub use xrbench_analysis::{
+        analyze_fleet, analyze_run_document, analyze_scenario, analyze_session, Analysis,
+        Diagnostic, FeasibleSampling, Severity,
     };
     pub use xrbench_core::{
         run_sessions, run_suite, run_suite_catalog, run_suite_parallel, run_suite_serial,

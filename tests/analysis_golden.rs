@@ -1,0 +1,159 @@
+//! Golden diagnostic fixtures for the static analyzer.
+//!
+//! Pins the analyzer's stable JSON form (`tests/fixtures/analyze/`):
+//!
+//! 1. The 7 builtin Table 2 scenarios, analyzed on the quickstart
+//!    system (accelerator J at 8192 PEs) — all of them analyzer-clean
+//!    (no errors), matching the acceptance bar that
+//!    `xrbench analyze specs/suite_default.json` exits 0.
+//! 2. Three hand-crafted statically-infeasible specs, each pinned to
+//!    the exact `XA###` error codes it must produce.
+//!
+//! Re-bless after an intentional diagnostic change with:
+//!
+//! ```sh
+//! XRBENCH_BLESS=1 cargo test --test analysis_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use xrbench::analysis::{analyze_run_document, analyze_scenario, Analysis, Severity};
+use xrbench::prelude::*;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixture_dir() -> PathBuf {
+    repo_root().join("tests").join("fixtures").join("analyze")
+}
+
+fn bless() -> bool {
+    std::env::var("XRBENCH_BLESS").is_ok_and(|v| v == "1")
+}
+
+fn quickstart_system() -> AcceleratorSystem {
+    AcceleratorSystem::new(config_by_id('J').expect("J exists"), 8192)
+}
+
+/// Compares `analysis` JSON against the named fixture byte-for-byte
+/// (or rewrites it under `XRBENCH_BLESS=1`). Returns the JSON.
+fn check_fixture(analysis: &Analysis, fixture: &str) -> String {
+    let json = analysis.to_json() + "\n";
+    let path = fixture_dir().join(fixture);
+    if bless() {
+        fs::create_dir_all(fixture_dir()).expect("fixture dir");
+        fs::write(&path, &json).expect("write fixture");
+        return json;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    assert_eq!(
+        expected, json,
+        "{fixture} drifted (re-bless with XRBENCH_BLESS=1 after an intentional change)"
+    );
+    json
+}
+
+fn slug(name: &str) -> String {
+    name.to_ascii_lowercase().replace(' ', "_")
+}
+
+#[test]
+fn builtin_scenarios_pin_their_diagnostics() {
+    let system = quickstart_system();
+    for scenario in UsageScenario::ALL {
+        let spec = scenario.spec();
+        let analysis = analyze_scenario(&spec, &system);
+        check_fixture(
+            &analysis,
+            &format!("scenario_{}.diag.json", slug(&spec.name)),
+        );
+        assert!(
+            !analysis.has_errors(),
+            "builtin scenario {} must analyze clean on J@8192:\n{}",
+            spec.name,
+            analysis.to_text()
+        );
+    }
+}
+
+#[test]
+fn infeasible_fixtures_pin_their_error_codes() {
+    // (spec file, exact error-severity code sequence it must emit)
+    let cases: [(&str, &[&str]); 3] = [
+        // Every model alone overloads 2 × 100 ms engines (XA001 per
+        // model), so the aggregate does too (XA002).
+        (
+            "infeasible_unsustainable",
+            &["XA001", "XA001", "XA001", "XA002"],
+        ),
+        // Each chain stage fits alone — only the aggregate utilization
+        // test catches the overload.
+        ("infeasible_cascade", &["XA002"]),
+        // Each user fits; four concurrent users on one device do not.
+        ("infeasible_overload", &["XA010"]),
+    ];
+    for (name, expected_codes) in cases {
+        let spec_path = fixture_dir().join(format!("{name}.spec.json"));
+        let text = fs::read_to_string(&spec_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec_path.display()));
+        let doc = RunDocument::from_json_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let analysis = analyze_run_document(&doc);
+        let codes: Vec<&str> = analysis.errors().map(|d| d.code).collect();
+        assert_eq!(codes, expected_codes, "{name}:\n{}", analysis.to_text());
+        check_fixture(&analysis, &format!("{name}.diag.json"));
+    }
+}
+
+#[test]
+fn committed_spec_files_analyze_clean() {
+    // The CI analysis-gate runs `xrbench analyze` over everything in
+    // specs/; this is the same bar library-side, so a spec change that
+    // breaks the gate fails locally first.
+    let specs = repo_root().join("specs");
+    let mut checked = 0;
+    for entry in [
+        "suite_default.json",
+        "session_default.json",
+        "fleet_default.json",
+    ] {
+        let text = fs::read_to_string(specs.join(entry)).expect("committed spec");
+        let doc = RunDocument::from_json_str(&text).expect("valid document");
+        let analysis = analyze_run_document(&doc);
+        assert!(!analysis.has_errors(), "{entry}:\n{}", analysis.to_text());
+        checked += 1;
+    }
+    let system = quickstart_system();
+    for entry in fs::read_dir(specs.join("scenarios")).expect("scenarios dir") {
+        let path = entry.expect("entry").path();
+        let text = fs::read_to_string(&path).expect("scenario spec");
+        let spec = scenario_from_str(&text).expect("valid scenario");
+        let analysis = analyze_scenario(&spec, &system);
+        assert!(
+            !analysis.has_errors(),
+            "{}:\n{}",
+            path.display(),
+            analysis.to_text()
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 3 + 7, "covered every committed spec");
+}
+
+#[test]
+fn severity_mapping_matches_the_soft_deadline_model() {
+    // PD on J@8192 misses its 33 ms deadline (the accel tests pin
+    // this) yet drops nothing — the analyzer must call that a warning
+    // (XA004), never an error, or the committed suite spec would be
+    // rejected.
+    let analysis = analyze_scenario(&UsageScenario::ArGaming.spec(), &quickstart_system());
+    let pd = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.model == Some(ModelId::PlaneDetection) && d.code == "XA004")
+        .expect("PD deadline warning present");
+    assert_eq!(pd.severity, Severity::Warning);
+    assert!(!analysis.has_errors());
+}

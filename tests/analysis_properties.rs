@@ -1,0 +1,72 @@
+//! Property tests tying the static analyzer to the simulator: the
+//! analyzer's "no errors" verdict must be sound (an analyzer-clean
+//! spec is never 100%-dropped at runtime), `feasible_only` sampling
+//! must be deterministic and always deliver analyzer-clean specs, and
+//! the analyzer itself must be a pure function of its inputs.
+
+use proptest::prelude::*;
+
+use xrbench::analysis::FeasibleSampling;
+use xrbench::prelude::*;
+use xrbench::sim::UniformProvider;
+
+/// A deliberately tight uniform system: 2 engines at 8 ms means a
+/// single 60 FPS model already claims 0.48 engine-s/s, so the default
+/// scenario space (2–6 models) straddles the feasibility boundary and
+/// both analyzer verdicts actually occur across seeds.
+fn tight_system() -> UniformProvider {
+    UniformProvider::new(2, 0.008, 0.001)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness of the XA001/XA002 utilization errors: when the
+    /// analyzer reports no errors, the simulator must deliver at
+    /// least one frame — a clean spec is never 100%-dropped.
+    #[test]
+    fn analyzer_clean_specs_are_never_fully_dropped(seed in any::<u64>()) {
+        let system = tight_system();
+        let spec = ScenarioSpace::default().sample(seed);
+        let analysis = analyze_scenario(&spec, &system);
+        if !analysis.has_errors() {
+            let harness = Harness::new().with_seed(seed).with_duration(2.0);
+            let (_, result) = harness.run_spec(&spec, &system, &mut LatencyGreedy::new());
+            prop_assert!(
+                result.drop_rate() < 1.0,
+                "analyzer-clean spec fully dropped (seed {seed}):\n{}",
+                analysis.to_text()
+            );
+        }
+    }
+
+    /// `feasible_only` resampling always lands on an analyzer-clean
+    /// spec, and the whole search is a pure function of the seed.
+    #[test]
+    fn feasible_sampling_is_clean_and_deterministic(seed in any::<u64>()) {
+        let system = tight_system();
+        let space = ScenarioSpace::default();
+        let feasible = space.feasible_only(&system);
+        let spec = feasible
+            .try_sample(seed)
+            .expect("default space has feasible points on 2x8ms hardware");
+        prop_assert!(
+            !analyze_scenario(&spec, &system).has_errors(),
+            "feasible_only returned a spec with analyzer errors (seed {seed})"
+        );
+        let again = feasible.try_sample(seed).expect("same seed, same outcome");
+        prop_assert_eq!(spec, again);
+    }
+
+    /// The analyzer is a pure function: same spec + provider twice
+    /// gives byte-identical JSON (no hidden iteration-order or clock
+    /// dependence — exactly what the determinism lint enforces).
+    #[test]
+    fn analysis_is_deterministic(seed in any::<u64>()) {
+        let system = tight_system();
+        let spec = ScenarioSpace::default().sample(seed);
+        let a = analyze_scenario(&spec, &system).to_json();
+        let b = analyze_scenario(&spec, &system).to_json();
+        prop_assert_eq!(a, b);
+    }
+}
