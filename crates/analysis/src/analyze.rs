@@ -448,14 +448,86 @@ pub fn analyze_session(session: &SessionSpec, provider: &dyn CostProvider) -> An
 pub fn analyze_fleet(fleet: &FleetSpec, provider: &dyn CostProvider) -> Analysis {
     let engines = provider.num_engines();
     let mut diagnostics = Vec::new();
+    // Degenerate shapes (XA015): the spec-file loader rejects these,
+    // but programmatically-built fleets reach the analyzer directly.
+    if fleet.groups.is_empty() {
+        diagnostics.push(Diagnostic {
+            code: "XA015",
+            severity: Severity::Error,
+            scope: format!("fleet `{}`", fleet.name),
+            model: None,
+            message: "degenerate fleet: no device groups — nothing to execute".to_string(),
+        });
+    }
     let mut peak = 0.0f64;
     let mut aggregate = 0.0f64;
     for group in &fleet.groups {
+        let scope = format!("group `{}`", group.name);
+        if group.replicas == 0 {
+            diagnostics.push(Diagnostic {
+                code: "XA015",
+                severity: Severity::Error,
+                scope: scope.clone(),
+                model: None,
+                message: "degenerate device group: zero replicas — nothing to execute".to_string(),
+            });
+        }
+        if group.session.num_users() == 0 {
+            diagnostics.push(Diagnostic {
+                code: "XA015",
+                severity: Severity::Error,
+                scope: scope.clone(),
+                model: None,
+                message: format!(
+                    "degenerate device group: session `{}` has zero users",
+                    group.session.name
+                ),
+            });
+        }
         let prefix = format!("group `{}` · ", group.name);
         diagnostics.extend(session_diags(&group.session, provider, &prefix));
         let mut demand = 0.0f64;
+        let mut worst = 0.0f64;
         for user in &group.session.users {
-            demand += ScenarioFacts::compute(&user.spec, provider).expected_demand(&user.spec);
+            let facts = ScenarioFacts::compute(&user.spec, provider);
+            demand += facts.expected_demand(&user.spec);
+            worst += facts.worst_case_demand(&user.spec);
+        }
+        // Fault derating (XA014 / XA016): a churny group's long-run
+        // capacity is engines × availability × mean throttle factor.
+        // XA010/XA011 already cover raw-capacity overload, so these
+        // fire only when the *fault process* is what sinks the group.
+        if let Some(faults) = &group.faults {
+            let derate = faults.mean_availability() * faults.mean_capacity();
+            let capacity = engines as f64 * derate;
+            if demand > capacity + EPS && demand <= engines as f64 + EPS {
+                diagnostics.push(Diagnostic {
+                    code: "XA014",
+                    severity: Severity::Error,
+                    scope: scope.clone(),
+                    model: None,
+                    message: format!(
+                        "fault-derated capacity {capacity:.3} engine-s/s (availability {:.3} × \
+                         throttle factor {:.3} on {engines} engine(s)) < expected demand \
+                         {demand:.3}: the fault process alone forces drops under any scheduler \
+                         and recovery policy",
+                        faults.mean_availability(),
+                        faults.mean_capacity()
+                    ),
+                });
+            } else if worst > capacity + EPS && demand <= capacity + EPS {
+                diagnostics.push(Diagnostic {
+                    code: "XA016",
+                    severity: Severity::Warning,
+                    scope: scope.clone(),
+                    model: None,
+                    message: format!(
+                        "worst-case demand {worst:.3} engine-s/s > fault-derated capacity \
+                         {capacity:.3} (expected {demand:.3} fits): cascade bursts can outrun \
+                         the derated device",
+                    ),
+                });
+            }
         }
         peak = peak.max(demand);
         aggregate += demand * f64::from(group.replicas);
@@ -664,6 +736,107 @@ mod tests {
         let analysis = analyze_session(&four, &provider);
         assert!(analysis.diagnostics.iter().any(|d| d.code == "XA010"));
         assert!(analysis.has_errors());
+    }
+
+    #[test]
+    fn degenerate_fleets_error_with_xa015() {
+        let provider = fast_provider();
+        let empty = FleetSpec {
+            name: "empty".into(),
+            groups: Vec::new(),
+        };
+        let analysis = analyze_fleet(&empty, &provider);
+        assert!(analysis.diagnostics.iter().any(|d| d.code == "XA015"));
+        assert!(analysis.has_errors());
+
+        let session =
+            SessionSpec::uniform("pair", UsageScenario::SocialInteractionA.spec(), 2, 0.25);
+        let mut fleet = FleetSpec::new("f").group("g", session.clone(), 2);
+        fleet.groups[0].replicas = 0;
+        let analysis = analyze_fleet(&fleet, &provider);
+        assert!(
+            analysis
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "XA015" && d.message.contains("zero replicas")),
+            "{}",
+            analysis.to_text()
+        );
+
+        let mut fleet = FleetSpec::new("f").group("g", session, 2);
+        fleet.groups[0].session.users.clear();
+        let analysis = analyze_fleet(&fleet, &provider);
+        assert!(
+            analysis
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "XA015" && d.message.contains("zero users")),
+            "{}",
+            analysis.to_text()
+        );
+    }
+
+    #[test]
+    fn fault_derated_capacity_shortfall_is_an_error() {
+        use xrbench_sim::FaultProcess;
+        // 60 FPS × 12 ms = 0.72 engine-s/s fits one raw engine, but
+        // availability 1/(1 + 2.0 × 1.0) = 1/3 derates capacity to
+        // 0.333: the fault process alone sinks the group.
+        let spec = ScenarioBuilder::new("hot")
+            .model(ModelId::HandTracking, 60.0)
+            .build()
+            .unwrap();
+        let session = SessionSpec::uniform("solo", spec, 1, 0.0);
+        let faults = FaultProcess {
+            failure_rate_per_s: 2.0,
+            mean_downtime_s: 1.0,
+            ..FaultProcess::default()
+        };
+        let fleet = FleetSpec::new("churny").group_faulted("g", session.clone(), 2, faults);
+        let provider = UniformProvider::new(1, 0.012, 0.001);
+        let analysis = analyze_fleet(&fleet, &provider);
+        assert!(
+            analysis.diagnostics.iter().any(|d| d.code == "XA014"),
+            "{}",
+            analysis.to_text()
+        );
+        assert!(analysis.has_errors());
+        // The identical workload without the fault process is clean.
+        let calm = FleetSpec::new("calm").group("g", session, 2);
+        assert!(!analyze_fleet(&calm, &provider).has_errors());
+    }
+
+    #[test]
+    fn worst_case_fault_derating_warns_not_errors() {
+        use xrbench_sim::FaultProcess;
+        // Expected demand 0.396 fits the derated capacity 0.5, but the
+        // all-cascades-firing worst case 0.72 does not: XA016 warning.
+        let spec = ScenarioBuilder::new("burst")
+            .model(ModelId::HandTracking, 60.0)
+            .model(ModelId::GazeEstimation, 60.0)
+            .dependency(
+                ModelId::GazeEstimation,
+                ModelId::HandTracking,
+                DependencyKind::Control,
+                0.1,
+            )
+            .build()
+            .unwrap();
+        let session = SessionSpec::uniform("solo", spec, 1, 0.0);
+        let faults = FaultProcess {
+            failure_rate_per_s: 1.0,
+            mean_downtime_s: 1.0,
+            ..FaultProcess::default()
+        };
+        let fleet = FleetSpec::new("churny").group_faulted("g", session, 1, faults);
+        let analysis = analyze_fleet(&fleet, &UniformProvider::new(1, 0.006, 0.001));
+        let d = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "XA016")
+            .unwrap_or_else(|| panic!("XA016 expected:\n{}", analysis.to_text()));
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(!analysis.has_errors());
     }
 
     #[test]

@@ -36,6 +36,9 @@
 //! | XA011 | warning | session | session worst-case demand exceeds capacity while expected fits |
 //! | XA012 | info | fleet | oversubscription estimate: devices, groups, peak and aggregate demand vs capacity |
 //! | XA013 | info | scenario | utilization summary with best-pin per-engine demand breakdown |
+//! | XA014 | error | group | fault-derated capacity (availability × throttle) below expected demand: the fault process makes the group statically hopeless |
+//! | XA015 | error | fleet/group | degenerate fleet: no groups, a zero-replica group, or a zero-user session |
+//! | XA016 | warning | group | worst-case demand exceeds fault-derated capacity while expected demand fits |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

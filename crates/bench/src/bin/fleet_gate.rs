@@ -7,6 +7,14 @@
 //! 1. **Determinism**: verifies the 65,536-user `FleetReport` of a
 //!    1-worker run and an 8-worker run are **byte-identical** (plus a
 //!    quick 1/2/8-worker check at 2,048 users), failing otherwise;
+//!    a **fault-injection leg** repeats the 2,048-user fleet with the
+//!    shared [`xrbench_bench::fleet_scale::fault_process`] enabled and
+//!    requires the faulted report to stay byte-identical across
+//!    1/2/8 workers, to drop work for both `Preempted` and
+//!    `DeviceLost` reasons, and to reproduce the committed
+//!    `fault_drops_preempted_2048` / `fault_drops_device_lost_2048`
+//!    totals exactly (the fault timelines are seed-derived, so these
+//!    are deterministic across machines);
 //! 2. **Throughput**: computes events/sec (arrivals + completions per
 //!    wall-clock second, best over the gated runs) and fails if the
 //!    65,536-user figure falls below the committed
@@ -29,11 +37,13 @@
 //! * `XRBENCH_BLESS_FLEET=1` — re-derive the committed floor as 10%
 //!   of the measured 65,536-user throughput (and the RSS bound as 4×
 //!   the measured peak, minimum 256 MiB) and rewrite the repo-root
-//!   `BENCH_PR4.json`.
+//!   `BENCH_PR4.json`, including the fault-leg drop totals.
 
 use std::time::Instant;
 
-use xrbench_bench::fleet_scale::{fleet, provider, GATED_USERS, USERS_PER_SESSION};
+use xrbench_bench::fleet_scale::{
+    faulted_fleet, fleet, provider, FAULTED_USERS, GATED_USERS, USERS_PER_SESSION,
+};
 use xrbench_fleet::{run_fleet, FleetReport, FleetRunConfig};
 
 /// Fleet sizes measured for context. The last one is the gated size.
@@ -92,6 +102,18 @@ fn timed_run(users: u32, workers: usize) -> (FleetReport, f64) {
     (report, start.elapsed().as_secs_f64())
 }
 
+/// One fault-injected fleet run (shared fault process, default `Drop`
+/// recovery so every fault surfaces as drop-reason accounting).
+fn faulted_run(users: u32, workers: usize) -> FleetReport {
+    let spec = faulted_fleet(users);
+    let system = provider();
+    let config = FleetRunConfig {
+        workers,
+        ..FleetRunConfig::default()
+    };
+    run_fleet(&spec, &system, &config)
+}
+
 fn main() {
     let bless = std::env::var("XRBENCH_BLESS_FLEET").is_ok_and(|v| v == "1");
     let mut failed = false;
@@ -108,6 +130,45 @@ fn main() {
             );
             failed = true;
         }
+    }
+
+    // 1c. Fault-injection leg: the same 2,048-user fleet with the
+    // shared fault process enabled. The seed-derived fault timelines
+    // are part of replica identity, so the faulted report must be as
+    // worker-count-invariant as the fault-free one, and its
+    // drop-reason totals are machine-independent constants we can pin
+    // in the committed baseline.
+    let faulted = faulted_run(FAULTED_USERS, 1);
+    let faulted_json = faulted.to_json();
+    let mut fault_identical = true;
+    for workers in [2, 8] {
+        if faulted_run(FAULTED_USERS, workers).to_json() != faulted_json {
+            eprintln!(
+                "fleet_gate: FAIL — faulted {FAULTED_USERS}-user FleetReport differs \
+                 between 1 and {workers} workers"
+            );
+            fault_identical = false;
+            failed = true;
+        }
+    }
+    let fault_preempted = faulted.drops.preempted;
+    let fault_device_lost = faulted.drops.device_lost;
+    eprintln!(
+        "fleet_gate: faulted {FAULTED_USERS:>6} users | {:>5} sessions | drops: \
+         {fault_preempted} preempted, {fault_device_lost} device-lost",
+        faulted.num_sessions
+    );
+    if fault_preempted == 0 || fault_device_lost == 0 {
+        eprintln!(
+            "fleet_gate: FAIL — fault leg exercised no {} drops (the fault process is \
+             miscalibrated or fault injection is dead)",
+            if fault_preempted == 0 {
+                "Preempted"
+            } else {
+                "DeviceLost"
+            }
+        );
+        failed = true;
     }
 
     // Context sizes (single rep, default workers).
@@ -177,6 +238,36 @@ fn main() {
     let committed_rss = committed
         .as_deref()
         .and_then(|t| json_number(t, "max_rss_mib"));
+    // The faulted drop totals are exact integers — seed-derived, so
+    // identical on every machine. Anything but an exact match against
+    // the committed baseline is a determinism regression in the fault
+    // path (or an intentional change that needs re-blessing).
+    if !bless {
+        for (field, measured) in [
+            ("fault_drops_preempted_2048", fault_preempted),
+            ("fault_drops_device_lost_2048", fault_device_lost),
+        ] {
+            match committed.as_deref().and_then(|t| json_number(t, field)) {
+                Some(pinned) if pinned == measured as f64 => {}
+                Some(pinned) => {
+                    eprintln!(
+                        "fleet_gate: FAIL — {field} measured {measured} != committed \
+                         {pinned:.0} (fault-path determinism regression, or re-bless \
+                         with XRBENCH_BLESS_FLEET=1 after an intentional change)"
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!(
+                        "fleet_gate: FAIL — cannot read {field} from {COMMITTED_BASELINE} \
+                         (set XRBENCH_BLESS_FLEET=1 to establish a baseline)"
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+
     let (floor, rss_bound) = if bless {
         (
             gated_eps * BLESS_FLOOR_FRACTION,
@@ -213,6 +304,12 @@ fn main() {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"fault_drops_preempted_2048\": {fault_preempted},\n"
+    ));
+    out.push_str(&format!(
+        "  \"fault_drops_device_lost_2048\": {fault_device_lost},\n"
+    ));
     if let Some(rss) = rss_mib {
         out.push_str(&format!("  \"peak_rss_mib\": {rss:.0},\n"));
     }
@@ -299,6 +396,23 @@ fn main() {
     summary.push_str(&format!(
         "| 1-vs-8-worker byte identity | — | — | — | {} |\n",
         if byte_identical {
+            "✅ pass"
+        } else {
+            "❌ FAIL"
+        }
+    ));
+    summary.push_str(&format!(
+        "| faulted 1/2/8-worker byte identity | — | — | — | {} |\n",
+        if fault_identical {
+            "✅ pass"
+        } else {
+            "❌ FAIL"
+        }
+    ));
+    summary.push_str(&format!(
+        "| faulted drops (preempted / device-lost) | nonzero | {fault_preempted} / \
+         {fault_device_lost} | — | {} |\n",
+        if fault_preempted > 0 && fault_device_lost > 0 {
             "✅ pass"
         } else {
             "❌ FAIL"

@@ -107,7 +107,7 @@ pub mod session_scale {
 /// systems.
 pub mod fleet_scale {
     use xrbench_fleet::FleetSpec;
-    use xrbench_sim::UniformProvider;
+    use xrbench_sim::{FaultProcess, ThrottleSpec, UniformProvider};
     use xrbench_workload::{ScenarioCatalog, SessionSpec};
 
     /// Engines per device (same system as [`crate::session_scale`]).
@@ -122,21 +122,35 @@ pub mod fleet_scale {
     pub const STAGGER_S: f64 = 0.002;
     /// The gated fleet size: 65,536 users across 2,048 sessions.
     pub const GATED_USERS: u32 = 65_536;
+    /// The fault-injection leg's fleet size (kept small: the leg pins
+    /// exact drop-reason totals, not throughput).
+    pub const FAULTED_USERS: u32 = 2_048;
 
     /// The evaluated per-device system.
     pub fn provider() -> UniformProvider {
         UniformProvider::new(ENGINES, LATENCY_S, ENERGY_J)
     }
 
-    /// A fleet of `total_users / 32` independent 32-user device
-    /// sessions, split into one device group per built-in scenario
-    /// (sessions distributed as evenly as group order allows).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `total_users` is not a positive multiple of
-    /// [`USERS_PER_SESSION`].
-    pub fn fleet(total_users: u32) -> FleetSpec {
+    /// The availability process applied to every device group in the
+    /// gate's fault-injection leg: moderate churn plus preemption and
+    /// a thermal-throttle wave, intense enough that both `Preempted`
+    /// and `DeviceLost` drop reasons are guaranteed nonzero at
+    /// [`FAULTED_USERS`] scale.
+    pub fn fault_process() -> FaultProcess {
+        FaultProcess {
+            failure_rate_per_s: 0.5,
+            mean_downtime_s: 0.05,
+            preemption_rate_per_s: 1.0,
+            mean_preemption_s: 0.02,
+            throttle: Some(ThrottleSpec {
+                period_s: 1.0,
+                duty: 0.3,
+                factor: 0.5,
+            }),
+        }
+    }
+
+    fn build(total_users: u32, faults: Option<FaultProcess>) -> FleetSpec {
         assert!(
             total_users > 0 && total_users.is_multiple_of(USERS_PER_SESSION),
             "fleet size must be a positive multiple of {USERS_PER_SESSION}, got {total_users}"
@@ -144,7 +158,12 @@ pub mod fleet_scale {
         let sessions = total_users / USERS_PER_SESSION;
         let catalog = ScenarioCatalog::builtin();
         let n = catalog.iter().count() as u32;
-        let mut fleet = FleetSpec::new(format!("fleet-{total_users}"));
+        let label = if faults.is_some() {
+            "faulted-fleet"
+        } else {
+            "fleet"
+        };
+        let mut fleet = FleetSpec::new(format!("{label}-{total_users}"));
         for (i, spec) in catalog.iter().enumerate() {
             let i = i as u32;
             let replicas = sessions / n + u32::from(i < sessions % n);
@@ -157,9 +176,35 @@ pub mod fleet_scale {
                 USERS_PER_SESSION,
                 STAGGER_S,
             );
-            fleet = fleet.group(spec.name.clone(), session, replicas);
+            fleet = match faults {
+                Some(f) => fleet.group_faulted(spec.name.clone(), session, replicas, f),
+                None => fleet.group(spec.name.clone(), session, replicas),
+            };
         }
         fleet
+    }
+
+    /// A fleet of `total_users / 32` independent 32-user device
+    /// sessions, split into one device group per built-in scenario
+    /// (sessions distributed as evenly as group order allows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_users` is not a positive multiple of
+    /// [`USERS_PER_SESSION`].
+    pub fn fleet(total_users: u32) -> FleetSpec {
+        build(total_users, None)
+    }
+
+    /// [`fleet`] with [`fault_process`] applied to every device
+    /// group, for the gate's fault-injection leg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_users` is not a positive multiple of
+    /// [`USERS_PER_SESSION`].
+    pub fn faulted_fleet(total_users: u32) -> FleetSpec {
+        build(total_users, Some(fault_process()))
     }
 }
 
@@ -173,6 +218,16 @@ mod tests {
         assert_eq!(f.total_users(), 65_536);
         assert_eq!(f.total_sessions(), 2_048);
         assert_eq!(f.num_groups(), 7);
+    }
+
+    #[test]
+    fn faulted_fleet_applies_the_fault_process_to_every_group() {
+        let f = fleet_scale::faulted_fleet(fleet_scale::FAULTED_USERS);
+        assert_eq!(f.total_users(), 2_048);
+        assert!(f
+            .groups
+            .iter()
+            .all(|g| g.faults == Some(fleet_scale::fault_process())));
     }
 
     #[test]

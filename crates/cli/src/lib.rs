@@ -11,7 +11,7 @@
 //! ```text
 //! xrbench run-suite   <SPEC.json> [--out FILE] [--strict]
 //! xrbench run-session <SPEC.json> [--out FILE] [--strict]
-//! xrbench run-fleet   <SPEC.json> [--out FILE] [--strict]
+//! xrbench run-fleet   <SPEC.json> [--out FILE] [--strict] [--compare-policies]
 //! xrbench analyze     <SPEC.json> [--json] [--accelerator ID] [--pes N]
 //! xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
 //!                       [--min-models N] [--max-models N]
@@ -44,6 +44,9 @@ USAGE:
   xrbench run-suite   <SPEC.json> [--out FILE] [--strict]   run a `kind: suite` document
   xrbench run-session <SPEC.json> [--out FILE] [--strict]   run a `kind: session` document
   xrbench run-fleet   <SPEC.json> [--out FILE] [--strict]   run a `kind: fleet` document
+                      [--compare-policies]       replay the fleet once per recovery
+                                                 policy (drop / requeue / migrate)
+                                                 under the identical fault timelines
   xrbench analyze     <SPEC.json> [--json]       static schedulability analysis (XA###
                       [--accelerator ID] [--pes N]  diagnostics) of any spec file
   xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
@@ -118,6 +121,9 @@ pub enum Command {
         out: Option<PathBuf>,
         /// Refuse to run when the analyzer reports errors.
         strict: bool,
+        /// Run the fleet once per recovery policy and emit the
+        /// comparison report instead (`run-fleet` only).
+        compare: bool,
     },
     /// `analyze`.
     Analyze {
@@ -193,18 +199,25 @@ impl Command {
                 let mut spec = None;
                 let mut out = None;
                 let mut strict = false;
+                let mut compare = false;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--out" => {
                             out = Some(PathBuf::from(parse_value::<String>("--out", it.next())?))
                         }
                         "--strict" => strict = true,
+                        "--compare-policies" => compare = true,
                         _ if arg.starts_with('-') => {
                             return Err(usage_error(format!("unknown flag `{arg}`")))
                         }
                         _ if spec.is_none() => spec = Some(PathBuf::from(arg)),
                         _ => return Err(usage_error(format!("unexpected argument `{arg}`"))),
                     }
+                }
+                if compare && kind != "fleet" {
+                    return Err(usage_error(
+                        "--compare-policies is only valid with run-fleet",
+                    ));
                 }
                 let spec =
                     spec.ok_or_else(|| usage_error(format!("{sub} needs a spec file argument")))?;
@@ -213,6 +226,7 @@ impl Command {
                     spec,
                     out,
                     strict,
+                    compare,
                 })
             }
             "analyze" => {
@@ -349,7 +363,8 @@ pub fn execute(command: &Command) -> Result<Output, CliError> {
             spec,
             out,
             strict,
-        } => run_document(kind, spec, out.as_deref(), *strict),
+            compare,
+        } => run_document(kind, spec, out.as_deref(), *strict, *compare),
         Command::Analyze {
             spec,
             json,
@@ -388,6 +403,7 @@ fn run_document(
     spec: &Path,
     out: Option<&Path>,
     strict: bool,
+    compare: bool,
 ) -> Result<Output, CliError> {
     let text = fs::read_to_string(spec)
         .map_err(|e| run_error(format!("cannot read {}: {e}", spec.display())))?;
@@ -422,10 +438,17 @@ fn run_document(
                 .to_string(),
         );
     }
-    let report = match &doc {
-        RunDocument::Suite(run) => run.run().to_json(),
-        RunDocument::Session(run) => run.run().to_json(),
-        RunDocument::Fleet(run) => run.run().to_json(),
+    let report = match (&doc, compare) {
+        // The parser only accepts --compare-policies with run-fleet,
+        // and the kind check above guarantees the document matches.
+        (RunDocument::Fleet(run), true) => {
+            let comparison = run.compare_policies();
+            notes.extend(comparison.render_table().lines().map(str::to_string));
+            comparison.to_json()
+        }
+        (RunDocument::Fleet(run), false) => run.run().to_json(),
+        (RunDocument::Suite(run), _) => run.run().to_json(),
+        (RunDocument::Session(run), _) => run.run().to_json(),
     } + "\n";
     Ok(match out {
         Some(path) => {
@@ -705,6 +728,7 @@ mod tests {
                 spec: PathBuf::from("specs/suite_default.json"),
                 out: None,
                 strict: false,
+                compare: false,
             }
         );
         let cmd = Command::parse(&args(&[
@@ -713,6 +737,7 @@ mod tests {
             "--out",
             "r.json",
             "--strict",
+            "--compare-policies",
         ]))
         .unwrap();
         assert_eq!(
@@ -722,8 +747,18 @@ mod tests {
                 spec: PathBuf::from("f.json"),
                 out: Some(PathBuf::from("r.json")),
                 strict: true,
+                compare: true,
             }
         );
+    }
+
+    #[test]
+    fn compare_policies_is_fleet_only() {
+        for sub in ["run-suite", "run-session"] {
+            let err = Command::parse(&args(&[sub, "s.json", "--compare-policies"])).unwrap_err();
+            assert_eq!(err.code, 2, "{sub}");
+            assert!(err.message.contains("only valid with run-fleet"), "{sub}");
+        }
     }
 
     #[test]
@@ -821,6 +856,7 @@ mod tests {
             spec: PathBuf::from("/nonexistent/spec.json"),
             out: None,
             strict: false,
+            compare: false,
         })
         .unwrap_err();
         assert_eq!(err.code, 1);

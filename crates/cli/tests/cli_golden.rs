@@ -205,6 +205,102 @@ fn out_flag_writes_the_stdout_bytes() {
 }
 
 #[test]
+fn out_flag_failures_exit_nonzero_with_a_diagnostic() {
+    // The --out parent collides with an existing *file*, so the
+    // directory cannot be created: exit 1, a `cannot create`
+    // diagnostic on stderr, and no panic.
+    let dir = scratch("badout");
+    let blocker = dir.join("blocker");
+    fs::write(&blocker, "not a directory").unwrap();
+    let nested = blocker.join("sub").join("report.json");
+    let out = xrbench(&[
+        "run-session",
+        "specs/session_default.json",
+        "--out",
+        nested.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("cannot create"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // The --out target itself is a directory: the write fails with
+    // `cannot write`, again without a panic.
+    let out = xrbench(&[
+        "run-session",
+        "specs/session_default.json",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("cannot write"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn compare_policies_replays_the_fleet_per_recovery_policy() {
+    let dir = scratch("compare");
+    let spec = dir.join("faulted_fleet.json");
+    fs::write(
+        &spec,
+        r#"{
+  "kind": "fleet",
+  "hardware": { "accelerator": { "id": "J", "pes": 8192 } },
+  "fleet": {
+    "name": "churny",
+    "groups": [
+      {
+        "name": "vr",
+        "replicas": 2,
+        "session": {
+          "name": "party",
+          "uniform": { "scenario": "VR Gaming", "users": 2, "stagger_s": 0.002 }
+        },
+        "faults": {
+          "failure_rate_per_s": 2.0,
+          "mean_downtime_s": 0.05,
+          "preemption_rate_per_s": 4.0,
+          "mean_preemption_s": 0.02
+        }
+      }
+    ]
+  }
+}"#,
+    )
+    .unwrap();
+    let out = xrbench(&["run-fleet", spec.to_str().unwrap(), "--compare-policies"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    for policy in ["drop", "requeue", "migrate"] {
+        assert!(
+            stdout.contains(&format!("\"policy\": \"{policy}\"")),
+            "missing `{policy}` row:\n{stdout}"
+        );
+    }
+    // The human-readable comparison table lands on stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("policy"), "{stderr}");
+    assert!(stderr.contains("migrate"), "{stderr}");
+
+    // Byte-identical on replay: the comparison shares one fault seed.
+    let again = xrbench(&["run-fleet", spec.to_str().unwrap(), "--compare-policies"]);
+    assert_eq!(again.stdout, stdout.as_bytes());
+
+    // The flag is fleet-only: usage error (exit 2) elsewhere.
+    let out = xrbench(&[
+        "run-session",
+        "specs/session_default.json",
+        "--compare-policies",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn kind_mismatch_and_bad_specs_fail_cleanly() {
     // Suite subcommand on a session document: exit 1, points at the
     // right subcommand.
@@ -307,6 +403,7 @@ fn analyze_exit_codes_track_static_feasibility() {
         "infeasible_unsustainable",
         "infeasible_cascade",
         "infeasible_overload",
+        "infeasible_faulted",
     ] {
         let spec = format!("tests/fixtures/analyze/{name}.spec.json");
         let out = xrbench(&["analyze", &spec, "--json"]);

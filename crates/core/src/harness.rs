@@ -121,6 +121,43 @@ impl Harness {
         let scheduler_name = scheduler.name();
         let sim = Simulator::new(self.sim);
         let result = sim.run_session(session, system, scheduler);
+        self.assemble_session_report(session, system, scheduler_name, &result)
+    }
+
+    /// [`Harness::run_session`] under an injected availability process
+    /// (engine churn, preemption, throttling): the fault timeline is
+    /// derived deterministically from the harness seed, and in-flight
+    /// work on a lost engine is recovered per `policy`. Revoked frames
+    /// surface as `preempted` / `device_lost` in the per-user and
+    /// session drop breakdowns. A quiet process is bit-identical to
+    /// [`Harness::run_session`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Harness::run_session`], plus an invalid
+    /// fault process (see [`xrbench_sim::FaultProcess::validate`]).
+    pub fn run_session_faulted(
+        &self,
+        session: &SessionSpec,
+        system: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+        faults: &xrbench_sim::FaultProcess,
+        policy: xrbench_sim::RecoveryPolicy,
+    ) -> SessionReport {
+        let scheduler_name = scheduler.name();
+        let sim = Simulator::new(self.sim);
+        let result = sim.run_session_faulted(session, system, scheduler, faults, policy);
+        self.assemble_session_report(session, system, scheduler_name, &result)
+    }
+
+    /// Scores and assembles a simulated session into its report.
+    fn assemble_session_report(
+        &self,
+        session: &SessionSpec,
+        system: &dyn CostProvider,
+        scheduler_name: &str,
+        result: &xrbench_sim::SessionSimResult,
+    ) -> SessionReport {
         let mut users = Vec::with_capacity(session.users.len());
         let mut session_drops = DropBreakdownReport::default();
         for u in &session.users {
@@ -140,6 +177,8 @@ impl Harness {
                             superseded: st.dropped_superseded,
                             upstream_dropped: st.dropped_upstream,
                             starved: st.dropped_starved,
+                            preempted: st.dropped_preempted,
+                            device_lost: st.dropped_device_lost,
                         },
                     }
                 })
@@ -199,17 +238,63 @@ impl Harness {
         system: &(dyn CostProvider + Sync),
         workers: usize,
     ) -> xrbench_fleet::FleetReport {
-        xrbench_fleet::run_fleet(
+        self.run_fleet_with_recovery(
             fleet,
             system,
-            &xrbench_fleet::FleetRunConfig {
-                sim: self.sim,
-                rt: self.score.rt,
-                energy: self.score.energy,
-                accuracy: self.score.accuracy,
-                workers,
-            },
+            workers,
+            xrbench_sim::RecoveryPolicy::default(),
         )
+    }
+
+    /// [`Harness::run_fleet`] with an explicit recovery policy for
+    /// fault-injected device groups (groups without a fault process
+    /// are unaffected — a fully fault-free fleet is bit-identical
+    /// under every policy).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Harness::run_fleet`].
+    pub fn run_fleet_with_recovery(
+        &self,
+        fleet: &xrbench_fleet::FleetSpec,
+        system: &(dyn CostProvider + Sync),
+        workers: usize,
+        recovery: xrbench_sim::RecoveryPolicy,
+    ) -> xrbench_fleet::FleetReport {
+        xrbench_fleet::run_fleet(fleet, system, &self.fleet_config(workers, recovery))
+    }
+
+    /// Runs a fault-injected fleet once per
+    /// [`xrbench_sim::RecoveryPolicy`] — identical spec, seeds, and
+    /// outage schedules — and tabulates the outcomes
+    /// (see [`xrbench_fleet::compare_recovery_policies`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Harness::run_fleet`].
+    pub fn compare_fleet_policies(
+        &self,
+        fleet: &xrbench_fleet::FleetSpec,
+        system: &(dyn CostProvider + Sync),
+        workers: usize,
+    ) -> xrbench_fleet::PolicyComparisonReport {
+        let config = self.fleet_config(workers, xrbench_sim::RecoveryPolicy::default());
+        xrbench_fleet::compare_recovery_policies(fleet, system, &config)
+    }
+
+    fn fleet_config(
+        &self,
+        workers: usize,
+        recovery: xrbench_sim::RecoveryPolicy,
+    ) -> xrbench_fleet::FleetRunConfig {
+        xrbench_fleet::FleetRunConfig {
+            sim: self.sim,
+            rt: self.score.rt,
+            energy: self.score.energy,
+            accuracy: self.score.accuracy,
+            workers,
+            recovery,
+        }
     }
 
     /// Scores an existing simulation result against a scenario spec.
@@ -419,10 +504,85 @@ mod tests {
         }
         assert_eq!(sum, r.drops);
 
-        // The causes serialize with the report.
+        // The causes serialize with the report — and a fault-free run
+        // never mentions the fault-only counters.
         let json = r.to_json();
         assert!(json.contains("\"superseded\""));
         assert!(json.contains("\"upstream_dropped\""));
         assert!(json.contains("\"starved\""));
+        assert!(!json.contains("preempted"));
+        assert!(!json.contains("device_lost"));
+    }
+
+    fn churny() -> xrbench_sim::FaultProcess {
+        xrbench_sim::FaultProcess {
+            failure_rate_per_s: 3.0,
+            mean_downtime_s: 0.05,
+            preemption_rate_per_s: 6.0,
+            mean_preemption_s: 0.02,
+            throttle: None,
+        }
+    }
+
+    #[test]
+    fn faulted_session_surfaces_fault_drops() {
+        use xrbench_sim::{LatencyGreedy, RecoveryPolicy};
+        use xrbench_workload::SessionSpec;
+
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let session = SessionSpec::uniform("churn", UsageScenario::VrGaming.spec(), 4, 0.005);
+        let h = Harness::new();
+        let r = h.run_session_faulted(
+            &session,
+            &p,
+            &mut LatencyGreedy::new(),
+            &churny(),
+            RecoveryPolicy::Drop,
+        );
+        assert!(r.drops.fault_total() > 0, "{:?}", r.drops);
+        // Fault drops roll up from per-model, per-user accounting.
+        let mut sum = crate::report::DropBreakdownReport::default();
+        for u in &r.users {
+            sum.add(&u.drops());
+        }
+        assert_eq!(sum, r.drops);
+        let json = r.to_json();
+        assert!(json.contains("\"preempted\"") || json.contains("\"device_lost\""));
+
+        // A quiet process is bit-identical to the fault-free path.
+        let quiet = h.run_session_faulted(
+            &session,
+            &p,
+            &mut LatencyGreedy::new(),
+            &xrbench_sim::FaultProcess::default(),
+            RecoveryPolicy::Drop,
+        );
+        let clean = h.run_session(&session, &p, &mut LatencyGreedy::new());
+        assert_eq!(quiet, clean);
+        assert_eq!(quiet.to_json(), clean.to_json());
+    }
+
+    #[test]
+    fn harness_compares_recovery_policies() {
+        use xrbench_fleet::FleetSpec;
+        use xrbench_workload::SessionSpec;
+
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let fleet = FleetSpec::new("churn").group_faulted(
+            "vr",
+            SessionSpec::uniform("vr", UsageScenario::VrGaming.spec(), 2, 0.002),
+            3,
+            churny(),
+        );
+        let h = Harness::new();
+        let cmp = h.compare_fleet_policies(&fleet, &p, 2);
+        assert_eq!(cmp.policies.len(), 3);
+        assert!(cmp.policy("drop").unwrap().preempted > 0);
+        // Per-policy rows reproduce the dedicated entry point.
+        let requeue =
+            h.run_fleet_with_recovery(&fleet, &p, 4, xrbench_sim::RecoveryPolicy::Requeue);
+        let row = cmp.policy("requeue").unwrap();
+        assert_eq!(row.executed_inferences, requeue.executed_inferences);
+        assert_eq!(row.fleet_score, requeue.fleet_score);
     }
 }

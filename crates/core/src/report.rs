@@ -123,8 +123,10 @@ impl ScenarioReport {
 /// tunes against: `superseded` means the system fell behind and the
 /// freshness policy discarded stale inputs, `upstream_dropped` means a
 /// cascade collapsed, `starved` means the run ended with work still
-/// queued.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+/// queued. Fault-injected runs add `preempted` / `device_lost`:
+/// in-flight work revoked by an engine outage under the `drop`
+/// recovery policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DropBreakdownReport {
     /// Frames superseded by a newer frame of the same model.
     pub superseded: u64,
@@ -132,12 +134,44 @@ pub struct DropBreakdownReport {
     pub upstream_dropped: u64,
     /// Frames still queued when the run ended.
     pub starved: u64,
+    /// In-flight frames revoked by an engine preemption.
+    pub preempted: u64,
+    /// In-flight frames revoked by an engine failure.
+    pub device_lost: u64,
+}
+
+// Hand-written so the fault counters appear only when a fault process
+// actually revoked work: fault-free reports keep the pre-fault wire
+// format byte-for-byte (the golden fixtures pin it).
+impl Serialize for DropBreakdownReport {
+    fn to_json_value(&self) -> serde::json::JsonValue {
+        let mut obj = vec![
+            ("superseded".to_string(), self.superseded.to_json_value()),
+            (
+                "upstream_dropped".to_string(),
+                self.upstream_dropped.to_json_value(),
+            ),
+            ("starved".to_string(), self.starved.to_json_value()),
+        ];
+        if self.preempted > 0 {
+            obj.push(("preempted".to_string(), self.preempted.to_json_value()));
+        }
+        if self.device_lost > 0 {
+            obj.push(("device_lost".to_string(), self.device_lost.to_json_value()));
+        }
+        serde::json::JsonValue::Object(obj)
+    }
 }
 
 impl DropBreakdownReport {
     /// Total drops across all causes.
     pub fn total(&self) -> u64 {
-        self.superseded + self.upstream_dropped + self.starved
+        self.superseded + self.upstream_dropped + self.starved + self.preempted + self.device_lost
+    }
+
+    /// Drops attributable to injected faults (preemption + churn).
+    pub fn fault_total(&self) -> u64 {
+        self.preempted + self.device_lost
     }
 
     /// Accumulates another breakdown into this one.
@@ -145,6 +179,8 @@ impl DropBreakdownReport {
         self.superseded += other.superseded;
         self.upstream_dropped += other.upstream_dropped;
         self.starved += other.starved;
+        self.preempted += other.preempted;
+        self.device_lost += other.device_lost;
     }
 }
 

@@ -38,14 +38,17 @@
 //! { "kind": "session", "hardware": {...}, "scheduler": "latency-greedy",
 //!   "scenarios": [ ... ], "session": { ... } }
 //! { "kind": "fleet",   "hardware": {...}, "workers": 8,
-//!   "scenarios": [ ... ], "fleet": { ... } }
+//!   "recovery": "requeue", "scenarios": [ ... ], "fleet": { ... } }
 //! ```
 //!
 //! `seed` / `duration_s` default to the harness defaults; `repeats`
 //! defaults to 10 (the quickstart's suite configuration); `scheduler`
 //! defaults to `latency-greedy` (the paper default); `workers`
 //! defaults to the machine's parallelism — legal because the fleet
-//! report is proven byte-identical for any worker count.
+//! report is proven byte-identical for any worker count; `recovery`
+//! (fleet documents only) defaults to `drop` and selects what happens
+//! to in-flight work on engines lost to a device group's injected
+//! fault process.
 
 use std::collections::BTreeSet;
 
@@ -54,8 +57,8 @@ use serde::de::Cursor;
 use xrbench_accel::{config_by_id, AcceleratorSystem};
 use xrbench_models::ModelId;
 use xrbench_sim::{
-    CostProvider, InferenceCost, LatencyGreedy, LeastLoaded, RoundRobin, Scheduler, SlackAwareEdf,
-    TableProvider, UniformProvider,
+    CostProvider, FailoverAware, InferenceCost, LatencyGreedy, LeastLoaded, RecoveryPolicy,
+    RoundRobin, Scheduler, SlackAwareEdf, TableProvider, UniformProvider,
 };
 use xrbench_workload::spec::{
     extend_catalog, model_from_value, parse_json, session_from_value, SpecError,
@@ -358,11 +361,15 @@ pub enum SchedulerSpec {
     SlackAwareEdf,
     /// Pick the engine with the least queued work.
     LeastLoaded,
+    /// EDF ordering, avoiding engines with the worst outage history
+    /// (for fault-injected runs).
+    FailoverAware,
 }
 
 impl SchedulerSpec {
     /// Decodes a scheduler name — the same names the reports print
-    /// (`latency-greedy`, `round-robin`, `slack-edf`, `least-loaded`).
+    /// (`latency-greedy`, `round-robin`, `slack-edf`, `least-loaded`,
+    /// `failover-aware`).
     ///
     /// # Errors
     ///
@@ -374,11 +381,12 @@ impl SchedulerSpec {
             "round-robin" => Ok(Self::RoundRobin),
             "slack-edf" => Ok(Self::SlackAwareEdf),
             "least-loaded" => Ok(Self::LeastLoaded),
+            "failover-aware" => Ok(Self::FailoverAware),
             other => Err(SpecError::Invalid {
                 path: cursor.path().to_string(),
                 message: format!(
                     "unknown scheduler `{other}` (expected latency-greedy, \
-                     round-robin, slack-edf, or least-loaded)"
+                     round-robin, slack-edf, least-loaded, or failover-aware)"
                 ),
             }),
         }
@@ -391,6 +399,7 @@ impl SchedulerSpec {
             Self::RoundRobin => Box::new(RoundRobin::new()),
             Self::SlackAwareEdf => Box::new(SlackAwareEdf::new()),
             Self::LeastLoaded => Box::new(LeastLoaded::new()),
+            Self::FailoverAware => Box::new(FailoverAware::new()),
         }
     }
 }
@@ -500,18 +509,39 @@ pub struct FleetRun {
     /// Worker threads; `None` uses the machine's parallelism (the
     /// fleet report is byte-identical for any worker count).
     pub workers: Option<usize>,
+    /// Recovery policy for in-flight work on engines lost to injected
+    /// faults (default `drop`; ignored by fault-free groups).
+    pub recovery: RecoveryPolicy,
     /// The fleet topology.
     pub fleet: xrbench_fleet::FleetSpec,
 }
 
 impl FleetRun {
-    /// Executes the fleet exactly as [`Harness::run_fleet`] would.
+    /// Executes the fleet exactly as
+    /// [`Harness::run_fleet_with_recovery`] would.
     pub fn run(&self) -> xrbench_fleet::FleetReport {
         let system = self.system.build();
-        let workers = self.workers.unwrap_or_else(xrbench_fleet::default_workers);
-        self.params
-            .harness()
-            .run_fleet(&self.fleet, system.as_ref(), workers)
+        self.params.harness().run_fleet_with_recovery(
+            &self.fleet,
+            system.as_ref(),
+            self.effective_workers(),
+            self.recovery,
+        )
+    }
+
+    /// Runs the fleet once per recovery policy under identical fault
+    /// seeds (see [`Harness::compare_fleet_policies`]).
+    pub fn compare_policies(&self) -> xrbench_fleet::PolicyComparisonReport {
+        let system = self.system.build();
+        self.params.harness().compare_fleet_policies(
+            &self.fleet,
+            system.as_ref(),
+            self.effective_workers(),
+        )
+    }
+
+    fn effective_workers(&self) -> usize {
+        self.workers.unwrap_or_else(xrbench_fleet::default_workers)
     }
 }
 
@@ -669,6 +699,7 @@ impl RunDocument {
             "kind",
             "hardware",
             "workers",
+            "recovery",
             "seed",
             "duration_s",
             "scenarios",
@@ -689,6 +720,18 @@ impl RunDocument {
             }
             None => None,
         };
+        let recovery = match cursor.opt_field("recovery")? {
+            Some(c) => {
+                let name = c.as_str()?;
+                RecoveryPolicy::parse(name).ok_or_else(|| SpecError::Invalid {
+                    path: c.path().to_string(),
+                    message: format!(
+                        "unknown recovery policy `{name}` (expected drop, requeue, or migrate)"
+                    ),
+                })?
+            }
+            None => RecoveryPolicy::default(),
+        };
         let catalog = extend_catalog(cursor, base)?;
         let fleet = xrbench_fleet::specfile::fleet_from_value(&cursor.field("fleet")?, &catalog)?;
         let used: BTreeSet<ModelId> = fleet
@@ -702,6 +745,7 @@ impl RunDocument {
             system,
             params,
             workers,
+            recovery,
             fleet,
         })
     }
@@ -781,6 +825,57 @@ mod tests {
         // so the document's `workers: 2` matches any library run.
         let expected = Harness::new().run_fleet(&fleet, &system, 1);
         assert_eq!(report, expected);
+    }
+
+    #[test]
+    fn faulted_fleet_document_reproduces_the_library_path() {
+        use xrbench_sim::{FaultProcess, RecoveryPolicy};
+        let doc = RunDocument::from_json_str(&format!(
+            r#"{{ "kind": "fleet", {UNIFORM_HW}, "workers": 2,
+                  "recovery": "requeue",
+                  "fleet": {{ "name": "churn", "groups": [
+                      {{ "name": "vr", "replicas": 3, "session":
+                           {{ "name": "party", "uniform":
+                                {{ "scenario": "VR Gaming", "users": 2,
+                                   "stagger_s": 0.002 }} }},
+                         "faults": {{ "failure_rate_per_s": 3.0,
+                                      "mean_downtime_s": 0.05 }} }} ] }} }}"#
+        ))
+        .unwrap();
+        let RunDocument::Fleet(run) = doc else {
+            panic!("expected fleet");
+        };
+        assert_eq!(run.recovery, RecoveryPolicy::Requeue);
+        let report = run.run();
+        let system = UniformProvider::new(2, 0.001, 0.001);
+        let fleet = xrbench_fleet::FleetSpec::new("churn").group_faulted(
+            "vr",
+            SessionSpec::uniform("party", UsageScenario::VrGaming.spec(), 2, 0.002),
+            3,
+            FaultProcess {
+                failure_rate_per_s: 3.0,
+                mean_downtime_s: 0.05,
+                ..FaultProcess::default()
+            },
+        );
+        let expected =
+            Harness::new().run_fleet_with_recovery(&fleet, &system, 1, RecoveryPolicy::Requeue);
+        assert_eq!(report, expected);
+        // The policy comparison runs off the same decoded document.
+        let cmp = run.compare_policies();
+        assert_eq!(cmp.policies.len(), 3);
+        assert_eq!(
+            cmp.policy("requeue").unwrap().executed_inferences,
+            expected.executed_inferences
+        );
+    }
+
+    #[test]
+    fn failover_aware_scheduler_decodes_and_builds() {
+        let value = parse_json(r#""failover-aware""#).unwrap();
+        let spec = SchedulerSpec::from_value(&Cursor::root(&value)).unwrap();
+        assert_eq!(spec, SchedulerSpec::FailoverAware);
+        assert_eq!(spec.build().name(), "failover-aware");
     }
 
     #[test]
@@ -896,6 +991,24 @@ mod tests {
                      { "engines": 1, "latency_s": 0.001, "energy_j": 0.0 } },
                      "repeat": 3 }"#,
                 "unknown field `repeat`",
+            ),
+            (
+                r#"{ "kind": "fleet", "hardware": { "uniform":
+                     { "engines": 1, "latency_s": 0.001, "energy_j": 0.0 } },
+                     "recovery": "teleport",
+                     "fleet": { "name": "f", "groups": [
+                         { "name": "a", "replicas": 1, "session":
+                             { "name": "s", "uniform":
+                                 { "scenario": "VR Gaming", "users": 1 } } } ] } }"#,
+                "unknown recovery policy `teleport`",
+            ),
+            (
+                r#"{ "kind": "session", "hardware": { "uniform":
+                     { "engines": 1, "latency_s": 0.001, "energy_j": 0.0 } },
+                     "recovery": "drop",
+                     "session": { "name": "s", "uniform":
+                         { "scenario": "VR Gaming", "users": 1 } } }"#,
+                "unknown field `recovery`",
             ),
         ] {
             let err = RunDocument::from_json_str(text).unwrap_err();

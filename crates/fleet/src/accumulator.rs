@@ -50,6 +50,12 @@ fn fp(v: f64, scale: f64) -> i128 {
 pub struct StatAgg {
     /// Number of recorded values.
     pub count: u64,
+    /// Non-finite values offered to [`StatAgg::record`]: counted here,
+    /// excluded from the sum and min/max. A NaN or ±inf would
+    /// otherwise corrupt the fixed-point sum silently (the saturating
+    /// `as i128` cast turns +inf into `i128::MAX`), so anomalies are
+    /// quarantined deterministically instead.
+    pub anomalies: u64,
     sum_fp: i128,
     min: f64,
     max: f64,
@@ -59,6 +65,7 @@ impl Default for StatAgg {
     fn default() -> Self {
         Self {
             count: 0,
+            anomalies: 0,
             sum_fp: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
@@ -69,7 +76,18 @@ impl Default for StatAgg {
 impl StatAgg {
     /// Records one value at the given fixed-point scale. The same
     /// scale must be used for every record and for [`StatAgg::mean`].
+    ///
+    /// Non-finite values land in [`StatAgg::anomalies`]; −0.0 is
+    /// normalized to +0.0 so min/max merging stays commutative at the
+    /// bit level (IEEE `<` treats −0.0 and 0.0 as equal, which would
+    /// otherwise leave the sign of a zero min dependent on which
+    /// worker saw it first).
     pub fn record(&mut self, v: f64, scale: f64) {
+        if !v.is_finite() {
+            self.anomalies += 1;
+            return;
+        }
+        let v = if v == 0.0 { 0.0 } else { v };
         self.count += 1;
         self.sum_fp += fp(v, scale);
         if v < self.min {
@@ -83,6 +101,7 @@ impl StatAgg {
     /// Merges another aggregate (exact: integer sum, min/max).
     pub fn merge(&mut self, other: &StatAgg) {
         self.count += other.count;
+        self.anomalies += other.anomalies;
         self.sum_fp += other.sum_fp;
         if other.min < self.min {
             self.min = other.min;
@@ -129,12 +148,23 @@ pub struct DropCounts {
     pub upstream_dropped: u64,
     /// Frames still queued when their session's run ended.
     pub starved: u64,
+    /// In-flight frames revoked by an engine preemption (fault
+    /// injection under the `Drop` recovery policy).
+    pub preempted: u64,
+    /// In-flight frames revoked by an engine failure (fault injection
+    /// under the `Drop` recovery policy).
+    pub device_lost: u64,
 }
 
 impl DropCounts {
     /// Total drops across causes.
     pub fn total(&self) -> u64 {
-        self.superseded + self.upstream_dropped + self.starved
+        self.superseded + self.upstream_dropped + self.starved + self.preempted + self.device_lost
+    }
+
+    /// Drops attributable to injected faults (preemption + churn).
+    pub fn fault_total(&self) -> u64 {
+        self.preempted + self.device_lost
     }
 
     /// Adds another breakdown into this one.
@@ -142,6 +172,8 @@ impl DropCounts {
         self.superseded += other.superseded;
         self.upstream_dropped += other.upstream_dropped;
         self.starved += other.starved;
+        self.preempted += other.preempted;
+        self.device_lost += other.device_lost;
     }
 }
 
@@ -181,6 +213,8 @@ impl ModelAccumulator {
         self.drops.superseded += st.dropped_superseded;
         self.drops.upstream_dropped += st.dropped_upstream;
         self.drops.starved += st.dropped_starved;
+        self.drops.preempted += st.dropped_preempted;
+        self.drops.device_lost += st.dropped_device_lost;
     }
 
     /// Merges another model aggregate (exact).
@@ -428,6 +462,43 @@ mod tests {
             left.merge(&agg_of(&vals[split..]));
             assert_eq!(left, whole, "split at {split}");
         }
+    }
+
+    #[test]
+    fn non_finite_values_are_quarantined_not_summed() {
+        let mut a = StatAgg::default();
+        a.record(0.002, TIME_SCALE);
+        a.record(f64::NAN, TIME_SCALE);
+        a.record(f64::INFINITY, TIME_SCALE);
+        a.record(f64::NEG_INFINITY, TIME_SCALE);
+        a.record(0.004, TIME_SCALE);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.anomalies, 3);
+        assert!((a.mean(TIME_SCALE) - 0.003).abs() < 1e-9);
+        assert_eq!(a.min(), 0.002);
+        assert_eq!(a.max(), 0.004);
+        // Anomaly counts merge like every other counter.
+        let mut b = StatAgg::default();
+        b.record(f64::NAN, TIME_SCALE);
+        a.merge(&b);
+        assert_eq!(a.anomalies, 4);
+    }
+
+    #[test]
+    fn negative_zero_merges_commutatively() {
+        // Without normalization the sign of a zero min depends on
+        // which worker saw it first — a worker-count byte divergence.
+        let mut a = StatAgg::default();
+        a.record(-0.0, TIME_SCALE);
+        let mut b = StatAgg::default();
+        b.record(0.0, TIME_SCALE);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert!(ab.min().is_sign_positive());
+        assert!(ab.max().is_sign_positive());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use xrbench_score::{session_breakdown, AccuracyParams, EnergyParams, RtParams};
-use xrbench_sim::{CostProvider, LatencyGreedy, Scheduler, SimConfig, Simulator};
+use xrbench_sim::{CostProvider, LatencyGreedy, RecoveryPolicy, Scheduler, SimConfig, Simulator};
 
 use crate::accumulator::{FleetAccumulator, SCORE_SCALE};
 use crate::report::{build_report, FleetReport};
@@ -49,6 +49,10 @@ pub struct FleetRunConfig {
     pub accuracy: AccuracyParams,
     /// Worker threads (capped at the session count; must be ≥ 1).
     pub workers: usize,
+    /// What happens to in-flight work on an engine lost to an
+    /// injected fault (groups without a fault process never consult
+    /// this).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for FleetRunConfig {
@@ -59,6 +63,7 @@ impl Default for FleetRunConfig {
             energy: EnergyParams::default(),
             accuracy: AccuracyParams::default(),
             workers: default_workers(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -81,17 +86,24 @@ fn fold_session(
     system: &dyn CostProvider,
     scheduler: &mut dyn Scheduler,
     scorer: &InferenceScorer,
+    recovery: RecoveryPolicy,
     acc: &mut FleetAccumulator,
 ) {
     let session = &group.session;
     let mut fold = SessionFold::new(session);
-    let result = sim.run_session_folded(session, system, scheduler, &mut |user, rec| {
+    let mut sink = |user: u32, rec: &xrbench_sim::ExecRecord| {
         let combined = fold.record(user, rec, scorer);
         acc.latency.record(rec.latency_s());
         acc.overrun.record(rec.overrun_s());
         acc.score.record(combined);
         acc.model_mut(rec.model).record_exec(rec);
-    });
+    };
+    let result = match &group.faults {
+        Some(faults) => {
+            sim.run_session_folded_faulted(session, system, scheduler, faults, recovery, &mut sink)
+        }
+        None => sim.run_session_folded(session, system, scheduler, &mut sink),
+    };
     for (_, r) in &result.per_user {
         for (m, st) in &r.stats {
             acc.model_mut(*m).absorb_stats(st);
@@ -173,6 +185,7 @@ pub fn run_fleet_with(
                         system,
                         scheduler.as_mut(),
                         scorer,
+                        config.recovery,
                         &mut local[g as usize],
                     );
                 }
@@ -295,6 +308,103 @@ mod tests {
             a.session_score_min != a.session_score_max || a.untriggered_frames > 0,
             "replicas look seed-correlated"
         );
+    }
+
+    fn churny() -> xrbench_sim::FaultProcess {
+        xrbench_sim::FaultProcess {
+            failure_rate_per_s: 2.0,
+            mean_downtime_s: 0.05,
+            preemption_rate_per_s: 4.0,
+            mean_preemption_s: 0.02,
+            throttle: Some(xrbench_sim::ThrottleSpec {
+                period_s: 0.25,
+                duty: 0.4,
+                factor: 0.5,
+            }),
+        }
+    }
+
+    fn faulted_fleet() -> FleetSpec {
+        FleetSpec::new("churn")
+            .group_faulted(
+                "vr",
+                SessionSpec::uniform("vr", UsageScenario::VrGaming.spec(), 3, 0.002),
+                4,
+                churny(),
+            )
+            .group(
+                "calm",
+                SessionSpec::uniform("soc", UsageScenario::SocialInteractionA.spec(), 2, 0.003),
+                2,
+            )
+    }
+
+    #[test]
+    fn faulted_fleet_report_is_identical_for_any_worker_count() {
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let spec = faulted_fleet();
+        for recovery in RecoveryPolicy::ALL {
+            let base = FleetRunConfig {
+                workers: 1,
+                recovery,
+                ..FleetRunConfig::default()
+            };
+            let one = run_fleet(&spec, &p, &base);
+            for workers in [2, 8] {
+                let cfg = FleetRunConfig { workers, ..base };
+                let many = run_fleet(&spec, &p, &cfg);
+                assert_eq!(one, many, "{recovery} workers = {workers}");
+                assert_eq!(
+                    one.to_json(),
+                    many.to_json(),
+                    "{recovery} workers = {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_drops_surface_in_the_report_only_when_injected() {
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        // Baseline policy: revoked in-flight work is dropped and
+        // attributed to its outage kind, fleet-wide and per-group.
+        let faulted = run_fleet(&faulted_fleet(), &p, &FleetRunConfig::default());
+        assert!(faulted.drops.preempted > 0, "{:?}", faulted.drops);
+        assert!(faulted.drops.device_lost > 0, "{:?}", faulted.drops);
+        let json = faulted.to_json();
+        assert!(json.contains("\"preempted\""), "fault drops not serialized");
+        assert!(json.contains("\"device_lost\""));
+        // A fault-free fleet keeps the pre-fault wire format: the new
+        // counters stay zero and are omitted from the JSON entirely.
+        let clean = run_fleet(&small_fleet(), &p, &FleetRunConfig::default());
+        assert_eq!(clean.drops.preempted, 0);
+        assert_eq!(clean.drops.device_lost, 0);
+        let clean_json = clean.to_json();
+        assert!(!clean_json.contains("preempted"), "zero counter serialized");
+        assert!(!clean_json.contains("device_lost"));
+    }
+
+    #[test]
+    fn recovery_policies_change_the_outcome_under_identical_faults() {
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let spec = faulted_fleet();
+        let run = |recovery| {
+            let cfg = FleetRunConfig {
+                recovery,
+                ..FleetRunConfig::default()
+            };
+            run_fleet(&spec, &p, &cfg)
+        };
+        let drop = run(RecoveryPolicy::Drop);
+        let requeue = run(RecoveryPolicy::Requeue);
+        let migrate = run(RecoveryPolicy::Migrate);
+        // Recovery policies never lose in-flight work to faults …
+        assert_eq!(requeue.drops.preempted + requeue.drops.device_lost, 0);
+        assert_eq!(migrate.drops.preempted + migrate.drops.device_lost, 0);
+        // … so under the same outage schedule they execute at least
+        // as many inferences as the baseline.
+        assert!(requeue.executed_inferences >= drop.executed_inferences);
+        assert!(migrate.executed_inferences >= drop.executed_inferences);
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //!   de-correlate exactly like distinct physical devices while the
 //!   whole fleet stays reproducible from one base seed.
 //!
+//! Fleets may be **dynamic**: a device group can carry a
+//! [`xrbench_sim::FaultProcess`] (engine churn, preemption, thermal
+//! throttling), expanded per replica from its replica seed, with
+//! in-flight work on a lost engine handled by the configured
+//! [`xrbench_sim::RecoveryPolicy`]. [`compare_recovery_policies`]
+//! replays the identical outage schedule once per policy and
+//! tabulates the outcomes.
+//!
 //! ## Example
 //!
 //! ```
@@ -47,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod accumulator;
+mod compare;
 mod executor;
 mod report;
 mod scoring;
@@ -56,6 +65,10 @@ pub mod specfile;
 pub use accumulator::{
     DropCounts, FleetAccumulator, ModelAccumulator, ScenarioAccumulator, StatAgg, ENERGY_SCALE,
     SCORE_SCALE, TIME_SCALE,
+};
+pub use compare::{
+    compare_recovery_policies, compare_recovery_policies_with, PolicyComparisonReport,
+    PolicyOutcome,
 };
 pub use executor::{default_workers, run_fleet, run_fleet_with, FleetRunConfig};
 pub use report::{

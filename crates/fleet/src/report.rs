@@ -15,7 +15,7 @@ use crate::accumulator::{
 use crate::spec::FleetSpec;
 
 /// Frame drops split by cause.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FleetDropReport {
     /// Frames superseded by a newer frame of the same model.
     pub superseded: u64,
@@ -23,6 +23,35 @@ pub struct FleetDropReport {
     pub upstream_dropped: u64,
     /// Frames still queued when their session's run ended.
     pub starved: u64,
+    /// In-flight frames revoked by engine preemption (fault
+    /// injection, `Drop` recovery policy).
+    pub preempted: u64,
+    /// In-flight frames revoked by engine failure (fault injection,
+    /// `Drop` recovery policy).
+    pub device_lost: u64,
+}
+
+// Hand-written so the fault counters appear only in fault-injected
+// runs: fault-free reports must stay byte-identical to the pre-fault
+// wire format (the golden fixtures pin it).
+impl Serialize for FleetDropReport {
+    fn to_json_value(&self) -> serde::json::JsonValue {
+        let mut obj = vec![
+            ("superseded".to_string(), self.superseded.to_json_value()),
+            (
+                "upstream_dropped".to_string(),
+                self.upstream_dropped.to_json_value(),
+            ),
+            ("starved".to_string(), self.starved.to_json_value()),
+        ];
+        if self.preempted > 0 {
+            obj.push(("preempted".to_string(), self.preempted.to_json_value()));
+        }
+        if self.device_lost > 0 {
+            obj.push(("device_lost".to_string(), self.device_lost.to_json_value()));
+        }
+        serde::json::JsonValue::Object(obj)
+    }
 }
 
 impl From<DropCounts> for FleetDropReport {
@@ -31,6 +60,8 @@ impl From<DropCounts> for FleetDropReport {
             superseded: d.superseded,
             upstream_dropped: d.upstream_dropped,
             starved: d.starved,
+            preempted: d.preempted,
+            device_lost: d.device_lost,
         }
     }
 }

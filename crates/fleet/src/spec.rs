@@ -8,7 +8,14 @@
 //! index, and the replica index — so two replicas of the same session
 //! spec never share jitter or cascade draws, exactly as two physical
 //! headsets running the same app would not.
+//!
+//! A group may also carry a [`FaultProcess`]: a deterministic
+//! availability process (engine churn, preemption, thermal throttling)
+//! applied to every replica in the group. Each replica expands its own
+//! fault timeline from its replica seed, so faulted fleets stay
+//! exactly mergeable and reproducible like fault-free ones.
 
+use xrbench_sim::FaultProcess;
 use xrbench_workload::SessionSpec;
 
 /// One device group: a session spec replicated across independent
@@ -21,6 +28,9 @@ pub struct DeviceGroup {
     pub session: SessionSpec,
     /// How many independent devices run this session.
     pub replicas: u32,
+    /// Optional availability process applied to every replica's
+    /// engines (`None` = perfectly static hardware).
+    pub faults: Option<FaultProcess>,
 }
 
 /// A fleet: M device groups, executed as `Σ replicas` independent
@@ -103,7 +113,36 @@ impl FleetSpec {
             name: name.into(),
             session,
             replicas,
+            faults: None,
         });
+        self
+    }
+
+    /// [`FleetSpec::group`] with an availability process: every
+    /// replica's engines churn, get preempted, and throttle per
+    /// `faults` (each replica expanding its own seed-derived
+    /// timeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`, the session has no users, or the
+    /// fault process is invalid (see [`FaultProcess::validate`]).
+    #[must_use]
+    pub fn group_faulted(
+        mut self,
+        name: impl Into<String>,
+        session: SessionSpec,
+        replicas: u32,
+        faults: FaultProcess,
+    ) -> Self {
+        if let Err(e) = faults.validate() {
+            panic!("invalid fault process: {e}");
+        }
+        self = self.group(name, session, replicas);
+        self.groups
+            .last_mut()
+            .expect("group was just pushed")
+            .faults = Some(faults);
         self
     }
 
@@ -150,6 +189,11 @@ impl FleetSpec {
                 !g.session.users.is_empty(),
                 "device group session needs at least one user"
             );
+            if let Some(f) = &g.faults {
+                if let Err(e) = f.validate() {
+                    panic!("device group `{}` fault process: {e}", g.name);
+                }
+            }
         }
     }
 }
@@ -206,5 +250,30 @@ mod tests {
     #[should_panic(expected = "no device groups")]
     fn empty_fleet_rejected() {
         FleetSpec::new("f").validate();
+    }
+
+    #[test]
+    fn faulted_groups_carry_their_process() {
+        let faults = FaultProcess {
+            failure_rate_per_s: 0.5,
+            mean_downtime_s: 0.1,
+            ..FaultProcess::default()
+        };
+        let f = FleetSpec::new("f")
+            .group("static", session(1), 2)
+            .group_faulted("churny", session(1), 3, faults);
+        assert_eq!(f.groups[0].faults, None);
+        assert_eq!(f.groups[1].faults, Some(faults));
+        f.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault process")]
+    fn invalid_fault_process_rejected_at_construction() {
+        let bad = FaultProcess {
+            failure_rate_per_s: -1.0,
+            ..FaultProcess::default()
+        };
+        let _ = FleetSpec::new("f").group_faulted("g", session(1), 1, bad);
     }
 }

@@ -23,6 +23,7 @@
 use serde::de::Cursor;
 use serde::json::JsonValue;
 
+use xrbench_sim::{FaultProcess, ThrottleSpec};
 use xrbench_workload::spec::{
     extend_catalog, parse_json, session_from_value, session_to_value, SpecError,
 };
@@ -54,7 +55,7 @@ pub fn fleet_from_value(
     }
     let mut fleet = FleetSpec::new(name);
     for group in groups {
-        group.deny_unknown_fields(&["name", "replicas", "session"])?;
+        group.deny_unknown_fields(&["name", "replicas", "session", "faults"])?;
         let group_name: String = group.get_field("name")?;
         let replicas_cursor = group.field("replicas")?;
         let replicas: u32 = replicas_cursor.get()?;
@@ -65,9 +66,56 @@ pub fn fleet_from_value(
             });
         }
         let session = session_from_value(&group.field("session")?, &catalog)?;
-        fleet = fleet.group(group_name, session, replicas);
+        fleet = match group.opt_field("faults")? {
+            Some(faults_cursor) => {
+                let faults = faults_from_value(&faults_cursor)?;
+                fleet.group_faulted(group_name, session, replicas, faults)
+            }
+            None => fleet.group(group_name, session, replicas),
+        };
     }
     Ok(fleet)
+}
+
+/// Decodes a device group's optional availability process. Every rate
+/// and mean defaults to zero, so a spec states only the fault modes it
+/// wants; the decoded process must pass [`FaultProcess::validate`].
+fn faults_from_value(cursor: &Cursor<'_>) -> Result<FaultProcess, SpecError> {
+    cursor.deny_unknown_fields(&[
+        "failure_rate_per_s",
+        "mean_downtime_s",
+        "preemption_rate_per_s",
+        "mean_preemption_s",
+        "throttle",
+    ])?;
+    let mut faults = FaultProcess::default();
+    if let Some(v) = cursor.get_opt_field("failure_rate_per_s")? {
+        faults.failure_rate_per_s = v;
+    }
+    if let Some(v) = cursor.get_opt_field("mean_downtime_s")? {
+        faults.mean_downtime_s = v;
+    }
+    if let Some(v) = cursor.get_opt_field("preemption_rate_per_s")? {
+        faults.preemption_rate_per_s = v;
+    }
+    if let Some(v) = cursor.get_opt_field("mean_preemption_s")? {
+        faults.mean_preemption_s = v;
+    }
+    if let Some(throttle) = cursor.opt_field("throttle")? {
+        throttle.deny_unknown_fields(&["period_s", "duty", "factor"])?;
+        faults.throttle = Some(ThrottleSpec {
+            period_s: throttle.get_field("period_s")?,
+            duty: throttle.get_field("duty")?,
+            factor: throttle.get_field("factor")?,
+        });
+    }
+    if let Err(message) = faults.validate() {
+        return Err(SpecError::Invalid {
+            path: cursor.path().to_string(),
+            message: format!("invalid fault process: {message}"),
+        });
+    }
+    Ok(faults)
 }
 
 /// Loads a fleet from JSON text (see [`fleet_from_value`]).
@@ -93,19 +141,57 @@ pub fn fleet_to_value(fleet: &FleetSpec) -> JsonValue {
                     .groups
                     .iter()
                     .map(|g| {
-                        JsonValue::Object(vec![
+                        let mut obj = vec![
                             ("name".to_string(), JsonValue::Str(g.name.clone())),
                             (
                                 "replicas".to_string(),
                                 JsonValue::Num(f64::from(g.replicas)),
                             ),
                             ("session".to_string(), session_to_value(&g.session)),
-                        ])
+                        ];
+                        if let Some(f) = &g.faults {
+                            obj.push(("faults".to_string(), faults_to_value(f)));
+                        }
+                        JsonValue::Object(obj)
                     })
                     .collect(),
             ),
         ),
     ])
+}
+
+/// The wire value of one group's availability process (the shape
+/// [`faults_from_value`] decodes).
+fn faults_to_value(f: &FaultProcess) -> JsonValue {
+    let mut obj = vec![
+        (
+            "failure_rate_per_s".to_string(),
+            JsonValue::Num(f.failure_rate_per_s),
+        ),
+        (
+            "mean_downtime_s".to_string(),
+            JsonValue::Num(f.mean_downtime_s),
+        ),
+        (
+            "preemption_rate_per_s".to_string(),
+            JsonValue::Num(f.preemption_rate_per_s),
+        ),
+        (
+            "mean_preemption_s".to_string(),
+            JsonValue::Num(f.mean_preemption_s),
+        ),
+    ];
+    if let Some(t) = &f.throttle {
+        obj.push((
+            "throttle".to_string(),
+            JsonValue::Object(vec![
+                ("period_s".to_string(), JsonValue::Num(t.period_s)),
+                ("duty".to_string(), JsonValue::Num(t.duty)),
+                ("factor".to_string(), JsonValue::Num(t.factor)),
+            ]),
+        ));
+    }
+    JsonValue::Object(obj)
 }
 
 /// Serializes a fleet as a pretty-printed spec file (the format
@@ -188,6 +274,30 @@ mod tests {
                 "unknown scenario `Nope`",
             ),
             (r#"{ "name": "f", "gruops": [] }"#, "unknown field `gruops`"),
+            (
+                r#"{ "name": "f", "groups": [
+                     { "name": "a", "replicas": 1,
+                       "session": { "name": "s",
+                                    "uniform": { "scenario": "VR Gaming", "users": 1 } },
+                       "faults": { "failure_rate_per_s": -2.0 } } ] }"#,
+                "invalid fault process",
+            ),
+            (
+                r#"{ "name": "f", "groups": [
+                     { "name": "a", "replicas": 1,
+                       "session": { "name": "s",
+                                    "uniform": { "scenario": "VR Gaming", "users": 1 } },
+                       "faults": { "failure_rate": 1.0 } } ] }"#,
+                "unknown field `failure_rate`",
+            ),
+            (
+                r#"{ "name": "f", "groups": [
+                     { "name": "a", "replicas": 1,
+                       "session": { "name": "s",
+                                    "uniform": { "scenario": "VR Gaming", "users": 1 } },
+                       "faults": { "throttle": { "duty": 0.5, "factor": 0.5 } } } ] }"#,
+                "missing required field `period_s`",
+            ),
         ] {
             let err = fleet_from_str(text, &catalog).unwrap_err();
             assert!(err.to_string().contains(needle), "{text}: {err}");
@@ -219,5 +329,54 @@ mod tests {
         let reloaded = fleet_from_str(&json, &ScenarioCatalog::builtin()).unwrap();
         assert_eq!(reloaded, fleet);
         assert_eq!(fleet_to_json(&reloaded), json);
+    }
+
+    #[test]
+    fn faulted_groups_round_trip_byte_identically() {
+        use xrbench_sim::{FaultProcess, ThrottleSpec};
+        let fleet = FleetSpec::new("churny").group_faulted(
+            "vr",
+            SessionSpec::uniform("vr", UsageScenario::VrGaming.spec(), 2, 0.002),
+            4,
+            FaultProcess {
+                failure_rate_per_s: 0.5,
+                mean_downtime_s: 0.1,
+                preemption_rate_per_s: 1.0,
+                mean_preemption_s: 0.02,
+                throttle: Some(ThrottleSpec {
+                    period_s: 0.25,
+                    duty: 0.4,
+                    factor: 0.5,
+                }),
+            },
+        );
+        let json = fleet_to_json(&fleet);
+        assert!(json.contains("\"faults\""), "{json}");
+        let reloaded = fleet_from_str(&json, &ScenarioCatalog::builtin()).unwrap();
+        assert_eq!(reloaded, fleet);
+        assert_eq!(fleet_to_json(&reloaded), json);
+    }
+
+    #[test]
+    fn fault_fields_default_to_a_quiet_process_member() {
+        // A partial fault object: unstated rates are zero.
+        let fleet = fleet_from_str(
+            r#"{
+                "name": "f",
+                "groups": [
+                    { "name": "a", "replicas": 1,
+                      "session": { "name": "s",
+                                   "uniform": { "scenario": "VR Gaming", "users": 1 } },
+                      "faults": { "preemption_rate_per_s": 2.0,
+                                  "mean_preemption_s": 0.01 } }
+                ]
+            }"#,
+            &ScenarioCatalog::builtin(),
+        )
+        .unwrap();
+        let f = fleet.groups[0].faults.unwrap();
+        assert_eq!(f.failure_rate_per_s, 0.0);
+        assert_eq!(f.preemption_rate_per_s, 2.0);
+        assert_eq!(f.throttle, None);
     }
 }

@@ -317,6 +317,38 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_rejected() {
+        FixedHistogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn infinity_rejected() {
+        FixedHistogram::new().record(f64::INFINITY);
+    }
+
+    #[test]
+    fn negative_zero_lands_in_the_underflow_bucket() {
+        let mut h = FixedHistogram::new();
+        h.record(-0.0);
+        h.record(0.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(1.0), 0.0);
+        // Bucketing is sign-of-zero blind, so merge order can't leak
+        // which worker saw the −0.0.
+        let mut a = FixedHistogram::new();
+        a.record(-0.0);
+        let mut b = FixedHistogram::new();
+        b.record(0.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
     #[should_panic(expected = "quantile")]
     fn zero_quantile_rejected() {
         let _ = FixedHistogram::new().percentile(0.0);

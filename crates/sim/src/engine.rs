@@ -44,13 +44,28 @@
 //! Output is **bit-identical** to the reference loop; the differential
 //! property tests in `tests/runtime_properties.rs` and the golden
 //! suite fixtures enforce it.
+//!
+//! ## Fault injection (dynamic fleets)
+//!
+//! The loop optionally threads a [`FaultTimeline`] of engine events —
+//! down (churn/preemption), up (recovery), and capacity changes
+//! (thermal throttling) — applied between completions and arrivals.
+//! A down engine leaves the free set and its in-flight dispatch is
+//! *revoked*: the stale calendar completion is skipped via a revoked
+//! token set, and the work is dropped, requeued, or migrated per
+//! [`RecoveryPolicy`]. Because a faulted dispatch may never complete,
+//! stats and records are emitted at *completion* time in faulted mode
+//! (tracked in an `open` in-flight table) instead of at dispatch; the
+//! fault-free path is untouched and stays bit-identical to the
+//! reference loop.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use xrbench_models::ModelId;
 use xrbench_workload::ScenarioSpec;
 
+use crate::fault::{FaultAction, FaultKind, FaultTimeline, RecoveryPolicy};
 use crate::provider::{CostProvider, DenseCostCache, NUM_MODELS};
 use crate::result::{DropReason, ExecRecord, ModelStats, SimResult};
 use crate::scheduler::{PendingView, Scheduler};
@@ -133,6 +148,9 @@ struct ReadyMeta {
     seq: u64,
     key: u32,
     sensor_frame: u64,
+    /// Remaining-work fraction: 1.0 for fresh frames, smaller for
+    /// checkpointed work migrating off a lost engine.
+    frac: f64,
 }
 
 impl ReadyQueue {
@@ -157,11 +175,11 @@ impl ReadyQueue {
     }
 
     /// Removes the entry at buffer position `pos`, clearing its slot.
-    fn remove_pos(&mut self, pos: usize) -> (PendingView, u64) {
+    fn remove_pos(&mut self, pos: usize) -> (PendingView, u64, f64) {
         let view = self.views.remove(pos);
         let meta = self.meta.remove(pos);
         self.slot[meta.key as usize] = None;
-        (view, meta.sensor_frame)
+        (view, meta.sensor_frame, meta.frac)
     }
 
     /// Pushes a new entry for `key`, dropping (freshness policy) the
@@ -192,6 +210,30 @@ impl ReadyQueue {
             seq,
             key: key as u32,
             sensor_frame,
+            frac: 1.0,
+        });
+    }
+
+    /// Re-queues a revoked in-flight frame (requeue/migrate recovery)
+    /// carrying its remaining-work fraction. The key's slot must be
+    /// empty — if a newer frame is queued, freshness drops the revoked
+    /// one instead of calling this.
+    fn requeue_push(
+        &mut self,
+        key: usize,
+        view: PendingView,
+        sensor_frame: u64,
+        seq: u64,
+        frac: f64,
+    ) {
+        assert!(self.slot[key].is_none(), "requeue into an occupied slot");
+        self.slot[key] = Some(seq);
+        self.views.push(view);
+        self.meta.push(ReadyMeta {
+            seq,
+            key: key as u32,
+            sensor_frame,
+            frac,
         });
     }
 }
@@ -337,6 +379,80 @@ fn process_completion(
     }
 }
 
+/// Fault-injection inputs for one run: the expanded event schedule and
+/// the recovery policy for revoked in-flight work.
+pub(crate) struct FaultCtx<'a> {
+    /// The expanded, time-sorted fault schedule.
+    pub timeline: &'a FaultTimeline,
+    /// What to do with in-flight work on a lost engine.
+    pub policy: RecoveryPolicy,
+}
+
+/// One dispatched inference that may still be revoked by a fault.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    key: u32,
+    view: PendingView,
+    sensor_frame: u64,
+    t_start: f64,
+    t_end: f64,
+    /// Remaining-work fraction this dispatch carried.
+    frac: f64,
+    energy_j: f64,
+}
+
+/// Live fault-injection state for one run.
+struct FaultState<'a> {
+    events: &'a [crate::fault::FaultEvent],
+    cursor: usize,
+    policy: RecoveryPolicy,
+    engine_up: Vec<bool>,
+    /// Current capacity multiplier per engine, sampled at dispatch
+    /// time (a throttle landing mid-flight does not stretch work
+    /// already on the engine).
+    capacity: Vec<f64>,
+    /// In-flight dispatches by token, for revocation and for the
+    /// deferred stats/record emission at completion.
+    open: BTreeMap<u64, InFlight>,
+    /// Tokens whose dispatch was revoked; their stale calendar
+    /// completions are skipped.
+    revoked: BTreeSet<u64>,
+}
+
+/// Emits the deferred stats and execution record for a completion that
+/// survived to its scheduled end (faulted mode only; the fault-free
+/// path emits at dispatch).
+fn emit_completion(
+    inf: &InFlight,
+    ev: &CompletionEv,
+    nm: usize,
+    users_raw: &[u32],
+    stats: &mut [ModelStats],
+    records: &mut [Vec<ExecRecord>],
+    mode: &mut RecordMode<'_>,
+) {
+    let key = ev.key as usize;
+    stats[key].executed_frames += 1;
+    if ev.t > inf.view.t_deadline {
+        stats[key].missed_deadlines += 1;
+    }
+    let record = ExecRecord {
+        model: inf.view.model,
+        frame_id: inf.view.frame_id,
+        sensor_frame: ev.sensor_frame,
+        engine: ev.engine as usize,
+        t_req: inf.view.t_req,
+        t_deadline: inf.view.t_deadline,
+        t_start: inf.t_start,
+        t_end: ev.t,
+        energy_j: inf.energy_j,
+    };
+    match mode {
+        RecordMode::Collect => records[key / nm].push(record),
+        RecordMode::Fold(sink) => sink(users_raw[key / nm], &record),
+    }
+}
+
 /// Where completed inferences go: materialized per-user vectors (the
 /// classic path), or streamed into a fold callback so the run's memory
 /// stays proportional to the in-flight window instead of the request
@@ -387,7 +503,27 @@ pub(crate) fn run_tagged_mode(
     provider: &dyn CostProvider,
     scheduler: &mut dyn Scheduler,
     duration_s: f64,
+    mode: RecordMode<'_>,
+) -> BTreeMap<u32, SimResult> {
+    run_tagged_faulted(
+        config, specs, requests, provider, scheduler, duration_s, mode, None,
+    )
+}
+
+/// [`run_tagged_mode`] with optional fault injection. With
+/// `faults: None` this *is* the fault-free loop — no fault state is
+/// allocated and every fault branch is behind an `Option` check, so
+/// the classic path stays bit-identical to the reference loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_tagged_faulted(
+    config: SimConfig,
+    specs: &[(u32, &ScenarioSpec)],
+    requests: Vec<Pending>,
+    provider: &dyn CostProvider,
+    scheduler: &mut dyn Scheduler,
+    duration_s: f64,
     mut mode: RecordMode<'_>,
+    faults: Option<FaultCtx<'_>>,
 ) -> BTreeMap<u32, SimResult> {
     assert!(provider.num_engines() > 0, "provider must expose engines");
 
@@ -441,14 +577,49 @@ pub(crate) fn run_tagged_mode(
     let mut last_frame: Vec<Option<(u64, u64)>> = vec![None; num_keys];
     let mut records: Vec<Vec<ExecRecord>> = vec![Vec::new(); num_users];
 
+    let mut fstate = faults.map(|f| FaultState {
+        events: f.timeline.events(),
+        cursor: 0,
+        policy: f.policy,
+        engine_up: vec![true; num_engines],
+        capacity: vec![1.0; num_engines],
+        open: BTreeMap::new(),
+        revoked: BTreeSet::new(),
+    });
+
     let mut arrivals = requests.into_iter().peekable();
     let mut now = 0.0_f64;
 
     loop {
         // 1. Process completions due now (stashed first, then the
-        //    calendar) and re-queue cascade candidates deferred from
-        //    the previous pass.
+        //    calendar, in identical order) and re-queue cascade
+        //    candidates deferred from the previous pass.
+        while let Some(&std::cmp::Reverse(top)) = calendar.peek() {
+            if top.t > now + EPS {
+                break;
+            }
+            calendar.pop();
+            due.push(top);
+        }
         for ev in due.drain(..) {
+            if let Some(f) = fstate.as_mut() {
+                if f.revoked.remove(&ev.token) {
+                    // The dispatch was revoked by a fault; this is its
+                    // stale completion.
+                    continue;
+                }
+                if let Some(inf) = f.open.remove(&ev.token) {
+                    emit_completion(
+                        &inf,
+                        &ev,
+                        nm,
+                        &users_raw,
+                        &mut stats,
+                        &mut records,
+                        &mut mode,
+                    );
+                }
+            }
             process_completion(
                 ev,
                 nm,
@@ -461,25 +632,97 @@ pub(crate) fn run_tagged_mode(
                 &mut free,
             );
         }
-        while let Some(&std::cmp::Reverse(top)) = calendar.peek() {
-            if top.t > now + EPS {
-                break;
-            }
-            calendar.pop();
-            process_completion(
-                top,
-                nm,
-                &downstream,
-                &floor,
-                &mut resolved,
-                &waiting,
-                &mut pass,
-                &mut engine_token,
-                &mut free,
-            );
-        }
         for c in deferred.drain(..) {
             pass.push(std::cmp::Reverse(c));
+        }
+
+        // 1b. Apply fault events due now: engines leave/rejoin the
+        //     free set, in-flight work on a lost engine is revoked and
+        //     recovered per policy, and capacity multipliers update.
+        if let Some(f) = fstate.as_mut() {
+            while f.cursor < f.events.len() && f.events[f.cursor].t <= now + EPS {
+                let fev = f.events[f.cursor];
+                f.cursor += 1;
+                let engine = fev.engine as usize;
+                if engine >= num_engines {
+                    continue;
+                }
+                match fev.action {
+                    FaultAction::Down(kind) => {
+                        if !f.engine_up[engine] {
+                            continue;
+                        }
+                        f.engine_up[engine] = false;
+                        free_remove(&mut free, engine);
+                        scheduler.on_engine_down(engine, now);
+                        let Some(token) = engine_token[engine].take() else {
+                            continue;
+                        };
+                        f.revoked.insert(token);
+                        let inf = f.open.remove(&token).expect("busy engine has open entry");
+                        let key = inf.key as usize;
+                        match f.policy {
+                            RecoveryPolicy::Drop => {
+                                let reason = match kind {
+                                    FaultKind::Failure => DropReason::DeviceLost,
+                                    FaultKind::Preemption => DropReason::Preempted,
+                                };
+                                stats[key].record_drop(reason);
+                                if !downstream[key].is_empty() {
+                                    // Dependents see the same Dropped
+                                    // resolution an untriggered frame
+                                    // would leave behind.
+                                    if inf.sensor_frame
+                                        >= retire_threshold(key, nm, &downstream, &floor)
+                                    {
+                                        resolved[key].insert(inf.sensor_frame, Resolution::Dropped);
+                                    }
+                                    let user_base = key - key % nm;
+                                    for &d in &downstream[key] {
+                                        let dkey = user_base + d as usize;
+                                        if let Some(dw) = waiting[dkey] {
+                                            if dw.sensor_frame == inf.sensor_frame {
+                                                pass.push(std::cmp::Reverse((dw.seq, dkey as u32)));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            RecoveryPolicy::Requeue | RecoveryPolicy::Migrate => {
+                                if ready.slot[key].is_some() {
+                                    // A newer frame is already queued:
+                                    // freshness drops the revoked one.
+                                    stats[key].record_drop(DropReason::Superseded);
+                                } else {
+                                    // In-flight implies a super-epsilon
+                                    // span, so the fraction is well
+                                    // defined and positive.
+                                    let frac = if f.policy == RecoveryPolicy::Migrate {
+                                        ((inf.t_end - now) / (inf.t_end - inf.t_start))
+                                            .clamp(0.0, 1.0)
+                                            * inf.frac
+                                    } else {
+                                        1.0
+                                    };
+                                    let seq = next_seq;
+                                    next_seq += 1;
+                                    ready.requeue_push(key, inf.view, inf.sensor_frame, seq, frac);
+                                }
+                            }
+                        }
+                    }
+                    FaultAction::Up => {
+                        if f.engine_up[engine] {
+                            continue;
+                        }
+                        f.engine_up[engine] = true;
+                        free_insert(&mut free, engine);
+                    }
+                    FaultAction::Capacity(c) => {
+                        f.capacity[engine] = c;
+                    }
+                }
+            }
         }
 
         // 2. Ingest arrivals due now.
@@ -630,30 +873,53 @@ pub(crate) fn run_tagged_mode(
                 "scheduler returned busy engine {engine}"
             );
             let key = ready.key_at(ri);
-            let (view, sensor_frame) = ready.remove_pos(ri);
+            let (view, sensor_frame, frac) = ready.remove_pos(ri);
             let cost = cache.cost(view.model, engine);
-            let t_end = now + cost.latency_s;
-            stats[key].executed_frames += 1;
-            if t_end > view.t_deadline {
-                stats[key].missed_deadlines += 1;
-            }
-            let record = ExecRecord {
-                model: view.model,
-                frame_id: view.frame_id,
-                sensor_frame,
-                engine,
-                t_req: view.t_req,
-                t_deadline: view.t_deadline,
-                t_start: now,
-                t_end,
-                energy_j: cost.energy_j,
-            };
-            match &mut mode {
-                RecordMode::Collect => records[key / nm].push(record),
-                RecordMode::Fold(sink) => sink(users_raw[key / nm], &record),
+            let t_end;
+            if let Some(f) = fstate.as_ref() {
+                // Faulted dispatches pay only the remaining-work
+                // fraction, stretched by the engine's current thermal
+                // capacity; stats and records wait for completion
+                // because the dispatch may yet be revoked.
+                t_end = now + cost.latency_s * frac / f.capacity[engine];
+            } else {
+                t_end = now + cost.latency_s;
+                stats[key].executed_frames += 1;
+                if t_end > view.t_deadline {
+                    stats[key].missed_deadlines += 1;
+                }
+                let record = ExecRecord {
+                    model: view.model,
+                    frame_id: view.frame_id,
+                    sensor_frame,
+                    engine,
+                    t_req: view.t_req,
+                    t_deadline: view.t_deadline,
+                    t_start: now,
+                    t_end,
+                    energy_j: cost.energy_j,
+                };
+                match &mut mode {
+                    RecordMode::Collect => records[key / nm].push(record),
+                    RecordMode::Fold(sink) => sink(users_raw[key / nm], &record),
+                }
             }
             let token = next_token;
             next_token += 1;
+            if let Some(f) = fstate.as_mut() {
+                f.open.insert(
+                    token,
+                    InFlight {
+                        key: key as u32,
+                        view,
+                        sensor_frame,
+                        t_start: now,
+                        t_end,
+                        frac,
+                        energy_j: cost.energy_j * frac,
+                    },
+                );
+            }
             if t_end > now + EPS {
                 engine_token[engine] = Some(token);
                 free_remove(&mut free, engine);
@@ -684,10 +950,47 @@ pub(crate) fn run_tagged_mode(
                 break;
             }
         }
+        if let Some(f) = &fstate {
+            // Fault events only matter while some work can still use
+            // the engines they toggle: with nothing queued, in flight,
+            // or arriving, the remaining toggles are no-ops (waiting
+            // frames can never resolve without completions).
+            let work_pending = arrivals.peek().is_some()
+                || !calendar.is_empty()
+                || !due.is_empty()
+                || !ready.is_empty();
+            if work_pending {
+                if let Some(fev) = f.events.get(f.cursor) {
+                    next = next.min(fev.t);
+                }
+            }
+        }
         if next.is_infinite() {
             break;
         }
         now = next;
+    }
+
+    // Completions stashed as due when the loop ended (possible only
+    // with sub-epsilon latencies) did execute; surface their deferred
+    // records in faulted mode (the clean path emitted at dispatch).
+    if let Some(f) = fstate.as_mut() {
+        for ev in due.drain(..) {
+            if f.revoked.remove(&ev.token) {
+                continue;
+            }
+            if let Some(inf) = f.open.remove(&ev.token) {
+                emit_completion(
+                    &inf,
+                    &ev,
+                    nm,
+                    &users_raw,
+                    &mut stats,
+                    &mut records,
+                    &mut mode,
+                );
+            }
+        }
     }
 
     // Anything still queued at drain time never got to run within the

@@ -12,14 +12,20 @@
 //! a table of measured latencies, or anything else that can answer
 //! *"how long / how much energy does model µ take on engine h?"*.
 //!
-//! Scheduling is pluggable via the [`Scheduler`] trait; four policies
+//! Scheduling is pluggable via the [`Scheduler`] trait; five policies
 //! ship with the crate — the paper's default latency-greedy policy
 //! ([`LatencyGreedy`]), the round-robin policy for real systems
 //! ([`RoundRobin`]), a slack-aware EDF that triages lost causes
-//! ([`SlackAwareEdf`]), and a least-loaded load balancer
-//! ([`LeastLoaded`]) — and users can replace them (the yellow
+//! ([`SlackAwareEdf`]), a least-loaded load balancer
+//! ([`LeastLoaded`]), and a churn-hardened failover policy
+//! ([`FailoverAware`]) — and users can replace them (the yellow
 //! "user-customizable" boxes in Figure 2). Every impl must pass the
 //! scheduler conformance harness (`tests/scheduler_conformance.rs`).
+//!
+//! Dynamic fleets (PR 7) add a deterministic availability process
+//! ([`FaultProcess`]): engine churn, preemption, and thermal
+//! throttling injected as timeline events, with in-flight work on a
+//! lost engine dropped, requeued, or migrated per [`RecoveryPolicy`].
 //!
 //! Multi-user sessions ([`xrbench_workload::SessionSpec`]) run through
 //! [`Simulator::run_session`]: the merged request stream of all users
@@ -47,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fault;
 mod naive;
 mod provider;
 mod result;
@@ -54,9 +61,13 @@ mod scheduler;
 mod simulator;
 pub mod trace;
 
+pub use fault::{
+    fault_seed, FaultAction, FaultEvent, FaultKind, FaultProcess, FaultTimeline, RecoveryPolicy,
+    ThrottleSpec, FAULT_SEED_SALT,
+};
 pub use provider::{CostProvider, DenseCostCache, InferenceCost, TableProvider, UniformProvider};
 pub use result::{DropReason, ExecRecord, ModelStats, SessionSimResult, SimResult};
 pub use scheduler::{
-    LatencyGreedy, LeastLoaded, PendingView, RoundRobin, Scheduler, SlackAwareEdf,
+    FailoverAware, LatencyGreedy, LeastLoaded, PendingView, RoundRobin, Scheduler, SlackAwareEdf,
 };
 pub use simulator::{SimConfig, Simulator};

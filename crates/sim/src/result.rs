@@ -17,6 +17,12 @@ pub enum DropReason {
     /// The run ended while the frame was still queued (ready but never
     /// dispatched, or waiting on an upstream that never resolved).
     Starved,
+    /// The engine running the frame was preempted mid-flight and the
+    /// recovery policy discarded the work.
+    Preempted,
+    /// The engine running the frame failed (device churn) and the
+    /// recovery policy discarded the work.
+    DeviceLost,
 }
 
 /// One completed inference in the execution timeline.
@@ -90,6 +96,12 @@ pub struct ModelStats {
     /// Drops caused by the run ending with the frame still queued
     /// ([`DropReason::Starved`]).
     pub dropped_starved: u64,
+    /// Drops caused by a mid-flight engine preemption
+    /// ([`DropReason::Preempted`]).
+    pub dropped_preempted: u64,
+    /// Drops caused by a mid-flight engine failure
+    /// ([`DropReason::DeviceLost`]).
+    pub dropped_device_lost: u64,
 }
 
 impl ModelStats {
@@ -100,6 +112,8 @@ impl ModelStats {
             DropReason::Superseded => self.dropped_superseded += 1,
             DropReason::UpstreamDropped => self.dropped_upstream += 1,
             DropReason::Starved => self.dropped_starved += 1,
+            DropReason::Preempted => self.dropped_preempted += 1,
+            DropReason::DeviceLost => self.dropped_device_lost += 1,
         }
     }
 
@@ -109,6 +123,8 @@ impl ModelStats {
             DropReason::Superseded => self.dropped_superseded,
             DropReason::UpstreamDropped => self.dropped_upstream,
             DropReason::Starved => self.dropped_starved,
+            DropReason::Preempted => self.dropped_preempted,
+            DropReason::DeviceLost => self.dropped_device_lost,
         }
     }
 }

@@ -49,6 +49,13 @@ pub trait Scheduler {
 
     /// A short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Notifies the scheduler that `engine` just went offline (device
+    /// churn or preemption). Stateless schedulers can ignore this; the
+    /// default does nothing. Called by the engine loop before the
+    /// revoked work is re-resolved, so a failover-aware policy can bias
+    /// future placements away from flaky engines.
+    fn on_engine_down(&mut self, _engine: usize, _now: f64) {}
 }
 
 /// The paper's default for cost-model/simulator runs: dispatch the
@@ -274,6 +281,76 @@ impl Scheduler for LeastLoaded {
     }
 }
 
+/// Churn-hardened dispatcher for dynamic fleets: serves requests in
+/// EDF order (like [`LatencyGreedy`]) but places each on the free
+/// engine with the fewest *observed outages* this run, breaking ties
+/// by expected latency and then engine id. On static hardware no
+/// outage is ever observed, so every tie breaks by latency and the
+/// policy degenerates to latency-greedy placement.
+#[derive(Debug, Clone, Default)]
+pub struct FailoverAware {
+    /// Outages observed per engine id (grown on demand).
+    outages: Vec<u64>,
+}
+
+impl FailoverAware {
+    /// Creates the scheduler with no outages observed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn outage_count(&self, engine: usize) -> u64 {
+        self.outages.get(engine).copied().unwrap_or(0)
+    }
+}
+
+impl Scheduler for FailoverAware {
+    fn select(
+        &mut self,
+        ready: &[PendingView],
+        free_engines: &[usize],
+        provider: &dyn CostProvider,
+        _now: f64,
+    ) -> Option<(usize, usize)> {
+        if ready.is_empty() || free_engines.is_empty() {
+            return None;
+        }
+        // Most urgent request first, on the most reliable idle engine.
+        let (ri, req) = ready
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| edf_order(a, b))
+            .expect("ready is non-empty");
+        let engine = free_engines
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                self.outage_count(a)
+                    .cmp(&self.outage_count(b))
+                    .then(
+                        provider
+                            .cost(req.model, a)
+                            .latency_s
+                            .total_cmp(&provider.cost(req.model, b).latency_s),
+                    )
+                    .then(a.cmp(&b))
+            })
+            .expect("free_engines is non-empty");
+        Some((ri, engine))
+    }
+
+    fn name(&self) -> &'static str {
+        "failover-aware"
+    }
+
+    fn on_engine_down(&mut self, engine: usize, _now: f64) {
+        if self.outages.len() <= engine {
+            self.outages.resize(engine + 1, 0);
+        }
+        self.outages[engine] += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +505,36 @@ mod tests {
         assert_eq!(RoundRobin::new().name(), "round-robin");
         assert_eq!(SlackAwareEdf::new().name(), "slack-edf");
         assert_eq!(LeastLoaded::new().name(), "least-loaded");
+        assert_eq!(FailoverAware::new().name(), "failover-aware");
+    }
+
+    #[test]
+    fn failover_aware_avoids_flaky_engines() {
+        // Engine 0 is faster but has a recorded outage; engine 1 is
+        // clean and must win despite the latency disadvantage.
+        let mut p = TableProvider::new(2);
+        p.set(
+            ModelId::HandTracking,
+            0,
+            InferenceCost {
+                latency_s: 0.001,
+                energy_j: 0.0,
+            },
+        );
+        p.set(
+            ModelId::HandTracking,
+            1,
+            InferenceCost {
+                latency_s: 0.005,
+                energy_j: 0.0,
+            },
+        );
+        let ready = vec![view(ModelId::HandTracking, 1.0)];
+        let mut s = FailoverAware::new();
+        let (_, before) = s.select(&ready, &[0, 1], &p, 0.0).unwrap();
+        assert_eq!(before, 0, "without outages the fast engine wins");
+        s.on_engine_down(0, 0.5);
+        let (_, after) = s.select(&ready, &[0, 1], &p, 0.0).unwrap();
+        assert_eq!(after, 1, "observed outage demotes engine 0");
     }
 }

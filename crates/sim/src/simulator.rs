@@ -255,6 +255,120 @@ impl Simulator {
         Self::assemble_session(session, per_user_map, provider, span_s)
     }
 
+    /// [`Simulator::run_session`] under a dynamic fleet: the
+    /// [`FaultProcess`](crate::FaultProcess) is expanded into a
+    /// deterministic per-engine event timeline (seeded from
+    /// [`fault_seed`](crate::fault_seed)`(config.seed)`, so in a fleet
+    /// the timeline is part of each replica's identity and merges stay
+    /// exact) and injected into the event loop; in-flight work on a
+    /// lost engine is recovered per `policy`.
+    ///
+    /// A *quiet* process (zero rates, no effective throttle — see
+    /// [`FaultProcess::is_quiet`](crate::FaultProcess::is_quiet)) or
+    /// an empty expanded timeline routes through the unmodified
+    /// fault-free path, bit-identical to [`Simulator::run_session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no users, session user ids are not
+    /// unique, the provider has no engines, or the fault process fails
+    /// [`FaultProcess::validate`](crate::FaultProcess::validate).
+    pub fn run_session_faulted(
+        &self,
+        session: &SessionSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+        faults: &crate::FaultProcess,
+        policy: crate::RecoveryPolicy,
+    ) -> SessionSimResult {
+        let (specs, tagged, span_s) = self.session_inputs(session);
+        let timeline = self.expand_timeline(faults, provider, span_s);
+        let per_user_map = match timeline {
+            Some(ref tl) => crate::engine::run_tagged_faulted(
+                self.config,
+                &specs,
+                tagged,
+                provider,
+                scheduler,
+                span_s,
+                crate::engine::RecordMode::Collect,
+                Some(crate::engine::FaultCtx {
+                    timeline: tl,
+                    policy,
+                }),
+            ),
+            None => {
+                crate::engine::run_tagged(self.config, &specs, tagged, provider, scheduler, span_s)
+            }
+        };
+        Self::assemble_session(session, per_user_map, provider, span_s)
+    }
+
+    /// [`Simulator::run_session_faulted`] with the streaming fold of
+    /// [`Simulator::run_session_folded`]. Note that in faulted runs
+    /// records reach the sink in *completion* order (nondecreasing
+    /// `t_end`), not dispatch order — per-user they still sort to the
+    /// same `records` vector the collecting variant returns.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Simulator::run_session_faulted`].
+    pub fn run_session_folded_faulted(
+        &self,
+        session: &SessionSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+        faults: &crate::FaultProcess,
+        policy: crate::RecoveryPolicy,
+        sink: &mut dyn FnMut(u32, &crate::result::ExecRecord),
+    ) -> SessionSimResult {
+        let (specs, tagged, span_s) = self.session_inputs(session);
+        let timeline = self.expand_timeline(faults, provider, span_s);
+        let per_user_map = crate::engine::run_tagged_faulted(
+            self.config,
+            &specs,
+            tagged,
+            provider,
+            scheduler,
+            span_s,
+            crate::engine::RecordMode::Fold(sink),
+            timeline.as_ref().map(|tl| crate::engine::FaultCtx {
+                timeline: tl,
+                policy,
+            }),
+        );
+        Self::assemble_session(session, per_user_map, provider, span_s)
+    }
+
+    /// Expands a fault process into this run's timeline, or `None`
+    /// when the process is quiet / produces no events (which routes
+    /// the run through the unmodified fault-free path).
+    fn expand_timeline(
+        &self,
+        faults: &crate::FaultProcess,
+        provider: &dyn CostProvider,
+        span_s: f64,
+    ) -> Option<crate::FaultTimeline> {
+        assert!(
+            faults.validate().is_ok(),
+            "invalid fault process: {:?}",
+            faults.validate()
+        );
+        if faults.is_quiet() {
+            return None;
+        }
+        let tl = faults.timeline(
+            crate::fault_seed(self.config.seed),
+            provider.num_engines(),
+            span_s,
+        );
+        if tl.is_empty() {
+            None
+        } else {
+            Some(tl)
+        }
+    }
+
     /// Prepares the merged, user-tagged session stream.
     fn session_inputs<'s>(
         &self,
@@ -812,5 +926,212 @@ mod tests {
         let p = UniformProvider::new(1, 0.001, 0.001);
         let sim = Simulator::new(SimConfig::default());
         let _ = sim.run_session(&SessionSpec::new("empty"), &p, &mut LatencyGreedy::new());
+    }
+
+    // ---- dynamic fleets: fault injection ----
+
+    use crate::fault::{FaultProcess, RecoveryPolicy, ThrottleSpec};
+
+    fn churny() -> FaultProcess {
+        FaultProcess {
+            failure_rate_per_s: 3.0,
+            mean_downtime_s: 0.05,
+            preemption_rate_per_s: 6.0,
+            mean_preemption_s: 0.02,
+            throttle: Some(ThrottleSpec {
+                period_s: 0.2,
+                duty: 0.5,
+                factor: 0.5,
+            }),
+        }
+    }
+
+    fn fault_session() -> SessionSpec {
+        SessionSpec::uniform("faulted", UsageScenario::VrGaming.spec(), 3, 0.01)
+    }
+
+    #[test]
+    fn quiet_fault_process_is_bit_identical_to_clean_path() {
+        let p = UniformProvider::new(2, 0.003, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let session = fault_session();
+        let clean = sim.run_session(&session, &p, &mut LatencyGreedy::new());
+        let quiet = sim.run_session_faulted(
+            &session,
+            &p,
+            &mut LatencyGreedy::new(),
+            &FaultProcess::default(),
+            RecoveryPolicy::Drop,
+        );
+        assert_eq!(clean, quiet);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let p = UniformProvider::new(2, 0.003, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let session = fault_session();
+        for policy in RecoveryPolicy::ALL {
+            let a =
+                sim.run_session_faulted(&session, &p, &mut LatencyGreedy::new(), &churny(), policy);
+            let b =
+                sim.run_session_faulted(&session, &p, &mut LatencyGreedy::new(), &churny(), policy);
+            assert_eq!(a, b, "{policy}");
+        }
+    }
+
+    #[test]
+    fn drop_policy_attributes_preemptions_and_device_loss() {
+        let p = UniformProvider::new(2, 0.004, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let session = fault_session();
+        let r = sim.run_session_faulted(
+            &session,
+            &p,
+            &mut LatencyGreedy::new(),
+            &churny(),
+            RecoveryPolicy::Drop,
+        );
+        let (mut preempted, mut lost) = (0u64, 0u64);
+        for (_, u) in &r.per_user {
+            for st in u.stats.values() {
+                preempted += st.dropped_preempted;
+                lost += st.dropped_device_lost;
+                assert_eq!(
+                    st.dropped_frames,
+                    st.dropped_superseded
+                        + st.dropped_upstream
+                        + st.dropped_starved
+                        + st.dropped_preempted
+                        + st.dropped_device_lost,
+                    "per-reason counters must partition dropped_frames"
+                );
+                assert_eq!(
+                    st.total_frames,
+                    st.executed_frames + st.dropped_frames,
+                    "frames must be accounted exactly once"
+                );
+            }
+        }
+        assert!(preempted > 0, "churny process must preempt something");
+        assert!(lost > 0, "churny process must lose a device mid-flight");
+    }
+
+    #[test]
+    fn recovery_policies_conserve_frames_and_differ() {
+        let p = UniformProvider::new(2, 0.004, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let session = fault_session();
+        let mut executed = Vec::new();
+        for policy in RecoveryPolicy::ALL {
+            let r =
+                sim.run_session_faulted(&session, &p, &mut LatencyGreedy::new(), &churny(), policy);
+            for (_, u) in &r.per_user {
+                for (m, st) in &u.stats {
+                    assert_eq!(
+                        st.total_frames,
+                        st.executed_frames + st.dropped_frames,
+                        "{policy}/{m}"
+                    );
+                }
+                // Records never overlap on one engine.
+                for e in 0..r.num_engines {
+                    let mut on_e: Vec<&ExecRecord> =
+                        u.records.iter().filter(|x| x.engine == e).collect();
+                    on_e.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+                    for w in on_e.windows(2) {
+                        assert!(w[1].t_start >= w[0].t_end - 1e-12, "{policy} overlap");
+                    }
+                }
+            }
+            let ex: u64 = r
+                .per_user
+                .iter()
+                .flat_map(|(_, u)| u.stats.values())
+                .map(|s| s.executed_frames)
+                .sum();
+            executed.push(ex);
+            if policy != RecoveryPolicy::Drop {
+                // Recovery policies never attribute drops to faults.
+                let fault_drops: u64 = r
+                    .per_user
+                    .iter()
+                    .flat_map(|(_, u)| u.stats.values())
+                    .map(|s| s.dropped_preempted + s.dropped_device_lost)
+                    .sum();
+                assert_eq!(fault_drops, 0, "{policy}");
+            }
+        }
+        // Requeue/migrate recover work the drop policy discards.
+        assert!(
+            executed[1] >= executed[0] && executed[2] >= executed[0],
+            "recovery must not execute less than dropping: {executed:?}"
+        );
+        assert!(
+            executed.iter().any(|&e| e != executed[0]),
+            "policies should produce different outcomes under churn"
+        );
+    }
+
+    #[test]
+    fn faulted_fold_matches_faulted_collect() {
+        let p = UniformProvider::new(2, 0.003, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let session = fault_session();
+        for policy in RecoveryPolicy::ALL {
+            let collected =
+                sim.run_session_faulted(&session, &p, &mut LatencyGreedy::new(), &churny(), policy);
+            let mut streamed: BTreeMap<u32, Vec<ExecRecord>> = BTreeMap::new();
+            let folded = sim.run_session_folded_faulted(
+                &session,
+                &p,
+                &mut LatencyGreedy::new(),
+                &churny(),
+                policy,
+                &mut |u, r| {
+                    streamed.entry(u).or_default().push(r.clone());
+                },
+            );
+            for (u, r) in &collected.per_user {
+                // Faulted records stream in completion order; the same
+                // stable start-time sort the collecting path applies
+                // must reproduce its vectors exactly.
+                let mut s = streamed.remove(u).unwrap_or_default();
+                s.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+                assert_eq!(s, r.records, "{policy} user {u}");
+                let f = folded.user(*u).expect("user folded");
+                assert!(f.records.is_empty());
+                assert_eq!(f.stats, r.stats, "{policy} user {u} stats");
+            }
+        }
+    }
+
+    #[test]
+    fn failover_scheduler_runs_under_churn() {
+        let p = UniformProvider::new(3, 0.003, 0.001);
+        let sim = Simulator::new(SimConfig::default());
+        let session = fault_session();
+        let a = sim.run_session_faulted(
+            &session,
+            &p,
+            &mut crate::FailoverAware::new(),
+            &churny(),
+            RecoveryPolicy::Migrate,
+        );
+        let b = sim.run_session_faulted(
+            &session,
+            &p,
+            &mut crate::FailoverAware::new(),
+            &churny(),
+            RecoveryPolicy::Migrate,
+        );
+        assert_eq!(a, b, "failover-aware must stay deterministic");
+        let ex: u64 = a
+            .per_user
+            .iter()
+            .flat_map(|(_, u)| u.stats.values())
+            .map(|s| s.executed_frames)
+            .sum();
+        assert!(ex > 0);
     }
 }

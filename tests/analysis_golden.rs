@@ -6,7 +6,7 @@
 //!    system (accelerator J at 8192 PEs) — all of them analyzer-clean
 //!    (no errors), matching the acceptance bar that
 //!    `xrbench analyze specs/suite_default.json` exits 0.
-//! 2. Three hand-crafted statically-infeasible specs, each pinned to
+//! 2. Four hand-crafted statically-infeasible specs, each pinned to
 //!    the exact `XA###` error codes it must produce.
 //!
 //! Re-bless after an intentional diagnostic change with:
@@ -82,7 +82,7 @@ fn builtin_scenarios_pin_their_diagnostics() {
 #[test]
 fn infeasible_fixtures_pin_their_error_codes() {
     // (spec file, exact error-severity code sequence it must emit)
-    let cases: [(&str, &[&str]); 3] = [
+    let cases: [(&str, &[&str]); 4] = [
         // Every model alone overloads 2 × 100 ms engines (XA001 per
         // model), so the aggregate does too (XA002).
         (
@@ -94,6 +94,10 @@ fn infeasible_fixtures_pin_their_error_codes() {
         ("infeasible_cascade", &["XA002"]),
         // Each user fits; four concurrent users on one device do not.
         ("infeasible_overload", &["XA010"]),
+        // The workload fits the raw engines, but the group's fault
+        // process (availability × throttle derating) does not leave
+        // enough capacity — only the fault-aware check catches it.
+        ("infeasible_faulted", &["XA014"]),
     ];
     for (name, expected_codes) in cases {
         let spec_path = fixture_dir().join(format!("{name}.spec.json"));

@@ -5,11 +5,13 @@
 
 use proptest::prelude::*;
 
-use xrbench::fleet::{replica_seed, FleetAccumulator, FleetSpec, SCORE_SCALE};
+use xrbench::fleet::{replica_seed, FleetAccumulator, FleetSpec, StatAgg, SCORE_SCALE, TIME_SCALE};
 use xrbench::models::ModelId;
 use xrbench::prelude::*;
 use xrbench::score::ScenarioBreakdown;
-use xrbench::sim::{ExecRecord, ModelStats, UniformProvider};
+use xrbench::sim::{
+    ExecRecord, FaultProcess, ModelStats, RecoveryPolicy, ThrottleSpec, UniformProvider,
+};
 
 /// Splitmix64 step — randomized structure derived deterministically
 /// from one proptest-drawn seed.
@@ -135,6 +137,117 @@ proptest! {
         let mut with_empty = a.clone();
         with_empty.merge(&FleetAccumulator::new());
         prop_assert_eq!(&with_empty, &a);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stat_agg_quarantines_anomalies_through_any_merge_tree(
+        seed in any::<u64>(),
+        split in 0usize..=60,
+    ) {
+        // Streams salted with NaN / ±inf / −0.0: anomalies must be
+        // counted (never summed), and any two-way partition of the
+        // stream must merge to bit-identical state in either order.
+        let mut st = seed;
+        let vals: Vec<f64> = (0..60)
+            .map(|_| match pick(&mut st, 8) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -0.0,
+                _ => unit(&mut st) * 0.05,
+            })
+            .collect();
+        let mut whole = StatAgg::default();
+        for &v in &vals {
+            whole.record(v, TIME_SCALE);
+        }
+        let n_anomalies = vals.iter().filter(|v| !v.is_finite()).count() as u64;
+        prop_assert_eq!(whole.anomalies, n_anomalies);
+        prop_assert_eq!(whole.count + whole.anomalies, vals.len() as u64);
+        prop_assert!(whole.min().is_finite());
+        prop_assert!(whole.max().is_finite());
+        prop_assert!(whole.mean(TIME_SCALE).is_finite());
+
+        let split = split.min(vals.len());
+        let mut left = StatAgg::default();
+        for &v in &vals[..split] {
+            left.record(v, TIME_SCALE);
+        }
+        let mut right = StatAgg::default();
+        for &v in &vals[split..] {
+            right.record(v, TIME_SCALE);
+        }
+        let mut lr = left;
+        lr.merge(&right);
+        let mut rl = right;
+        rl.merge(&left);
+        prop_assert_eq!(lr, whole);
+        prop_assert_eq!(rl, whole);
+    }
+}
+
+/// Like [`random_fleet`], but even-indexed groups carry a random
+/// (always-valid) fault process, half of them with a thermal throttle.
+fn random_faulted_fleet(seed: u64) -> FleetSpec {
+    let mut st = seed;
+    let mut fleet = FleetSpec::new(format!("churn-{seed:x}"));
+    let groups = 1 + pick(&mut st, 2);
+    for g in 0..groups {
+        let scenario = UsageScenario::ALL[pick(&mut st, UsageScenario::ALL.len())];
+        let users = 1 + pick(&mut st, 3) as u32;
+        let session = SessionSpec::uniform(
+            format!("g{g}-{}", scenario.spec().name),
+            scenario.spec(),
+            users,
+            0.002,
+        );
+        let replicas = 1 + pick(&mut st, 2) as u32;
+        let faults = FaultProcess {
+            failure_rate_per_s: unit(&mut st) * 3.0,
+            mean_downtime_s: 0.01 + unit(&mut st) * 0.1,
+            preemption_rate_per_s: unit(&mut st) * 5.0,
+            mean_preemption_s: 0.005 + unit(&mut st) * 0.05,
+            throttle: if pick(&mut st, 2) == 0 {
+                None
+            } else {
+                Some(ThrottleSpec {
+                    period_s: 0.2 + unit(&mut st),
+                    duty: 0.3,
+                    factor: 0.5,
+                })
+            },
+        };
+        fleet = if g % 2 == 0 {
+            fleet.group_faulted(format!("group-{g}"), session, replicas, faults)
+        } else {
+            fleet.group(format!("group-{g}"), session, replicas)
+        };
+    }
+    fleet
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn faulted_fleets_stay_worker_count_invariant(seed in any::<u64>()) {
+        // Fault timelines derive from replica seeds, so the report
+        // must stay byte-identical for any worker count under every
+        // recovery policy.
+        let fleet = random_faulted_fleet(seed);
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let h = Harness::new().with_seed(seed ^ 0xFA017);
+        for policy in RecoveryPolicy::ALL {
+            let one = h.run_fleet_with_recovery(&fleet, &p, 1, policy).to_json();
+            for workers in [2usize, 8] {
+                let other = h.run_fleet_with_recovery(&fleet, &p, workers, policy).to_json();
+                prop_assert_eq!(&one, &other, "workers = {}, policy = {}", workers, policy);
+            }
+        }
     }
 }
 

@@ -39,6 +39,10 @@ fn all_schedulers() -> Vec<SchedulerFactory> {
         ("round-robin", Box::new(|| Box::new(RoundRobin::new()))),
         ("slack-edf", Box::new(|| Box::new(SlackAwareEdf::new()))),
         ("least-loaded", Box::new(|| Box::new(LeastLoaded::new()))),
+        (
+            "failover-aware",
+            Box::new(|| Box::new(xrbench::sim::FailoverAware::new())),
+        ),
     ]
 }
 
@@ -320,7 +324,7 @@ fn conformance_multi_user_zero_stagger_matches_reference_loop() {
 }
 
 #[test]
-fn conformance_all_four_schedulers_are_registered() {
+fn conformance_all_shipped_schedulers_are_registered() {
     let names: Vec<&str> = all_schedulers()
         .iter()
         .map(|(_, f)| {
@@ -330,6 +334,53 @@ fn conformance_all_four_schedulers_are_registered() {
         .collect();
     assert_eq!(
         names,
-        vec!["latency-greedy", "round-robin", "slack-edf", "least-loaded"]
+        vec![
+            "latency-greedy",
+            "round-robin",
+            "slack-edf",
+            "least-loaded",
+            "failover-aware"
+        ]
     );
+}
+
+#[test]
+fn conformance_faulted_runs_stay_deterministic_per_scheduler() {
+    // Every shipped scheduler must stay reproducible when engines
+    // churn, throttle, and revoke in-flight work under every recovery
+    // policy — including stateful ones fed on_engine_down events.
+    use xrbench::sim::{FaultProcess, RecoveryPolicy, ThrottleSpec};
+    let provider = UniformProvider::new(3, 0.004, 0.001);
+    let specs: Vec<ScenarioSpec> = ScenarioCatalog::builtin().iter().cloned().collect();
+    let session = SessionSpec::mixed("faulted-conformance", &specs, 4, 0.01);
+    let faults = FaultProcess {
+        failure_rate_per_s: 2.0,
+        mean_downtime_s: 0.05,
+        preemption_rate_per_s: 4.0,
+        mean_preemption_s: 0.02,
+        throttle: Some(ThrottleSpec {
+            period_s: 0.25,
+            duty: 0.4,
+            factor: 0.5,
+        }),
+    };
+    for (name, factory) in all_schedulers() {
+        for policy in RecoveryPolicy::ALL {
+            let sim = Simulator::new(SimConfig::default());
+            let a =
+                sim.run_session_faulted(&session, &provider, factory().as_mut(), &faults, policy);
+            let b =
+                sim.run_session_faulted(&session, &provider, factory().as_mut(), &faults, policy);
+            assert_eq!(a, b, "{name}/{policy} faulted run not reproducible");
+            for (_, r) in &a.per_user {
+                for (m, st) in &r.stats {
+                    assert_eq!(
+                        st.total_frames,
+                        st.executed_frames + st.dropped_frames,
+                        "{name}/{policy}/{m}: frame conservation violated under faults"
+                    );
+                }
+            }
+        }
+    }
 }
