@@ -270,7 +270,11 @@ fn main() {
 
     let (floor, rss_bound) = if bless {
         (
-            gated_eps * BLESS_FLOOR_FRACTION,
+            // Monotone blessing: a committed throughput floor only
+            // ever moves upward. Re-blessing on a slower machine than
+            // the one that established the baseline must not quietly
+            // weaken the gate.
+            (gated_eps * BLESS_FLOOR_FRACTION).max(committed_floor.unwrap_or(0.0)),
             rss_mib.map_or(RSS_BLESS_MIN_MIB, |r| {
                 (r * RSS_BLESS_FACTOR).max(RSS_BLESS_MIN_MIB)
             }),

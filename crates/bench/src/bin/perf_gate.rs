@@ -1,19 +1,23 @@
-//! The committed performance gate for the simulator core (PR 3).
+//! The committed performance gate for the simulator core (PR 8).
 //!
 //! Measures end-to-end event throughput (arrivals + completions per
 //! wall-clock second) of `Simulator::run_session` on mixed-scenario
 //! sessions of 1 / 32 / 256 / 1024 concurrent users, compares the
-//! heap-driven engine against the pre-refactor reference loop, writes
-//! the measurements to `target/BENCH_PR3.json` (the committed
-//! repo-root `BENCH_PR3.json` is only rewritten when blessing), and
+//! calendar-queue engine against the pre-refactor reference loop,
+//! writes the measurements to `target/BENCH_PR8.json` (the committed
+//! repo-root `BENCH_PR8.json` is only rewritten when blessing), and
 //! **fails** (non-zero exit) if:
 //!
 //! * 1024-user throughput falls below the committed floor read from
-//!   the repository's `BENCH_PR3.json` (an absolute, deliberately
-//!   conservative events/sec bound — 10% of the blessed measurement —
-//!   so slower CI hardware does not flake), or
+//!   the repository's `BENCH_PR8.json` (an absolute, deliberately
+//!   conservative events/sec bound so slower CI hardware does not
+//!   flake),
+//! * that committed floor itself sits below **3×** the PR 3 heap
+//!   engine's committed floor (`BENCH_PR3.json`) — the tentpole bound
+//!   this PR committed to, enforced so the baseline can never be
+//!   silently re-blessed downward, or
 //! * the measured speedup over the reference loop at 1024 users drops
-//!   below 5× (the machine-independent bound the PR committed to).
+//!   below 5× (the machine-independent bound PR 3 committed to).
 //!
 //! ```sh
 //! cargo run -p xrbench-bench --release --bin perf_gate
@@ -26,9 +30,9 @@
 //!
 //! * `XRBENCH_PERF_SKIP_NAIVE=1` — skip the slow reference-loop runs
 //!   (the absolute floor is still enforced).
-//! * `XRBENCH_BLESS_PERF=1` — re-derive the committed floor as 10% of
-//!   the measured 1024-user throughput and rewrite the repo-root
-//!   `BENCH_PR3.json` baseline.
+//! * `XRBENCH_BLESS_PERF=1` — re-derive the committed floor as the
+//!   larger of 10% of the measured 1024-user throughput and 3× the
+//!   PR 3 floor, and rewrite the repo-root `BENCH_PR8.json` baseline.
 
 use std::time::Instant;
 
@@ -45,10 +49,15 @@ const NAIVE_SPEEDUP_FLOOR: f64 = 5.0;
 /// runners several times slower than the blessing machine while still
 /// sitting well above what the pre-refactor loop could reach.
 const BLESS_FLOOR_FRACTION: f64 = 0.10;
+/// The tentpole bound: the PR 8 floor must be at least this multiple
+/// of the PR 3 heap engine's committed floor.
+const TENTPOLE_SPEEDUP: f64 = 3.0;
 /// The committed baseline at the workspace root.
-const COMMITTED_BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+const COMMITTED_BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+/// The PR 3 heap-engine baseline the ≥3× tentpole floor anchors to.
+const PR3_BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
 /// Where each run's measurements land (never committed).
-const MEASURED_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_PR3.json");
+const MEASURED_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_PR8.json");
 
 struct Measurement {
     users: u32,
@@ -134,8 +143,21 @@ fn main() {
     let committed_floor = std::fs::read_to_string(COMMITTED_BASELINE)
         .ok()
         .and_then(|text| json_number(&text, "floor_events_per_sec_1024"));
+    // The PR 3 anchor: the tentpole requires the PR 8 floor to sit at
+    // least 3× above it, whatever machine blessed either baseline.
+    let pr3_floor = std::fs::read_to_string(PR3_BASELINE)
+        .ok()
+        .and_then(|text| json_number(&text, "floor_events_per_sec_1024"))
+        .unwrap_or_else(|| {
+            eprintln!(
+                "perf_gate: FAIL — cannot read floor_events_per_sec_1024 from \
+                 {PR3_BASELINE} (the 3x tentpole floor anchors to it)"
+            );
+            std::process::exit(1);
+        });
+    let tentpole_floor = pr3_floor * TENTPOLE_SPEEDUP;
     let floor = if bless {
-        gated.events_per_sec * BLESS_FLOOR_FRACTION
+        (gated.events_per_sec * BLESS_FLOOR_FRACTION).max(tentpole_floor)
     } else {
         // The committed floor is the gate; silently inventing one
         // from the current measurement would make the gate vacuous.
@@ -149,8 +171,11 @@ fn main() {
         })
     };
 
-    // Emit BENCH_PR3.json.
+    // Emit BENCH_PR8.json.
     let mut out = String::from("{\n  \"bench\": \"session_scale\",\n");
+    out.push_str(&format!(
+        "  \"engine\": \"calendar-queue\",\n  \"pr3_floor_events_per_sec_1024\": {pr3_floor:.0},\n  \"tentpole_speedup\": {TENTPOLE_SPEEDUP},\n",
+    ));
     out.push_str(&format!(
         "  \"engines\": {ENGINES},\n  \"latency_ms\": {},\n  \"stagger_ms\": {},\n  \"scheduler\": \"latency-greedy\",\n",
         LATENCY_S * 1e3,
@@ -182,16 +207,25 @@ fn main() {
     if let Some(dir) = std::path::Path::new(MEASURED_OUT).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    std::fs::write(MEASURED_OUT, &out).expect("write measured BENCH_PR3.json");
+    std::fs::write(MEASURED_OUT, &out).expect("write measured BENCH_PR8.json");
     if bless {
         // Only blessing touches the committed baseline.
-        std::fs::write(COMMITTED_BASELINE, &out).expect("write committed BENCH_PR3.json");
+        std::fs::write(COMMITTED_BASELINE, &out).expect("write committed BENCH_PR8.json");
     }
     println!("{out}");
 
+    // Gate 0: the committed floor must embody the tentpole bound —
+    // at least 3× the PR 3 heap-engine floor.
+    let mut failed = false;
+    if floor < tentpole_floor {
+        eprintln!(
+            "perf_gate: FAIL — committed floor {floor:.0} ev/s below the tentpole bound \
+             {tentpole_floor:.0} ev/s ({TENTPOLE_SPEEDUP}x the PR 3 floor {pr3_floor:.0})"
+        );
+        failed = true;
+    }
     // Gate 1: absolute committed floor, with the measured-vs-floor
     // delta spelled out either way.
-    let mut failed = false;
     let delta = (gated.events_per_sec / floor - 1.0) * 100.0;
     if gated.events_per_sec < floor {
         eprintln!(
@@ -236,6 +270,15 @@ fn main() {
     }
     summary.push_str("\n| gate | floor | measured | delta | verdict |\n");
     summary.push_str("|---|---:|---:|---:|---|\n");
+    summary.push_str(&format!(
+        "| committed floor ≥ 3× PR 3 floor | {tentpole_floor:.0} ev/s | {floor:.0} ev/s | {:+.1}% | {} |\n",
+        (floor / tentpole_floor - 1.0) * 100.0,
+        if floor < tentpole_floor {
+            "❌ FAIL"
+        } else {
+            "✅ pass"
+        }
+    ));
     summary.push_str(&format!(
         "| 1024-user throughput | {floor:.0} ev/s | {:.0} ev/s | {delta:+.1}% | {} |\n",
         gated.events_per_sec,

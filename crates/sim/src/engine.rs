@@ -1,240 +1,747 @@
-//! The heap-driven discrete-event engine behind [`crate::Simulator`].
+//! The production event loop: calendar-queue core, struct-of-arrays
+//! hot state, batched same-timestamp scheduling, and precomputed
+//! per-scenario dispatch tables.
 //!
-//! This replaces the original quadratic event loop (kept verbatim in
-//! [`crate::naive`] for differential testing) with per-event costs
-//! that are logarithmic or amortized constant:
+//! This is the next-generation rewrite of the PR 3 heap engine (which
+//! survives verbatim in [`crate::heap`] as a doc-hidden reference,
+//! next to the original quadratic loop in [`crate::naive`]). The four
+//! structural changes, each preserving the event order bit-for-bit:
 //!
-//! * **Event calendar** — completions live in a [`BinaryHeap`] keyed
-//!   by `(t, user, model, sensor_frame, dispatch token)` under
-//!   `f64::total_cmp`, so popping the next due event is `O(log n)`.
-//!   Arrivals are already a time-sorted run and are consumed by a
-//!   cursor (an event calendar in array form); engine-free events
-//!   coincide with completions, which carry their engine and a
-//!   dispatch token so an engine is freed exactly once.
-//! * **Indexed pending queues** — `ready` and `waiting` hold at most
-//!   one frame per `(user, model)` (the freshness drop policy
-//!   guarantees it), so both are slot arrays over a dense
-//!   `user_idx * NUM_MODELS + model` key. Freshness supersession is an
-//!   `O(1)` slot probe instead of a linear scan.
-//! * **Incremental [`PendingView`] buffer** — the scheduler's view of
-//!   the ready queue is maintained across picks (push on arrival,
-//!   binary-searched removal on dispatch/supersession) instead of
-//!   being rebuilt from scratch for every pick.
-//! * **Incremental free-engine set** — a sorted `Vec<usize>` updated
-//!   on dispatch and completion instead of a full rescan per pick.
-//! * **Reverse-dependency candidate pass** — instead of scanning every
-//!   waiting dependent on every event, a completion pushes exactly the
-//!   waiting entries it might unblock onto a per-timestamp candidate
-//!   heap ordered by waiting-queue sequence number, which reproduces
-//!   the reference loop's scan order bit-for-bit (including its
-//!   behavior of deferring backward cascades to the next event time).
-//! * **Resolved-entry retirement** — per-`(user, model)` watermarks
-//!   track the smallest sensor frame each dependent can still look
-//!   up; upstream resolutions below the watermark of every dependent
-//!   are retired (or never stored), so the resolution table stays
-//!   proportional to the in-flight window instead of the whole run.
-//! * **Dense fast paths** — dependency lists, reverse-dependency
-//!   lists, statistics, and watermarks are flat arrays over the dense
-//!   key; provider costs go through a lazily-filled
-//!   [`DenseCostCache`]; each cascade-trigger decision seeds its RNG
-//!   exactly once per `(user, model, upstream, frame)` — the
-//!   single-slot waiting queue plus strictly increasing frame ids
-//!   guarantee no decision is ever re-evaluated.
+//! * **Calendar-queue completion list** — the `BinaryHeap` completion
+//!   calendar becomes a bucketed [`CalendarQueue`](crate::calendar):
+//!   O(1) amortized insert, drains that scan only the occupied-bucket
+//!   bitmask, and a per-cohort unstable sort under the same total
+//!   `(t, key, sensor_frame, token)` tie-break the heap popped in.
+//! * **Struct-of-arrays slot state** — the `ready` and `waiting`
+//!   queues are flat per-field arrays over the dense
+//!   `user * NUM_MODELS + model` key, pre-sized at setup, so
+//!   supersession, requeue, and dependency resolution touch cache
+//!   lines instead of allocating or chasing options.
+//! * **Batched cohort scheduling** — removals from the scheduler's
+//!   [`PendingView`] buffer during a same-timestamp cohort (steps 1–3)
+//!   are tombstones compacted once before dispatch, amortizing the
+//!   buffer memmoves over the cohort instead of paying them per event.
+//!   On top of that, schedulers that declare a closed-form
+//!   [`DispatchKernel`] are driven through an indexed fast path — a
+//!   segment-tree argmin over the scheduler's own total request order
+//!   plus a bitmask free-engine set — that reproduces their `select`
+//!   picks exactly while skipping the per-pick linear scans entirely.
+//! * **Precomputed dispatch tables** — per-*scenario* dependency and
+//!   reverse-dependency lists are deduplicated and flattened into CSR
+//!   tables once per run ([`Tables`]), so the per-user setup cost and
+//!   footprint collapse from `users × models` heap vectors to one
+//!   shared table plus a `user → scenario` index.
 //!
-//! Output is **bit-identical** to the reference loop; the differential
-//! property tests in `tests/runtime_properties.rs` and the golden
-//! suite fixtures enforce it.
-//!
-//! ## Fault injection (dynamic fleets)
-//!
-//! The loop optionally threads a [`FaultTimeline`] of engine events —
-//! down (churn/preemption), up (recovery), and capacity changes
-//! (thermal throttling) — applied between completions and arrivals.
-//! A down engine leaves the free set and its in-flight dispatch is
-//! *revoked*: the stale calendar completion is skipped via a revoked
-//! token set, and the work is dropped, requeued, or migrated per
-//! [`RecoveryPolicy`]. Because a faulted dispatch may never complete,
-//! stats and records are emitted at *completion* time in faulted mode
-//! (tracked in an `open` in-flight table) instead of at dispatch; the
-//! fault-free path is untouched and stays bit-identical to the
-//! reference loop.
+//! Output is **bit-identical** to [`crate::heap`] and
+//! [`crate::naive`]; the differential property tests in
+//! `tests/runtime_properties.rs` and the golden suite fixtures enforce
+//! it across all schedulers, record modes, and fault policies. The
+//! fault-injection semantics (revocation, recovery policies, deferred
+//! emission) are unchanged from the heap engine — faulted runs always
+//! take the generic `select` path, since kernels cannot observe
+//! mid-run outages.
 
-use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use xrbench_models::ModelId;
 use xrbench_workload::ScenarioSpec;
 
+use crate::calendar::{CalendarQueue, CompletionEv};
 use crate::fault::{FaultAction, FaultKind, FaultTimeline, RecoveryPolicy};
 use crate::provider::{CostProvider, DenseCostCache, NUM_MODELS};
 use crate::result::{DropReason, ExecRecord, ModelStats, SimResult};
-use crate::scheduler::{PendingView, Scheduler};
+use crate::scheduler::{DispatchKernel, PendingView, Scheduler};
 use crate::simulator::{trigger_draw, Pending, Resolution, SimConfig, EPS};
 
-/// A completion event in the calendar.
-///
-/// `key` is the dense `(user, model)` key; `token` is the dispatch
-/// sequence number, which both totalizes the ordering and lets the
-/// engine-free side effect fire exactly once per dispatch.
-#[derive(Debug, Clone, Copy)]
-struct CompletionEv {
-    t: f64,
-    key: u32,
-    sensor_frame: u64,
-    engine: u32,
-    token: u64,
-}
+/// Sentinel for "slot empty" in the SoA queues (a real sequence number
+/// never reaches it: sequence numbers count queue insertions).
+const EMPTY_SEQ: u64 = u64::MAX;
 
-impl PartialEq for CompletionEv {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+/// Maps an `f64` to a `u64` whose unsigned order equals
+/// `f64::total_cmp` order — the standard sign-flip trick, letting the
+/// pick tree compare times as plain integers.
+#[inline]
+fn time_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
     }
 }
 
-impl Eq for CompletionEv {}
+/// The two total request orders every kernel-declaring scheduler uses
+/// (see [`DispatchKernel`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PickOrder {
+    /// `(t_deadline, t_req, model, user)` under `total_cmp`.
+    Edf,
+    /// `(t_req, model, user)` under `total_cmp`.
+    Fifo,
+}
 
-impl PartialOrd for CompletionEv {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+/// A pick-tree key: three `u64` words compared lexicographically.
+type PickKey = [u64; 3];
+
+/// The "no entry" key. No real key can collide: the third word of an
+/// EDF key (and second of a FIFO key) packs `(model, user)` below
+/// `2^63`, and a FIFO key's third word is zero.
+const EMPTY_PICK: PickKey = [u64::MAX; 3];
+
+/// Encodes a ready entry under `order` so that unsigned lexicographic
+/// comparison of the words reproduces the scheduler's request order.
+/// Keys are unique: the ready queue holds at most one entry per
+/// `(user, model)` and the `(model, user)` word totalizes the order.
+#[inline]
+fn pick_key(order: PickOrder, model: usize, user: u32, t_req: f64, t_deadline: f64) -> PickKey {
+    let mu = ((model as u64) << 32) | u64::from(user);
+    match order {
+        PickOrder::Edf => [time_bits(t_deadline), time_bits(t_req), mu],
+        PickOrder::Fifo => [time_bits(t_req), mu, 0],
     }
 }
 
-impl Ord for CompletionEv {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Total deterministic order: time, then (user, model) via the
-        // dense key, then sensor frame, then dispatch token.
-        self.t
-            .total_cmp(&other.t)
-            .then_with(|| self.key.cmp(&other.key))
-            .then_with(|| self.sensor_frame.cmp(&other.sensor_frame))
-            .then_with(|| self.token.cmp(&other.token))
-    }
+/// An iterative segment tree over the dense key space computing the
+/// argmin of [`PickKey`]s — the kernel path's replacement for the
+/// per-pick linear `min_by` scan. `set`/`clear` climb one root path
+/// (O(log keys)); the minimum is read at the root in O(1). Because
+/// keys are unique, the tie direction of `<=` is never exercised and
+/// the argmin equals the first minimal element a linear scan returns.
+struct PickTree {
+    size: usize,
+    key: Vec<PickKey>,
+    arg: Vec<u32>,
 }
 
-/// Min-heap adapter over [`BinaryHeap`]'s max-heap.
-type Calendar = BinaryHeap<std::cmp::Reverse<CompletionEv>>;
-
-/// One dependent frame parked until its upstream resolves.
-#[derive(Debug, Clone, Copy)]
-struct WaitEntry {
-    /// Global insertion sequence number (shared with the ready queue),
-    /// reproducing the reference loop's queue order.
-    seq: u64,
-    frame_id: u64,
-    sensor_frame: u64,
-    t_req: f64,
-    t_deadline: f64,
-}
-
-/// The dispatchable-request queue: slot-indexed by dense key for O(1)
-/// supersession, with the scheduler-facing [`PendingView`] buffer (and
-/// its parallel metadata) maintained incrementally in insertion order.
-struct ReadyQueue {
-    views: Vec<PendingView>,
-    /// Per-entry metadata parallel to `views`. `seq` is strictly
-    /// increasing across entries (position lookup by binary search).
-    ///
-    /// Removal from the middle is a binary search plus a contiguous
-    /// memmove of the two POD buffers — bounded by the same O(ready)
-    /// the scheduler's own `select` scan already pays per pick, so it
-    /// never dominates the dispatch path.
-    meta: Vec<ReadyMeta>,
-    /// Dense key → seq of the key's (unique) queued entry.
-    slot: Vec<Option<u64>>,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct ReadyMeta {
-    seq: u64,
-    key: u32,
-    sensor_frame: u64,
-    /// Remaining-work fraction: 1.0 for fresh frames, smaller for
-    /// checkpointed work migrating off a lost engine.
-    frac: f64,
-}
-
-impl ReadyQueue {
+impl PickTree {
     fn new(num_keys: usize) -> Self {
+        let size = num_keys.next_power_of_two().max(2);
         Self {
-            views: Vec::new(),
-            meta: Vec::new(),
-            slot: vec![None; num_keys],
+            size,
+            key: vec![EMPTY_PICK; 2 * size],
+            arg: vec![0; 2 * size],
         }
     }
 
-    fn len(&self) -> usize {
-        self.views.len()
+    fn set(&mut self, slot: usize, k: PickKey) {
+        let mut i = self.size + slot;
+        self.key[i] = k;
+        self.arg[i] = slot as u32;
+        while i > 1 {
+            i >>= 1;
+            let (l, r) = (2 * i, 2 * i + 1);
+            if self.key[l] <= self.key[r] {
+                self.key[i] = self.key[l];
+                self.arg[i] = self.arg[l];
+            } else {
+                self.key[i] = self.key[r];
+                self.arg[i] = self.arg[r];
+            }
+        }
+    }
+
+    fn clear(&mut self, slot: usize) {
+        self.set(slot, EMPTY_PICK);
+    }
+
+    /// The dense key holding the minimal pick key, if any entry is
+    /// queued.
+    fn min_slot(&self) -> Option<usize> {
+        if self.key[1] == EMPTY_PICK {
+            None
+        } else {
+            Some(self.arg[1] as usize)
+        }
+    }
+}
+
+/// Per-entry metadata parallel to the scheduler-facing view buffer.
+/// `seq` is strictly increasing across entries (position lookup by
+/// binary search — dead entries stay in place until compaction so the
+/// search invariant holds mid-cohort).
+#[derive(Debug, Clone, Copy)]
+struct BufMeta {
+    seq: u64,
+    key: u32,
+    dead: bool,
+}
+
+/// How the ready queue indexes its entries for dispatch.
+enum ReadyIndex {
+    /// The generic path: an insertion-ordered [`PendingView`] buffer
+    /// handed to `Scheduler::select`, with tombstoned removals
+    /// compacted once per cohort.
+    Buffer {
+        views: Vec<PendingView>,
+        meta: Vec<BufMeta>,
+        dead: usize,
+    },
+    /// The kernel path: a [`PickTree`] argmin over the scheduler's
+    /// declared request order. No view buffer is maintained at all.
+    Tree { tree: PickTree, order: PickOrder },
+}
+
+/// The dispatchable-request queue in struct-of-arrays layout: one slot
+/// per dense `(user, model)` key (`seq == EMPTY_SEQ` marks empty),
+/// pre-sized at setup, plus the dispatch index.
+struct Ready {
+    seq: Vec<u64>,
+    frame_id: Vec<u64>,
+    sensor_frame: Vec<u64>,
+    t_req: Vec<f64>,
+    t_deadline: Vec<f64>,
+    /// Remaining-work fraction: 1.0 for fresh frames, smaller for
+    /// checkpointed work migrating off a lost engine.
+    frac: Vec<f64>,
+    count: usize,
+    index: ReadyIndex,
+}
+
+impl Ready {
+    fn new(num_keys: usize, kernel_order: Option<PickOrder>) -> Self {
+        let index = match kernel_order {
+            Some(order) => ReadyIndex::Tree {
+                tree: PickTree::new(num_keys),
+                order,
+            },
+            None => ReadyIndex::Buffer {
+                views: Vec::with_capacity(num_keys),
+                meta: Vec::with_capacity(num_keys),
+                dead: 0,
+            },
+        };
+        Self {
+            seq: vec![EMPTY_SEQ; num_keys],
+            frame_id: vec![0; num_keys],
+            sensor_frame: vec![0; num_keys],
+            t_req: vec![0.0; num_keys],
+            t_deadline: vec![0.0; num_keys],
+            frac: vec![1.0; num_keys],
+            count: 0,
+            index,
+        }
     }
 
     fn is_empty(&self) -> bool {
-        self.views.is_empty()
+        self.count == 0
     }
 
-    fn key_at(&self, pos: usize) -> usize {
-        self.meta[pos].key as usize
+    #[inline]
+    fn occupied(&self, key: usize) -> bool {
+        self.seq[key] != EMPTY_SEQ
     }
 
-    /// Removes the entry at buffer position `pos`, clearing its slot.
-    fn remove_pos(&mut self, pos: usize) -> (PendingView, u64, f64) {
-        let view = self.views.remove(pos);
-        let meta = self.meta.remove(pos);
-        self.slot[meta.key as usize] = None;
-        (view, meta.sensor_frame, meta.frac)
+    /// Detaches `key`'s queued entry from the dispatch index (tombstone
+    /// in buffer mode, O(log keys) clear in tree mode).
+    fn detach(&mut self, key: usize) {
+        match &mut self.index {
+            ReadyIndex::Buffer { meta, dead, .. } => {
+                let pos = meta
+                    .binary_search_by_key(&self.seq[key], |m| m.seq)
+                    .expect("slot seq is queued");
+                meta[pos].dead = true;
+                *dead += 1;
+            }
+            ReadyIndex::Tree { tree, .. } => tree.clear(key),
+        }
+    }
+
+    /// Attaches `key`'s (freshly written) slot to the dispatch index.
+    fn attach(&mut self, key: usize, user: u32, model: ModelId) {
+        match &mut self.index {
+            ReadyIndex::Buffer { views, meta, .. } => {
+                views.push(PendingView {
+                    user,
+                    model,
+                    frame_id: self.frame_id[key],
+                    t_req: self.t_req[key],
+                    t_deadline: self.t_deadline[key],
+                });
+                meta.push(BufMeta {
+                    seq: self.seq[key],
+                    key: key as u32,
+                    dead: false,
+                });
+            }
+            ReadyIndex::Tree { tree, order } => {
+                tree.set(
+                    key,
+                    pick_key(
+                        *order,
+                        key % NUM_MODELS,
+                        user,
+                        self.t_req[key],
+                        self.t_deadline[key],
+                    ),
+                );
+            }
+        }
     }
 
     /// Pushes a new entry for `key`, dropping (freshness policy) the
     /// key's older queued frame if one exists.
+    #[allow(clippy::too_many_arguments)]
     fn supersede_push(
         &mut self,
         key: usize,
-        view: PendingView,
+        user: u32,
+        model: ModelId,
+        frame_id: u64,
         sensor_frame: u64,
+        t_req: f64,
+        t_deadline: f64,
         seq: u64,
         stats: &mut [ModelStats],
     ) {
-        if let Some(old_seq) = self.slot[key] {
-            let pos = self
-                .meta
-                .binary_search_by_key(&old_seq, |m| m.seq)
-                .expect("slot seq is queued");
+        if self.occupied(key) {
             assert!(
-                self.views[pos].frame_id < view.frame_id,
+                self.frame_id[key] < frame_id,
                 "ready queue requires strictly increasing frame ids per (user, model)"
             );
             stats[key].record_drop(DropReason::Superseded);
-            self.remove_pos(pos);
+            self.detach(key);
+            self.count -= 1;
         }
-        self.slot[key] = Some(seq);
-        self.views.push(view);
-        self.meta.push(ReadyMeta {
-            seq,
-            key: key as u32,
-            sensor_frame,
-            frac: 1.0,
-        });
+        self.seq[key] = seq;
+        self.frame_id[key] = frame_id;
+        self.sensor_frame[key] = sensor_frame;
+        self.t_req[key] = t_req;
+        self.t_deadline[key] = t_deadline;
+        self.frac[key] = 1.0;
+        self.count += 1;
+        self.attach(key, user, model);
     }
 
     /// Re-queues a revoked in-flight frame (requeue/migrate recovery)
     /// carrying its remaining-work fraction. The key's slot must be
     /// empty — if a newer frame is queued, freshness drops the revoked
     /// one instead of calling this.
+    #[allow(clippy::too_many_arguments)]
     fn requeue_push(
         &mut self,
         key: usize,
-        view: PendingView,
+        user: u32,
+        model: ModelId,
+        frame_id: u64,
         sensor_frame: u64,
+        t_req: f64,
+        t_deadline: f64,
         seq: u64,
         frac: f64,
     ) {
-        assert!(self.slot[key].is_none(), "requeue into an occupied slot");
-        self.slot[key] = Some(seq);
-        self.views.push(view);
-        self.meta.push(ReadyMeta {
-            seq,
-            key: key as u32,
-            sensor_frame,
-            frac,
-        });
+        assert!(!self.occupied(key), "requeue into an occupied slot");
+        self.seq[key] = seq;
+        self.frame_id[key] = frame_id;
+        self.sensor_frame[key] = sensor_frame;
+        self.t_req[key] = t_req;
+        self.t_deadline[key] = t_deadline;
+        self.frac[key] = frac;
+        self.count += 1;
+        self.attach(key, user, model);
+    }
+
+    /// Compacts tombstoned buffer entries (order-preserving, so the
+    /// surviving views sit exactly where a sequence of immediate
+    /// removals would have left them). Called once per cohort, before
+    /// the dispatch loop hands `views` to the scheduler.
+    fn compact(&mut self) {
+        if let ReadyIndex::Buffer { views, meta, dead } = &mut self.index {
+            if *dead == 0 {
+                return;
+            }
+            let mut w = 0;
+            for r in 0..meta.len() {
+                if !meta[r].dead {
+                    if w != r {
+                        meta[w] = meta[r];
+                        views[w] = views[r];
+                    }
+                    w += 1;
+                }
+            }
+            meta.truncate(w);
+            views.truncate(w);
+            *dead = 0;
+        }
+    }
+
+    /// The scheduler-facing view slice (buffer mode only; must be
+    /// compacted).
+    fn views(&self) -> &[PendingView] {
+        match &self.index {
+            ReadyIndex::Buffer { views, .. } => views,
+            ReadyIndex::Tree { .. } => unreachable!("kernel path never calls select"),
+        }
+    }
+
+    /// Removes the (live) buffer entry at position `pos` for dispatch,
+    /// clearing its slot. Buffer mode only.
+    fn remove_pos(&mut self, pos: usize) -> (usize, PendingView, u64, f64) {
+        let ReadyIndex::Buffer { views, meta, .. } = &mut self.index else {
+            unreachable!("kernel path dispatches by key")
+        };
+        let view = views.remove(pos);
+        let m = meta.remove(pos);
+        let key = m.key as usize;
+        self.seq[key] = EMPTY_SEQ;
+        self.count -= 1;
+        (key, view, self.sensor_frame[key], self.frac[key])
+    }
+
+    /// The dense key the kernel should dispatch next (tree mode only).
+    fn min_key(&self) -> Option<usize> {
+        match &self.index {
+            ReadyIndex::Tree { tree, .. } => tree.min_slot(),
+            ReadyIndex::Buffer { .. } => unreachable!("generic path dispatches via select"),
+        }
+    }
+
+    /// Removes `key`'s entry for kernel dispatch, returning
+    /// `(frame_id, sensor_frame, t_req, t_deadline, frac)`.
+    fn take_key(&mut self, key: usize) -> (u64, u64, f64, f64, f64) {
+        let ReadyIndex::Tree { tree, .. } = &mut self.index else {
+            unreachable!("generic path dispatches via select")
+        };
+        tree.clear(key);
+        self.seq[key] = EMPTY_SEQ;
+        self.count -= 1;
+        (
+            self.frame_id[key],
+            self.sensor_frame[key],
+            self.t_req[key],
+            self.t_deadline[key],
+            self.frac[key],
+        )
+    }
+}
+
+/// The free-engine set: a bitmask (O(1) membership, word-scan
+/// iteration) plus — on the generic path only — the sorted `Vec`
+/// mirror `Scheduler::select` receives as its `free_engines` slice.
+struct FreeSet {
+    list: Vec<usize>,
+    words: Vec<u64>,
+    count: usize,
+    with_list: bool,
+}
+
+impl FreeSet {
+    fn all(num_engines: usize, with_list: bool) -> Self {
+        let mut words = vec![0u64; num_engines.div_ceil(64)];
+        for e in 0..num_engines {
+            words[e / 64] |= 1 << (e % 64);
+        }
+        Self {
+            list: if with_list {
+                (0..num_engines).collect()
+            } else {
+                Vec::new()
+            },
+            words,
+            count: num_engines,
+            with_list,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    #[inline]
+    fn contains(&self, e: usize) -> bool {
+        self.words[e / 64] >> (e % 64) & 1 == 1
+    }
+
+    /// Inserts `e` (no-op if present).
+    fn insert(&mut self, e: usize) {
+        if !self.contains(e) {
+            self.words[e / 64] |= 1 << (e % 64);
+            self.count += 1;
+            if self.with_list {
+                if let Err(pos) = self.list.binary_search(&e) {
+                    self.list.insert(pos, e);
+                }
+            }
+        }
+    }
+
+    /// Removes `e` (no-op if absent).
+    fn remove(&mut self, e: usize) {
+        if self.contains(e) {
+            self.words[e / 64] &= !(1 << (e % 64));
+            self.count -= 1;
+            if self.with_list {
+                if let Ok(pos) = self.list.binary_search(&e) {
+                    self.list.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// The lowest free engine id `>= e`, if any.
+    fn first_at_or_above(&self, e: usize) -> Option<usize> {
+        let mut w = e / 64;
+        if w >= self.words.len() {
+            return None;
+        }
+        let mut word = self.words[w] & (u64::MAX << (e % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// The lowest free engine id (the set must be non-empty).
+    fn lowest(&self) -> usize {
+        self.first_at_or_above(0).expect("free set is non-empty")
+    }
+
+    /// Visits every free engine in ascending id order.
+    fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut m = w;
+            while m != 0 {
+                f(wi * 64 + m.trailing_zeros() as usize);
+                m &= m - 1;
+            }
+        }
+    }
+}
+
+/// Lazily-filled per-model engine preference rows for the EDF kernels:
+/// `rows[model]` lists every engine id sorted by the kernel's engine
+/// rule, so a dispatch walks the row and takes the first free one —
+/// the same engine `min_by` over the free slice returns. Rows are
+/// pre-allocated flat at setup and *filled* on a model's first
+/// dispatch (an in-place `sort_unstable`, so no mid-loop allocation).
+struct PrefTable {
+    rows: Vec<u32>,
+    built: Vec<bool>,
+    num_engines: usize,
+}
+
+impl PrefTable {
+    fn new(num_engines: usize) -> Self {
+        Self {
+            rows: vec![0; NUM_MODELS * num_engines],
+            built: vec![false; NUM_MODELS],
+            num_engines,
+        }
+    }
+
+    /// The preference row for model index `mi`, building it with
+    /// `fill` on first use.
+    fn row(&mut self, mi: usize, fill: impl FnOnce(&mut [u32])) -> &[u32] {
+        let start = mi * self.num_engines;
+        let row = &mut self.rows[start..start + self.num_engines];
+        if !self.built[mi] {
+            for (i, r) in row.iter_mut().enumerate() {
+                *r = i as u32;
+            }
+            fill(row);
+            self.built[mi] = true;
+        }
+        &self.rows[start..start + self.num_engines]
+    }
+}
+
+/// Precomputed per-scenario dispatch tables: scenario specs are
+/// deduplicated (sessions typically share a handful of scenarios
+/// across all users) and their dependency / reverse-dependency lists
+/// flattened into CSR arrays indexed by `scenario * NUM_MODELS +
+/// model`. Per-user state shrinks to one `u32` scenario index, and
+/// the hot loop reads contiguous slices instead of per-key `Vec`s.
+struct Tables {
+    /// Dense user index → deduplicated scenario index.
+    spec_of_user: Vec<u32>,
+    /// CSR offsets/payloads for each model's upstream dependencies.
+    dep_off: Vec<u32>,
+    dep_up: Vec<u8>,
+    dep_prob: Vec<f64>,
+    /// CSR offsets/payloads for each model's dependents (reverse
+    /// dependencies), in the same per-scenario declaration order the
+    /// heap engine builds.
+    down_off: Vec<u32>,
+    down: Vec<u8>,
+}
+
+impl Tables {
+    fn build(specs: &[(u32, &ScenarioSpec)]) -> Self {
+        let nm = NUM_MODELS;
+        let mut uniq: Vec<&ScenarioSpec> = Vec::new();
+        let mut spec_of_user = Vec::with_capacity(specs.len());
+        for &(_, spec) in specs {
+            let idx = uniq
+                .iter()
+                .position(|&u| std::ptr::eq(u, spec) || u == spec)
+                .unwrap_or_else(|| {
+                    uniq.push(spec);
+                    uniq.len() - 1
+                });
+            spec_of_user.push(idx as u32);
+        }
+
+        let mut deps: Vec<Vec<(u8, f64)>> = vec![Vec::new(); uniq.len() * nm];
+        let mut downstream: Vec<Vec<u8>> = vec![Vec::new(); uniq.len() * nm];
+        for (si, spec) in uniq.iter().enumerate() {
+            for m in &spec.models {
+                let row = si * nm + m.model as usize;
+                deps[row] = m
+                    .deps
+                    .iter()
+                    .map(|d| (d.upstream as u8, d.trigger_probability))
+                    .collect();
+                for d in &m.deps {
+                    downstream[si * nm + d.upstream as usize].push(m.model as u8);
+                }
+            }
+        }
+
+        let mut dep_off = Vec::with_capacity(deps.len() + 1);
+        let mut dep_up = Vec::new();
+        let mut dep_prob = Vec::new();
+        dep_off.push(0u32);
+        for row in &deps {
+            for &(up, prob) in row {
+                dep_up.push(up);
+                dep_prob.push(prob);
+            }
+            dep_off.push(dep_up.len() as u32);
+        }
+        let mut down_off = Vec::with_capacity(downstream.len() + 1);
+        let mut down = Vec::new();
+        down_off.push(0u32);
+        for row in &downstream {
+            down.extend_from_slice(row);
+            down_off.push(down.len() as u32);
+        }
+
+        Self {
+            spec_of_user,
+            dep_off,
+            dep_up,
+            dep_prob,
+            down_off,
+            down,
+        }
+    }
+
+    #[inline]
+    fn row(&self, key: usize) -> usize {
+        self.spec_of_user[key / NUM_MODELS] as usize * NUM_MODELS + key % NUM_MODELS
+    }
+
+    #[inline]
+    fn deps(&self, key: usize) -> (&[u8], &[f64]) {
+        let r = self.row(key);
+        let (a, b) = (self.dep_off[r] as usize, self.dep_off[r + 1] as usize);
+        (&self.dep_up[a..b], &self.dep_prob[a..b])
+    }
+
+    #[inline]
+    fn has_deps(&self, key: usize) -> bool {
+        let r = self.row(key);
+        self.dep_off[r] != self.dep_off[r + 1]
+    }
+
+    #[inline]
+    fn downstream(&self, key: usize) -> &[u8] {
+        let r = self.row(key);
+        &self.down[self.down_off[r] as usize..self.down_off[r + 1] as usize]
+    }
+}
+
+/// Per-key upstream resolution windows: a flat-array replacement for
+/// the heap engine's `BTreeMap<u64, Resolution>` per key. Each window
+/// is a sorted `(sensor_frame, resolution)` run with a retired-prefix
+/// head index — retirement advances the head (O(1) per entry, exactly
+/// the `BTreeMap` pop loop), lookups binary-search the live suffix,
+/// and inserts append in the common in-order case. Retired prefixes
+/// are physically dropped when the window refills, so capacity stays
+/// proportional to the in-flight frame window.
+struct ResolutionStore {
+    wins: Vec<Window>,
+}
+
+#[derive(Default, Clone)]
+struct Window {
+    buf: Vec<(u64, Resolution)>,
+    head: usize,
+}
+
+impl ResolutionStore {
+    fn new(num_keys: usize) -> Self {
+        Self {
+            wins: vec![Window::default(); num_keys],
+        }
+    }
+
+    fn insert(&mut self, key: usize, sf: u64, res: Resolution) {
+        let win = &mut self.wins[key];
+        if win.head == win.buf.len() {
+            win.buf.clear();
+            win.head = 0;
+        } else if win.head > 0 && win.buf.len() == win.buf.capacity() {
+            win.buf.drain(..win.head);
+            win.head = 0;
+        }
+        match win.buf[win.head..].binary_search_by_key(&sf, |e| e.0) {
+            Ok(i) => win.buf[win.head + i].1 = res,
+            Err(i) => win.buf.insert(win.head + i, (sf, res)),
+        }
+    }
+
+    fn get(&self, key: usize, sf: u64) -> Option<Resolution> {
+        let win = &self.wins[key];
+        win.buf[win.head..]
+            .binary_search_by_key(&sf, |e| e.0)
+            .ok()
+            .map(|i| win.buf[win.head + i].1)
+    }
+
+    /// Retires every resolution with `sensor_frame < threshold`.
+    fn retire_below(&mut self, key: usize, threshold: u64) {
+        let win = &mut self.wins[key];
+        while win.head < win.buf.len() && win.buf[win.head].0 < threshold {
+            win.head += 1;
+        }
+        if win.head == win.buf.len() {
+            win.buf.clear();
+            win.head = 0;
+        }
+    }
+}
+
+/// Dependent frames parked until their upstreams resolve, in
+/// struct-of-arrays layout (`seq == EMPTY_SEQ` marks empty).
+struct Waiting {
+    seq: Vec<u64>,
+    frame_id: Vec<u64>,
+    sensor_frame: Vec<u64>,
+    t_req: Vec<f64>,
+    t_deadline: Vec<f64>,
+}
+
+impl Waiting {
+    fn new(num_keys: usize) -> Self {
+        Self {
+            seq: vec![EMPTY_SEQ; num_keys],
+            frame_id: vec![0; num_keys],
+            sensor_frame: vec![0; num_keys],
+            t_req: vec![0.0; num_keys],
+            t_deadline: vec![0.0; num_keys],
+        }
+    }
+
+    #[inline]
+    fn occupied(&self, key: usize) -> bool {
+        self.seq[key] != EMPTY_SEQ
     }
 }
 
@@ -291,25 +798,12 @@ impl UserIndex {
     }
 }
 
-/// Inserts `engine` into the sorted free set (no-op if present).
-fn free_insert(free: &mut Vec<usize>, engine: usize) {
-    if let Err(pos) = free.binary_search(&engine) {
-        free.insert(pos, engine);
-    }
-}
-
-/// Removes `engine` from the sorted free set (no-op if absent).
-fn free_remove(free: &mut Vec<usize>, engine: usize) {
-    if let Ok(pos) = free.binary_search(&engine) {
-        free.remove(pos);
-    }
-}
-
 /// The smallest sensor frame any dependent of `key` may still look
 /// up — resolutions of `key` below this watermark are unreachable.
-fn retire_threshold(key: usize, nm: usize, downstream: &[Vec<ModelId>], floor: &[u64]) -> u64 {
+fn retire_threshold(key: usize, nm: usize, tables: &Tables, floor: &[u64]) -> u64 {
     let user_base = key - key % nm;
-    downstream[key]
+    tables
+        .downstream(key)
         .iter()
         .map(|&d| floor[user_base + d as usize])
         .min()
@@ -318,27 +812,20 @@ fn retire_threshold(key: usize, nm: usize, downstream: &[Vec<ModelId>], floor: &
 
 /// After `key`'s watermark advanced: retire upstream resolutions no
 /// dependent can reference anymore. Each resolution is retired at most
-/// once, so the cost amortizes to O(log n) per completion.
+/// once, so the cost amortizes to a constant per completion.
 fn retire_upstreams(
     key: usize,
     nm: usize,
-    deps: &[Vec<(ModelId, f64)>],
-    downstream: &[Vec<ModelId>],
+    tables: &Tables,
     floor: &[u64],
-    resolved: &mut [BTreeMap<u64, Resolution>],
+    resolved: &mut ResolutionStore,
 ) {
     let user_base = key - key % nm;
-    for &(up, _) in &deps[key] {
+    let (ups, _) = tables.deps(key);
+    for &up in ups {
         let upkey = user_base + up as usize;
-        let threshold = retire_threshold(upkey, nm, downstream, floor);
-        let map = &mut resolved[upkey];
-        while let Some((&sf, _)) = map.first_key_value() {
-            if sf < threshold {
-                map.remove(&sf);
-            } else {
-                break;
-            }
-        }
+        let threshold = retire_threshold(upkey, nm, tables, floor);
+        resolved.retire_below(upkey, threshold);
     }
 }
 
@@ -349,33 +836,31 @@ fn retire_upstreams(
 fn process_completion(
     ev: CompletionEv,
     nm: usize,
-    downstream: &[Vec<ModelId>],
+    tables: &Tables,
     floor: &[u64],
-    resolved: &mut [BTreeMap<u64, Resolution>],
-    waiting: &[Option<WaitEntry>],
+    resolved: &mut ResolutionStore,
+    waiting: &Waiting,
     pass: &mut BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
     engine_token: &mut [Option<u64>],
-    free: &mut Vec<usize>,
+    free: &mut FreeSet,
 ) {
     let key = ev.key as usize;
-    if !downstream[key].is_empty() {
-        if ev.sensor_frame >= retire_threshold(key, nm, downstream, floor) {
-            resolved[key].insert(ev.sensor_frame, Resolution::Completed);
+    if !tables.downstream(key).is_empty() {
+        if ev.sensor_frame >= retire_threshold(key, nm, tables, floor) {
+            resolved.insert(key, ev.sensor_frame, Resolution::Completed);
         }
         let user_base = key - key % nm;
-        for &d in &downstream[key] {
+        for &d in tables.downstream(key) {
             let dkey = user_base + d as usize;
-            if let Some(w) = waiting[dkey] {
-                if w.sensor_frame == ev.sensor_frame {
-                    pass.push(std::cmp::Reverse((w.seq, dkey as u32)));
-                }
+            if waiting.occupied(dkey) && waiting.sensor_frame[dkey] == ev.sensor_frame {
+                pass.push(std::cmp::Reverse((waiting.seq[dkey], dkey as u32)));
             }
         }
     }
     let engine = ev.engine as usize;
     if engine_token[engine] == Some(ev.token) {
         engine_token[engine] = None;
-        free_insert(free, engine);
+        free.insert(engine);
     }
 }
 
@@ -459,9 +944,10 @@ fn emit_completion(
 /// count (the fleet path).
 ///
 /// Records reach the sink in dispatch order, which is nondecreasing in
-/// `t_start` — exactly the order `SimResult::records` ends up in after
-/// its (stable, already-sorted) final sort. The two modes are
-/// otherwise bit-identical: same events, same stats, same tie-breaks.
+/// `t_start` — exactly the order `SimResult::records` lists them (the
+/// fault-free path emits pre-sorted and skips the final sort
+/// entirely). The two modes are otherwise bit-identical: same events,
+/// same stats, same tie-breaks.
 pub(crate) enum RecordMode<'a> {
     /// Retain every [`ExecRecord`] in per-user vectors.
     Collect,
@@ -470,10 +956,57 @@ pub(crate) enum RecordMode<'a> {
     Fold(&'a mut dyn FnMut(u32, &ExecRecord)),
 }
 
+/// The evolving state of a kernel-driven dispatch run (see
+/// [`DispatchKernel`]): exported back to the scheduler through
+/// [`Scheduler::absorb_kernel`] at run end.
+enum KernelState {
+    EdfFastest,
+    FifoRotate { next_engine: usize },
+    FifoLeastLoaded { loads: Vec<f64> },
+    EdfOutages { outages: Vec<u64> },
+}
+
+/// Splits a declared kernel into the request order and the engine-rule
+/// state, pre-sizing carried vectors to the engine count so the hot
+/// loop never resizes them (reads beyond the declared length are 0 by
+/// the kernel contract, so this is semantics-preserving).
+fn kernel_setup(kernel: DispatchKernel, num_engines: usize) -> (PickOrder, KernelState) {
+    match kernel {
+        DispatchKernel::EdfFastestEngine => (PickOrder::Edf, KernelState::EdfFastest),
+        DispatchKernel::FifoRotatingEngine { next_engine } => {
+            (PickOrder::Fifo, KernelState::FifoRotate { next_engine })
+        }
+        DispatchKernel::FifoLeastLoadedEngine { mut loads } => {
+            if loads.len() < num_engines {
+                loads.resize(num_engines, 0.0);
+            }
+            (PickOrder::Fifo, KernelState::FifoLeastLoaded { loads })
+        }
+        DispatchKernel::EdfFewestOutagesEngine { mut outages } => {
+            if outages.len() < num_engines {
+                outages.resize(num_engines, 0);
+            }
+            (PickOrder::Edf, KernelState::EdfOutages { outages })
+        }
+    }
+}
+
+/// Packages the evolved kernel state for [`Scheduler::absorb_kernel`].
+fn kernel_export(state: KernelState) -> DispatchKernel {
+    match state {
+        KernelState::EdfFastest => DispatchKernel::EdfFastestEngine,
+        KernelState::FifoRotate { next_engine } => {
+            DispatchKernel::FifoRotatingEngine { next_engine }
+        }
+        KernelState::FifoLeastLoaded { loads } => DispatchKernel::FifoLeastLoadedEngine { loads },
+        KernelState::EdfOutages { outages } => DispatchKernel::EdfFewestOutagesEngine { outages },
+    }
+}
+
 /// The production event loop over user-tagged requests (`requests`
 /// must be sorted by `t_req`, and strictly frame-monotone per
 /// `(user, model)`). Returns one [`SimResult`] per user. Bit-identical
-/// to [`crate::naive::run_tagged_naive`].
+/// to [`crate::naive::run_tagged_naive`] and [`crate::heap`].
 pub(crate) fn run_tagged(
     config: SimConfig,
     specs: &[(u32, &ScenarioSpec)],
@@ -513,7 +1046,7 @@ pub(crate) fn run_tagged_mode(
 /// [`run_tagged_mode`] with optional fault injection. With
 /// `faults: None` this *is* the fault-free loop — no fault state is
 /// allocated and every fault branch is behind an `Option` check, so
-/// the classic path stays bit-identical to the reference loop.
+/// the classic path stays bit-identical to the reference loops.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_tagged_faulted(
     config: SimConfig,
@@ -533,45 +1066,54 @@ pub(crate) fn run_tagged_faulted(
     let num_users = users_raw.len();
     let num_keys = num_users * nm;
 
-    // Dense per-(user, model) setup tables.
-    let mut deps: Vec<Vec<(ModelId, f64)>> = vec![Vec::new(); num_keys];
-    let mut downstream: Vec<Vec<ModelId>> = vec![Vec::new(); num_keys];
+    // Precomputed per-scenario dispatch tables (deduplicated CSR).
+    let tables = Tables::build(specs);
     // Keys that must appear in the output stats (spec members), plus
     // any key a request actually touched.
     let mut touched = vec![false; num_keys];
     for (ui, &(_, spec)) in specs.iter().enumerate() {
         for m in &spec.models {
-            let key = ui * nm + m.model as usize;
-            touched[key] = true;
-            deps[key] = m
-                .deps
-                .iter()
-                .map(|d| (d.upstream, d.trigger_probability))
-                .collect();
-            for d in &m.deps {
-                downstream[ui * nm + d.upstream as usize].push(m.model);
-            }
+            touched[ui * nm + m.model as usize] = true;
         }
     }
 
-    // Runtime state.
-    let cache = DenseCostCache::new(provider);
+    // The kernel fast path runs only fault-free (kernels cannot
+    // observe mid-run outages) and only for schedulers that declare
+    // one; everything else takes the generic `select` path.
     let num_engines = provider.num_engines();
-    let mut free: Vec<usize> = (0..num_engines).collect();
+    let kernel = if faults.is_none() {
+        scheduler
+            .dispatch_kernel()
+            .map(|k| kernel_setup(k, num_engines))
+    } else {
+        None
+    };
+    let (kernel_order, mut kstate) = match kernel {
+        Some((o, s)) => (Some(o), Some(s)),
+        None => (None, None),
+    };
+    let mut prefs = PrefTable::new(num_engines);
+
+    // Runtime state, pre-sized from spec-derived bounds: the calendar
+    // and free set from the engine count, the queues and tables from
+    // the dense key count.
+    let cache = DenseCostCache::new(provider);
+    let mut free = FreeSet::all(num_engines, kernel_order.is_none());
     let mut engine_token: Vec<Option<u64>> = vec![None; num_engines];
     let mut next_token = 0u64;
     let mut next_seq = 0u64;
-    let mut calendar: Calendar = BinaryHeap::new();
-    // Due-but-stashed events: calendar tops discovered at or before
+    let mut calendar = CalendarQueue::with_capacity(num_engines);
+    // Due-but-stashed events: calendar entries discovered at or before
     // `now + EPS` while looking for the next event time (possible only
     // for degenerate sub-epsilon latencies); the reference loop
     // processes them at the *next* event time, so we do too.
-    let mut due: Vec<CompletionEv> = Vec::new();
-    let mut ready = ReadyQueue::new(num_keys);
-    let mut waiting: Vec<Option<WaitEntry>> = vec![None; num_keys];
-    let mut pass: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
-    let mut deferred: Vec<(u64, u32)> = Vec::new();
-    let mut resolved: Vec<BTreeMap<u64, Resolution>> = vec![BTreeMap::new(); num_keys];
+    let mut due: Vec<CompletionEv> = Vec::with_capacity(num_engines * 2 + 8);
+    let mut ready = Ready::new(num_keys, kernel_order);
+    let mut waiting = Waiting::new(num_keys);
+    let mut pass: BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+        BinaryHeap::with_capacity(num_keys + 16);
+    let mut deferred: Vec<(u64, u32)> = Vec::with_capacity(32);
+    let mut resolved = ResolutionStore::new(num_keys);
     let mut floor = vec![0u64; num_keys];
     let mut stats: Vec<ModelStats> = vec![ModelStats::default(); num_keys];
     let mut last_frame: Vec<Option<(u64, u64)>> = vec![None; num_keys];
@@ -592,15 +1134,12 @@ pub(crate) fn run_tagged_faulted(
 
     loop {
         // 1. Process completions due now (stashed first, then the
-        //    calendar, in identical order) and re-queue cascade
-        //    candidates deferred from the previous pass.
-        while let Some(&std::cmp::Reverse(top)) = calendar.peek() {
-            if top.t > now + EPS {
-                break;
-            }
-            calendar.pop();
-            due.push(top);
-        }
+        //    calendar drain — sorted per cohort under the same total
+        //    order the heap popped in) and re-queue cascade candidates
+        //    deferred from the previous pass.
+        let fresh = due.len();
+        calendar.drain_due(now + EPS, &mut due);
+        due[fresh..].sort_unstable();
         for ev in due.drain(..) {
             if let Some(f) = fstate.as_mut() {
                 if f.revoked.remove(&ev.token) {
@@ -623,7 +1162,7 @@ pub(crate) fn run_tagged_faulted(
             process_completion(
                 ev,
                 nm,
-                &downstream,
+                &tables,
                 &floor,
                 &mut resolved,
                 &waiting,
@@ -653,7 +1192,7 @@ pub(crate) fn run_tagged_faulted(
                             continue;
                         }
                         f.engine_up[engine] = false;
-                        free_remove(&mut free, engine);
+                        free.remove(engine);
                         scheduler.on_engine_down(engine, now);
                         let Some(token) = engine_token[engine].take() else {
                             continue;
@@ -668,28 +1207,31 @@ pub(crate) fn run_tagged_faulted(
                                     FaultKind::Preemption => DropReason::Preempted,
                                 };
                                 stats[key].record_drop(reason);
-                                if !downstream[key].is_empty() {
+                                if !tables.downstream(key).is_empty() {
                                     // Dependents see the same Dropped
                                     // resolution an untriggered frame
                                     // would leave behind.
                                     if inf.sensor_frame
-                                        >= retire_threshold(key, nm, &downstream, &floor)
+                                        >= retire_threshold(key, nm, &tables, &floor)
                                     {
-                                        resolved[key].insert(inf.sensor_frame, Resolution::Dropped);
+                                        resolved.insert(key, inf.sensor_frame, Resolution::Dropped);
                                     }
                                     let user_base = key - key % nm;
-                                    for &d in &downstream[key] {
+                                    for &d in tables.downstream(key) {
                                         let dkey = user_base + d as usize;
-                                        if let Some(dw) = waiting[dkey] {
-                                            if dw.sensor_frame == inf.sensor_frame {
-                                                pass.push(std::cmp::Reverse((dw.seq, dkey as u32)));
-                                            }
+                                        if waiting.occupied(dkey)
+                                            && waiting.sensor_frame[dkey] == inf.sensor_frame
+                                        {
+                                            pass.push(std::cmp::Reverse((
+                                                waiting.seq[dkey],
+                                                dkey as u32,
+                                            )));
                                         }
                                     }
                                 }
                             }
                             RecoveryPolicy::Requeue | RecoveryPolicy::Migrate => {
-                                if ready.slot[key].is_some() {
+                                if ready.occupied(key) {
                                     // A newer frame is already queued:
                                     // freshness drops the revoked one.
                                     stats[key].record_drop(DropReason::Superseded);
@@ -706,7 +1248,17 @@ pub(crate) fn run_tagged_faulted(
                                     };
                                     let seq = next_seq;
                                     next_seq += 1;
-                                    ready.requeue_push(key, inf.view, inf.sensor_frame, seq, frac);
+                                    ready.requeue_push(
+                                        key,
+                                        inf.view.user,
+                                        inf.view.model,
+                                        inf.view.frame_id,
+                                        inf.sensor_frame,
+                                        inf.view.t_req,
+                                        inf.view.t_deadline,
+                                        seq,
+                                        frac,
+                                    );
                                 }
                             }
                         }
@@ -716,7 +1268,7 @@ pub(crate) fn run_tagged_faulted(
                             continue;
                         }
                         f.engine_up[engine] = true;
-                        free_insert(&mut free, engine);
+                        free.insert(engine);
                     }
                     FaultAction::Capacity(c) => {
                         f.capacity[engine] = c;
@@ -742,38 +1294,39 @@ pub(crate) fn run_tagged_faulted(
             last_frame[key] = Some((p.req.frame_id, p.req.sensor_frame));
             touched[key] = true;
             stats[key].total_frames += 1;
-            if !deps[key].is_empty() {
+            if tables.has_deps(key) {
                 // Freshness: a newer dependent frame supersedes an
                 // older one still waiting for its upstream.
-                if waiting[key].is_some() {
+                if waiting.occupied(key) {
                     stats[key].record_drop(DropReason::Superseded);
                 }
                 let seq = next_seq;
                 next_seq += 1;
-                waiting[key] = Some(WaitEntry {
-                    seq,
-                    frame_id: p.req.frame_id,
-                    sensor_frame: p.req.sensor_frame,
-                    t_req: p.req.t_req,
-                    t_deadline: p.req.t_deadline,
-                });
+                waiting.seq[key] = seq;
+                waiting.frame_id[key] = p.req.frame_id;
+                waiting.sensor_frame[key] = p.req.sensor_frame;
+                waiting.t_req[key] = p.req.t_req;
+                waiting.t_deadline[key] = p.req.t_deadline;
                 // Lookups now target this frame and nothing older.
                 if p.req.sensor_frame > floor[key] {
                     floor[key] = p.req.sensor_frame;
-                    retire_upstreams(key, nm, &deps, &downstream, &floor, &mut resolved);
+                    retire_upstreams(key, nm, &tables, &floor, &mut resolved);
                 }
                 pass.push(std::cmp::Reverse((seq, key as u32)));
             } else {
                 let seq = next_seq;
                 next_seq += 1;
-                let view = PendingView {
-                    user: p.user,
-                    model: p.req.model,
-                    frame_id: p.req.frame_id,
-                    t_req: p.req.t_req,
-                    t_deadline: p.req.t_deadline,
-                };
-                ready.supersede_push(key, view, p.req.sensor_frame, seq, &mut stats);
+                ready.supersede_push(
+                    key,
+                    p.user,
+                    p.req.model,
+                    p.req.frame_id,
+                    p.req.sensor_frame,
+                    p.req.t_req,
+                    p.req.t_deadline,
+                    seq,
+                    &mut stats,
+                );
             }
         }
 
@@ -782,15 +1335,16 @@ pub(crate) fn run_tagged_faulted(
         //    mirroring the reference loop's linear scan.
         while let Some(std::cmp::Reverse((seq, key32))) = pass.pop() {
             let key = key32 as usize;
-            let Some(w) = waiting[key] else { continue };
-            if w.seq != seq {
+            if !waiting.occupied(key) || waiting.seq[key] != seq {
                 continue; // superseded since candidacy
             }
             let user_base = key - key % nm;
+            let w_sf = waiting.sensor_frame[key];
             // Are all upstream resolutions decided?
+            let (ups, probs) = tables.deps(key);
             let mut any_dropped = Some(false);
-            for &(up, _) in &deps[key] {
-                match resolved[user_base + up as usize].get(&w.sensor_frame) {
+            for &up in ups {
+                match resolved.get(user_base + up as usize, w_sf) {
                     None => {
                         any_dropped = None;
                         break;
@@ -802,59 +1356,57 @@ pub(crate) fn run_tagged_faulted(
             let Some(any_dropped) = any_dropped else {
                 continue; // upstream still in flight; stays waiting
             };
-            waiting[key] = None;
-            floor[key] = w.sensor_frame + 1;
-            retire_upstreams(key, nm, &deps, &downstream, &floor, &mut resolved);
+            let w_frame = waiting.frame_id[key];
+            let w_t_req = waiting.t_req[key];
+            let w_deadline = waiting.t_deadline[key];
+            waiting.seq[key] = EMPTY_SEQ;
+            floor[key] = w_sf + 1;
+            retire_upstreams(key, nm, &tables, &floor, &mut resolved);
             let model = ModelId::ALL[key % nm];
             let user = users_raw[key / nm];
             if any_dropped {
                 stats[key].record_drop(DropReason::UpstreamDropped);
-            } else if deps[key].iter().all(|&(up, prob)| {
+            } else if ups.iter().zip(probs).all(|(&up, &prob)| {
                 // Exactly one seeded draw per (user, model, upstream,
                 // frame) decision: the waiting slot holds one frame
                 // per key and is cleared before this branch runs, and
                 // frame ids are strictly increasing, so no decision
                 // can ever be re-evaluated — no memo table needed.
-                trigger_draw(config.seed, user, model, up, w.frame_id, prob)
+                trigger_draw(
+                    config.seed,
+                    user,
+                    model,
+                    ModelId::ALL[up as usize],
+                    w_frame,
+                    prob,
+                )
             }) {
                 let seq = next_seq;
                 next_seq += 1;
                 ready.supersede_push(
-                    key,
-                    PendingView {
-                        user,
-                        model,
-                        frame_id: w.frame_id,
-                        t_req: w.t_req,
-                        t_deadline: w.t_deadline,
-                    },
-                    w.sensor_frame,
-                    seq,
-                    &mut stats,
+                    key, user, model, w_frame, w_sf, w_t_req, w_deadline, seq, &mut stats,
                 );
             } else {
                 // Legitimately deactivated: not streamed work for QoE
                 // purposes.
                 stats[key].untriggered_frames += 1;
                 stats[key].total_frames -= 1;
-                if !downstream[key].is_empty() {
-                    if w.sensor_frame >= retire_threshold(key, nm, &downstream, &floor) {
-                        resolved[key].insert(w.sensor_frame, Resolution::Dropped);
+                if !tables.downstream(key).is_empty() {
+                    if w_sf >= retire_threshold(key, nm, &tables, &floor) {
+                        resolved.insert(key, w_sf, Resolution::Dropped);
                     }
                     // Cascade: this may unblock further dependents.
                     // Forward (later-queued) ones join this pass, as
                     // the reference scan would reach them; backward
                     // ones wait for the next event time, as the
                     // reference scan already passed them.
-                    for &d in &downstream[key] {
+                    for &d in tables.downstream(key) {
                         let dkey = user_base + d as usize;
-                        if let Some(dw) = waiting[dkey] {
-                            if dw.sensor_frame == w.sensor_frame {
-                                if dw.seq > seq {
-                                    pass.push(std::cmp::Reverse((dw.seq, dkey as u32)));
-                                } else {
-                                    deferred.push((dw.seq, dkey as u32));
-                                }
+                        if waiting.occupied(dkey) && waiting.sensor_frame[dkey] == w_sf {
+                            if waiting.seq[dkey] > seq {
+                                pass.push(std::cmp::Reverse((waiting.seq[dkey], dkey as u32)));
+                            } else {
+                                deferred.push((waiting.seq[dkey], dkey as u32));
                             }
                         }
                     }
@@ -863,92 +1415,206 @@ pub(crate) fn run_tagged_faulted(
         }
 
         // 4. Dispatch ready requests onto free engines.
-        while !free.is_empty() && !ready.is_empty() {
-            let Some((ri, engine)) = scheduler.select(&ready.views, &free, &cache, now) else {
-                break;
-            };
-            assert!(ri < ready.len(), "scheduler returned bad request index");
-            assert!(
-                free.binary_search(&engine).is_ok(),
-                "scheduler returned busy engine {engine}"
-            );
-            let key = ready.key_at(ri);
-            let (view, sensor_frame, frac) = ready.remove_pos(ri);
-            let cost = cache.cost(view.model, engine);
-            let t_end;
-            if let Some(f) = fstate.as_ref() {
-                // Faulted dispatches pay only the remaining-work
-                // fraction, stretched by the engine's current thermal
-                // capacity; stats and records wait for completion
-                // because the dispatch may yet be revoked.
-                t_end = now + cost.latency_s * frac / f.capacity[engine];
-            } else {
-                t_end = now + cost.latency_s;
-                stats[key].executed_frames += 1;
-                if t_end > view.t_deadline {
-                    stats[key].missed_deadlines += 1;
-                }
-                let record = ExecRecord {
-                    model: view.model,
-                    frame_id: view.frame_id,
-                    sensor_frame,
-                    engine,
-                    t_req: view.t_req,
-                    t_deadline: view.t_deadline,
-                    t_start: now,
-                    t_end,
-                    energy_j: cost.energy_j,
-                };
-                match &mut mode {
-                    RecordMode::Collect => records[key / nm].push(record),
-                    RecordMode::Fold(sink) => sink(users_raw[key / nm], &record),
+        match &mut kstate {
+            None => {
+                // Generic path: compact the cohort's tombstones once,
+                // then drive the scheduler's own `select`.
+                ready.compact();
+                while !free.is_empty() && !ready.is_empty() {
+                    let Some((ri, engine)) =
+                        scheduler.select(ready.views(), &free.list, &cache, now)
+                    else {
+                        break;
+                    };
+                    assert!(
+                        ri < ready.views().len(),
+                        "scheduler returned bad request index"
+                    );
+                    assert!(
+                        free.contains(engine),
+                        "scheduler returned busy engine {engine}"
+                    );
+                    let (key, view, sensor_frame, frac) = ready.remove_pos(ri);
+                    let cost = cache.cost(view.model, engine);
+                    let t_end;
+                    if let Some(f) = fstate.as_ref() {
+                        // Faulted dispatches pay only the remaining-work
+                        // fraction, stretched by the engine's current
+                        // thermal capacity; stats and records wait for
+                        // completion because the dispatch may yet be
+                        // revoked.
+                        t_end = now + cost.latency_s * frac / f.capacity[engine];
+                    } else {
+                        t_end = now + cost.latency_s;
+                        stats[key].executed_frames += 1;
+                        if t_end > view.t_deadline {
+                            stats[key].missed_deadlines += 1;
+                        }
+                        let record = ExecRecord {
+                            model: view.model,
+                            frame_id: view.frame_id,
+                            sensor_frame,
+                            engine,
+                            t_req: view.t_req,
+                            t_deadline: view.t_deadline,
+                            t_start: now,
+                            t_end,
+                            energy_j: cost.energy_j,
+                        };
+                        match &mut mode {
+                            RecordMode::Collect => records[key / nm].push(record),
+                            RecordMode::Fold(sink) => sink(users_raw[key / nm], &record),
+                        }
+                    }
+                    let token = next_token;
+                    next_token += 1;
+                    if let Some(f) = fstate.as_mut() {
+                        f.open.insert(
+                            token,
+                            InFlight {
+                                key: key as u32,
+                                view,
+                                sensor_frame,
+                                t_start: now,
+                                t_end,
+                                frac,
+                                energy_j: cost.energy_j * frac,
+                            },
+                        );
+                    }
+                    if t_end > now + EPS {
+                        engine_token[engine] = Some(token);
+                        free.remove(engine);
+                    }
+                    // Degenerate sub-epsilon latencies leave the engine
+                    // free, matching the reference loop's fresh free-set
+                    // rescan; the stale token then never matches at
+                    // completion time.
+                    calendar.push(CompletionEv {
+                        t: t_end,
+                        key: key as u32,
+                        sensor_frame,
+                        engine: engine as u32,
+                        token,
+                    });
                 }
             }
-            let token = next_token;
-            next_token += 1;
-            if let Some(f) = fstate.as_mut() {
-                f.open.insert(
-                    token,
-                    InFlight {
-                        key: key as u32,
-                        view,
+            Some(kstate) => {
+                // Kernel path (always fault-free): indexed argmin over
+                // the declared request order, engine rule replayed
+                // exactly.
+                while !free.is_empty() {
+                    let Some(key) = ready.min_key() else { break };
+                    let mi = key % nm;
+                    let model = ModelId::ALL[mi];
+                    let engine =
+                        match kstate {
+                            KernelState::EdfFastest => {
+                                let row = prefs.row(mi, |row| {
+                                    row.sort_unstable_by(|&a, &b| {
+                                        cache
+                                            .cost(model, a as usize)
+                                            .latency_s
+                                            .total_cmp(&cache.cost(model, b as usize).latency_s)
+                                            .then(a.cmp(&b))
+                                    });
+                                });
+                                *row.iter().find(|&&e| free.contains(e as usize)).expect(
+                                    "free set is non-empty, so some preferred engine is free",
+                                ) as usize
+                            }
+                            KernelState::EdfOutages { outages } => {
+                                let row = prefs.row(mi, |row| {
+                                    row.sort_unstable_by(|&a, &b| {
+                                        outages[a as usize]
+                                            .cmp(&outages[b as usize])
+                                            .then(
+                                                cache.cost(model, a as usize).latency_s.total_cmp(
+                                                    &cache.cost(model, b as usize).latency_s,
+                                                ),
+                                            )
+                                            .then(a.cmp(&b))
+                                    });
+                                });
+                                *row.iter().find(|&&e| free.contains(e as usize)).expect(
+                                    "free set is non-empty, so some preferred engine is free",
+                                ) as usize
+                            }
+                            KernelState::FifoRotate { next_engine } => {
+                                let e = free
+                                    .first_at_or_above(*next_engine)
+                                    .unwrap_or_else(|| free.lowest());
+                                // Mirrors RoundRobin::select's cursor
+                                // update, including reading the free count
+                                // *before* this dispatch occupies `e`.
+                                *next_engine = (e + 1) % usize::max(1, e + 1).max(free.count);
+                                e
+                            }
+                            KernelState::FifoLeastLoaded { loads } => {
+                                let mut best = usize::MAX;
+                                let mut best_load = f64::INFINITY;
+                                free.for_each(|e| {
+                                    // Strictly-less keeps the lowest id on
+                                    // ties, matching `min_by`'s first-min.
+                                    if loads[e].total_cmp(&best_load).is_lt() {
+                                        best_load = loads[e];
+                                        best = e;
+                                    }
+                                });
+                                loads[best] += cache.cost(model, best).latency_s;
+                                best
+                            }
+                        };
+                    let (frame_id, sensor_frame, t_req, t_deadline, _frac) = ready.take_key(key);
+                    let cost = cache.cost(model, engine);
+                    let t_end = now + cost.latency_s;
+                    stats[key].executed_frames += 1;
+                    if t_end > t_deadline {
+                        stats[key].missed_deadlines += 1;
+                    }
+                    let record = ExecRecord {
+                        model,
+                        frame_id,
                         sensor_frame,
+                        engine,
+                        t_req,
+                        t_deadline,
                         t_start: now,
                         t_end,
-                        frac,
-                        energy_j: cost.energy_j * frac,
-                    },
-                );
+                        energy_j: cost.energy_j,
+                    };
+                    match &mut mode {
+                        RecordMode::Collect => records[key / nm].push(record),
+                        RecordMode::Fold(sink) => sink(users_raw[key / nm], &record),
+                    }
+                    let token = next_token;
+                    next_token += 1;
+                    if t_end > now + EPS {
+                        engine_token[engine] = Some(token);
+                        free.remove(engine);
+                    }
+                    calendar.push(CompletionEv {
+                        t: t_end,
+                        key: key as u32,
+                        sensor_frame,
+                        engine: engine as u32,
+                        token,
+                    });
+                }
             }
-            if t_end > now + EPS {
-                engine_token[engine] = Some(token);
-                free_remove(&mut free, engine);
-            }
-            // Degenerate sub-epsilon latencies leave the engine free,
-            // matching the reference loop's fresh free-set rescan; the
-            // stale token then never matches at completion time.
-            calendar.push(std::cmp::Reverse(CompletionEv {
-                t: t_end,
-                key: key as u32,
-                sensor_frame,
-                engine: engine as u32,
-                token,
-            }));
         }
 
-        // 5. Advance to the next event strictly after `now`.
+        // 5. Advance to the next event strictly after `now`, stashing
+        //    degenerate sub-epsilon completions for the next pass.
         let mut next = f64::INFINITY;
         if let Some(p) = arrivals.peek() {
             next = next.min(p.req.t_req);
         }
-        while let Some(&std::cmp::Reverse(top)) = calendar.peek() {
-            if top.t <= now + EPS {
-                calendar.pop();
-                due.push(top);
-            } else {
-                next = next.min(top.t);
-                break;
-            }
+        let fresh = due.len();
+        calendar.drain_due(now + EPS, &mut due);
+        due[fresh..].sort_unstable();
+        if let Some(t) = calendar.next_time() {
+            next = next.min(t);
         }
         if let Some(f) = &fstate {
             // Fault events only matter while some work can still use
@@ -969,6 +1635,12 @@ pub(crate) fn run_tagged_faulted(
             break;
         }
         now = next;
+    }
+
+    // Hand the evolved kernel state back so back-to-back runs on one
+    // scheduler instance behave as if `select` had been called.
+    if let Some(kstate) = kstate {
+        scheduler.absorb_kernel(kernel_export(kstate));
     }
 
     // Completions stashed as due when the loop ended (possible only
@@ -995,20 +1667,32 @@ pub(crate) fn run_tagged_faulted(
 
     // Anything still queued at drain time never got to run within the
     // run's horizon; count as dropped.
-    for (key, slot) in waiting.iter().enumerate() {
-        if slot.is_some() {
-            stats[key].record_drop(DropReason::Starved);
+    for (key, st) in stats.iter_mut().enumerate() {
+        if waiting.occupied(key) {
+            st.record_drop(DropReason::Starved);
+        }
+        if ready.occupied(key) {
+            st.record_drop(DropReason::Starved);
         }
     }
-    for m in &ready.meta {
-        stats[m.key as usize].record_drop(DropReason::Starved);
-    }
 
-    // Assemble one SimResult per user.
+    // Assemble one SimResult per user. Fault-free records were emitted
+    // in dispatch order — already nondecreasing in `t_start` — so the
+    // heap engine's final re-sort is skipped (its stable sort on
+    // sorted input is the identity); faulted records were emitted at
+    // completion and still need the stable start-time sort.
+    let emit_at_completion = fstate.is_some();
     let mut out = BTreeMap::new();
     for (ui, &(user, _)) in specs.iter().enumerate() {
         let mut recs = std::mem::take(&mut records[ui]);
-        recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        if emit_at_completion {
+            recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        } else {
+            debug_assert!(
+                recs.windows(2).all(|w| w[0].t_start <= w[1].t_start),
+                "fault-free dispatch order must be nondecreasing in t_start"
+            );
+        }
         let mut user_stats: BTreeMap<ModelId, ModelStats> = BTreeMap::new();
         for (mi, &m) in ModelId::ALL.iter().enumerate() {
             let key = ui * nm + mi;

@@ -1,0 +1,971 @@
+//! The PR 3 heap-driven event loop, retained verbatim as the second
+//! doc-hidden reference implementation (next to [`crate::naive`]) for
+//! differential testing of the production engine in [`crate::engine`].
+//!
+//! This replaced the original quadratic event loop with per-event
+//! costs that are logarithmic or amortized constant:
+//!
+//! * **Event calendar** — completions live in a [`BinaryHeap`] keyed
+//!   by `(t, user, model, sensor_frame, dispatch token)` under
+//!   `f64::total_cmp`, so popping the next due event is `O(log n)`.
+//!   Arrivals are already a time-sorted run and are consumed by a
+//!   cursor (an event calendar in array form); engine-free events
+//!   coincide with completions, which carry their engine and a
+//!   dispatch token so an engine is freed exactly once.
+//! * **Indexed pending queues** — `ready` and `waiting` hold at most
+//!   one frame per `(user, model)` (the freshness drop policy
+//!   guarantees it), so both are slot arrays over a dense
+//!   `user_idx * NUM_MODELS + model` key. Freshness supersession is an
+//!   `O(1)` slot probe instead of a linear scan.
+//! * **Incremental [`PendingView`] buffer** — the scheduler's view of
+//!   the ready queue is maintained across picks (push on arrival,
+//!   binary-searched removal on dispatch/supersession) instead of
+//!   being rebuilt from scratch for every pick.
+//! * **Incremental free-engine set** — a sorted `Vec<usize>` updated
+//!   on dispatch and completion instead of a full rescan per pick.
+//! * **Reverse-dependency candidate pass** — instead of scanning every
+//!   waiting dependent on every event, a completion pushes exactly the
+//!   waiting entries it might unblock onto a per-timestamp candidate
+//!   heap ordered by waiting-queue sequence number, which reproduces
+//!   the reference loop's scan order bit-for-bit (including its
+//!   behavior of deferring backward cascades to the next event time).
+//! * **Resolved-entry retirement** — per-`(user, model)` watermarks
+//!   track the smallest sensor frame each dependent can still look
+//!   up; upstream resolutions below the watermark of every dependent
+//!   are retired (or never stored), so the resolution table stays
+//!   proportional to the in-flight window instead of the whole run.
+//! * **Dense fast paths** — dependency lists, reverse-dependency
+//!   lists, statistics, and watermarks are flat arrays over the dense
+//!   key; provider costs go through a lazily-filled
+//!   [`DenseCostCache`]; each cascade-trigger decision seeds its RNG
+//!   exactly once per `(user, model, upstream, frame)` — the
+//!   single-slot waiting queue plus strictly increasing frame ids
+//!   guarantee no decision is ever re-evaluated.
+//!
+//! Output is **bit-identical** to the naive reference loop *and* to
+//! the production calendar-queue engine; the differential property
+//! tests in `tests/runtime_properties.rs` and the golden suite
+//! fixtures enforce it.
+//!
+//! ## Fault injection (dynamic fleets)
+//!
+//! The loop optionally threads a [`FaultTimeline`] of engine events —
+//! down (churn/preemption), up (recovery), and capacity changes
+//! (thermal throttling) — applied between completions and arrivals.
+//! A down engine leaves the free set and its in-flight dispatch is
+//! *revoked*: the stale calendar completion is skipped via a revoked
+//! token set, and the work is dropped, requeued, or migrated per
+//! [`RecoveryPolicy`]. Because a faulted dispatch may never complete,
+//! stats and records are emitted at *completion* time in faulted mode
+//! (tracked in an `open` in-flight table) instead of at dispatch; the
+//! fault-free path is untouched and stays bit-identical to the
+//! reference loop.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use xrbench_models::ModelId;
+use xrbench_workload::ScenarioSpec;
+
+use crate::engine::{FaultCtx, RecordMode};
+use crate::fault::{FaultAction, FaultKind, RecoveryPolicy};
+use crate::provider::{CostProvider, DenseCostCache, NUM_MODELS};
+use crate::result::{DropReason, ExecRecord, ModelStats, SimResult};
+use crate::scheduler::{PendingView, Scheduler};
+use crate::simulator::{trigger_draw, Pending, Resolution, SimConfig, EPS};
+
+/// A completion event in the calendar.
+///
+/// `key` is the dense `(user, model)` key; `token` is the dispatch
+/// sequence number, which both totalizes the ordering and lets the
+/// engine-free side effect fire exactly once per dispatch.
+#[derive(Debug, Clone, Copy)]
+struct CompletionEv {
+    t: f64,
+    key: u32,
+    sensor_frame: u64,
+    engine: u32,
+    token: u64,
+}
+
+impl PartialEq for CompletionEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for CompletionEv {}
+
+impl PartialOrd for CompletionEv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompletionEv {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total deterministic order: time, then (user, model) via the
+        // dense key, then sensor frame, then dispatch token.
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.key.cmp(&other.key))
+            .then_with(|| self.sensor_frame.cmp(&other.sensor_frame))
+            .then_with(|| self.token.cmp(&other.token))
+    }
+}
+
+/// Min-heap adapter over [`BinaryHeap`]'s max-heap.
+type Calendar = BinaryHeap<std::cmp::Reverse<CompletionEv>>;
+
+/// One dependent frame parked until its upstream resolves.
+#[derive(Debug, Clone, Copy)]
+struct WaitEntry {
+    /// Global insertion sequence number (shared with the ready queue),
+    /// reproducing the reference loop's queue order.
+    seq: u64,
+    frame_id: u64,
+    sensor_frame: u64,
+    t_req: f64,
+    t_deadline: f64,
+}
+
+/// The dispatchable-request queue: slot-indexed by dense key for O(1)
+/// supersession, with the scheduler-facing [`PendingView`] buffer (and
+/// its parallel metadata) maintained incrementally in insertion order.
+struct ReadyQueue {
+    views: Vec<PendingView>,
+    /// Per-entry metadata parallel to `views`. `seq` is strictly
+    /// increasing across entries (position lookup by binary search).
+    ///
+    /// Removal from the middle is a binary search plus a contiguous
+    /// memmove of the two POD buffers — bounded by the same O(ready)
+    /// the scheduler's own `select` scan already pays per pick, so it
+    /// never dominates the dispatch path.
+    meta: Vec<ReadyMeta>,
+    /// Dense key → seq of the key's (unique) queued entry.
+    slot: Vec<Option<u64>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReadyMeta {
+    seq: u64,
+    key: u32,
+    sensor_frame: u64,
+    /// Remaining-work fraction: 1.0 for fresh frames, smaller for
+    /// checkpointed work migrating off a lost engine.
+    frac: f64,
+}
+
+impl ReadyQueue {
+    fn new(num_keys: usize) -> Self {
+        Self {
+            views: Vec::new(),
+            meta: Vec::new(),
+            slot: vec![None; num_keys],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    fn key_at(&self, pos: usize) -> usize {
+        self.meta[pos].key as usize
+    }
+
+    /// Removes the entry at buffer position `pos`, clearing its slot.
+    fn remove_pos(&mut self, pos: usize) -> (PendingView, u64, f64) {
+        let view = self.views.remove(pos);
+        let meta = self.meta.remove(pos);
+        self.slot[meta.key as usize] = None;
+        (view, meta.sensor_frame, meta.frac)
+    }
+
+    /// Pushes a new entry for `key`, dropping (freshness policy) the
+    /// key's older queued frame if one exists.
+    fn supersede_push(
+        &mut self,
+        key: usize,
+        view: PendingView,
+        sensor_frame: u64,
+        seq: u64,
+        stats: &mut [ModelStats],
+    ) {
+        if let Some(old_seq) = self.slot[key] {
+            let pos = self
+                .meta
+                .binary_search_by_key(&old_seq, |m| m.seq)
+                .expect("slot seq is queued");
+            assert!(
+                self.views[pos].frame_id < view.frame_id,
+                "ready queue requires strictly increasing frame ids per (user, model)"
+            );
+            stats[key].record_drop(DropReason::Superseded);
+            self.remove_pos(pos);
+        }
+        self.slot[key] = Some(seq);
+        self.views.push(view);
+        self.meta.push(ReadyMeta {
+            seq,
+            key: key as u32,
+            sensor_frame,
+            frac: 1.0,
+        });
+    }
+
+    /// Re-queues a revoked in-flight frame (requeue/migrate recovery)
+    /// carrying its remaining-work fraction. The key's slot must be
+    /// empty — if a newer frame is queued, freshness drops the revoked
+    /// one instead of calling this.
+    fn requeue_push(
+        &mut self,
+        key: usize,
+        view: PendingView,
+        sensor_frame: u64,
+        seq: u64,
+        frac: f64,
+    ) {
+        assert!(self.slot[key].is_none(), "requeue into an occupied slot");
+        self.slot[key] = Some(seq);
+        self.views.push(view);
+        self.meta.push(ReadyMeta {
+            seq,
+            key: key as u32,
+            sensor_frame,
+            frac,
+        });
+    }
+}
+
+/// Raw user id → dense user index. Dense ids (the common case: session
+/// builders assign 0..n) get a direct lookup table; sparse ids fall
+/// back to binary search.
+enum UserIndex {
+    /// `table[id] == idx + 1`, 0 marks an unknown id.
+    Dense(Vec<u32>),
+    /// Sorted `(id, idx)` pairs.
+    Sparse(Vec<(u32, u32)>),
+}
+
+impl UserIndex {
+    fn build(users: &[u32]) -> Self {
+        let max = users.iter().copied().max().unwrap_or(0) as usize;
+        if max < users.len() * 4 + 64 {
+            let mut table = vec![0u32; max + 1];
+            for (idx, &u) in users.iter().enumerate() {
+                assert!(table[u as usize] == 0, "duplicate session user id {u}");
+                table[u as usize] = idx as u32 + 1;
+            }
+            UserIndex::Dense(table)
+        } else {
+            let mut pairs: Vec<(u32, u32)> = users
+                .iter()
+                .enumerate()
+                .map(|(idx, &u)| (u, idx as u32))
+                .collect();
+            pairs.sort_unstable();
+            assert!(
+                pairs.windows(2).all(|w| w[0].0 != w[1].0),
+                "duplicate session user ids"
+            );
+            UserIndex::Sparse(pairs)
+        }
+    }
+
+    #[inline]
+    fn get(&self, user: u32) -> usize {
+        match self {
+            UserIndex::Dense(table) => {
+                let v = table.get(user as usize).copied().unwrap_or(0);
+                assert!(v != 0, "request for unknown user {user}");
+                (v - 1) as usize
+            }
+            UserIndex::Sparse(pairs) => {
+                let i = pairs
+                    .binary_search_by_key(&user, |e| e.0)
+                    .unwrap_or_else(|_| panic!("request for unknown user {user}"));
+                pairs[i].1 as usize
+            }
+        }
+    }
+}
+
+/// Inserts `engine` into the sorted free set (no-op if present).
+fn free_insert(free: &mut Vec<usize>, engine: usize) {
+    if let Err(pos) = free.binary_search(&engine) {
+        free.insert(pos, engine);
+    }
+}
+
+/// Removes `engine` from the sorted free set (no-op if absent).
+fn free_remove(free: &mut Vec<usize>, engine: usize) {
+    if let Ok(pos) = free.binary_search(&engine) {
+        free.remove(pos);
+    }
+}
+
+/// The smallest sensor frame any dependent of `key` may still look
+/// up — resolutions of `key` below this watermark are unreachable.
+fn retire_threshold(key: usize, nm: usize, downstream: &[Vec<ModelId>], floor: &[u64]) -> u64 {
+    let user_base = key - key % nm;
+    downstream[key]
+        .iter()
+        .map(|&d| floor[user_base + d as usize])
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+/// After `key`'s watermark advanced: retire upstream resolutions no
+/// dependent can reference anymore. Each resolution is retired at most
+/// once, so the cost amortizes to O(log n) per completion.
+fn retire_upstreams(
+    key: usize,
+    nm: usize,
+    deps: &[Vec<(ModelId, f64)>],
+    downstream: &[Vec<ModelId>],
+    floor: &[u64],
+    resolved: &mut [BTreeMap<u64, Resolution>],
+) {
+    let user_base = key - key % nm;
+    for &(up, _) in &deps[key] {
+        let upkey = user_base + up as usize;
+        let threshold = retire_threshold(upkey, nm, downstream, floor);
+        let map = &mut resolved[upkey];
+        while let Some((&sf, _)) = map.first_key_value() {
+            if sf < threshold {
+                map.remove(&sf);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Applies one due completion: records the resolution (unless already
+/// unreachable), queues pass candidates for the waiting dependents it
+/// may unblock, and frees its engine.
+#[allow(clippy::too_many_arguments)]
+fn process_completion(
+    ev: CompletionEv,
+    nm: usize,
+    downstream: &[Vec<ModelId>],
+    floor: &[u64],
+    resolved: &mut [BTreeMap<u64, Resolution>],
+    waiting: &[Option<WaitEntry>],
+    pass: &mut BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    engine_token: &mut [Option<u64>],
+    free: &mut Vec<usize>,
+) {
+    let key = ev.key as usize;
+    if !downstream[key].is_empty() {
+        if ev.sensor_frame >= retire_threshold(key, nm, downstream, floor) {
+            resolved[key].insert(ev.sensor_frame, Resolution::Completed);
+        }
+        let user_base = key - key % nm;
+        for &d in &downstream[key] {
+            let dkey = user_base + d as usize;
+            if let Some(w) = waiting[dkey] {
+                if w.sensor_frame == ev.sensor_frame {
+                    pass.push(std::cmp::Reverse((w.seq, dkey as u32)));
+                }
+            }
+        }
+    }
+    let engine = ev.engine as usize;
+    if engine_token[engine] == Some(ev.token) {
+        engine_token[engine] = None;
+        free_insert(free, engine);
+    }
+}
+
+/// One dispatched inference that may still be revoked by a fault.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    key: u32,
+    view: PendingView,
+    sensor_frame: u64,
+    t_start: f64,
+    t_end: f64,
+    /// Remaining-work fraction this dispatch carried.
+    frac: f64,
+    energy_j: f64,
+}
+
+/// Live fault-injection state for one run.
+struct FaultState<'a> {
+    events: &'a [crate::fault::FaultEvent],
+    cursor: usize,
+    policy: RecoveryPolicy,
+    engine_up: Vec<bool>,
+    /// Current capacity multiplier per engine, sampled at dispatch
+    /// time (a throttle landing mid-flight does not stretch work
+    /// already on the engine).
+    capacity: Vec<f64>,
+    /// In-flight dispatches by token, for revocation and for the
+    /// deferred stats/record emission at completion.
+    open: BTreeMap<u64, InFlight>,
+    /// Tokens whose dispatch was revoked; their stale calendar
+    /// completions are skipped.
+    revoked: BTreeSet<u64>,
+}
+
+/// Emits the deferred stats and execution record for a completion that
+/// survived to its scheduled end (faulted mode only; the fault-free
+/// path emits at dispatch).
+fn emit_completion(
+    inf: &InFlight,
+    ev: &CompletionEv,
+    nm: usize,
+    users_raw: &[u32],
+    stats: &mut [ModelStats],
+    records: &mut [Vec<ExecRecord>],
+    mode: &mut RecordMode<'_>,
+) {
+    let key = ev.key as usize;
+    stats[key].executed_frames += 1;
+    if ev.t > inf.view.t_deadline {
+        stats[key].missed_deadlines += 1;
+    }
+    let record = ExecRecord {
+        model: inf.view.model,
+        frame_id: inf.view.frame_id,
+        sensor_frame: ev.sensor_frame,
+        engine: ev.engine as usize,
+        t_req: inf.view.t_req,
+        t_deadline: inf.view.t_deadline,
+        t_start: inf.t_start,
+        t_end: ev.t,
+        energy_j: inf.energy_j,
+    };
+    match mode {
+        RecordMode::Collect => records[key / nm].push(record),
+        RecordMode::Fold(sink) => sink(users_raw[key / nm], &record),
+    }
+}
+
+/// The heap-engine event loop over user-tagged requests, with optional
+/// fault injection (`requests` must be sorted by `t_req`, and strictly
+/// frame-monotone per `(user, model)`). Returns one [`SimResult`] per
+/// user, bit-identical to [`crate::naive::run_tagged_naive`] and to
+/// the production engine. With
+/// `faults: None` this *is* the fault-free loop — no fault state is
+/// allocated and every fault branch is behind an `Option` check, so
+/// the classic path stays bit-identical to the reference loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_tagged_faulted(
+    config: SimConfig,
+    specs: &[(u32, &ScenarioSpec)],
+    requests: Vec<Pending>,
+    provider: &dyn CostProvider,
+    scheduler: &mut dyn Scheduler,
+    duration_s: f64,
+    mut mode: RecordMode<'_>,
+    faults: Option<FaultCtx<'_>>,
+) -> BTreeMap<u32, SimResult> {
+    assert!(provider.num_engines() > 0, "provider must expose engines");
+
+    let nm = NUM_MODELS;
+    let users_raw: Vec<u32> = specs.iter().map(|&(u, _)| u).collect();
+    let uidx = UserIndex::build(&users_raw);
+    let num_users = users_raw.len();
+    let num_keys = num_users * nm;
+
+    // Dense per-(user, model) setup tables.
+    let mut deps: Vec<Vec<(ModelId, f64)>> = vec![Vec::new(); num_keys];
+    let mut downstream: Vec<Vec<ModelId>> = vec![Vec::new(); num_keys];
+    // Keys that must appear in the output stats (spec members), plus
+    // any key a request actually touched.
+    let mut touched = vec![false; num_keys];
+    for (ui, &(_, spec)) in specs.iter().enumerate() {
+        for m in &spec.models {
+            let key = ui * nm + m.model as usize;
+            touched[key] = true;
+            deps[key] = m
+                .deps
+                .iter()
+                .map(|d| (d.upstream, d.trigger_probability))
+                .collect();
+            for d in &m.deps {
+                downstream[ui * nm + d.upstream as usize].push(m.model);
+            }
+        }
+    }
+
+    // Runtime state.
+    let cache = DenseCostCache::new(provider);
+    let num_engines = provider.num_engines();
+    let mut free: Vec<usize> = (0..num_engines).collect();
+    let mut engine_token: Vec<Option<u64>> = vec![None; num_engines];
+    let mut next_token = 0u64;
+    let mut next_seq = 0u64;
+    let mut calendar: Calendar = BinaryHeap::new();
+    // Due-but-stashed events: calendar tops discovered at or before
+    // `now + EPS` while looking for the next event time (possible only
+    // for degenerate sub-epsilon latencies); the reference loop
+    // processes them at the *next* event time, so we do too.
+    let mut due: Vec<CompletionEv> = Vec::new();
+    let mut ready = ReadyQueue::new(num_keys);
+    let mut waiting: Vec<Option<WaitEntry>> = vec![None; num_keys];
+    let mut pass: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut deferred: Vec<(u64, u32)> = Vec::new();
+    let mut resolved: Vec<BTreeMap<u64, Resolution>> = vec![BTreeMap::new(); num_keys];
+    let mut floor = vec![0u64; num_keys];
+    let mut stats: Vec<ModelStats> = vec![ModelStats::default(); num_keys];
+    let mut last_frame: Vec<Option<(u64, u64)>> = vec![None; num_keys];
+    let mut records: Vec<Vec<ExecRecord>> = vec![Vec::new(); num_users];
+
+    let mut fstate = faults.map(|f| FaultState {
+        events: f.timeline.events(),
+        cursor: 0,
+        policy: f.policy,
+        engine_up: vec![true; num_engines],
+        capacity: vec![1.0; num_engines],
+        open: BTreeMap::new(),
+        revoked: BTreeSet::new(),
+    });
+
+    let mut arrivals = requests.into_iter().peekable();
+    let mut now = 0.0_f64;
+
+    loop {
+        // 1. Process completions due now (stashed first, then the
+        //    calendar, in identical order) and re-queue cascade
+        //    candidates deferred from the previous pass.
+        while let Some(&std::cmp::Reverse(top)) = calendar.peek() {
+            if top.t > now + EPS {
+                break;
+            }
+            calendar.pop();
+            due.push(top);
+        }
+        for ev in due.drain(..) {
+            if let Some(f) = fstate.as_mut() {
+                if f.revoked.remove(&ev.token) {
+                    // The dispatch was revoked by a fault; this is its
+                    // stale completion.
+                    continue;
+                }
+                if let Some(inf) = f.open.remove(&ev.token) {
+                    emit_completion(
+                        &inf,
+                        &ev,
+                        nm,
+                        &users_raw,
+                        &mut stats,
+                        &mut records,
+                        &mut mode,
+                    );
+                }
+            }
+            process_completion(
+                ev,
+                nm,
+                &downstream,
+                &floor,
+                &mut resolved,
+                &waiting,
+                &mut pass,
+                &mut engine_token,
+                &mut free,
+            );
+        }
+        for c in deferred.drain(..) {
+            pass.push(std::cmp::Reverse(c));
+        }
+
+        // 1b. Apply fault events due now: engines leave/rejoin the
+        //     free set, in-flight work on a lost engine is revoked and
+        //     recovered per policy, and capacity multipliers update.
+        if let Some(f) = fstate.as_mut() {
+            while f.cursor < f.events.len() && f.events[f.cursor].t <= now + EPS {
+                let fev = f.events[f.cursor];
+                f.cursor += 1;
+                let engine = fev.engine as usize;
+                if engine >= num_engines {
+                    continue;
+                }
+                match fev.action {
+                    FaultAction::Down(kind) => {
+                        if !f.engine_up[engine] {
+                            continue;
+                        }
+                        f.engine_up[engine] = false;
+                        free_remove(&mut free, engine);
+                        scheduler.on_engine_down(engine, now);
+                        let Some(token) = engine_token[engine].take() else {
+                            continue;
+                        };
+                        f.revoked.insert(token);
+                        let inf = f.open.remove(&token).expect("busy engine has open entry");
+                        let key = inf.key as usize;
+                        match f.policy {
+                            RecoveryPolicy::Drop => {
+                                let reason = match kind {
+                                    FaultKind::Failure => DropReason::DeviceLost,
+                                    FaultKind::Preemption => DropReason::Preempted,
+                                };
+                                stats[key].record_drop(reason);
+                                if !downstream[key].is_empty() {
+                                    // Dependents see the same Dropped
+                                    // resolution an untriggered frame
+                                    // would leave behind.
+                                    if inf.sensor_frame
+                                        >= retire_threshold(key, nm, &downstream, &floor)
+                                    {
+                                        resolved[key].insert(inf.sensor_frame, Resolution::Dropped);
+                                    }
+                                    let user_base = key - key % nm;
+                                    for &d in &downstream[key] {
+                                        let dkey = user_base + d as usize;
+                                        if let Some(dw) = waiting[dkey] {
+                                            if dw.sensor_frame == inf.sensor_frame {
+                                                pass.push(std::cmp::Reverse((dw.seq, dkey as u32)));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            RecoveryPolicy::Requeue | RecoveryPolicy::Migrate => {
+                                if ready.slot[key].is_some() {
+                                    // A newer frame is already queued:
+                                    // freshness drops the revoked one.
+                                    stats[key].record_drop(DropReason::Superseded);
+                                } else {
+                                    // In-flight implies a super-epsilon
+                                    // span, so the fraction is well
+                                    // defined and positive.
+                                    let frac = if f.policy == RecoveryPolicy::Migrate {
+                                        ((inf.t_end - now) / (inf.t_end - inf.t_start))
+                                            .clamp(0.0, 1.0)
+                                            * inf.frac
+                                    } else {
+                                        1.0
+                                    };
+                                    let seq = next_seq;
+                                    next_seq += 1;
+                                    ready.requeue_push(key, inf.view, inf.sensor_frame, seq, frac);
+                                }
+                            }
+                        }
+                    }
+                    FaultAction::Up => {
+                        if f.engine_up[engine] {
+                            continue;
+                        }
+                        f.engine_up[engine] = true;
+                        free_insert(&mut free, engine);
+                    }
+                    FaultAction::Capacity(c) => {
+                        f.capacity[engine] = c;
+                    }
+                }
+            }
+        }
+
+        // 2. Ingest arrivals due now.
+        while arrivals.peek().is_some_and(|p| p.req.t_req <= now + EPS) {
+            let p = arrivals.next().expect("peeked");
+            let ui = uidx.get(p.user);
+            let key = ui * nm + p.req.model as usize;
+            if let Some((lf, lsf)) = last_frame[key] {
+                assert!(
+                    p.req.frame_id > lf && p.req.sensor_frame > lsf,
+                    "requests for {} (user {}) must have strictly increasing \
+                     frame_id and sensor_frame",
+                    p.req.model,
+                    p.user
+                );
+            }
+            last_frame[key] = Some((p.req.frame_id, p.req.sensor_frame));
+            touched[key] = true;
+            stats[key].total_frames += 1;
+            if !deps[key].is_empty() {
+                // Freshness: a newer dependent frame supersedes an
+                // older one still waiting for its upstream.
+                if waiting[key].is_some() {
+                    stats[key].record_drop(DropReason::Superseded);
+                }
+                let seq = next_seq;
+                next_seq += 1;
+                waiting[key] = Some(WaitEntry {
+                    seq,
+                    frame_id: p.req.frame_id,
+                    sensor_frame: p.req.sensor_frame,
+                    t_req: p.req.t_req,
+                    t_deadline: p.req.t_deadline,
+                });
+                // Lookups now target this frame and nothing older.
+                if p.req.sensor_frame > floor[key] {
+                    floor[key] = p.req.sensor_frame;
+                    retire_upstreams(key, nm, &deps, &downstream, &floor, &mut resolved);
+                }
+                pass.push(std::cmp::Reverse((seq, key as u32)));
+            } else {
+                let seq = next_seq;
+                next_seq += 1;
+                let view = PendingView {
+                    user: p.user,
+                    model: p.req.model,
+                    frame_id: p.req.frame_id,
+                    t_req: p.req.t_req,
+                    t_deadline: p.req.t_deadline,
+                };
+                ready.supersede_push(key, view, p.req.sensor_frame, seq, &mut stats);
+            }
+        }
+
+        // 3. Resolve waiting dependents whose upstream is decided —
+        //    candidates only, in waiting-queue (seq) order, exactly
+        //    mirroring the reference loop's linear scan.
+        while let Some(std::cmp::Reverse((seq, key32))) = pass.pop() {
+            let key = key32 as usize;
+            let Some(w) = waiting[key] else { continue };
+            if w.seq != seq {
+                continue; // superseded since candidacy
+            }
+            let user_base = key - key % nm;
+            // Are all upstream resolutions decided?
+            let mut any_dropped = Some(false);
+            for &(up, _) in &deps[key] {
+                match resolved[user_base + up as usize].get(&w.sensor_frame) {
+                    None => {
+                        any_dropped = None;
+                        break;
+                    }
+                    Some(Resolution::Dropped) => any_dropped = any_dropped.map(|_| true),
+                    Some(Resolution::Completed) => {}
+                }
+            }
+            let Some(any_dropped) = any_dropped else {
+                continue; // upstream still in flight; stays waiting
+            };
+            waiting[key] = None;
+            floor[key] = w.sensor_frame + 1;
+            retire_upstreams(key, nm, &deps, &downstream, &floor, &mut resolved);
+            let model = ModelId::ALL[key % nm];
+            let user = users_raw[key / nm];
+            if any_dropped {
+                stats[key].record_drop(DropReason::UpstreamDropped);
+            } else if deps[key].iter().all(|&(up, prob)| {
+                // Exactly one seeded draw per (user, model, upstream,
+                // frame) decision: the waiting slot holds one frame
+                // per key and is cleared before this branch runs, and
+                // frame ids are strictly increasing, so no decision
+                // can ever be re-evaluated — no memo table needed.
+                trigger_draw(config.seed, user, model, up, w.frame_id, prob)
+            }) {
+                let seq = next_seq;
+                next_seq += 1;
+                ready.supersede_push(
+                    key,
+                    PendingView {
+                        user,
+                        model,
+                        frame_id: w.frame_id,
+                        t_req: w.t_req,
+                        t_deadline: w.t_deadline,
+                    },
+                    w.sensor_frame,
+                    seq,
+                    &mut stats,
+                );
+            } else {
+                // Legitimately deactivated: not streamed work for QoE
+                // purposes.
+                stats[key].untriggered_frames += 1;
+                stats[key].total_frames -= 1;
+                if !downstream[key].is_empty() {
+                    if w.sensor_frame >= retire_threshold(key, nm, &downstream, &floor) {
+                        resolved[key].insert(w.sensor_frame, Resolution::Dropped);
+                    }
+                    // Cascade: this may unblock further dependents.
+                    // Forward (later-queued) ones join this pass, as
+                    // the reference scan would reach them; backward
+                    // ones wait for the next event time, as the
+                    // reference scan already passed them.
+                    for &d in &downstream[key] {
+                        let dkey = user_base + d as usize;
+                        if let Some(dw) = waiting[dkey] {
+                            if dw.sensor_frame == w.sensor_frame {
+                                if dw.seq > seq {
+                                    pass.push(std::cmp::Reverse((dw.seq, dkey as u32)));
+                                } else {
+                                    deferred.push((dw.seq, dkey as u32));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Dispatch ready requests onto free engines.
+        while !free.is_empty() && !ready.is_empty() {
+            let Some((ri, engine)) = scheduler.select(&ready.views, &free, &cache, now) else {
+                break;
+            };
+            assert!(ri < ready.len(), "scheduler returned bad request index");
+            assert!(
+                free.binary_search(&engine).is_ok(),
+                "scheduler returned busy engine {engine}"
+            );
+            let key = ready.key_at(ri);
+            let (view, sensor_frame, frac) = ready.remove_pos(ri);
+            let cost = cache.cost(view.model, engine);
+            let t_end;
+            if let Some(f) = fstate.as_ref() {
+                // Faulted dispatches pay only the remaining-work
+                // fraction, stretched by the engine's current thermal
+                // capacity; stats and records wait for completion
+                // because the dispatch may yet be revoked.
+                t_end = now + cost.latency_s * frac / f.capacity[engine];
+            } else {
+                t_end = now + cost.latency_s;
+                stats[key].executed_frames += 1;
+                if t_end > view.t_deadline {
+                    stats[key].missed_deadlines += 1;
+                }
+                let record = ExecRecord {
+                    model: view.model,
+                    frame_id: view.frame_id,
+                    sensor_frame,
+                    engine,
+                    t_req: view.t_req,
+                    t_deadline: view.t_deadline,
+                    t_start: now,
+                    t_end,
+                    energy_j: cost.energy_j,
+                };
+                match &mut mode {
+                    RecordMode::Collect => records[key / nm].push(record),
+                    RecordMode::Fold(sink) => sink(users_raw[key / nm], &record),
+                }
+            }
+            let token = next_token;
+            next_token += 1;
+            if let Some(f) = fstate.as_mut() {
+                f.open.insert(
+                    token,
+                    InFlight {
+                        key: key as u32,
+                        view,
+                        sensor_frame,
+                        t_start: now,
+                        t_end,
+                        frac,
+                        energy_j: cost.energy_j * frac,
+                    },
+                );
+            }
+            if t_end > now + EPS {
+                engine_token[engine] = Some(token);
+                free_remove(&mut free, engine);
+            }
+            // Degenerate sub-epsilon latencies leave the engine free,
+            // matching the reference loop's fresh free-set rescan; the
+            // stale token then never matches at completion time.
+            calendar.push(std::cmp::Reverse(CompletionEv {
+                t: t_end,
+                key: key as u32,
+                sensor_frame,
+                engine: engine as u32,
+                token,
+            }));
+        }
+
+        // 5. Advance to the next event strictly after `now`.
+        let mut next = f64::INFINITY;
+        if let Some(p) = arrivals.peek() {
+            next = next.min(p.req.t_req);
+        }
+        while let Some(&std::cmp::Reverse(top)) = calendar.peek() {
+            if top.t <= now + EPS {
+                calendar.pop();
+                due.push(top);
+            } else {
+                next = next.min(top.t);
+                break;
+            }
+        }
+        if let Some(f) = &fstate {
+            // Fault events only matter while some work can still use
+            // the engines they toggle: with nothing queued, in flight,
+            // or arriving, the remaining toggles are no-ops (waiting
+            // frames can never resolve without completions).
+            let work_pending = arrivals.peek().is_some()
+                || !calendar.is_empty()
+                || !due.is_empty()
+                || !ready.is_empty();
+            if work_pending {
+                if let Some(fev) = f.events.get(f.cursor) {
+                    next = next.min(fev.t);
+                }
+            }
+        }
+        if next.is_infinite() {
+            break;
+        }
+        now = next;
+    }
+
+    // Completions stashed as due when the loop ended (possible only
+    // with sub-epsilon latencies) did execute; surface their deferred
+    // records in faulted mode (the clean path emitted at dispatch).
+    if let Some(f) = fstate.as_mut() {
+        for ev in due.drain(..) {
+            if f.revoked.remove(&ev.token) {
+                continue;
+            }
+            if let Some(inf) = f.open.remove(&ev.token) {
+                emit_completion(
+                    &inf,
+                    &ev,
+                    nm,
+                    &users_raw,
+                    &mut stats,
+                    &mut records,
+                    &mut mode,
+                );
+            }
+        }
+    }
+
+    // Anything still queued at drain time never got to run within the
+    // run's horizon; count as dropped.
+    for (key, slot) in waiting.iter().enumerate() {
+        if slot.is_some() {
+            stats[key].record_drop(DropReason::Starved);
+        }
+    }
+    for m in &ready.meta {
+        stats[m.key as usize].record_drop(DropReason::Starved);
+    }
+
+    // Assemble one SimResult per user.
+    let mut out = BTreeMap::new();
+    for (ui, &(user, _)) in specs.iter().enumerate() {
+        let mut recs = std::mem::take(&mut records[ui]);
+        recs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        let mut user_stats: BTreeMap<ModelId, ModelStats> = BTreeMap::new();
+        for (mi, &m) in ModelId::ALL.iter().enumerate() {
+            let key = ui * nm + mi;
+            if touched[key] {
+                user_stats.insert(m, stats[key].clone());
+            }
+        }
+        out.insert(
+            user,
+            SimResult {
+                records: recs,
+                stats: user_stats,
+                num_engines,
+                duration_s,
+            },
+        );
+    }
+    out
+}

@@ -52,8 +52,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod engine;
 mod fault;
+mod heap;
 mod naive;
 mod provider;
 mod result;
@@ -68,6 +70,7 @@ pub use fault::{
 pub use provider::{CostProvider, DenseCostCache, InferenceCost, TableProvider, UniformProvider};
 pub use result::{DropReason, ExecRecord, ModelStats, SessionSimResult, SimResult};
 pub use scheduler::{
-    FailoverAware, LatencyGreedy, LeastLoaded, PendingView, RoundRobin, Scheduler, SlackAwareEdf,
+    DispatchKernel, FailoverAware, LatencyGreedy, LeastLoaded, PendingView, RoundRobin, Scheduler,
+    SlackAwareEdf,
 };
 pub use simulator::{SimConfig, Simulator};

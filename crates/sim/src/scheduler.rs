@@ -27,6 +27,59 @@ pub struct PendingView {
     pub t_deadline: f64,
 }
 
+/// A closed-form description of a scheduler's `select` behavior, used
+/// by the engine's fast dispatch path (see
+/// [`Scheduler::dispatch_kernel`]).
+///
+/// Each variant names a *request order* (how the next ready request is
+/// chosen) and an *engine rule* (how the engine for it is chosen),
+/// plus any evolving state the rule carries. The request orders are
+/// the two deterministic total orders every shipped scheduler uses:
+///
+/// * **EDF** — `(t_deadline, t_req, model, user)` under
+///   `f64::total_cmp`;
+/// * **FIFO** — `(t_req, model, user)` under `f64::total_cmp`.
+///
+/// Because the ready queue holds at most one entry per
+/// `(user, model)`, both orders are strict total orders and the
+/// minimum is unique — which is what lets the engine replace the
+/// per-pick linear scan with an indexed argmin and still reproduce
+/// `select`'s picks bit-for-bit.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum DispatchKernel {
+    /// EDF request order; engine = minimal `(latency, engine id)`
+    /// among the free engines ([`LatencyGreedy`]).
+    EdfFastestEngine,
+    /// FIFO request order; engine = first free engine at or above the
+    /// rotation cursor, else the lowest free engine; the cursor then
+    /// advances to `(engine + 1) % max(1, engine + 1).max(free count)`
+    /// ([`RoundRobin`]).
+    FifoRotatingEngine {
+        /// The rotation cursor (next engine id to try).
+        next_engine: usize,
+    },
+    /// FIFO request order; engine = minimal `(accumulated load,
+    /// engine id)` among the free engines, where each dispatch adds
+    /// its expected latency to the chosen engine's load
+    /// ([`LeastLoaded`]).
+    FifoLeastLoadedEngine {
+        /// Accumulated dispatched latency per engine id (entries
+        /// beyond the vector's length read as `0.0`).
+        loads: Vec<f64>,
+    },
+    /// EDF request order; engine = minimal `(observed outages,
+    /// latency, engine id)` among the free engines
+    /// ([`FailoverAware`]). Outage counts only change via
+    /// [`Scheduler::on_engine_down`], so on the fault-free path the
+    /// rule is static for the whole run.
+    EdfFewestOutagesEngine {
+        /// Outages observed per engine id (entries beyond the
+        /// vector's length read as `0`).
+        outages: Vec<u64>,
+    },
+}
+
 /// An inference dispatcher: repeatedly asked to pick one
 /// `(ready-request, free-engine)` pair until it returns `None` or
 /// resources run out.
@@ -56,6 +109,32 @@ pub trait Scheduler {
     /// revoked work is re-resolved, so a failover-aware policy can bias
     /// future placements away from flaky engines.
     fn on_engine_down(&mut self, _engine: usize, _now: f64) {}
+
+    /// Declares a closed-form [`DispatchKernel`] equivalent to this
+    /// scheduler's `select`, or `None` (the default) for opaque
+    /// policies.
+    ///
+    /// Returning `Some` is a **promise**: on fault-free runs the
+    /// engine may skip `select` entirely and drive dispatch through an
+    /// indexed kernel that reproduces the declared policy's picks
+    /// exactly. Any carried state (rotation cursor, load accumulators,
+    /// outage counts) is snapshotted here at run start and handed back
+    /// through [`Scheduler::absorb_kernel`] at run end, so back-to-back
+    /// runs on one scheduler instance behave as if `select` had been
+    /// called throughout. Two caveats: a kernel-driven run may query
+    /// provider costs for *any* `(ready model, engine)` pair while a
+    /// `select`-driven run only queries the pairs it inspects (only
+    /// observable with panicking partial [`CostProvider`]s), and
+    /// faulted runs always use `select` (kernels cannot observe
+    /// mid-run outages).
+    fn dispatch_kernel(&self) -> Option<DispatchKernel> {
+        None
+    }
+
+    /// Hands back the kernel state as evolved by a kernel-driven run
+    /// (see [`Scheduler::dispatch_kernel`]). The default discards it,
+    /// which is correct for stateless policies.
+    fn absorb_kernel(&mut self, _kernel: DispatchKernel) {}
 }
 
 /// The paper's default for cost-model/simulator runs: dispatch the
@@ -95,6 +174,10 @@ impl Scheduler for LatencyGreedy {
 
     fn name(&self) -> &'static str {
         "latency-greedy"
+    }
+
+    fn dispatch_kernel(&self) -> Option<DispatchKernel> {
+        Some(DispatchKernel::EdfFastestEngine)
     }
 }
 
@@ -141,6 +224,18 @@ impl Scheduler for RoundRobin {
 
     fn name(&self) -> &'static str {
         "round-robin"
+    }
+
+    fn dispatch_kernel(&self) -> Option<DispatchKernel> {
+        Some(DispatchKernel::FifoRotatingEngine {
+            next_engine: self.next_engine,
+        })
+    }
+
+    fn absorb_kernel(&mut self, kernel: DispatchKernel) {
+        if let DispatchKernel::FifoRotatingEngine { next_engine } = kernel {
+            self.next_engine = next_engine;
+        }
     }
 }
 
@@ -279,6 +374,18 @@ impl Scheduler for LeastLoaded {
     fn name(&self) -> &'static str {
         "least-loaded"
     }
+
+    fn dispatch_kernel(&self) -> Option<DispatchKernel> {
+        Some(DispatchKernel::FifoLeastLoadedEngine {
+            loads: self.loads.clone(),
+        })
+    }
+
+    fn absorb_kernel(&mut self, kernel: DispatchKernel) {
+        if let DispatchKernel::FifoLeastLoadedEngine { loads } = kernel {
+            self.loads = loads;
+        }
+    }
 }
 
 /// Churn-hardened dispatcher for dynamic fleets: serves requests in
@@ -341,6 +448,18 @@ impl Scheduler for FailoverAware {
 
     fn name(&self) -> &'static str {
         "failover-aware"
+    }
+
+    fn dispatch_kernel(&self) -> Option<DispatchKernel> {
+        Some(DispatchKernel::EdfFewestOutagesEngine {
+            outages: self.outages.clone(),
+        })
+    }
+
+    fn absorb_kernel(&mut self, kernel: DispatchKernel) {
+        if let DispatchKernel::EdfFewestOutagesEngine { outages } = kernel {
+            self.outages = outages;
+        }
     }
 
     fn on_engine_down(&mut self, engine: usize, _now: f64) {

@@ -24,14 +24,16 @@
 //! users never interfere with each other's cascades — only with each
 //! other's engine time.
 //!
-//! The event loop itself is the heap-driven engine of
-//! [`crate::engine`]: a binary-heap completion calendar with a total
-//! deterministic tie-break, slot-indexed pending queues, an
-//! incrementally-maintained scheduler view, and retirement of spent
-//! dependency resolutions — O(log n) per event where the original
-//! loop was linear (see `DESIGN.md`). The original loop survives
-//! verbatim in [`crate::naive`] as the differential-testing reference;
-//! both produce bit-identical results.
+//! The event loop itself is the calendar-queue engine of
+//! [`crate::engine`]: a bucketed completion calendar with a total
+//! deterministic tie-break, struct-of-arrays pending queues, batched
+//! same-timestamp scheduling with an indexed fast path for kernel-
+//! declaring schedulers, and precomputed per-scenario dispatch tables
+//! — amortized constant per event where the original loop was linear
+//! (see `DESIGN.md`). The two previous loops survive verbatim as
+//! differential-testing references: the original quadratic loop in
+//! [`crate::naive`] and the PR 3 heap engine in [`crate::heap`]; all
+//! three produce bit-identical results.
 
 use std::collections::BTreeMap;
 
@@ -452,6 +454,113 @@ impl Simulator {
             provider,
             scheduler,
             span_s,
+        );
+        Self::assemble_session(session, per_user_map, provider, span_s)
+    }
+
+    /// Heap-engine (PR 3) counterpart of [`Simulator::run_session`] —
+    /// the previous production loop, kept as a second differential
+    /// reference for the calendar-queue engine. Not a supported API.
+    #[doc(hidden)]
+    pub fn run_session_heap_reference(
+        &self,
+        session: &SessionSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+    ) -> SessionSimResult {
+        let (specs, tagged, span_s) = self.session_inputs(session);
+        let per_user_map = crate::heap::run_tagged_faulted(
+            self.config,
+            &specs,
+            tagged,
+            provider,
+            scheduler,
+            span_s,
+            crate::engine::RecordMode::Collect,
+            None,
+        );
+        Self::assemble_session(session, per_user_map, provider, span_s)
+    }
+
+    /// Heap-engine counterpart of [`Simulator::run_session_folded`].
+    /// Not a supported API.
+    #[doc(hidden)]
+    pub fn run_session_folded_heap_reference(
+        &self,
+        session: &SessionSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn FnMut(u32, &crate::result::ExecRecord),
+    ) -> SessionSimResult {
+        let (specs, tagged, span_s) = self.session_inputs(session);
+        let per_user_map = crate::heap::run_tagged_faulted(
+            self.config,
+            &specs,
+            tagged,
+            provider,
+            scheduler,
+            span_s,
+            crate::engine::RecordMode::Fold(sink),
+            None,
+        );
+        Self::assemble_session(session, per_user_map, provider, span_s)
+    }
+
+    /// Heap-engine counterpart of [`Simulator::run_session_faulted`].
+    /// Not a supported API.
+    #[doc(hidden)]
+    pub fn run_session_faulted_heap_reference(
+        &self,
+        session: &SessionSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+        faults: &crate::FaultProcess,
+        policy: crate::RecoveryPolicy,
+    ) -> SessionSimResult {
+        let (specs, tagged, span_s) = self.session_inputs(session);
+        let timeline = self.expand_timeline(faults, provider, span_s);
+        let per_user_map = crate::heap::run_tagged_faulted(
+            self.config,
+            &specs,
+            tagged,
+            provider,
+            scheduler,
+            span_s,
+            crate::engine::RecordMode::Collect,
+            timeline.as_ref().map(|tl| crate::engine::FaultCtx {
+                timeline: tl,
+                policy,
+            }),
+        );
+        Self::assemble_session(session, per_user_map, provider, span_s)
+    }
+
+    /// Heap-engine counterpart of
+    /// [`Simulator::run_session_folded_faulted`]. Not a supported API.
+    #[doc(hidden)]
+    pub fn run_session_folded_faulted_heap_reference(
+        &self,
+        session: &SessionSpec,
+        provider: &dyn CostProvider,
+        scheduler: &mut dyn Scheduler,
+        faults: &crate::FaultProcess,
+        policy: crate::RecoveryPolicy,
+        sink: &mut dyn FnMut(u32, &crate::result::ExecRecord),
+    ) -> SessionSimResult {
+        let (specs, tagged, span_s) = self.session_inputs(session);
+        let timeline = self.expand_timeline(faults, provider, span_s);
+        let per_user_map = crate::heap::run_tagged_faulted(
+            self.config,
+            &specs,
+            tagged,
+            provider,
+            scheduler,
+            span_s,
+            crate::engine::RecordMode::Fold(sink),
+            timeline.as_ref().map(|tl| crate::engine::FaultCtx {
+                timeline: tl,
+                policy,
+            }),
         );
         Self::assemble_session(session, per_user_map, provider, span_s)
     }

@@ -1,14 +1,16 @@
 //! Property-based tests over the runtime: frame conservation,
 //! schedule validity, cost-model monotonicity under randomized
-//! configurations, and the differential proof that the heap-driven
-//! event engine is bit-identical to the original (naive) event loop.
+//! configurations, and the differential proofs that the production
+//! calendar-queue engine is bit-identical to both retained reference
+//! loops — the original (naive) event loop and the PR 3 heap engine —
+//! across every shipped scheduler, record mode, and recovery policy.
 
 use proptest::prelude::*;
 
 use xrbench::costmodel::{evaluate_layers, Dataflow, HardwareConfig, Layer};
 use xrbench::models::{zoo, InputSource, ModelId};
 use xrbench::prelude::*;
-use xrbench::sim::UniformProvider;
+use xrbench::sim::{ExecRecord, FailoverAware, FaultProcess, RecoveryPolicy, UniformProvider};
 use xrbench::workload::DependencyKind;
 
 fn scenario_strategy() -> impl Strategy<Value = UsageScenario> {
@@ -63,12 +65,18 @@ fn random_spec(state: &mut u64, name: &str) -> ScenarioSpec {
     b.build().expect("randomized spec is builder-valid")
 }
 
+/// All five shipped schedulers — the differential suites must cover
+/// every one, kernel-declaring (LatencyGreedy, RoundRobin, LeastLoaded,
+/// FailoverAware) and opaque (SlackAwareEdf) alike.
+const NUM_SCHEDULERS: usize = 5;
+
 fn scheduler_for(idx: usize) -> Box<dyn Scheduler> {
-    match idx % 4 {
+    match idx % NUM_SCHEDULERS {
         0 => Box::new(LatencyGreedy::new()),
         1 => Box::new(RoundRobin::new()),
         2 => Box::new(SlackAwareEdf::new()),
-        _ => Box::new(LeastLoaded::new()),
+        3 => Box::new(LeastLoaded::new()),
+        _ => Box::new(FailoverAware::new()),
     }
 }
 
@@ -221,7 +229,7 @@ proptest! {
         let engines = 1 + pick(&mut st, 4);
         let latency = [0.0003, 0.002, 0.009, 0.035][pick(&mut st, 4)];
         let provider = UniformProvider::new(engines, latency, 0.001);
-        let sched_idx = pick(&mut st, 4);
+        let sched_idx = pick(&mut st, NUM_SCHEDULERS);
         let sim = Simulator::new(SimConfig { duration_s: 1.0, seed });
         let fast = sim.run_session(&session, &provider, scheduler_for(sched_idx).as_mut());
         let slow = sim.run_session_reference(
@@ -236,7 +244,118 @@ proptest! {
             users,
             engines,
             latency,
-            sched_idx % 4
+            sched_idx % NUM_SCHEDULERS
         );
+        // The retained heap engine must agree too (it is the reference
+        // the faulted differential below leans on), in both record
+        // modes — and Fold must stream the same records Collect keeps,
+        // in the same order.
+        let heap = sim.run_session_heap_reference(
+            &session,
+            &provider,
+            scheduler_for(sched_idx).as_mut(),
+        );
+        prop_assert_eq!(&fast, &heap, "calendar engine diverges from heap engine");
+        let mut folded: Vec<(u32, ExecRecord)> = Vec::new();
+        let fold = sim.run_session_folded(
+            &session,
+            &provider,
+            scheduler_for(sched_idx).as_mut(),
+            &mut |user, rec| folded.push((user, rec.clone())),
+        );
+        let collected: Vec<(u32, ExecRecord)> = fast
+            .per_user
+            .iter()
+            .flat_map(|(u, r)| r.records.iter().map(move |rec| (*u, rec.clone())))
+            .collect();
+        let mut by_user = folded.clone();
+        by_user.sort_by_key(|&(u, _)| u);
+        prop_assert_eq!(by_user, collected, "folded records diverge from collected");
+        for ((u, r), (uf, rf)) in fast.per_user.iter().zip(fold.per_user.iter()) {
+            prop_assert_eq!(u, uf);
+            prop_assert_eq!(&r.stats, &rf.stats, "fold mode changed stats");
+        }
+    }
+
+    #[test]
+    fn calendar_engine_matches_heap_engine_under_faults(
+        structure in 0u64..u64::MAX,
+        seed in 0u64..5000,
+    ) {
+        // The faulted differential: on randomized sessions with engine
+        // churn, preemption, and throttling, the production engine must
+        // reproduce the heap engine exactly under every recovery policy
+        // and every shipped scheduler, in both record modes. (The naive
+        // loop predates fault injection, so the heap engine is the
+        // reference here.)
+        let mut st = structure;
+        let spec_count = 1 + pick(&mut st, 2);
+        let specs: Vec<ScenarioSpec> = (0..spec_count)
+            .map(|i| random_spec(&mut st, &format!("frand-{i}")))
+            .collect();
+        let users = 1 + pick(&mut st, 4) as u32;
+        let session = SessionSpec::mixed("faulted-differential", &specs, users, 0.003);
+        let engines = 2 + pick(&mut st, 3);
+        let latency = [0.0008, 0.004, 0.02][pick(&mut st, 3)];
+        let provider = UniformProvider::new(engines, latency, 0.001);
+        let faults = FaultProcess {
+            failure_rate_per_s: 1.0 + (pick(&mut st, 4) as f64),
+            mean_downtime_s: 0.01 + 0.02 * pick(&mut st, 4) as f64,
+            preemption_rate_per_s: pick(&mut st, 3) as f64 * 2.0,
+            mean_preemption_s: 0.01,
+            throttle: if pick(&mut st, 2) == 0 {
+                None
+            } else {
+                Some(xrbench::sim::ThrottleSpec { period_s: 0.3, duty: 0.4, factor: 0.5 })
+            },
+        };
+        let sched_idx = pick(&mut st, NUM_SCHEDULERS);
+        let policy = RecoveryPolicy::ALL[pick(&mut st, RecoveryPolicy::ALL.len())];
+        let sim = Simulator::new(SimConfig { duration_s: 1.0, seed });
+        let fast = sim.run_session_faulted(
+            &session,
+            &provider,
+            scheduler_for(sched_idx).as_mut(),
+            &faults,
+            policy,
+        );
+        let heap = sim.run_session_faulted_heap_reference(
+            &session,
+            &provider,
+            scheduler_for(sched_idx).as_mut(),
+            &faults,
+            policy,
+        );
+        prop_assert_eq!(
+            &fast,
+            &heap,
+            "faulted engines diverge: {} users, {} engines, {}s latency, \
+             scheduler {}, policy {}",
+            users,
+            engines,
+            latency,
+            sched_idx % NUM_SCHEDULERS,
+            policy
+        );
+        // Fold-mode parity under faults, against the heap engine's fold.
+        let mut fast_folded: Vec<(u32, ExecRecord)> = Vec::new();
+        sim.run_session_folded_faulted(
+            &session,
+            &provider,
+            scheduler_for(sched_idx).as_mut(),
+            &faults,
+            policy,
+            &mut |user, rec| fast_folded.push((user, rec.clone())),
+        );
+        let mut heap_folded: Vec<(u32, ExecRecord)> = Vec::new();
+        sim.run_session_folded_faulted_heap_reference(
+            &session,
+            &provider,
+            scheduler_for(sched_idx).as_mut(),
+            &faults,
+            policy,
+            &mut |user, rec| heap_folded.push((user, rec.clone())),
+        );
+        prop_assert_eq!(fast_folded, heap_folded, "faulted fold streams diverge");
     }
 }
