@@ -1,0 +1,341 @@
+//! The committed distributed-sharding gate (PR 9).
+//!
+//! Certifies the shard-plan layer at **million-user scale**: the
+//! shared [`xrbench_bench::fleet_scale`] workload at
+//! [`SHARD_GATED_USERS`] (1,048,576) users — 32,768 independent
+//! 32-user device sessions — executed twice through the real
+//! `xrbench` binary:
+//!
+//! 1. **single process** (`xrbench run-fleet DOC --out ref.json`), and
+//! 2. **distributed** across [`NUM_SHARDS`] child OS processes
+//!    (`xrbench run-fleet DOC --shards 8 --out multi.json`), the
+//!    coordinator fork/exec-ing one child per shard and merging their
+//!    serialized partial states.
+//!
+//! The gate then enforces:
+//!
+//! 1. **Byte identity**: `ref.json` and `multi.json` must be
+//!    byte-for-byte identical — the shard cut, the process boundary,
+//!    and the JSON round trip of every partial accumulator must be
+//!    invisible in the report;
+//! 2. **Throughput**: the distributed run's events/sec must not fall
+//!    below the committed `floor_events_per_sec_1048576` in the
+//!    repo-root `BENCH_PR9.json`;
+//! 3. **Per-process memory**: one shard child is run standalone
+//!    (`--shard 0/8`) and its self-reported peak RSS must stay under
+//!    the committed `max_shard_rss_mib` — the streaming fold keeps
+//!    each process O(workers × groups) no matter how many users its
+//!    shard carries.
+//!
+//! Measurements land in `target/BENCH_PR9.json`; the committed
+//! baseline is only rewritten when blessing. Requires the `xrbench`
+//! binary next to this one (CI builds `-p xrbench-cli --release`
+//! first) or named by `XRBENCH_BIN`.
+//!
+//! ```sh
+//! cargo build -p xrbench-cli --release --locked
+//! cargo run -p xrbench-bench --release --bin shard_gate --locked
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `XRBENCH_BLESS_SHARD=1` — re-derive the committed floor as 10%
+//!   of the measured distributed throughput (monotone: floors only
+//!   move up) and the RSS bound as 4× the measured child peak
+//!   (minimum 256 MiB), then rewrite the repo-root `BENCH_PR9.json`.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+use xrbench_bench::fleet_scale::{fleet, SHARD_GATED_USERS, USERS_PER_SESSION};
+use xrbench_fleet::fleet_to_json;
+
+/// Shards the distributed leg splits the fleet into.
+const NUM_SHARDS: u32 = 8;
+/// Fraction of measured throughput committed as the floor when
+/// blessing — loose enough to survive CI runners several times
+/// slower than the blessing machine.
+const BLESS_FLOOR_FRACTION: f64 = 0.10;
+/// Headroom factor for the blessed per-child peak-RSS bound.
+const RSS_BLESS_FACTOR: f64 = 4.0;
+/// Minimum blessed RSS bound (MiB).
+const RSS_BLESS_MIN_MIB: f64 = 256.0;
+/// The committed baseline at the workspace root.
+const COMMITTED_BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+/// Where each run's measurements land (never committed).
+const MEASURED_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_PR9.json");
+/// Scratch directory for the spec document and the two reports.
+const SCRATCH_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/shard_gate");
+
+/// Extracts `"field": <number>` from a JSON string without building a
+/// value tree.
+fn json_number(text: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Locates the `xrbench` binary: `$XRBENCH_BIN`, or the sibling of
+/// this gate binary (both live in `target/release` when CI builds
+/// `-p xrbench-cli` first).
+fn xrbench_bin() -> Option<PathBuf> {
+    if let Ok(explicit) = std::env::var("XRBENCH_BIN") {
+        let p = PathBuf::from(explicit);
+        return p.is_file().then_some(p);
+    }
+    let sibling = std::env::current_exe().ok()?.with_file_name("xrbench");
+    sibling.is_file().then_some(sibling)
+}
+
+/// Runs `xrbench` with the given arguments, returning (stdout,
+/// elapsed seconds). Exits the gate on a failed child.
+fn run_xrbench(bin: &PathBuf, args: &[&str]) -> (String, f64) {
+    let start = Instant::now();
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("shard_gate: cannot spawn {}: {e}", bin.display()));
+    let elapsed = start.elapsed().as_secs_f64();
+    if !out.status.success() {
+        eprintln!(
+            "shard_gate: FAIL — `xrbench {}` exited with {}:\n{}",
+            args.join(" "),
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::process::exit(1);
+    }
+    (String::from_utf8_lossy(&out.stdout).into_owned(), elapsed)
+}
+
+fn main() {
+    let bless = std::env::var("XRBENCH_BLESS_SHARD").is_ok_and(|v| v == "1");
+    let mut failed = false;
+
+    let Some(bin) = xrbench_bin() else {
+        eprintln!(
+            "shard_gate: FAIL — no `xrbench` binary found (build it first: \
+             `cargo build -p xrbench-cli --release --locked`, or set XRBENCH_BIN)"
+        );
+        std::process::exit(1);
+    };
+
+    // The 1M-user run document: the shared fleet_scale workload on
+    // its 16-engine uniform system, exactly what fleet_gate measures
+    // at 65,536 users — 16× larger.
+    let scratch = PathBuf::from(SCRATCH_DIR);
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let doc_path = scratch.join("fleet_1m.json");
+    let doc = format!(
+        "{{\n  \"kind\": \"fleet\",\n  \"hardware\": {{ \"uniform\": {{ \"engines\": {}, \
+         \"latency_s\": {}, \"energy_j\": {} }} }},\n  \"fleet\": {}\n}}\n",
+        xrbench_bench::fleet_scale::ENGINES,
+        xrbench_bench::fleet_scale::LATENCY_S,
+        xrbench_bench::fleet_scale::ENERGY_J,
+        fleet_to_json(&fleet(SHARD_GATED_USERS)),
+    );
+    std::fs::write(&doc_path, &doc).expect("write fleet document");
+    let doc_arg = doc_path.to_str().expect("scratch path is utf-8");
+    let ref_path = scratch.join("ref.json");
+    let multi_path = scratch.join("multi.json");
+    let shards_arg = NUM_SHARDS.to_string();
+
+    // Leg 1: the single-process reference run.
+    let (_, single_elapsed) = run_xrbench(
+        &bin,
+        &["run-fleet", doc_arg, "--out", ref_path.to_str().unwrap()],
+    );
+    let reference = std::fs::read_to_string(&ref_path).expect("read reference report");
+    let num_users = json_number(&reference, "num_users").unwrap_or(0.0) as u64;
+    let num_sessions = json_number(&reference, "num_sessions").unwrap_or(0.0) as u64;
+    let events = json_number(&reference, "events").unwrap_or(0.0) as u64;
+    let single_eps = events as f64 / single_elapsed;
+    eprintln!(
+        "shard_gate: single  | {num_users:>8} users | {num_sessions:>6} sessions | \
+         {events:>10} events | {single_eps:>12.0} ev/s"
+    );
+    assert!(
+        num_users >= 1_048_576,
+        "gated fleet must cover >= 1,048,576 users, got {num_users}"
+    );
+
+    // Leg 2: the distributed run — NUM_SHARDS child processes.
+    let (_, multi_elapsed) = run_xrbench(
+        &bin,
+        &[
+            "run-fleet",
+            doc_arg,
+            "--shards",
+            &shards_arg,
+            "--out",
+            multi_path.to_str().unwrap(),
+        ],
+    );
+    let multi = std::fs::read_to_string(&multi_path).expect("read sharded report");
+    let multi_eps = events as f64 / multi_elapsed;
+    eprintln!(
+        "shard_gate: sharded | {num_users:>8} users | {NUM_SHARDS} procs    | \
+         {events:>10} events | {multi_eps:>12.0} ev/s"
+    );
+
+    // Gate 1: byte identity across the process boundary.
+    let byte_identical = reference == multi;
+    if !byte_identical {
+        eprintln!(
+            "shard_gate: FAIL — the {NUM_SHARDS}-shard multi-process report differs from \
+             the single-process report (shard merge is no longer exact)"
+        );
+        failed = true;
+    }
+
+    // Gate 3 input: one standalone shard child, for its self-reported
+    // per-process peak RSS.
+    let (child_state, child_elapsed) = run_xrbench(
+        &bin,
+        &["run-fleet", doc_arg, "--shard", &format!("0/{NUM_SHARDS}")],
+    );
+    let child_rss = json_number(&child_state, "peak_rss_mib");
+    match child_rss {
+        Some(rss) => eprintln!(
+            "shard_gate: child 0/{NUM_SHARDS} | peak RSS {rss:.1} MiB | {child_elapsed:.1} s"
+        ),
+        None => eprintln!(
+            "shard_gate: child 0/{NUM_SHARDS} reported no peak RSS (non-Linux?); memory \
+             gate skipped"
+        ),
+    }
+
+    // Committed bounds.
+    let committed = std::fs::read_to_string(COMMITTED_BASELINE).ok();
+    let committed_floor = committed
+        .as_deref()
+        .and_then(|t| json_number(t, "floor_events_per_sec_1048576"));
+    let committed_rss = committed
+        .as_deref()
+        .and_then(|t| json_number(t, "max_shard_rss_mib"));
+    let (floor, rss_bound) = if bless {
+        (
+            // Monotone blessing: the committed floor only moves up.
+            (multi_eps * BLESS_FLOOR_FRACTION).max(committed_floor.unwrap_or(0.0)),
+            child_rss.map_or(RSS_BLESS_MIN_MIB, |r| {
+                (r * RSS_BLESS_FACTOR).max(RSS_BLESS_MIN_MIB)
+            }),
+        )
+    } else {
+        let floor = committed_floor.unwrap_or_else(|| {
+            eprintln!(
+                "shard_gate: FAIL — cannot read floor_events_per_sec_1048576 from \
+                 {COMMITTED_BASELINE} (set XRBENCH_BLESS_SHARD=1 to establish a baseline)"
+            );
+            std::process::exit(1);
+        });
+        (floor, committed_rss.unwrap_or(RSS_BLESS_MIN_MIB))
+    };
+
+    // Emit BENCH_PR9.json.
+    let mut out = String::from("{\n  \"bench\": \"shard_scale\",\n");
+    out.push_str(&format!(
+        "  \"users\": {num_users},\n  \"users_per_session\": {USERS_PER_SESSION},\n  \
+         \"sessions\": {num_sessions},\n  \"shards\": {NUM_SHARDS},\n  \
+         \"events\": {events},\n"
+    ));
+    out.push_str(&format!(
+        "  \"single_process_events_per_sec\": {single_eps:.0},\n  \
+         \"sharded_events_per_sec\": {multi_eps:.0},\n"
+    ));
+    if let Some(rss) = child_rss {
+        out.push_str(&format!("  \"shard_child_peak_rss_mib\": {rss:.0},\n"));
+    }
+    out.push_str(&format!("  \"max_shard_rss_mib\": {rss_bound:.0},\n"));
+    out.push_str(&format!(
+        "  \"floor_events_per_sec_1048576\": {floor:.0}\n}}\n"
+    ));
+    if let Some(dir) = std::path::Path::new(MEASURED_OUT).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(MEASURED_OUT, &out).expect("write measured BENCH_PR9.json");
+    if bless {
+        std::fs::write(COMMITTED_BASELINE, &out).expect("write committed BENCH_PR9.json");
+    }
+    println!("{out}");
+
+    // Gate 2: the distributed throughput floor.
+    let delta = (multi_eps / floor - 1.0) * 100.0;
+    if multi_eps < floor {
+        eprintln!(
+            "shard_gate: FAIL — sharded 1M-user throughput {multi_eps:.0} ev/s below \
+             committed floor {floor:.0} ev/s (measured-vs-floor: {delta:+.1}%)"
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "shard_gate: throughput {multi_eps:.0} ev/s vs floor {floor:.0} ev/s ({delta:+.1}%)"
+        );
+    }
+    // Gate 3: per-child peak RSS.
+    if let Some(rss) = child_rss {
+        let rss_delta = (rss / rss_bound - 1.0) * 100.0;
+        if rss > rss_bound {
+            eprintln!(
+                "shard_gate: FAIL — shard-child peak RSS {rss:.0} MiB above committed \
+                 bound {rss_bound:.0} MiB (measured-vs-bound: {rss_delta:+.1}%)"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "shard_gate: child peak RSS {rss:.0} MiB vs bound {rss_bound:.0} MiB \
+                 ({rss_delta:+.1}%)"
+            );
+        }
+    }
+
+    // Mirror the verdicts into the Actions job summary.
+    let mut summary = String::from(
+        "## Shard gate (1,048,576-user distributed fleet)\n\n\
+         | leg | processes | events | events/sec |\n|---|---:|---:|---:|\n",
+    );
+    summary.push_str(&format!(
+        "| single | 1 | {events} | {single_eps:.0} |\n\
+         | sharded | {NUM_SHARDS} | {events} | {multi_eps:.0} |\n"
+    ));
+    summary.push_str("\n| gate | bound | measured | delta | verdict |\n|---|---:|---:|---:|---|\n");
+    summary.push_str(&format!(
+        "| 1-vs-{NUM_SHARDS}-process byte identity | — | — | — | {} |\n",
+        if byte_identical {
+            "✅ pass"
+        } else {
+            "❌ FAIL"
+        }
+    ));
+    summary.push_str(&format!(
+        "| sharded throughput | {floor:.0} ev/s | {multi_eps:.0} ev/s | {delta:+.1}% | {} |\n",
+        if multi_eps < floor {
+            "❌ FAIL"
+        } else {
+            "✅ pass"
+        }
+    ));
+    match child_rss {
+        Some(rss) => summary.push_str(&format!(
+            "| shard-child peak RSS | {rss_bound:.0} MiB | {rss:.0} MiB | {:+.1}% | {} |\n",
+            (rss / rss_bound - 1.0) * 100.0,
+            if rss > rss_bound {
+                "❌ FAIL"
+            } else {
+                "✅ pass"
+            }
+        )),
+        None => summary.push_str("| shard-child peak RSS | — | unavailable | — | skipped |\n"),
+    }
+    xrbench_bench::ci::append_step_summary(&summary);
+
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("shard_gate: PASS");
+}

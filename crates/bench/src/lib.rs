@@ -25,6 +25,13 @@
 //!   8-worker reports are byte-identical, writes `BENCH_PR4.json`,
 //!   and exits non-zero below the committed events/sec floor or above
 //!   the committed peak-RSS bound.
+//! * `shard_gate` — the committed distributed-sharding gate: runs a
+//!   1,048,576-user fleet once in a single process and once split
+//!   across 8 shard child processes through the real `xrbench`
+//!   binary, verifies the reports are byte-identical, writes
+//!   `BENCH_PR9.json`, and exits non-zero below the committed
+//!   distributed events/sec floor or above the committed per-child
+//!   peak-RSS bound.
 //!
 //! Criterion benches (`cargo bench -p xrbench-bench`):
 //!
@@ -37,6 +44,9 @@
 //!   counterpart of `perf_gate`).
 //! * `fleet_scale` — fleet execution throughput (the interactive
 //!   counterpart of `fleet_gate`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Formats a score table row of four unit scores plus overall.
 pub fn fmt_scores(rt: f64, en: f64, qoe: f64, overall: f64) -> String {
@@ -122,6 +132,9 @@ pub mod fleet_scale {
     pub const STAGGER_S: f64 = 0.002;
     /// The gated fleet size: 65,536 users across 2,048 sessions.
     pub const GATED_USERS: u32 = 65_536;
+    /// The distributed-sharding gate's fleet size: 1,048,576 users
+    /// across 32,768 sessions (`shard_gate`, PR 9).
+    pub const SHARD_GATED_USERS: u32 = 1_048_576;
     /// The fault-injection leg's fleet size (kept small: the leg pins
     /// exact drop-reason totals, not throughput).
     pub const FAULTED_USERS: u32 = 2_048;

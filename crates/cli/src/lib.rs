@@ -12,6 +12,7 @@
 //! xrbench run-suite   <SPEC.json> [--out FILE] [--strict]
 //! xrbench run-session <SPEC.json> [--out FILE] [--strict]
 //! xrbench run-fleet   <SPEC.json> [--out FILE] [--strict] [--compare-policies]
+//!                     [--shards N [--max-procs M]] [--shard K/N]
 //! xrbench analyze     <SPEC.json> [--json] [--accelerator ID] [--pes N]
 //! xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
 //!                       [--min-models N] [--max-models N]
@@ -47,6 +48,15 @@ USAGE:
                       [--compare-policies]       replay the fleet once per recovery
                                                  policy (drop / requeue / migrate)
                                                  under the identical fault timelines
+                      [--shards N [--max-procs M]]  distribute the fleet across N child
+                                                 OS processes (at most M alive at once)
+                                                 and merge their partial states into a
+                                                 report byte-identical to the
+                                                 single-process run
+                      [--shard K/N]              run only shard K of N and print the
+                                                 partial shard state (what --shards
+                                                 children do; composable by hand across
+                                                 machines)
   xrbench analyze     <SPEC.json> [--json]       static schedulability analysis (XA###
                       [--accelerator ID] [--pes N]  diagnostics) of any spec file
   xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
@@ -124,6 +134,16 @@ pub enum Command {
         /// Run the fleet once per recovery policy and emit the
         /// comparison report instead (`run-fleet` only).
         compare: bool,
+        /// Child mode: run only shard `K` of `N` and print the
+        /// partial [`xrbench_fleet::ShardState`] JSON (`run-fleet`
+        /// only).
+        shard: Option<(u32, u32)>,
+        /// Coordinator mode: distribute the fleet across this many
+        /// child processes and merge (`run-fleet` only).
+        shards: Option<u32>,
+        /// Bound on concurrently-alive shard children (requires
+        /// `--shards`; defaults to the fleet worker heuristic).
+        max_procs: Option<usize>,
     },
     /// `analyze`.
     Analyze {
@@ -175,6 +195,22 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Resul
         .map_err(|_| usage_error(format!("invalid value for {flag}: `{value}`")))
 }
 
+/// Parses a `K/N` shard coordinate (`0 ≤ K < N`).
+fn parse_shard(value: &str) -> Result<(u32, u32), CliError> {
+    let err = || {
+        usage_error(format!(
+            "invalid value for --shard: `{value}` (expected K/N with K < N)"
+        ))
+    };
+    let (k, n) = value.split_once('/').ok_or_else(err)?;
+    let k: u32 = k.parse().map_err(|_| err())?;
+    let n: u32 = n.parse().map_err(|_| err())?;
+    if n == 0 || k >= n {
+        return Err(err());
+    }
+    Ok((k, n))
+}
+
 impl Command {
     /// Parses the arguments after the program name.
     ///
@@ -200,6 +236,9 @@ impl Command {
                 let mut out = None;
                 let mut strict = false;
                 let mut compare = false;
+                let mut shard = None;
+                let mut shards = None;
+                let mut max_procs = None;
                 while let Some(arg) = it.next() {
                     match arg.as_str() {
                         "--out" => {
@@ -207,6 +246,14 @@ impl Command {
                         }
                         "--strict" => strict = true,
                         "--compare-policies" => compare = true,
+                        "--shard" => {
+                            let value: String = parse_value("--shard", it.next())?;
+                            shard = Some(parse_shard(&value)?);
+                        }
+                        "--shards" => shards = Some(parse_value::<u32>("--shards", it.next())?),
+                        "--max-procs" => {
+                            max_procs = Some(parse_value::<usize>("--max-procs", it.next())?)
+                        }
                         _ if arg.starts_with('-') => {
                             return Err(usage_error(format!("unknown flag `{arg}`")))
                         }
@@ -219,6 +266,31 @@ impl Command {
                         "--compare-policies is only valid with run-fleet",
                     ));
                 }
+                if (shard.is_some() || shards.is_some()) && kind != "fleet" {
+                    return Err(usage_error(
+                        "--shard/--shards are only valid with run-fleet",
+                    ));
+                }
+                if shard.is_some() && shards.is_some() {
+                    return Err(usage_error(
+                        "--shard (child mode) and --shards (coordinator mode) are mutually \
+                         exclusive",
+                    ));
+                }
+                if compare && (shard.is_some() || shards.is_some()) {
+                    return Err(usage_error(
+                        "--compare-policies cannot be combined with --shard/--shards",
+                    ));
+                }
+                if shards == Some(0) {
+                    return Err(usage_error("--shards needs at least one shard"));
+                }
+                if max_procs.is_some() && shards.is_none() {
+                    return Err(usage_error("--max-procs requires --shards"));
+                }
+                if max_procs == Some(0) {
+                    return Err(usage_error("--max-procs needs at least one process"));
+                }
                 let spec =
                     spec.ok_or_else(|| usage_error(format!("{sub} needs a spec file argument")))?;
                 Ok(Command::Run {
@@ -227,6 +299,9 @@ impl Command {
                     out,
                     strict,
                     compare,
+                    shard,
+                    shards,
+                    max_procs,
                 })
             }
             "analyze" => {
@@ -346,12 +421,14 @@ pub struct Output {
 }
 
 /// Executes a parsed command, returning its output (pure except for
-/// reading the spec file).
+/// reading the spec file — and, under `run-fleet --shards N`,
+/// spawning the shard child processes whose states it merges).
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] carrying the exit code: 1 for unreadable or
-/// invalid specs, 2 never (usage errors are caught at parse time).
+/// invalid specs and failed shard children, 2 never (usage errors are
+/// caught at parse time).
 pub fn execute(command: &Command) -> Result<Output, CliError> {
     match command {
         Command::Help => Ok(Output {
@@ -364,7 +441,18 @@ pub fn execute(command: &Command) -> Result<Output, CliError> {
             out,
             strict,
             compare,
-        } => run_document(kind, spec, out.as_deref(), *strict, *compare),
+            shard,
+            shards,
+            max_procs,
+        } => run_document(
+            kind,
+            spec,
+            out.as_deref(),
+            *strict,
+            *compare,
+            *shard,
+            shards.map(|n| (n, max_procs.unwrap_or_else(default_max_procs))),
+        ),
         Command::Analyze {
             spec,
             json,
@@ -398,12 +486,22 @@ pub fn execute(command: &Command) -> Result<Output, CliError> {
     }
 }
 
+/// The default bound on concurrently-alive shard children: the same
+/// heuristic as the in-process worker pool. Each child runs its own
+/// pool over its shard's sessions, so the coordinator's job is to
+/// stop N × workers threads from landing on one machine at once.
+fn default_max_procs() -> usize {
+    xrbench_fleet::default_workers()
+}
+
 fn run_document(
     kind: &str,
     spec: &Path,
     out: Option<&Path>,
     strict: bool,
     compare: bool,
+    shard: Option<(u32, u32)>,
+    shards: Option<(u32, usize)>,
 ) -> Result<Output, CliError> {
     let text = fs::read_to_string(spec)
         .map_err(|e| run_error(format!("cannot read {}: {e}", spec.display())))?;
@@ -439,14 +537,27 @@ fn run_document(
         );
     }
     let report = match (&doc, compare) {
-        // The parser only accepts --compare-policies with run-fleet,
-        // and the kind check above guarantees the document matches.
+        // The parser only accepts --compare-policies and
+        // --shard/--shards with run-fleet, and the kind check above
+        // guarantees the document matches.
         (RunDocument::Fleet(run), true) => {
             let comparison = run.compare_policies();
             notes.extend(comparison.render_table().lines().map(str::to_string));
             comparison.to_json()
         }
-        (RunDocument::Fleet(run), false) => run.run().to_json(),
+        (RunDocument::Fleet(run), false) => match (shard, shards) {
+            // Child mode: run one shard, embed this process's peak
+            // RSS, and emit the partial state instead of a report.
+            (Some((k, n)), _) => {
+                let mut state = run.run_shard(k, n);
+                state.peak_rss_mib = peak_rss_mib();
+                state.to_json()
+            }
+            // Coordinator mode: fork/exec one child per shard and
+            // merge their states into the ordinary fleet report.
+            (_, Some((n, max_procs))) => run_sharded(run, spec, n, max_procs, &mut notes)?,
+            (None, None) => run.run().to_json(),
+        },
         (RunDocument::Suite(run), _) => run.run().to_json(),
         (RunDocument::Session(run), _) => run.run().to_json(),
     } + "\n";
@@ -465,6 +576,62 @@ fn run_document(
             ..Output::default()
         },
     })
+}
+
+/// Coordinator mode for `run-fleet --shards N`: re-execs this binary
+/// once per shard (`run-fleet <spec> --shard k/N`), reads each
+/// child's [`xrbench_fleet::ShardState`] from its stdout pipe, and
+/// merges the states into a report byte-identical to the
+/// single-process run. At most `max_procs` children are alive at
+/// once; a failing child is retried once before the run aborts with
+/// its stderr (see [`xrbench_fleet::supervise`]).
+fn run_sharded(
+    run: &xrbench_core::FleetRun,
+    spec: &Path,
+    num_shards: u32,
+    max_procs: usize,
+    notes: &mut Vec<String>,
+) -> Result<String, CliError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| run_error(format!("cannot locate the xrbench binary to re-exec: {e}")))?;
+    notes.push(format!(
+        "sharding across {num_shards} child processes (≤ {max_procs} concurrent)"
+    ));
+    let outputs = xrbench_fleet::supervise(num_shards, max_procs, &mut |k| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("run-fleet")
+            .arg(spec)
+            .arg("--shard")
+            .arg(format!("{k}/{num_shards}"));
+        cmd
+    })
+    .map_err(|e| run_error(e.to_string()))?;
+    let mut states = Vec::with_capacity(outputs.len());
+    for (k, text) in outputs.iter().enumerate() {
+        states.push(
+            xrbench_fleet::ShardState::from_json(text.trim())
+                .map_err(|e| run_error(format!("shard {k} returned an unreadable state: {e}")))?,
+        );
+    }
+    let child_rss: Vec<f64> = states.iter().filter_map(|s| s.peak_rss_mib).collect();
+    if let Some(max_rss) = child_rss.iter().copied().reduce(f64::max) {
+        notes.push(format!("max shard-child peak RSS: {max_rss:.1} MiB"));
+    }
+    let report = run
+        .merge_shards(&states)
+        .map_err(|e| run_error(format!("merging shard states: {e}")))?;
+    Ok(report.to_json())
+}
+
+/// This process's peak resident set size in MiB (Linux `VmHWM`), if
+/// the platform exposes it. Shard children embed it in their state so
+/// the coordinator — and the CI gate — can observe per-process
+/// memory without OS-specific tooling on the outside.
+fn peak_rss_mib() -> Option<f64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
 }
 
 /// Builds the default system bare specs are analyzed against: a Table
@@ -729,6 +896,9 @@ mod tests {
                 out: None,
                 strict: false,
                 compare: false,
+                shard: None,
+                shards: None,
+                max_procs: None,
             }
         );
         let cmd = Command::parse(&args(&[
@@ -748,8 +918,78 @@ mod tests {
                 out: Some(PathBuf::from("r.json")),
                 strict: true,
                 compare: true,
+                shard: None,
+                shards: None,
+                max_procs: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_shard_flags() {
+        let cmd = Command::parse(&args(&["run-fleet", "f.json", "--shard", "2/8"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                kind: "fleet",
+                spec: PathBuf::from("f.json"),
+                out: None,
+                strict: false,
+                compare: false,
+                shard: Some((2, 8)),
+                shards: None,
+                max_procs: None,
+            }
+        );
+        let cmd = Command::parse(&args(&[
+            "run-fleet",
+            "f.json",
+            "--shards",
+            "4",
+            "--max-procs",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                kind: "fleet",
+                spec: PathBuf::from("f.json"),
+                out: None,
+                strict: false,
+                compare: false,
+                shard: None,
+                shards: Some(4),
+                max_procs: Some(2),
+            }
+        );
+    }
+
+    #[test]
+    fn shard_flag_combinations_are_validated() {
+        for bad in [
+            vec!["run-suite", "s.json", "--shards", "2"],
+            vec!["run-session", "s.json", "--shard", "0/2"],
+            vec!["run-fleet", "f.json", "--shard", "0/2", "--shards", "2"],
+            vec!["run-fleet", "f.json", "--shards", "2", "--compare-policies"],
+            vec![
+                "run-fleet",
+                "f.json",
+                "--shard",
+                "0/2",
+                "--compare-policies",
+            ],
+            vec!["run-fleet", "f.json", "--shards", "0"],
+            vec!["run-fleet", "f.json", "--max-procs", "2"],
+            vec!["run-fleet", "f.json", "--shards", "2", "--max-procs", "0"],
+            vec!["run-fleet", "f.json", "--shard", "2/2"],
+            vec!["run-fleet", "f.json", "--shard", "1"],
+            vec!["run-fleet", "f.json", "--shard", "a/b"],
+            vec!["run-fleet", "f.json", "--shard", "0/0"],
+        ] {
+            let err = Command::parse(&args(&bad)).unwrap_err();
+            assert_eq!(err.code, 2, "{bad:?}");
+        }
     }
 
     #[test]
@@ -857,6 +1097,9 @@ mod tests {
             out: None,
             strict: false,
             compare: false,
+            shard: None,
+            shards: None,
+            max_procs: None,
         })
         .unwrap_err();
         assert_eq!(err.code, 1);

@@ -301,6 +301,80 @@ fn compare_policies_replays_the_fleet_per_recovery_policy() {
 }
 
 #[test]
+fn sharded_fleet_run_is_byte_identical_to_single_process() {
+    let dir = scratch("sharded");
+    let spec = dir.join("fleet.json");
+    fs::write(
+        &spec,
+        r#"{
+  "kind": "fleet",
+  "hardware": { "accelerator": { "id": "J", "pes": 8192 } },
+  "fleet": {
+    "name": "arcade",
+    "groups": [
+      {
+        "name": "vr",
+        "replicas": 3,
+        "session": {
+          "name": "party",
+          "uniform": { "scenario": "VR Gaming", "users": 2, "stagger_s": 0.002 }
+        }
+      },
+      {
+        "name": "churny",
+        "replicas": 2,
+        "session": {
+          "name": "social",
+          "uniform": { "scenario": "Social Interaction A", "users": 2, "stagger_s": 0.003 }
+        },
+        "faults": {
+          "failure_rate_per_s": 2.0,
+          "mean_downtime_s": 0.05,
+          "preemption_rate_per_s": 4.0,
+          "mean_preemption_s": 0.02
+        }
+      }
+    ]
+  }
+}"#,
+    )
+    .unwrap();
+    let spec = spec.to_str().unwrap();
+    let reference = xrbench(&["run-fleet", spec]);
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    // Multi-process coordinator: same bytes on stdout, for any shard
+    // count and concurrency bound.
+    for shards in ["2", "3", "5"] {
+        let sharded = xrbench(&["run-fleet", spec, "--shards", shards, "--max-procs", "2"]);
+        assert!(
+            sharded.status.success(),
+            "--shards {shards}: {}",
+            String::from_utf8_lossy(&sharded.stderr)
+        );
+        assert_eq!(
+            sharded.stdout, reference.stdout,
+            "--shards {shards} diverged from the single-process report"
+        );
+        let stderr = String::from_utf8_lossy(&sharded.stderr).to_string();
+        assert!(stderr.contains("sharding across"), "{stderr}");
+    }
+    // Child mode emits a shard state, not a report.
+    let child = xrbench(&["run-fleet", spec, "--shard", "0/3"]);
+    assert!(
+        child.status.success(),
+        "{}",
+        String::from_utf8_lossy(&child.stderr)
+    );
+    let state = String::from_utf8(child.stdout).expect("utf-8 state");
+    assert!(state.contains("\"xrbench_shard_state\""), "{state}");
+    assert!(!state.contains("fleet_score"), "child leaked a report");
+}
+
+#[test]
 fn kind_mismatch_and_bad_specs_fail_cleanly() {
     // Suite subcommand on a session document: exit 1, points at the
     // right subcommand.

@@ -282,6 +282,35 @@ impl Harness {
         xrbench_fleet::compare_recovery_policies(fleet, system, &config)
     }
 
+    /// Runs shard `shard` of `num_shards` of a fleet — the same
+    /// sessions [`Harness::run_fleet_with_recovery`] would seed for
+    /// the global `(group, replica)` coordinates that fall in the
+    /// shard — and returns the partial state
+    /// ([`xrbench_fleet::ShardState`]) ready to cross a process
+    /// boundary (see [`xrbench_fleet::merge_fleet_shards`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Harness::run_fleet`], plus
+    /// `shard < num_shards`.
+    pub fn run_fleet_shard(
+        &self,
+        fleet: &xrbench_fleet::FleetSpec,
+        system: &(dyn CostProvider + Sync),
+        workers: usize,
+        recovery: xrbench_sim::RecoveryPolicy,
+        shard: u32,
+        num_shards: u32,
+    ) -> xrbench_fleet::ShardState {
+        xrbench_fleet::run_fleet_shard(
+            fleet,
+            system,
+            &self.fleet_config(workers, recovery),
+            shard,
+            num_shards,
+        )
+    }
+
     fn fleet_config(
         &self,
         workers: usize,

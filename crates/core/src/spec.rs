@@ -529,6 +529,50 @@ impl FleetRun {
         )
     }
 
+    /// Runs one shard of the fleet: the sessions whose global
+    /// `(group, replica)` coordinates fall in shard `shard` of
+    /// `num_shards`, seeded exactly as [`FleetRun::run`] would seed
+    /// them. The returned [`xrbench_fleet::ShardState`] serializes
+    /// over a pipe and merges back through
+    /// [`FleetRun::merge_shards`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards` (same contract as
+    /// [`Harness::run_fleet`] otherwise).
+    pub fn run_shard(&self, shard: u32, num_shards: u32) -> xrbench_fleet::ShardState {
+        let system = self.system.build();
+        self.params.harness().run_fleet_shard(
+            &self.fleet,
+            system.as_ref(),
+            self.effective_workers(),
+            self.recovery,
+            shard,
+            num_shards,
+        )
+    }
+
+    /// Merges shard states produced by [`FleetRun::run_shard`] (in
+    /// any order, possibly in other processes) into the final report
+    /// — byte-identical to [`FleetRun::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when the states do not form a
+    /// complete, consistent partition of this fleet.
+    pub fn merge_shards(
+        &self,
+        states: &[xrbench_fleet::ShardState],
+    ) -> Result<xrbench_fleet::FleetReport, SpecError> {
+        let system = self.system.build();
+        xrbench_fleet::merge_fleet_shards(
+            &self.fleet,
+            &system.label(),
+            xrbench_sim::LatencyGreedy::new().name(),
+            states,
+        )
+    }
+
     /// Runs the fleet once per recovery policy under identical fault
     /// seeds (see [`Harness::compare_fleet_policies`]).
     pub fn compare_policies(&self) -> xrbench_fleet::PolicyComparisonReport {

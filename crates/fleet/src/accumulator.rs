@@ -56,9 +56,9 @@ pub struct StatAgg {
     /// `as i128` cast turns +inf into `i128::MAX`), so anomalies are
     /// quarantined deterministically instead.
     pub anomalies: u64,
-    sum_fp: i128,
-    min: f64,
-    max: f64,
+    pub(crate) sum_fp: i128,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
 }
 
 impl Default for StatAgg {
@@ -241,10 +241,10 @@ pub struct ScenarioAccumulator {
     pub users: u64,
     /// Per-user overall scenario score ([`SCORE_SCALE`]).
     pub overall: StatAgg,
-    realtime_fp: i128,
-    energy_fp: i128,
-    accuracy_fp: i128,
-    qoe_fp: i128,
+    pub(crate) realtime_fp: i128,
+    pub(crate) energy_fp: i128,
+    pub(crate) accuracy_fp: i128,
+    pub(crate) qoe_fp: i128,
 }
 
 impl ScenarioAccumulator {
@@ -300,8 +300,8 @@ pub struct FleetAccumulator {
     pub overrun: FixedHistogram,
     /// Combined per-inference score histogram (`[0, 1]`).
     pub score: FixedHistogram,
-    per_model: Vec<ModelAccumulator>,
-    per_scenario: BTreeMap<String, ScenarioAccumulator>,
+    pub(crate) per_model: Vec<ModelAccumulator>,
+    pub(crate) per_scenario: BTreeMap<String, ScenarioAccumulator>,
 }
 
 impl Default for FleetAccumulator {

@@ -148,8 +148,6 @@ pub fn run_fleet_with(
     scheduler_factory: &(dyn Fn() -> Box<dyn Scheduler> + Sync),
 ) -> FleetReport {
     spec.validate();
-    assert!(config.workers > 0, "fleet needs at least one worker");
-    let scorer = InferenceScorer::new(config.rt, config.energy, config.accuracy);
     let scheduler_name = scheduler_factory().name();
 
     // The flat job list: (group, replica), in group order.
@@ -159,6 +157,42 @@ pub fn run_fleet_with(
         .enumerate()
         .flat_map(|(g, grp)| (0..grp.replicas).map(move |r| (g as u32, r)))
         .collect();
+    let group_accs = run_jobs(spec, system, config, scheduler_factory, &jobs);
+    let mut fleet_acc = FleetAccumulator::new();
+    for g in &group_accs {
+        fleet_acc.merge(g);
+    }
+    build_report(
+        spec,
+        &system.label(),
+        scheduler_name,
+        &group_accs,
+        &fleet_acc,
+    )
+}
+
+/// Runs an explicit `(group, replica)` job list through the worker
+/// pool and returns one merged accumulator per group (empty for
+/// groups the list never touches). Replica indices are **global** —
+/// each session is seeded by `replica_seed(base, g, r)` from the
+/// indices as given, so running a subset of the jobs here produces
+/// exactly the contribution those sessions make to a full run. This
+/// is the primitive both [`run_fleet_with`] (all jobs) and the shard
+/// runner ([`crate::run_fleet_shard`], one shard's slice) share.
+///
+/// # Panics
+///
+/// Panics if `config.workers == 0`, a job's group index is out of
+/// range, or the system has no engines; propagates worker panics.
+pub(crate) fn run_jobs(
+    spec: &FleetSpec,
+    system: &(dyn CostProvider + Sync),
+    config: &FleetRunConfig,
+    scheduler_factory: &(dyn Fn() -> Box<dyn Scheduler> + Sync),
+    jobs: &[(u32, u32)],
+) -> Vec<FleetAccumulator> {
+    assert!(config.workers > 0, "fleet needs at least one worker");
+    let scorer = InferenceScorer::new(config.rt, config.energy, config.accuracy);
     let workers = config.workers.min(jobs.len()).max(1);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Vec<FleetAccumulator>>>> =
@@ -166,7 +200,7 @@ pub fn run_fleet_with(
 
     std::thread::scope(|scope| {
         for slot in &slots {
-            let (next, jobs, scorer) = (&next, &jobs, &scorer);
+            let (next, scorer) = (&next, &scorer);
             scope.spawn(move || {
                 let mut local = vec![FleetAccumulator::new(); spec.groups.len()];
                 loop {
@@ -194,8 +228,8 @@ pub fn run_fleet_with(
         }
     });
 
-    // Reduce: per-group accumulators (exact merges, so worker order
-    // is immaterial), then the fleet total in group order.
+    // Reduce per-group accumulators; exact merges, so worker order is
+    // immaterial.
     let mut group_accs: Vec<FleetAccumulator> = vec![FleetAccumulator::new(); spec.groups.len()];
     for slot in slots {
         let worker = slot
@@ -206,17 +240,7 @@ pub fn run_fleet_with(
             group_accs[g].merge(acc);
         }
     }
-    let mut fleet_acc = FleetAccumulator::new();
-    for g in &group_accs {
-        fleet_acc.merge(g);
-    }
-    build_report(
-        spec,
-        &system.label(),
-        scheduler_name,
-        &group_accs,
-        &fleet_acc,
-    )
+    group_accs
 }
 
 #[cfg(test)]

@@ -32,6 +32,15 @@
 //! replays the identical outage schedule once per policy and
 //! tabulates the outcomes.
 //!
+//! Beyond one process, the **shard-plan layer** splits a fleet along
+//! `(group, replica-range)` boundaries ([`plan_shards`]), runs each
+//! shard in its own OS process ([`run_fleet_shard`] on the child
+//! side, [`supervise`] on the coordinator side), ships partial state
+//! as [`ShardState`] JSON, and merges byte-exactly back into the
+//! single-process report ([`merge_fleet_shards`]) — replica seeding
+//! is a pure function of the global `(group, replica)` coordinate,
+//! so the shard cut cannot change any device's behavior.
+//!
 //! ## Example
 //!
 //! ```
@@ -59,8 +68,10 @@ mod compare;
 mod executor;
 mod report;
 mod scoring;
+mod shard;
 mod spec;
 pub mod specfile;
+mod supervisor;
 
 pub use accumulator::{
     DropCounts, FleetAccumulator, ModelAccumulator, ScenarioAccumulator, StatAgg, ENERGY_SCALE,
@@ -76,5 +87,10 @@ pub use report::{
     ScenarioFleetReport,
 };
 pub use scoring::InferenceScorer;
+pub use shard::{
+    merge_fleet_shards, plan_shards, run_fleet_shard, run_fleet_shard_with, ShardPiece, ShardPlan,
+    ShardState,
+};
 pub use spec::{replica_seed, DeviceGroup, FleetSpec};
 pub use specfile::{fleet_from_str, fleet_to_json};
+pub use supervisor::{supervise, ShardError};

@@ -1,0 +1,310 @@
+//! The shard supervisor: bounded fork/exec of shard children with
+//! retry-once failure handling.
+//!
+//! The coordinator side of a distributed fleet run spawns one child
+//! process per shard (`xrbench run-fleet … --shard k/N`), reads each
+//! child's [`crate::ShardState`] JSON from its stdout pipe, and merges
+//! the states through [`crate::merge_fleet_shards`]. This module owns
+//! the process plumbing and its failure semantics; it is deliberately
+//! binary-agnostic — the caller supplies a closure that builds the
+//! [`std::process::Command`] for shard `k`, so tests can substitute
+//! `/bin/sh` scripts and the CLI can re-exec its own binary.
+//!
+//! ## Semantics
+//!
+//! * **Bounded concurrency.** At most `max_concurrent` children run
+//!   at once; further shards wait for a slot. Children are spawned in
+//!   shard order and reaped in shard order (the pipeline is a FIFO),
+//!   which bounds coordinator memory at `max_concurrent` buffered
+//!   pipes without any polling.
+//! * **Retry-once.** A child that exits nonzero (or fails to spawn)
+//!   is retried exactly once, synchronously, in its slot. A second
+//!   failure aborts the whole run with a [`ShardError`] carrying the
+//!   child's captured stderr — shard results are partial sums, so a
+//!   missing shard makes the merged report silently wrong; failing
+//!   loudly is the only correct option.
+//! * **Determinism.** Results are returned indexed by shard, so the
+//!   caller's merge order never depends on child completion order.
+//!   (The merge is commutative anyway — this just keeps the pipeline
+//!   boring.)
+
+use std::process::{Command, Stdio};
+
+/// A shard child failed twice (or its output pipe broke).
+#[derive(Debug)]
+pub struct ShardError {
+    /// Which shard failed.
+    pub shard: u32,
+    /// What went wrong (spawn error, exit status, or pipe error).
+    pub message: String,
+    /// The child's captured stderr from the failing attempt (empty if
+    /// it never spawned).
+    pub stderr: String,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} failed after retry: {}",
+            self.shard, self.message
+        )?;
+        if !self.stderr.is_empty() {
+            write!(f, "\n--- child stderr ---\n{}", self.stderr.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One finished child attempt.
+struct Attempt {
+    ok: bool,
+    message: String,
+    stdout: String,
+    stderr: String,
+}
+
+/// Spawns shard `k`'s command and waits for it, capturing both pipes.
+fn run_attempt(command: &mut Command) -> Attempt {
+    let spawned = command
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn();
+    let child = match spawned {
+        Ok(c) => c,
+        Err(e) => {
+            return Attempt {
+                ok: false,
+                message: format!("failed to spawn: {e}"),
+                stdout: String::new(),
+                stderr: String::new(),
+            }
+        }
+    };
+    match child.wait_with_output() {
+        Ok(out) => Attempt {
+            ok: out.status.success(),
+            message: if out.status.success() {
+                String::new()
+            } else {
+                format!("exited with {}", out.status)
+            },
+            stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+            stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        },
+        Err(e) => Attempt {
+            ok: false,
+            message: format!("failed to collect output: {e}"),
+            stdout: String::new(),
+            stderr: String::new(),
+        },
+    }
+}
+
+/// Runs `num_shards` shard children with at most `max_concurrent`
+/// alive at once and returns each child's stdout, indexed by shard.
+///
+/// `command_for(k)` builds the command for shard `k`; it is called
+/// once per attempt (so a retry gets a fresh `Command`). Children
+/// inherit nothing on stdin and have both output pipes captured. A
+/// child that exits nonzero is retried once; see the module docs for
+/// the full semantics.
+///
+/// # Errors
+///
+/// Returns the first [`ShardError`] in shard order once every child
+/// spawned before the failure has been reaped (no zombies are left
+/// behind on the error path).
+///
+/// # Panics
+///
+/// Panics if `num_shards == 0` or `max_concurrent == 0`.
+pub fn supervise(
+    num_shards: u32,
+    max_concurrent: usize,
+    command_for: &mut dyn FnMut(u32) -> Command,
+) -> Result<Vec<String>, ShardError> {
+    assert!(num_shards > 0, "supervisor needs at least one shard");
+    assert!(max_concurrent > 0, "supervisor needs at least one slot");
+    // Spawning is wrapped in run_attempt's wait, so "concurrent"
+    // means: keep a window of in-flight children and reap the oldest
+    // before spawning past the window. wait_with_output() reads the
+    // pipes to EOF, so a child ahead of the reap point can never
+    // block on a full pipe longer than the window allows.
+    let mut in_flight: std::collections::VecDeque<(u32, std::process::Child)> =
+        std::collections::VecDeque::new();
+    let mut results: Vec<Option<String>> = (0..num_shards).map(|_| None).collect();
+
+    let reap = |shard: u32,
+                child: std::process::Child,
+                command_for: &mut dyn FnMut(u32) -> Command|
+     -> Result<String, ShardError> {
+        let first = match child.wait_with_output() {
+            Ok(out) if out.status.success() => {
+                return Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+            }
+            Ok(out) => Attempt {
+                ok: false,
+                message: format!("exited with {}", out.status),
+                stdout: String::new(),
+                stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+            },
+            Err(e) => Attempt {
+                ok: false,
+                message: format!("failed to collect output: {e}"),
+                stdout: String::new(),
+                stderr: String::new(),
+            },
+        };
+        // Retry once, synchronously in this slot.
+        let second = run_attempt(&mut command_for(shard));
+        if second.ok {
+            return Ok(second.stdout);
+        }
+        Err(ShardError {
+            shard,
+            message: format!("{} (first attempt: {})", second.message, first.message),
+            stderr: if second.stderr.is_empty() {
+                first.stderr
+            } else {
+                second.stderr
+            },
+        })
+    };
+
+    let mut error: Option<ShardError> = None;
+    for shard in 0..num_shards {
+        if error.is_some() {
+            break;
+        }
+        if in_flight.len() >= max_concurrent {
+            let (done_shard, done_child) = in_flight.pop_front().expect("window non-empty");
+            match reap(done_shard, done_child, command_for) {
+                Ok(stdout) => results[done_shard as usize] = Some(stdout),
+                Err(e) => error = Some(e),
+            }
+            if error.is_some() {
+                break;
+            }
+        }
+        match command_for(shard)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+        {
+            Ok(child) => in_flight.push_back((shard, child)),
+            Err(e) => {
+                // Spawn failure: retry once immediately.
+                let second = run_attempt(&mut command_for(shard));
+                if second.ok {
+                    results[shard as usize] = Some(second.stdout);
+                } else {
+                    error = Some(ShardError {
+                        shard,
+                        message: format!(
+                            "{} (first attempt: failed to spawn: {e})",
+                            second.message
+                        ),
+                        stderr: second.stderr,
+                    });
+                }
+            }
+        }
+    }
+    // Drain the window — on the error path too, so no zombies linger.
+    while let Some((shard, child)) = in_flight.pop_front() {
+        match reap(shard, child, command_for) {
+            Ok(stdout) => results[shard as usize] = Some(stdout),
+            Err(e) => {
+                error.get_or_insert(e);
+            }
+        }
+    }
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every shard reaped"))
+        .collect())
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    fn sh(script: String) -> Command {
+        let mut c = Command::new("/bin/sh");
+        c.arg("-c").arg(script);
+        c
+    }
+
+    #[test]
+    fn collects_stdout_in_shard_order() {
+        let out = supervise(4, 2, &mut |k| sh(format!("printf 'shard-%s' {k}")))
+            .expect("all children succeed");
+        assert_eq!(out, ["shard-0", "shard-1", "shard-2", "shard-3"]);
+    }
+
+    #[test]
+    fn concurrency_window_of_one_still_completes() {
+        let out = supervise(3, 1, &mut |k| sh(format!("echo {k}"))).unwrap();
+        assert_eq!(out, ["0\n", "1\n", "2\n"]);
+    }
+
+    #[test]
+    fn failing_child_is_retried_once() {
+        // First attempt fails (marker file absent → create it and exit
+        // 1); the retry sees the marker and succeeds. The marker lives
+        // under the test's target tmpdir.
+        let dir = std::env::temp_dir().join(format!("xrbench-retry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let marker = dir.join("attempted");
+        let _ = std::fs::remove_file(&marker);
+        let script = format!(
+            "if [ -f {m} ]; then echo recovered; else touch {m}; echo boom >&2; exit 1; fi",
+            m = marker.display()
+        );
+        let out = supervise(1, 1, &mut |_| sh(script.clone())).expect("retry succeeds");
+        assert_eq!(out, ["recovered\n"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_failure_surfaces_child_stderr() {
+        let err = supervise(2, 2, &mut |k| {
+            if k == 1 {
+                sh("echo 'shard exploded' >&2; exit 3".to_string())
+            } else {
+                sh("echo fine".to_string())
+            }
+        })
+        .expect_err("shard 1 fails twice");
+        assert_eq!(err.shard, 1);
+        assert!(err.message.contains("exit"), "{}", err.message);
+        assert!(err.stderr.contains("shard exploded"), "{}", err.stderr);
+        let display = err.to_string();
+        assert!(display.contains("shard 1 failed after retry"), "{display}");
+        assert!(display.contains("shard exploded"), "{display}");
+    }
+
+    #[test]
+    fn unspawnable_command_errors_after_retry() {
+        let err = supervise(1, 1, &mut |_| {
+            Command::new("/nonexistent/xrbench-no-such-bin")
+        })
+        .expect_err("spawn fails twice");
+        assert_eq!(err.shard, 0);
+        assert!(err.message.contains("spawn"), "{}", err.message);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_concurrency_rejected() {
+        let _ = supervise(1, 0, &mut |_| sh("true".to_string()));
+    }
+}

@@ -152,6 +152,28 @@ impl FixedHistogram {
         self.count
     }
 
+    /// The raw bucket counters, in layout order (underflow, resolved
+    /// buckets, overflow). Exactly [`NUM_BUCKETS`] entries. Together
+    /// with [`FixedHistogram::from_buckets`] this lets a histogram
+    /// cross a process boundary losslessly.
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from raw bucket counters previously read
+    /// via [`FixedHistogram::buckets`]. Returns `None` unless exactly
+    /// [`NUM_BUCKETS`] counters are supplied; the total count is
+    /// recomputed as their sum, so the round trip is exact.
+    pub fn from_buckets(buckets: &[u64]) -> Option<Self> {
+        if buckets.len() != NUM_BUCKETS {
+            return None;
+        }
+        Some(Self {
+            counts: buckets.to_vec(),
+            count: buckets.iter().sum(),
+        })
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -352,5 +374,19 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn zero_quantile_rejected() {
         let _ = FixedHistogram::new().percentile(0.0);
+    }
+
+    #[test]
+    fn buckets_round_trip_exactly() {
+        let mut h = FixedHistogram::new();
+        for v in [0.0005, 0.002, 0.002, 0.050, 1.5, 100.0] {
+            h.record(v);
+        }
+        let rebuilt = FixedHistogram::from_buckets(h.buckets()).unwrap();
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.count(), h.count());
+        // Wrong layout length is rejected, not silently padded.
+        assert!(FixedHistogram::from_buckets(&[0; NUM_BUCKETS - 1]).is_none());
+        assert!(FixedHistogram::from_buckets(&[]).is_none());
     }
 }

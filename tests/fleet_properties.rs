@@ -5,7 +5,10 @@
 
 use proptest::prelude::*;
 
-use xrbench::fleet::{replica_seed, FleetAccumulator, FleetSpec, StatAgg, SCORE_SCALE, TIME_SCALE};
+use xrbench::fleet::{
+    merge_fleet_shards, plan_shards, replica_seed, FleetAccumulator, FleetSpec, ShardState,
+    StatAgg, SCORE_SCALE, TIME_SCALE,
+};
 use xrbench::models::ModelId;
 use xrbench::prelude::*;
 use xrbench::score::ScenarioBreakdown;
@@ -353,6 +356,82 @@ proptest! {
             let o = u.report.overall();
             prop_assert!(o >= fs.min_overall - 1e-9 && o <= fs.max_overall + 1e-9);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn any_shard_cut_merges_byte_identically_to_the_unsharded_run(
+        seed in any::<u64>(),
+        num_shards in 1u32..8,
+    ) {
+        // The shard-plan layer must be invisible: for any shard count
+        // — including shards that end up empty — running each shard
+        // independently, round-tripping its partial state through the
+        // JSON wire format (as the multi-process coordinator does),
+        // and merging must reproduce the unsharded report byte for
+        // byte. Odd seeds exercise fault-injected fleets so outage
+        // schedules cross the cut too.
+        let fleet = if seed % 2 == 1 {
+            random_faulted_fleet(seed)
+        } else {
+            random_fleet(seed)
+        };
+        let p = UniformProvider::new(2, 0.002, 0.001);
+        let h = Harness::new().with_seed(seed ^ 0x54A8D);
+        let reference = h.run_fleet(&fleet, &p, 2).to_json();
+
+        let states: Vec<ShardState> = (0..num_shards)
+            .map(|k| {
+                let wire = h
+                    .run_fleet_shard(&fleet, &p, 2, RecoveryPolicy::default(), k, num_shards)
+                    .to_json();
+                ShardState::from_json(&wire).expect("shard state survives the wire format")
+            })
+            .collect();
+        let merged = merge_fleet_shards(
+            &fleet,
+            &p.label(),
+            LatencyGreedy::new().name(),
+            &states,
+        )
+        .expect("a complete shard set merges");
+        prop_assert_eq!(&merged.to_json(), &reference, "num_shards = {}", num_shards);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn shard_plans_cover_every_session_exactly_once(
+        seed in any::<u64>(),
+        num_shards in 1u32..20,
+    ) {
+        // Every (group, replica) coordinate appears in exactly one
+        // shard, with global indices preserved — the invariant that
+        // keeps replica_seed (and thus fault timelines) independent
+        // of the cut.
+        let fleet = random_fleet(seed);
+        let plan = plan_shards(&fleet, num_shards);
+        prop_assert_eq!(plan.num_shards(), num_shards);
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in &plan.shards {
+            for piece in shard {
+                for r in piece.replica_start..piece.replica_start + piece.replica_count {
+                    prop_assert!(
+                        seen.insert((piece.group, r)),
+                        "session covered twice: group {} replica {}",
+                        piece.group,
+                        r
+                    );
+                }
+            }
+        }
+        let expected: usize = fleet.groups.iter().map(|g| g.replicas as usize).sum();
+        prop_assert_eq!(seen.len(), expected);
     }
 }
 
