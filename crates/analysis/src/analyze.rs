@@ -573,6 +573,45 @@ pub fn analyze_run_document(doc: &RunDocument) -> Analysis {
         }
         RunDocument::Session(run) => analyze_session(&run.session, run.system.build().as_ref()),
         RunDocument::Fleet(run) => analyze_fleet(&run.fleet, run.system.build().as_ref()),
+        RunDocument::Sweep(run) => analyze_sweep(run),
+    }
+}
+
+/// Analyzes every (hardware point × workload) cell of a sweep
+/// document: the whole design space is vetted before any point
+/// simulates, so an infeasible corner fails as early as a plain run
+/// document would.
+fn analyze_sweep(run: &xrbench_core::SweepDocument) -> Analysis {
+    use xrbench_core::SweepWorkloadKind;
+
+    let hardware = run.hardware_points();
+    let mut diagnostics = Vec::new();
+    let mut labels = Vec::new();
+    for (id, pes) in &hardware {
+        let provider = xrbench_core::SystemSpec::Accelerator { id: *id, pes: *pes }.build();
+        let hw = format!("{id}@{pes}");
+        labels.push(hw.clone());
+        for workload in &run.workloads {
+            let sub = match &workload.kind {
+                SweepWorkloadKind::Scenario(spec) => analyze_scenario(spec, provider.as_ref()),
+                SweepWorkloadKind::Session(spec) => analyze_session(spec, provider.as_ref()),
+                SweepWorkloadKind::Fleet(spec) => analyze_fleet(spec, provider.as_ref()),
+            };
+            for mut diagnostic in sub.diagnostics {
+                diagnostic.scope = format!("{hw} · {}", diagnostic.scope);
+                diagnostics.push(diagnostic);
+            }
+        }
+    }
+    Analysis {
+        subject: format!(
+            "sweep `{}` ({} workloads × {} hardware points)",
+            run.name,
+            run.workloads.len(),
+            hardware.len()
+        ),
+        system: labels.join(", "),
+        diagnostics,
     }
 }
 

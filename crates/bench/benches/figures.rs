@@ -2,6 +2,11 @@
 //! themselves (one data point per table/figure of the evaluation):
 //! these are the "experiments" of the paper, so their cost matters to
 //! anyone sweeping design spaces with the harness.
+//!
+//! The serial/parallel suite entry points are deprecated API-side,
+//! but the serial-vs-parallel timing comparison is exactly what this
+//! bench measures, so it calls them deliberately.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -68,12 +68,58 @@ pub const FLEET_DEFAULT: &str = r#"{
 }
 "#;
 
+/// The default sweep: four Table 5 accelerators (one per dataflow
+/// family) at two PE scalings × three schedulers over one scenario and
+/// one fault-free two-group fleet. The recovery axis has two values
+/// but every workload is fault-free, so the memo cache collapses it —
+/// the committed sweep demonstrates a nonzero cache hit rate by
+/// construction. All hardware points stay analyzer-clean (CI runs the
+/// analyzer over `specs/`).
+pub const SWEEP_DEFAULT: &str = r#"{
+  "kind": "sweep",
+  "name": "default-design-space",
+  "accelerators": ["A", "D", "J", "M"],
+  "base_pes": 8192,
+  "pe_scaling": [1.0, 0.5],
+  "schedulers": ["latency-greedy", "round-robin", "slack-edf"],
+  "recovery": ["drop", "requeue"],
+  "workloads": [
+    { "name": "vr-gaming", "scenario": "VR Gaming" },
+    {
+      "name": "mini-arcade",
+      "fleet": {
+        "name": "mini-arcade",
+        "groups": [
+          {
+            "name": "vr",
+            "replicas": 2,
+            "session": {
+              "name": "party",
+              "uniform": { "scenario": "VR Gaming", "users": 2, "stagger_s": 0.002 }
+            }
+          },
+          {
+            "name": "assistant",
+            "replicas": 1,
+            "session": {
+              "name": "walk",
+              "uniform": { "scenario": "AR Assistant", "users": 1, "stagger_s": 0.01 }
+            }
+          }
+        ]
+      }
+    }
+  ]
+}
+"#;
+
 /// The default run documents, as `(file name, contents)` pairs.
 pub fn default_documents() -> Vec<(&'static str, &'static str)> {
     vec![
         ("suite_default.json", SUITE_DEFAULT),
         ("session_default.json", SESSION_DEFAULT),
         ("fleet_default.json", FLEET_DEFAULT),
+        ("sweep_default.json", SWEEP_DEFAULT),
     ]
 }
 

@@ -13,6 +13,9 @@
 //! xrbench run-session <SPEC.json> [--out FILE] [--strict]
 //! xrbench run-fleet   <SPEC.json> [--out FILE] [--strict] [--compare-policies]
 //!                     [--shards N [--max-procs M]] [--shard K/N]
+//! xrbench sweep       <SPEC.json> [--out FILE] [--strict]
+//!                     [--checkpoint FILE [--limit N]]
+//!                     [--shards N [--max-procs M]] [--shard K/N]
 //! xrbench analyze     <SPEC.json> [--json] [--accelerator ID] [--pes N]
 //! xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
 //!                       [--min-models N] [--max-models N]
@@ -32,7 +35,7 @@ use xrbench_analysis::{
     analyze_fleet, analyze_run_document, analyze_scenario, analyze_session, Analysis,
     FeasibleSampling,
 };
-use xrbench_core::RunDocument;
+use xrbench_core::{RunDocument, Runner, SweepOptions, SweepShardState};
 use xrbench_workload::{scenario_to_json, ScenarioCatalog, ScenarioSpace, UsageScenario};
 
 pub mod export;
@@ -57,6 +60,23 @@ USAGE:
                                                  partial shard state (what --shards
                                                  children do; composable by hand across
                                                  machines)
+  xrbench sweep       <SPEC.json> [--out FILE] [--strict]   run a `kind: sweep` design-space
+                                                 exploration document: the axis cross
+                                                 product is evaluated through a memo
+                                                 cache and folded into Pareto frontiers
+                      [--checkpoint FILE]        persist completed points to FILE after
+                                                 every evaluation and resume from an
+                                                 existing FILE, so a killed sweep
+                                                 continues where it stopped
+                      [--limit N]                stop after N completed points without
+                                                 reporting (requires --checkpoint; a
+                                                 deterministic \"kill\" for testing
+                                                 resumption)
+                      [--shards N [--max-procs M]]  distribute the point list across N
+                                                 child OS processes and merge, byte-
+                                                 identical to the single-process sweep
+                      [--shard K/N]              run only shard K of N and print the
+                                                 partial sweep shard state
   xrbench analyze     <SPEC.json> [--json]       static schedulability analysis (XA###
                       [--accelerator ID] [--pes N]  diagnostics) of any spec file
   xrbench gen-scenarios [--seed N] [--count N] [--out-dir DIR]
@@ -140,6 +160,30 @@ pub enum Command {
         shard: Option<(u32, u32)>,
         /// Coordinator mode: distribute the fleet across this many
         /// child processes and merge (`run-fleet` only).
+        shards: Option<u32>,
+        /// Bound on concurrently-alive shard children (requires
+        /// `--shards`; defaults to the fleet worker heuristic).
+        max_procs: Option<usize>,
+    },
+    /// `sweep`.
+    Sweep {
+        /// The sweep document to run.
+        spec: PathBuf,
+        /// Where to write the report instead of stdout.
+        out: Option<PathBuf>,
+        /// Refuse to run when the analyzer reports errors.
+        strict: bool,
+        /// Persist completed points here after every evaluation and
+        /// resume from an existing file.
+        checkpoint: Option<PathBuf>,
+        /// Stop after this many completed points without reporting
+        /// (requires `--checkpoint`).
+        limit: Option<usize>,
+        /// Child mode: run only shard `K` of `N` and print the
+        /// partial [`xrbench_core::SweepShardState`] JSON.
+        shard: Option<(u32, u32)>,
+        /// Coordinator mode: distribute the point list across this
+        /// many child processes and merge.
         shards: Option<u32>,
         /// Bound on concurrently-alive shard children (requires
         /// `--shards`; defaults to the fleet worker heuristic).
@@ -304,6 +348,86 @@ impl Command {
                     max_procs,
                 })
             }
+            "sweep" => {
+                let mut spec = None;
+                let mut out = None;
+                let mut strict = false;
+                let mut checkpoint = None;
+                let mut limit = None;
+                let mut shard = None;
+                let mut shards = None;
+                let mut max_procs = None;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--out" => {
+                            out = Some(PathBuf::from(parse_value::<String>("--out", it.next())?))
+                        }
+                        "--strict" => strict = true,
+                        "--checkpoint" => {
+                            checkpoint = Some(PathBuf::from(parse_value::<String>(
+                                "--checkpoint",
+                                it.next(),
+                            )?))
+                        }
+                        "--limit" => limit = Some(parse_value::<usize>("--limit", it.next())?),
+                        "--shard" => {
+                            let value: String = parse_value("--shard", it.next())?;
+                            shard = Some(parse_shard(&value)?);
+                        }
+                        "--shards" => shards = Some(parse_value::<u32>("--shards", it.next())?),
+                        "--max-procs" => {
+                            max_procs = Some(parse_value::<usize>("--max-procs", it.next())?)
+                        }
+                        _ if arg.starts_with('-') => {
+                            return Err(usage_error(format!("unknown flag `{arg}`")))
+                        }
+                        _ if spec.is_none() => spec = Some(PathBuf::from(arg)),
+                        _ => return Err(usage_error(format!("unexpected argument `{arg}`"))),
+                    }
+                }
+                if limit.is_some() && checkpoint.is_none() {
+                    return Err(usage_error(
+                        "--limit requires --checkpoint (the partial progress must land \
+                         somewhere a later run can resume from)",
+                    ));
+                }
+                if limit == Some(0) {
+                    return Err(usage_error("--limit needs at least one point"));
+                }
+                if (checkpoint.is_some() || limit.is_some())
+                    && (shard.is_some() || shards.is_some())
+                {
+                    return Err(usage_error(
+                        "--checkpoint/--limit cannot be combined with --shard/--shards",
+                    ));
+                }
+                if shard.is_some() && shards.is_some() {
+                    return Err(usage_error(
+                        "--shard (child mode) and --shards (coordinator mode) are mutually \
+                         exclusive",
+                    ));
+                }
+                if shards == Some(0) {
+                    return Err(usage_error("--shards needs at least one shard"));
+                }
+                if max_procs.is_some() && shards.is_none() {
+                    return Err(usage_error("--max-procs requires --shards"));
+                }
+                if max_procs == Some(0) {
+                    return Err(usage_error("--max-procs needs at least one process"));
+                }
+                let spec = spec.ok_or_else(|| usage_error("sweep needs a spec file argument"))?;
+                Ok(Command::Sweep {
+                    spec,
+                    out,
+                    strict,
+                    checkpoint,
+                    limit,
+                    shard,
+                    shards,
+                    max_procs,
+                })
+            }
             "analyze" => {
                 let mut spec = None;
                 let mut json = false;
@@ -400,7 +524,10 @@ impl Command {
                 }
                 Ok(Command::ExportSpecs { dir })
             }
-            other => Err(usage_error(format!("unknown subcommand `{other}`"))),
+            other => Err(usage_error(format!(
+                "unknown subcommand `{other}` (expected run-suite, run-session, run-fleet, \
+                 sweep, analyze, gen-scenarios, list, export-specs, or help)"
+            ))),
         }
     }
 }
@@ -421,8 +548,10 @@ pub struct Output {
 }
 
 /// Executes a parsed command, returning its output (pure except for
-/// reading the spec file — and, under `run-fleet --shards N`,
-/// spawning the shard child processes whose states it merges).
+/// reading the spec file — and, under `run-fleet --shards N` /
+/// `sweep --shards N`, spawning the shard child processes whose
+/// states it merges, plus the checkpoint file `sweep --checkpoint`
+/// maintains).
 ///
 /// # Errors
 ///
@@ -453,6 +582,24 @@ pub fn execute(command: &Command) -> Result<Output, CliError> {
             *shard,
             shards.map(|n| (n, max_procs.unwrap_or_else(default_max_procs))),
         ),
+        Command::Sweep {
+            spec,
+            out,
+            strict,
+            checkpoint,
+            limit,
+            shard,
+            shards,
+            max_procs,
+        } => run_sweep(SweepParams {
+            spec,
+            out: out.as_deref(),
+            strict: *strict,
+            checkpoint: checkpoint.as_deref(),
+            limit: *limit,
+            shard: *shard,
+            shards: shards.map(|n| (n, max_procs.unwrap_or_else(default_max_procs))),
+        }),
         Command::Analyze {
             spec,
             json,
@@ -494,25 +641,30 @@ fn default_max_procs() -> usize {
     xrbench_fleet::default_workers()
 }
 
-fn run_document(
+/// Loads a run document, enforces the subcommand's expected kind, and
+/// runs the up-front static analysis (refusing under `--strict`,
+/// emitting hint notes otherwise). Shared by every run subcommand.
+fn load_checked(
     kind: &str,
     spec: &Path,
-    out: Option<&Path>,
     strict: bool,
-    compare: bool,
-    shard: Option<(u32, u32)>,
-    shards: Option<(u32, usize)>,
-) -> Result<Output, CliError> {
+) -> Result<(RunDocument, Vec<String>), CliError> {
     let text = fs::read_to_string(spec)
         .map_err(|e| run_error(format!("cannot read {}: {e}", spec.display())))?;
     let doc = RunDocument::from_json_str(&text)
         .map_err(|e| run_error(format!("{}: {e}", spec.display())))?;
     if doc.kind() != kind {
+        // The subcommand is the kind's stem with a `run-` prefix for
+        // the three classic kinds; `sweep` is its own subcommand.
+        let subcommand = match doc.kind() {
+            "sweep" => "sweep".to_string(),
+            other => format!("run-{other}"),
+        };
         return Err(run_error(format!(
-            "{}: document kind is `{}` — use `xrbench run-{}` for it",
+            "{}: document kind is `{}` — use `xrbench {}` for it",
             spec.display(),
             doc.kind(),
-            doc.kind()
+            subcommand
         )));
     }
     // Statically-infeasible specs would otherwise surface only as
@@ -536,32 +688,13 @@ fn run_document(
                 .to_string(),
         );
     }
-    let report = match (&doc, compare) {
-        // The parser only accepts --compare-policies and
-        // --shard/--shards with run-fleet, and the kind check above
-        // guarantees the document matches.
-        (RunDocument::Fleet(run), true) => {
-            let comparison = run.compare_policies();
-            notes.extend(comparison.render_table().lines().map(str::to_string));
-            comparison.to_json()
-        }
-        (RunDocument::Fleet(run), false) => match (shard, shards) {
-            // Child mode: run one shard, embed this process's peak
-            // RSS, and emit the partial state instead of a report.
-            (Some((k, n)), _) => {
-                let mut state = run.run_shard(k, n);
-                state.peak_rss_mib = peak_rss_mib();
-                state.to_json()
-            }
-            // Coordinator mode: fork/exec one child per shard and
-            // merge their states into the ordinary fleet report.
-            (_, Some((n, max_procs))) => run_sharded(run, spec, n, max_procs, &mut notes)?,
-            (None, None) => run.run().to_json(),
-        },
-        (RunDocument::Suite(run), _) => run.run().to_json(),
-        (RunDocument::Session(run), _) => run.run().to_json(),
-    } + "\n";
-    Ok(match out {
+    Ok((doc, notes))
+}
+
+/// Packages a report (already newline-terminated) for `--out FILE` or
+/// stdout, carrying the accumulated stderr notes.
+fn package(report: String, out: Option<&Path>, mut notes: Vec<String>) -> Output {
+    match out {
         Some(path) => {
             notes.push(format!("report written to {}", path.display()));
             Output {
@@ -575,7 +708,173 @@ fn run_document(
             notes,
             ..Output::default()
         },
+    }
+}
+
+fn run_document(
+    kind: &str,
+    spec: &Path,
+    out: Option<&Path>,
+    strict: bool,
+    compare: bool,
+    shard: Option<(u32, u32)>,
+    shards: Option<(u32, usize)>,
+) -> Result<Output, CliError> {
+    let (doc, mut notes) = load_checked(kind, spec, strict)?;
+    let report = match (&doc, compare, shard, shards) {
+        // The parser only accepts --compare-policies and
+        // --shard/--shards with run-fleet, and the kind check above
+        // guarantees the document matches.
+        (RunDocument::Fleet(run), true, _, _) => {
+            let comparison = run.compare_policies();
+            notes.extend(comparison.render_table().lines().map(str::to_string));
+            comparison.to_json()
+        }
+        // Child mode: run one shard, embed this process's peak RSS,
+        // and emit the partial state instead of a report.
+        (RunDocument::Fleet(run), false, Some((k, n)), _) => {
+            let mut state = run.run_shard(k, n);
+            state.peak_rss_mib = peak_rss_mib();
+            state.to_json()
+        }
+        // Coordinator mode: fork/exec one child per shard and merge
+        // their states into the ordinary fleet report.
+        (RunDocument::Fleet(run), false, None, Some((n, max_procs))) => {
+            run_sharded(run, spec, n, max_procs, &mut notes)?
+        }
+        // Plain runs all dispatch through the unified `Runner` — the
+        // same entry point library callers use, so the CLI path stays
+        // bit-for-bit identical to the programmatic one.
+        _ => Runner::new()
+            .run(&doc)
+            .map_err(|e| run_error(format!("{}: {e}", spec.display())))?
+            .to_json(),
+    } + "\n";
+    Ok(package(report, out, notes))
+}
+
+/// Bundled `sweep` execution parameters.
+struct SweepParams<'a> {
+    spec: &'a Path,
+    out: Option<&'a Path>,
+    strict: bool,
+    checkpoint: Option<&'a Path>,
+    limit: Option<usize>,
+    shard: Option<(u32, u32)>,
+    shards: Option<(u32, usize)>,
+}
+
+fn run_sweep(params: SweepParams<'_>) -> Result<Output, CliError> {
+    let SweepParams {
+        spec,
+        out,
+        strict,
+        checkpoint,
+        limit,
+        shard,
+        shards,
+    } = params;
+    let (doc, mut notes) = load_checked("sweep", spec, strict)?;
+    let RunDocument::Sweep(run) = &doc else {
+        // load_checked verified kind() == "sweep".
+        unreachable!("kind check admits only sweep documents");
+    };
+    // Child mode: evaluate one slice of the point list and emit the
+    // partial shard state for the coordinator to merge.
+    if let Some((k, n)) = shard {
+        return Ok(package(run.run_shard(k, n).to_json() + "\n", out, notes));
+    }
+    // Coordinator mode: fork/exec one child per shard and merge.
+    if let Some((n, max_procs)) = shards {
+        let report = run_sweep_sharded(run, spec, n, max_procs, &mut notes)?;
+        return Ok(package(report + "\n", out, notes));
+    }
+    let options = SweepOptions {
+        checkpoint: checkpoint.map(Path::to_path_buf),
+        limit,
+    };
+    let outcome = run
+        .run_with(&options)
+        .map_err(|e| run_error(format!("{}: {e}", spec.display())))?;
+    let stats = outcome.stats;
+    if stats.resumed > 0 {
+        notes.push(format!(
+            "resumed {} completed points from the checkpoint",
+            stats.resumed
+        ));
+    }
+    let served = stats.evaluated + stats.cache_hits;
+    let hit_rate = if served == 0 {
+        0.0
+    } else {
+        100.0 * stats.cache_hits as f64 / served as f64
+    };
+    notes.push(format!(
+        "{} points: {} evaluated, {} cache hits ({hit_rate:.0}% hit rate), {} resumed",
+        stats.points, stats.evaluated, stats.cache_hits, stats.resumed
+    ));
+    match outcome.report {
+        Some(report) => Ok(package(report.to_json() + "\n", out, notes)),
+        None => {
+            // --limit stopped the sweep early: the progress lives in
+            // the checkpoint file; there is nothing to report yet.
+            let done = stats.resumed + served;
+            notes.push(format!(
+                "stopped by --limit with {done}/{} points checkpointed — rerun without --limit \
+                 to finish",
+                stats.points
+            ));
+            Ok(Output {
+                notes,
+                ..Output::default()
+            })
+        }
+    }
+}
+
+/// Coordinator mode for `sweep --shards N`: re-execs this binary once
+/// per shard (`sweep <spec> --shard k/N`), reads each child's
+/// [`xrbench_core::SweepShardState`] from its stdout pipe, and merges
+/// the states into a report byte-identical to the single-process
+/// sweep. At most `max_procs` children are alive at once (see
+/// [`xrbench_fleet::supervise`]).
+fn run_sweep_sharded(
+    run: &xrbench_core::SweepDocument,
+    spec: &Path,
+    num_shards: u32,
+    max_procs: usize,
+    notes: &mut Vec<String>,
+) -> Result<String, CliError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| run_error(format!("cannot locate the xrbench binary to re-exec: {e}")))?;
+    notes.push(format!(
+        "sharding across {num_shards} child processes (≤ {max_procs} concurrent)"
+    ));
+    let outputs = xrbench_fleet::supervise(num_shards, max_procs, &mut |k| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("sweep")
+            .arg(spec)
+            .arg("--shard")
+            .arg(format!("{k}/{num_shards}"));
+        cmd
     })
+    .map_err(|e| run_error(e.to_string()))?;
+    let mut states = Vec::with_capacity(outputs.len());
+    for (k, text) in outputs.iter().enumerate() {
+        states.push(
+            SweepShardState::from_json(text.trim())
+                .map_err(|e| run_error(format!("shard {k} returned an unreadable state: {e}")))?,
+        );
+    }
+    let evaluated: usize = states.iter().map(|s| s.evaluated).sum();
+    let cache_hits: usize = states.iter().map(|s| s.cache_hits).sum();
+    notes.push(format!(
+        "shard children: {evaluated} evaluated, {cache_hits} cache hits"
+    ));
+    let report = run
+        .merge_shards(&states)
+        .map_err(|e| run_error(format!("merging sweep shard states: {e}")))?;
+    Ok(report.to_json())
 }
 
 /// Coordinator mode for `run-fleet --shards N`: re-execs this binary
@@ -989,6 +1288,115 @@ mod tests {
         ] {
             let err = Command::parse(&args(&bad)).unwrap_err();
             assert_eq!(err.code, 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        let cmd = Command::parse(&args(&["sweep", "specs/sweep_default.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                spec: PathBuf::from("specs/sweep_default.json"),
+                out: None,
+                strict: false,
+                checkpoint: None,
+                limit: None,
+                shard: None,
+                shards: None,
+                max_procs: None,
+            }
+        );
+        let cmd = Command::parse(&args(&[
+            "sweep",
+            "s.json",
+            "--out",
+            "r.json",
+            "--strict",
+            "--checkpoint",
+            "ck.json",
+            "--limit",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                spec: PathBuf::from("s.json"),
+                out: Some(PathBuf::from("r.json")),
+                strict: true,
+                checkpoint: Some(PathBuf::from("ck.json")),
+                limit: Some(5),
+                shard: None,
+                shards: None,
+                max_procs: None,
+            }
+        );
+        let cmd = Command::parse(&args(&["sweep", "s.json", "--shard", "1/4"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                spec: PathBuf::from("s.json"),
+                out: None,
+                strict: false,
+                checkpoint: None,
+                limit: None,
+                shard: Some((1, 4)),
+                shards: None,
+                max_procs: None,
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_flag_combinations_are_validated() {
+        for bad in [
+            vec!["sweep"],
+            vec!["sweep", "s.json", "--limit", "5"],
+            vec!["sweep", "s.json", "--checkpoint", "c.json", "--limit", "0"],
+            vec!["sweep", "s.json", "--checkpoint", "c.json", "--shards", "2"],
+            vec![
+                "sweep",
+                "s.json",
+                "--checkpoint",
+                "c.json",
+                "--shard",
+                "0/2",
+            ],
+            vec!["sweep", "s.json", "--shard", "0/2", "--shards", "2"],
+            vec!["sweep", "s.json", "--shards", "0"],
+            vec!["sweep", "s.json", "--max-procs", "2"],
+            vec!["sweep", "s.json", "--shards", "2", "--max-procs", "0"],
+            vec!["sweep", "s.json", "--shard", "2/2"],
+            vec!["sweep", "s.json", "--compare-policies"],
+            vec!["sweep", "s.json", "extra.json"],
+        ] {
+            let err = Command::parse(&args(&bad)).unwrap_err();
+            assert_eq!(err.code, 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_subcommand_enumerates_the_real_ones() {
+        let err = Command::parse(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown subcommand `frobnicate`"));
+        for sub in [
+            "run-suite",
+            "run-session",
+            "run-fleet",
+            "sweep",
+            "analyze",
+            "gen-scenarios",
+            "list",
+            "export-specs",
+            "help",
+        ] {
+            assert!(
+                err.message.contains(sub),
+                "missing `{sub}`: {}",
+                err.message
+            );
         }
     }
 

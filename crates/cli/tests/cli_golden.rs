@@ -9,7 +9,7 @@
 //! 2. **CLI = library**: `run-suite specs/suite_default.json` must
 //!    emit exactly the JSON the library's `run_suite` path produces
 //!    (the quickstart configuration, XRBench Score 0.888).
-//! 3. **Reports are frozen**: all three default run documents must
+//! 3. **Reports are frozen**: all four default run documents must
 //!    reproduce the golden fixtures in `tests/fixtures/cli/`.
 //!
 //! To re-bless after an intentional change:
@@ -162,6 +162,11 @@ fn run_documents_match_golden_fixtures() {
             "run-fleet",
             "specs/fleet_default.json",
             "fleet_default.report.json",
+        ),
+        (
+            "sweep",
+            "specs/sweep_default.json",
+            "sweep_default.report.json",
         ),
     ];
     if bless() {
@@ -375,6 +380,81 @@ fn sharded_fleet_run_is_byte_identical_to_single_process() {
 }
 
 #[test]
+fn sweep_resume_and_shards_are_byte_identical_to_the_straight_run() {
+    let dir = scratch("sweep");
+    let spec = "specs/sweep_default.json";
+
+    let reference = xrbench(&["sweep", spec]);
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let notes = String::from_utf8_lossy(&reference.stderr).to_string();
+    // The committed default sweep dedupes its collapsed recovery axis
+    // through the memo cache: the hit rate must be nonzero.
+    assert!(notes.contains("cache hits"), "{notes}");
+    assert!(!notes.contains(" 0 cache hits"), "{notes}");
+
+    // Kill-and-resume: a --limit run leaves a checkpoint and no
+    // report; rerunning against the checkpoint resumes and emits the
+    // same bytes as the straight run.
+    let ck = dir.join("checkpoint.json");
+    let partial = xrbench(&[
+        "sweep",
+        spec,
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--limit",
+        "7",
+    ]);
+    assert!(
+        partial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&partial.stderr)
+    );
+    assert!(partial.stdout.is_empty(), "--limit must not emit a report");
+    assert!(ck.exists(), "--checkpoint must leave the progress file");
+    let resumed = xrbench(&["sweep", spec, "--checkpoint", ck.to_str().unwrap()]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let resumed_notes = String::from_utf8_lossy(&resumed.stderr).to_string();
+    assert!(resumed_notes.contains("resumed 7"), "{resumed_notes}");
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "resumed sweep diverged from the straight run"
+    );
+
+    // Multi-process coordinator: same bytes for any shard count.
+    for shards in ["2", "4"] {
+        let sharded = xrbench(&["sweep", spec, "--shards", shards, "--max-procs", "2"]);
+        assert!(
+            sharded.status.success(),
+            "--shards {shards}: {}",
+            String::from_utf8_lossy(&sharded.stderr)
+        );
+        assert_eq!(
+            sharded.stdout, reference.stdout,
+            "--shards {shards} diverged from the single-process sweep"
+        );
+    }
+
+    // Child mode emits a shard state, not a report.
+    let child = xrbench(&["sweep", spec, "--shard", "0/4"]);
+    assert!(
+        child.status.success(),
+        "{}",
+        String::from_utf8_lossy(&child.stderr)
+    );
+    let state = String::from_utf8(child.stdout).expect("utf-8 state");
+    assert!(state.contains("\"xrbench_sweep_state\""), "{state}");
+    assert!(!state.contains("pareto"), "child leaked a report");
+}
+
+#[test]
 fn kind_mismatch_and_bad_specs_fail_cleanly() {
     // Suite subcommand on a session document: exit 1, points at the
     // right subcommand.
@@ -382,6 +462,29 @@ fn kind_mismatch_and_bad_specs_fail_cleanly() {
     assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&out.stderr).to_string();
     assert!(stderr.contains("run-session"), "{stderr}");
+
+    // A sweep document under run-suite points at `xrbench sweep`
+    // (the one subcommand without the `run-` prefix), and vice versa.
+    let out = xrbench(&["run-suite", "specs/sweep_default.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("use `xrbench sweep`"), "{stderr}");
+    let out = xrbench(&["sweep", "specs/suite_default.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("use `xrbench run-suite`"), "{stderr}");
+
+    // Unknown subcommands enumerate the real ones (exit 2).
+    let out = xrbench(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains("unknown subcommand `frobnicate`"),
+        "{stderr}"
+    );
+    for sub in ["run-suite", "run-session", "run-fleet", "sweep", "analyze"] {
+        assert!(stderr.contains(sub), "missing `{sub}` in: {stderr}");
+    }
 
     // Malformed JSON: exit 1 with the parser's diagnostic.
     let dir = scratch("badspec");

@@ -1,0 +1,213 @@
+//! The unified error surface: one `ErrorCode`-carrying hierarchy for
+//! every failure the stack can report.
+//!
+//! Before this module existed, each layer grew its own error type —
+//! [`SpecError`] for spec loading, [`ShardError`] for distributed
+//! fleet children, analyzer refusals as ad-hoc strings, and raw
+//! `std::io::Error` text for CLI file I/O — and every caller that
+//! spanned layers (the CLI, the gates) had to juggle all four. The
+//! [`Runner`](crate::Runner) entry point returns exactly one type,
+//! [`XrError`], which wraps each legacy surface **without changing a
+//! single rendered message**: `Display` parity with the pre-existing
+//! error strings is pinned by the CLI's golden stderr tests, so the
+//! unification is invisible to users and fixtures.
+//!
+//! Every error carries a stable machine-readable [`ErrorCode`]
+//! category and maps to a process exit code (`1` for run errors —
+//! usage errors are the CLI's own `2` and never reach this type).
+
+use std::fmt;
+
+use xrbench_fleet::ShardError;
+use xrbench_workload::SpecError;
+
+/// Stable machine-readable categories for [`XrError`].
+///
+/// Codes are coarse on purpose: they classify *which surface* failed,
+/// not the individual diagnostic (spec diagnostics carry JSON paths,
+/// analyzer findings carry `XA###` codes of their own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// A spec document failed to load or validate ([`SpecError`]).
+    Spec,
+    /// The static analyzer refused the run (`--strict` with errors).
+    Analysis,
+    /// A distributed shard child failed ([`ShardError`]) or shard
+    /// states did not merge.
+    Shard,
+    /// File or process I/O failed (unreadable spec, unwritable
+    /// report, un-execable child binary).
+    Io,
+}
+
+impl ErrorCode {
+    /// The stable lowercase name (`spec`, `analysis`, `shard`, `io`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::Spec => "spec",
+            ErrorCode::Analysis => "analysis",
+            ErrorCode::Shard => "shard",
+            ErrorCode::Io => "io",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Any error a [`Runner`](crate::Runner) run can produce.
+///
+/// `Display` reproduces the wrapped surface's rendering verbatim —
+/// callers that previously formatted a `SpecError` or `ShardError`
+/// get byte-identical text from the wrapping `XrError`.
+#[derive(Debug)]
+pub enum XrError {
+    /// A spec document failed to load or validate.
+    Spec(SpecError),
+    /// The static analyzer found errors and the caller asked for
+    /// strict execution. Carries the rendered `XA###` diagnostics,
+    /// one per line.
+    Infeasible {
+        /// The rendered error-severity diagnostics.
+        diagnostics: Vec<String>,
+    },
+    /// A distributed shard child failed after its retry.
+    Shard(ShardError),
+    /// File I/O failed. `message` is the full pre-formatted
+    /// diagnostic (e.g. `cannot read specs/x.json: No such file`),
+    /// matching the strings the CLI always printed.
+    Io {
+        /// The complete diagnostic text.
+        message: String,
+    },
+}
+
+impl XrError {
+    /// The error's stable category code.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            XrError::Spec(_) => ErrorCode::Spec,
+            XrError::Infeasible { .. } => ErrorCode::Analysis,
+            XrError::Shard(_) => ErrorCode::Shard,
+            XrError::Io { .. } => ErrorCode::Io,
+        }
+    }
+
+    /// The process exit code this error maps to (always `1`: run
+    /// errors; usage errors never reach this type).
+    pub fn exit_code(&self) -> i32 {
+        1
+    }
+
+    /// Builds an I/O error from an action, a path, and the OS error —
+    /// rendered exactly as the CLI's historical diagnostics
+    /// (`cannot <action> <path>: <err>`).
+    pub fn io(action: &str, path: impl fmt::Display, err: impl fmt::Display) -> Self {
+        XrError::Io {
+            message: format!("cannot {action} {path}: {err}"),
+        }
+    }
+}
+
+impl fmt::Display for XrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Parity: the wrapped surfaces render themselves.
+            XrError::Spec(e) => e.fmt(f),
+            XrError::Shard(e) => e.fmt(f),
+            XrError::Io { message } => f.write_str(message),
+            XrError::Infeasible { diagnostics } => {
+                write!(
+                    f,
+                    "refusing statically-infeasible spec (--strict):\n{}",
+                    diagnostics.join("\n")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for XrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XrError::Spec(e) => Some(e),
+            XrError::Shard(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for XrError {
+    fn from(e: SpecError) -> Self {
+        XrError::Spec(e)
+    }
+}
+
+impl From<ShardError> for XrError {
+    fn from(e: ShardError) -> Self {
+        XrError::Shard(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parity_with_wrapped_surfaces() {
+        let spec = SpecError::Invalid {
+            path: "$.kind".to_string(),
+            message: "boom".to_string(),
+        };
+        let wrapped = XrError::from(spec.clone());
+        assert_eq!(wrapped.to_string(), spec.to_string());
+        assert_eq!(wrapped.code(), ErrorCode::Spec);
+
+        let make_shard = || ShardError {
+            shard: 3,
+            message: "exit status 1".to_string(),
+            stderr: "child said no".to_string(),
+        };
+        let wrapped = XrError::from(make_shard());
+        assert_eq!(wrapped.to_string(), make_shard().to_string());
+        assert_eq!(wrapped.code(), ErrorCode::Shard);
+    }
+
+    #[test]
+    fn io_errors_render_the_historical_diagnostic() {
+        let e = XrError::io("read", "specs/x.json", "No such file or directory");
+        assert_eq!(
+            e.to_string(),
+            "cannot read specs/x.json: No such file or directory"
+        );
+        assert_eq!(e.code(), ErrorCode::Io);
+        assert_eq!(e.exit_code(), 1);
+    }
+
+    #[test]
+    fn infeasible_lists_diagnostics_line_per_line() {
+        let e = XrError::Infeasible {
+            diagnostics: vec!["error[XA001] a".to_string(), "error[XA002] b".to_string()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("--strict"));
+        assert!(s.contains("error[XA001] a\nerror[XA002] b"), "{s}");
+        assert_eq!(e.code(), ErrorCode::Analysis);
+    }
+
+    #[test]
+    fn codes_have_stable_names() {
+        for (code, name) in [
+            (ErrorCode::Spec, "spec"),
+            (ErrorCode::Analysis, "analysis"),
+            (ErrorCode::Shard, "shard"),
+            (ErrorCode::Io, "io"),
+        ] {
+            assert_eq!(code.as_str(), name);
+            assert_eq!(code.to_string(), name);
+        }
+    }
+}

@@ -56,7 +56,12 @@ pub fn figure5(harness: &Harness, repeats: u32) -> Vec<Figure5Row> {
         crate::pool::parallel_map(&grid, crate::pool::default_workers(), |&(pes, ci)| {
             let cfg = &configs[ci];
             let system = AcceleratorSystem::new(cfg.clone(), pes);
-            let bench = crate::suite::run_suite_serial(harness, &system, repeats);
+            let bench = crate::suite::catalog_serial_impl(
+                harness,
+                &system,
+                repeats,
+                &xrbench_workload::ScenarioCatalog::builtin(),
+            );
             let mut out: Vec<Figure5Row> = bench
                 .scenarios
                 .iter()

@@ -27,25 +27,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod figures;
 mod harness;
 pub mod pareto;
 pub mod pool;
 mod report;
+mod runner;
 pub mod spec;
 mod suite;
+pub mod sweep;
 mod timeline;
 
+pub use error::{ErrorCode, XrError};
 pub use harness::{Harness, ScoreParams};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use report::{
     BenchmarkReport, BreakdownReport, ModelReport, ScenarioReport, SessionReport, UserReport,
 };
+pub use runner::{RunReport, Runner};
 pub use spec::{FleetRun, RunDocument, RunParams, SchedulerSpec, SessionRun, SuiteRun, SystemSpec};
+pub use suite::{run_sessions, run_suite, run_suite_catalog};
+#[allow(deprecated)]
 pub use suite::{
-    run_sessions, run_suite, run_suite_catalog, run_suite_catalog_serial,
-    run_suite_catalog_with_workers, run_suite_parallel, run_suite_parallel_with_workers,
-    run_suite_serial,
+    run_suite_catalog_serial, run_suite_catalog_with_workers, run_suite_parallel,
+    run_suite_parallel_with_workers, run_suite_serial,
+};
+pub use sweep::{
+    AxisMarginalReport, SweepDocument, SweepOptions, SweepOutcome, SweepPoint, SweepPointReport,
+    SweepReport, SweepShardState, SweepStats, SweepWorkload, SweepWorkloadKind,
 };
 pub use timeline::render_timeline;
 // The fleet layer's user-facing types, re-exported so harness users

@@ -392,6 +392,19 @@ impl SchedulerSpec {
         }
     }
 
+    /// The scheduler's report name (`latency-greedy`, `round-robin`,
+    /// `slack-edf`, `least-loaded`, `failover-aware`) — the inverse
+    /// of [`SchedulerSpec::from_value`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::LatencyGreedy => "latency-greedy",
+            Self::RoundRobin => "round-robin",
+            Self::SlackAwareEdf => "slack-edf",
+            Self::LeastLoaded => "least-loaded",
+            Self::FailoverAware => "failover-aware",
+        }
+    }
+
     /// Instantiates the scheduler.
     pub fn build(&self) -> Box<dyn Scheduler> {
         match self {
@@ -414,7 +427,7 @@ pub struct RunParams {
 }
 
 impl RunParams {
-    fn from_value(cursor: &Cursor<'_>) -> Result<Self, SpecError> {
+    pub(crate) fn from_value(cursor: &Cursor<'_>) -> Result<Self, SpecError> {
         let seed: Option<u64> = cursor.get_opt_field("seed")?;
         let duration_s = match cursor.opt_field("duration_s")? {
             Some(c) => {
@@ -463,7 +476,13 @@ pub struct SuiteRun {
 impl SuiteRun {
     /// Executes the suite exactly as [`crate::run_suite_catalog`]
     /// would.
+    #[deprecated(note = "execute documents through `Runner::run` instead")]
+    #[doc(hidden)]
     pub fn run(&self) -> BenchmarkReport {
+        self.execute()
+    }
+
+    pub(crate) fn execute(&self) -> BenchmarkReport {
         let system = self.system.build();
         run_suite_catalog(
             &self.params.harness(),
@@ -489,7 +508,13 @@ pub struct SessionRun {
 
 impl SessionRun {
     /// Executes the session exactly as [`Harness::run_session`] would.
+    #[deprecated(note = "execute documents through `Runner::run` instead")]
+    #[doc(hidden)]
     pub fn run(&self) -> SessionReport {
+        self.execute()
+    }
+
+    pub(crate) fn execute(&self) -> SessionReport {
         let system = self.system.build();
         self.params.harness().run_session(
             &self.session,
@@ -519,7 +544,13 @@ pub struct FleetRun {
 impl FleetRun {
     /// Executes the fleet exactly as
     /// [`Harness::run_fleet_with_recovery`] would.
+    #[deprecated(note = "execute documents through `Runner::run` instead")]
+    #[doc(hidden)]
     pub fn run(&self) -> xrbench_fleet::FleetReport {
+        self.execute()
+    }
+
+    pub(crate) fn execute(&self) -> xrbench_fleet::FleetReport {
         let system = self.system.build();
         self.params.harness().run_fleet_with_recovery(
             &self.fleet,
@@ -598,6 +629,8 @@ pub enum RunDocument {
     Session(SessionRun),
     /// A fleet run.
     Fleet(FleetRun),
+    /// A design-space sweep.
+    Sweep(crate::sweep::SweepDocument),
 }
 
 impl RunDocument {
@@ -631,22 +664,26 @@ impl RunDocument {
             "suite" => Self::decode_suite(&cursor, catalog).map(RunDocument::Suite),
             "session" => Self::decode_session(&cursor, catalog).map(RunDocument::Session),
             "fleet" => Self::decode_fleet(&cursor, catalog).map(RunDocument::Fleet),
+            "sweep" => {
+                crate::sweep::SweepDocument::from_value(&cursor, catalog).map(RunDocument::Sweep)
+            }
             other => Err(SpecError::Invalid {
                 path: kind_cursor.path().to_string(),
                 message: format!(
-                    "unknown document kind `{other}` (expected suite, session, or fleet)"
+                    "unknown document kind `{other}` (expected suite, session, fleet, or sweep)"
                 ),
             }),
         }
     }
 
-    /// The document's kind as the CLI subcommand name (`run-suite`,
-    /// `run-session`, `run-fleet`).
+    /// The document's kind (`suite`, `session`, `fleet`, `sweep`) —
+    /// also the stem of the CLI subcommand that executes it.
     pub fn kind(&self) -> &'static str {
         match self {
             RunDocument::Suite(_) => "suite",
             RunDocument::Session(_) => "session",
             RunDocument::Fleet(_) => "fleet",
+            RunDocument::Sweep(_) => "sweep",
         }
     }
 
@@ -796,6 +833,7 @@ impl RunDocument {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use xrbench_sim::{SlackAwareEdf, UniformProvider};

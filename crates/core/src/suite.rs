@@ -19,6 +19,12 @@
 //! parallel, and the suite is the unit of work they repeat.
 //! [`run_sessions`] is the session-aware parallel path: a batch of
 //! multi-user sessions fanned across the same worker pool.
+//!
+//! The historical per-strategy entry points ([`run_suite_serial`],
+//! [`run_suite_parallel`], and the `_with_workers` variants) are
+//! deprecated shims: serial/parallel equivalence is proven, so the
+//! strategy is an implementation detail and [`run_suite`] /
+//! [`run_suite_catalog`] (or [`crate::Runner`]) are the API.
 
 use xrbench_score::benchmark_score;
 use xrbench_sim::{CostProvider, LatencyGreedy};
@@ -96,7 +102,13 @@ pub fn run_suite(
     system: &(dyn CostProvider + Sync),
     repeats: u32,
 ) -> BenchmarkReport {
-    run_suite_parallel(harness, system, repeats)
+    catalog_parallel_impl(
+        harness,
+        system,
+        repeats,
+        &ScenarioCatalog::builtin(),
+        crate::pool::default_workers(),
+    )
 }
 
 /// [`run_suite`] over an explicit [`ScenarioCatalog`]: user-defined
@@ -112,7 +124,7 @@ pub fn run_suite_catalog(
     repeats: u32,
     catalog: &ScenarioCatalog,
 ) -> BenchmarkReport {
-    run_suite_catalog_with_workers(
+    catalog_parallel_impl(
         harness,
         system,
         repeats,
@@ -127,12 +139,14 @@ pub fn run_suite_catalog(
 /// # Panics
 ///
 /// Panics if `repeats == 0`.
+#[deprecated(note = "byte-identical to `run_suite`; use it (or `Runner::run`) instead")]
+#[doc(hidden)]
 pub fn run_suite_serial(
     harness: &Harness,
     system: &dyn CostProvider,
     repeats: u32,
 ) -> BenchmarkReport {
-    run_suite_catalog_serial(harness, system, repeats, &ScenarioCatalog::builtin())
+    catalog_serial_impl(harness, system, repeats, &ScenarioCatalog::builtin())
 }
 
 /// Serial reference implementation over an explicit catalog.
@@ -140,7 +154,20 @@ pub fn run_suite_serial(
 /// # Panics
 ///
 /// Panics if `repeats == 0` or the catalog is empty.
+#[deprecated(note = "byte-identical to `run_suite_catalog`; use it (or `Runner::run`) instead")]
+#[doc(hidden)]
 pub fn run_suite_catalog_serial(
+    harness: &Harness,
+    system: &dyn CostProvider,
+    repeats: u32,
+    catalog: &ScenarioCatalog,
+) -> BenchmarkReport {
+    catalog_serial_impl(harness, system, repeats, catalog)
+}
+
+/// The serial execution strategy (the reference the parallel path is
+/// proven against).
+pub(crate) fn catalog_serial_impl(
     harness: &Harness,
     system: &dyn CostProvider,
     repeats: u32,
@@ -167,12 +194,20 @@ pub fn run_suite_catalog_serial(
 /// # Panics
 ///
 /// Panics if `repeats == 0`, or propagates a panic from a worker.
+#[deprecated(note = "byte-identical to `run_suite`; use it (or `Runner::run`) instead")]
+#[doc(hidden)]
 pub fn run_suite_parallel(
     harness: &Harness,
     system: &(dyn CostProvider + Sync),
     repeats: u32,
 ) -> BenchmarkReport {
-    run_suite_parallel_with_workers(harness, system, repeats, crate::pool::default_workers())
+    catalog_parallel_impl(
+        harness,
+        system,
+        repeats,
+        &ScenarioCatalog::builtin(),
+        crate::pool::default_workers(),
+    )
 }
 
 /// [`run_suite_parallel`] with an explicit worker count.
@@ -181,13 +216,15 @@ pub fn run_suite_parallel(
 ///
 /// Panics if `repeats == 0` or `workers == 0`, or propagates a panic
 /// from a worker.
+#[deprecated(note = "the report is byte-identical for any worker count; use `run_suite` instead")]
+#[doc(hidden)]
 pub fn run_suite_parallel_with_workers(
     harness: &Harness,
     system: &(dyn CostProvider + Sync),
     repeats: u32,
     workers: usize,
 ) -> BenchmarkReport {
-    run_suite_catalog_with_workers(
+    catalog_parallel_impl(
         harness,
         system,
         repeats,
@@ -202,7 +239,23 @@ pub fn run_suite_parallel_with_workers(
 ///
 /// Panics if `repeats == 0`, `workers == 0`, or the catalog is empty;
 /// propagates a panic from a worker.
+#[deprecated(
+    note = "the report is byte-identical for any worker count; use `run_suite_catalog` instead"
+)]
+#[doc(hidden)]
 pub fn run_suite_catalog_with_workers(
+    harness: &Harness,
+    system: &(dyn CostProvider + Sync),
+    repeats: u32,
+    catalog: &ScenarioCatalog,
+    workers: usize,
+) -> BenchmarkReport {
+    catalog_parallel_impl(harness, system, repeats, catalog, workers)
+}
+
+/// The parallel execution strategy: fans the job grid across the
+/// worker pool and regroups deterministically.
+pub(crate) fn catalog_parallel_impl(
     harness: &Harness,
     system: &(dyn CostProvider + Sync),
     repeats: u32,
@@ -304,6 +357,7 @@ fn average_reports(mut reports: Vec<ScenarioReport>) -> ScenarioReport {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use xrbench_sim::UniformProvider;

@@ -1,0 +1,1540 @@
+//! Design-space exploration: `kind: "sweep"` run documents.
+//!
+//! XRBench's headline use-case (§5, Table 5) is hardware/scheduler
+//! design-space exploration: the same workloads evaluated across
+//! accelerator configurations, PE scalings, and schedulers, with the
+//! per-axis scores laid out for Pareto-frontier analysis. A
+//! [`SweepDocument`] declares the axes once —
+//!
+//! ```json
+//! { "kind": "sweep", "name": "default",
+//!   "accelerators": ["J", "C"], "base_pes": 8192,
+//!   "pe_scaling": [1.0, 0.5],
+//!   "schedulers": ["latency-greedy", "round-robin", "slack-edf"],
+//!   "recovery": ["drop", "requeue"],
+//!   "workloads": [ { "scenario": "VR Gaming" },
+//!                  { "fleet": { ... } },
+//!                  { "scenario_seeds": [7, 8] } ] }
+//! ```
+//!
+//! — and the cross-product expands into a deterministic, globally
+//! indexed **point list** (workloads outermost, recovery innermost).
+//! Because the point list has the same flat-slice shape as the fleet
+//! shard plan, process-level sharding (`--shards N` cuts the list at
+//! `[⌊kP/N⌋, ⌊(k+1)P/N⌋)`) and mid-sweep resumption (a versioned
+//! checkpoint file holding completed points as IEEE-754 bit patterns)
+//! compose with the executor for free, and both are proven
+//! byte-identical to a straight-through run.
+//!
+//! ## Cache keying
+//!
+//! Each point evaluates through the existing engines
+//! ([`Harness::run_spec`](crate::Harness::run_spec),
+//! [`Harness::run_session`](crate::Harness::run_session), the fleet
+//! shard executor), but the executor first consults a memo cache
+//! keyed by `w<workload>|<id>@<pes>|<scheduler>|<recovery>`. The
+//! recovery component collapses to `-` whenever the workload provably
+//! cannot observe the recovery policy — scenario and session
+//! workloads always, and fleets whose device groups all have quiet
+//! (or no) fault processes, by the fault-free bit-identity invariant.
+//! A sweep whose recovery axis is `["drop", "requeue"]` over
+//! fault-free workloads therefore evaluates each simulation once and
+//! serves the other half of its points from cache.
+//!
+//! ## Report
+//!
+//! [`SweepReport`] carries every point's score, energy, drop rate,
+//! and statically derated capacity (PEs × mean availability ×
+//! throttle capacity), plus two [`crate::pareto`] frontiers — score
+//! vs energy and score vs derated capacity, both treating the second
+//! axis as a cost — and per-axis marginals (mean/best score per axis
+//! value).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::de::Cursor;
+use serde::json::JsonValue;
+use serde::Serialize;
+
+use xrbench_accel::config_by_id;
+use xrbench_fleet::{
+    default_workers, fleet_to_json, merge_fleet_shards, run_fleet_shard_with, FleetRunConfig,
+    FleetSpec,
+};
+use xrbench_sim::RecoveryPolicy;
+use xrbench_workload::spec::{
+    extend_catalog, parse_json, scenario_to_json, session_from_value, session_to_json, SpecError,
+};
+use xrbench_workload::{ScenarioCatalog, ScenarioSpace, ScenarioSpec, SessionSpec};
+
+use crate::error::XrError;
+use crate::pareto::{pareto_frontier, ParetoPoint};
+use crate::spec::{RunParams, SchedulerSpec, SystemSpec};
+
+/// Wire-format version tag for sweep checkpoint files.
+const SWEEP_CHECKPOINT_VERSION: u64 = 1;
+/// Wire-format version tag for [`SweepShardState`] documents.
+const SWEEP_STATE_VERSION: u64 = 1;
+
+/// One workload a sweep evaluates at every hardware/scheduler point.
+#[derive(Debug, Clone)]
+pub enum SweepWorkloadKind {
+    /// A single-user scenario run.
+    Scenario(ScenarioSpec),
+    /// A multi-user session run.
+    Session(SessionSpec),
+    /// A device-fleet run.
+    Fleet(FleetSpec),
+}
+
+/// A named workload entry of a [`SweepDocument`].
+#[derive(Debug, Clone)]
+pub struct SweepWorkload {
+    /// Display name (unique within the sweep; defaults to the
+    /// embedded spec's own name).
+    pub name: String,
+    /// The workload itself.
+    pub kind: SweepWorkloadKind,
+}
+
+/// One point of the expanded design space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Global index into the point list (workloads outermost,
+    /// recovery innermost).
+    pub index: usize,
+    /// Index into [`SweepDocument::workloads`].
+    pub workload: usize,
+    /// Table 5 accelerator id (`'A'`–`'M'`).
+    pub accelerator: char,
+    /// PE count after scaling (`round(base_pes × factor)`, min 1).
+    pub pes: u64,
+    /// The scheduler under evaluation.
+    pub scheduler: SchedulerSpec,
+    /// The recovery policy under evaluation (observable only by
+    /// fault-injected fleets).
+    pub recovery: RecoveryPolicy,
+}
+
+/// The three metrics the executor records per point, exact to the bit
+/// across checkpoint and shard wire formats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PointMetrics {
+    score: f64,
+    total_energy_mj: f64,
+    drop_rate: f64,
+}
+
+/// A decoded `"kind": "sweep"` run document: the design-space axes.
+#[derive(Debug, Clone)]
+pub struct SweepDocument {
+    /// Sweep display name (default `"sweep"`).
+    pub name: String,
+    /// Run parameters (seed, duration) shared by every point.
+    pub params: RunParams,
+    /// PE count at scaling factor 1.0 (default 8192).
+    pub base_pes: u64,
+    /// Table 5 accelerator ids, in declaration order.
+    pub accelerators: Vec<char>,
+    /// PE scaling factors (default `[1.0]`).
+    pub pe_scaling: Vec<f64>,
+    /// Schedulers under evaluation (default latency-greedy only).
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Recovery policies under evaluation (default drop only).
+    pub recovery: Vec<RecoveryPolicy>,
+    /// The workloads, each evaluated at every hardware × scheduler ×
+    /// recovery point.
+    pub workloads: Vec<SweepWorkload>,
+}
+
+/// Execution options for [`SweepDocument::run_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Checkpoint file: completed points are persisted here after
+    /// every evaluation, and an existing file (for the same document)
+    /// is loaded back before running, so a killed sweep resumes
+    /// where it stopped.
+    pub checkpoint: Option<PathBuf>,
+    /// Stop after completing this many points (from the front of the
+    /// point list) without producing a report — a deterministic
+    /// "killed mid-run" for exercising resumption.
+    pub limit: Option<usize>,
+}
+
+/// Executor counters for one [`SweepDocument::run_with`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Total points in the sweep.
+    pub points: usize,
+    /// Points evaluated by simulation in this call.
+    pub evaluated: usize,
+    /// Points served from the memo cache in this call.
+    pub cache_hits: usize,
+    /// Points restored from the checkpoint file.
+    pub resumed: usize,
+}
+
+/// The result of [`SweepDocument::run_with`]: the report (when the
+/// sweep ran to completion) plus executor counters.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The folded report; `None` when a [`SweepOptions::limit`]
+    /// stopped the sweep early.
+    pub report: Option<SweepReport>,
+    /// Cache/evaluation counters.
+    pub stats: SweepStats,
+}
+
+/// One completed point in a [`SweepReport`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepPointReport {
+    /// Global point index.
+    pub index: usize,
+    /// Workload display name.
+    pub workload: String,
+    /// Hardware label (`J@8192`).
+    pub accelerator: String,
+    /// Scheduler report name.
+    pub scheduler: String,
+    /// Recovery policy name.
+    pub recovery: String,
+    /// The workload's overall score (XRBench scenario score, session
+    /// score, or fleet score).
+    pub score: f64,
+    /// Total energy over the run, millijoules.
+    pub total_energy_mj: f64,
+    /// Fraction of triggered frames dropped.
+    pub drop_rate: f64,
+    /// Static capacity proxy: PEs × mean availability × throttle
+    /// capacity, averaged over fleet replicas (plain PEs for
+    /// scenario/session workloads).
+    pub derated_capacity: f64,
+}
+
+/// Mean/best score over the points sharing one axis value.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AxisMarginalReport {
+    /// Axis name (`workload`, `accelerator`, `scheduler`, `recovery`).
+    pub axis: String,
+    /// The axis value (e.g. `J@4096`).
+    pub value: String,
+    /// Number of points with this value.
+    pub points: usize,
+    /// Mean score over those points.
+    pub mean_score: f64,
+    /// Best score over those points.
+    pub best_score: f64,
+}
+
+/// The folded output of a sweep: every point's metrics, two Pareto
+/// frontiers, and per-axis marginals.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepReport {
+    /// Sweep display name.
+    pub sweep: String,
+    /// Total points.
+    pub num_points: usize,
+    /// Distinct simulations the point list requires after memo-cache
+    /// deduplication (a static property of the document).
+    pub distinct_evaluations: usize,
+    /// Every point, in global index order.
+    pub points: Vec<SweepPointReport>,
+    /// Indices of the score-vs-energy Pareto frontier (energy treated
+    /// as a cost).
+    pub pareto_score_energy: Vec<usize>,
+    /// Indices of the score-vs-derated-capacity Pareto frontier
+    /// (capacity treated as a cost).
+    pub pareto_score_capacity: Vec<usize>,
+    /// Per-axis marginal scores, in axis declaration order.
+    pub marginals: Vec<AxisMarginalReport>,
+}
+
+impl SweepReport {
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+/// One shard's completed points, serializable over a pipe and
+/// mergeable back into the full report via
+/// [`SweepDocument::merge_shards`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepShardState {
+    /// This shard's index, `0 ≤ shard < num_shards`.
+    pub shard: u32,
+    /// Total shard count of the partition.
+    pub num_shards: u32,
+    /// Fingerprint of the document that produced this state.
+    pub fingerprint: u64,
+    /// Completed `(global index, metrics)` rows.
+    rows: Vec<(usize, PointMetrics)>,
+    /// Points this shard evaluated by simulation (informational).
+    pub evaluated: usize,
+    /// Points this shard served from its memo cache (informational).
+    pub cache_hits: usize,
+}
+
+/// The flat-index range `[⌊kP/N⌋, ⌊(k+1)P/N⌋)` shard `k` owns — the
+/// same cut rule as the fleet shard plan.
+fn shard_range(total: usize, shard: u32, num_shards: u32) -> (usize, usize) {
+    let p = total as u64;
+    let n = u64::from(num_shards);
+    let start = (u64::from(shard) * p / n) as usize;
+    let end = ((u64::from(shard) + 1) * p / n) as usize;
+    (start, end)
+}
+
+impl SweepDocument {
+    /// Decodes a sweep document body (the `kind` field is the
+    /// dispatcher's business) against a base scenario catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for shape problems, unknown
+    /// accelerators/schedulers/policies, duplicate axis values,
+    /// unresolved scenario references, or any error from the embedded
+    /// session/fleet documents.
+    pub fn from_value(cursor: &Cursor<'_>, base: &ScenarioCatalog) -> Result<Self, SpecError> {
+        cursor.deny_unknown_fields(&[
+            "kind",
+            "name",
+            "seed",
+            "duration_s",
+            "scenarios",
+            "accelerators",
+            "base_pes",
+            "pe_scaling",
+            "schedulers",
+            "recovery",
+            "workloads",
+        ])?;
+        let name: String = cursor
+            .get_opt_field("name")?
+            .unwrap_or_else(|| "sweep".to_string());
+        let params = RunParams::from_value(cursor)?;
+        let catalog = extend_catalog(cursor, base)?;
+
+        let accelerators = decode_accelerators(&cursor.field("accelerators")?)?;
+        let base_pes = match cursor.opt_field("base_pes")? {
+            Some(c) => {
+                let pes: u64 = c.get()?;
+                if pes == 0 {
+                    return Err(SpecError::Invalid {
+                        path: c.path().to_string(),
+                        message: "base_pes must be at least 1".to_string(),
+                    });
+                }
+                pes
+            }
+            None => 8192,
+        };
+        let pe_scaling = match cursor.opt_field("pe_scaling")? {
+            Some(c) => decode_pe_scaling(&c)?,
+            None => vec![1.0],
+        };
+        let schedulers = match cursor.opt_field("schedulers")? {
+            Some(c) => decode_schedulers(&c)?,
+            None => vec![SchedulerSpec::default()],
+        };
+        let recovery = match cursor.opt_field("recovery")? {
+            Some(c) => decode_recovery(&c)?,
+            None => vec![RecoveryPolicy::default()],
+        };
+        let workloads = decode_workloads(&cursor.field("workloads")?, &catalog)?;
+
+        Ok(Self {
+            name,
+            params,
+            base_pes,
+            accelerators,
+            pe_scaling,
+            schedulers,
+            recovery,
+            workloads,
+        })
+    }
+
+    /// The hardware axis expanded to `(id, pes)` pairs, in
+    /// declaration order (accelerators outer, scaling inner).
+    pub fn hardware_points(&self) -> Vec<(char, u64)> {
+        let mut out = Vec::with_capacity(self.accelerators.len() * self.pe_scaling.len());
+        for &id in &self.accelerators {
+            for &factor in &self.pe_scaling {
+                out.push((id, self.scaled_pes(factor)));
+            }
+        }
+        out
+    }
+
+    fn scaled_pes(&self, factor: f64) -> u64 {
+        let pes = (self.base_pes as f64 * factor).round();
+        if pes < 1.0 {
+            1
+        } else {
+            pes as u64
+        }
+    }
+
+    /// Expands the axes into the deterministic, globally indexed
+    /// point list: workloads → accelerators → pe_scaling → schedulers
+    /// → recovery, innermost fastest.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::new();
+        for workload in 0..self.workloads.len() {
+            for &accelerator in &self.accelerators {
+                for &factor in &self.pe_scaling {
+                    let pes = self.scaled_pes(factor);
+                    for &scheduler in &self.schedulers {
+                        for &recovery in &self.recovery {
+                            points.push(SweepPoint {
+                                index: points.len(),
+                                workload,
+                                accelerator,
+                                pes,
+                                scheduler,
+                                recovery,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Whether the recovery axis is provably unobservable for
+    /// workload `w`: scenario/session workloads never consult it, and
+    /// a fleet whose groups all have quiet (or no) fault processes is
+    /// bit-identical under every policy.
+    fn recovery_invariant(&self, w: usize) -> bool {
+        match &self.workloads[w].kind {
+            SweepWorkloadKind::Scenario(_) | SweepWorkloadKind::Session(_) => true,
+            SweepWorkloadKind::Fleet(spec) => spec
+                .groups
+                .iter()
+                .all(|g| g.faults.as_ref().is_none_or(|p| p.is_quiet())),
+        }
+    }
+
+    /// The memo-cache key of a point:
+    /// `w<workload>|<id>@<pes>|<scheduler>|<recovery>`, with the
+    /// recovery component collapsed to `-` when the workload cannot
+    /// observe it.
+    pub fn cache_key(&self, point: &SweepPoint) -> String {
+        let recovery = if self.recovery_invariant(point.workload) {
+            "-"
+        } else {
+            point.recovery.as_str()
+        };
+        format!(
+            "w{}|{}@{}|{}|{}",
+            point.workload,
+            point.accelerator,
+            point.pes,
+            point.scheduler.name(),
+            recovery
+        )
+    }
+
+    /// Distinct simulations the point list requires after memo-cache
+    /// deduplication — a static property of the document.
+    pub fn distinct_evaluations(&self) -> usize {
+        let keys: BTreeSet<String> = self.points().iter().map(|p| self.cache_key(p)).collect();
+        keys.len()
+    }
+
+    /// A stable FNV-1a fingerprint of the whole document (axes, run
+    /// parameters, and canonical workload serializations), used to
+    /// reject checkpoints and shard states produced by a different
+    /// document.
+    pub fn fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        text.push_str(&self.name);
+        text.push('\x1f');
+        if let Some(seed) = self.params.seed {
+            text.push_str(&seed.to_string());
+        }
+        text.push('\x1f');
+        if let Some(duration_s) = self.params.duration_s {
+            text.push_str(&duration_s.to_bits().to_string());
+        }
+        text.push('\x1f');
+        text.push_str(&self.base_pes.to_string());
+        for &id in &self.accelerators {
+            text.push('\x1f');
+            text.push(id);
+        }
+        for &factor in &self.pe_scaling {
+            text.push('\x1f');
+            text.push_str(&factor.to_bits().to_string());
+        }
+        for scheduler in &self.schedulers {
+            text.push('\x1f');
+            text.push_str(scheduler.name());
+        }
+        for policy in &self.recovery {
+            text.push('\x1f');
+            text.push_str(policy.as_str());
+        }
+        for workload in &self.workloads {
+            text.push('\x1f');
+            text.push_str(&workload.name);
+            text.push('\x1e');
+            match &workload.kind {
+                SweepWorkloadKind::Scenario(spec) => text.push_str(&scenario_to_json(spec)),
+                SweepWorkloadKind::Session(spec) => text.push_str(&session_to_json(spec)),
+                SweepWorkloadKind::Fleet(spec) => text.push_str(&fleet_to_json(spec)),
+            }
+        }
+        fnv1a64(text.as_bytes())
+    }
+
+    /// Evaluates one point through the existing engines.
+    fn evaluate(&self, point: &SweepPoint) -> PointMetrics {
+        let system = SystemSpec::Accelerator {
+            id: point.accelerator,
+            pes: point.pes,
+        }
+        .build();
+        let harness = self.params.harness();
+        match &self.workloads[point.workload].kind {
+            SweepWorkloadKind::Scenario(spec) => {
+                let mut scheduler = point.scheduler.build();
+                let (report, _) = harness.run_spec(spec, system.as_ref(), scheduler.as_mut());
+                PointMetrics {
+                    score: report.overall(),
+                    total_energy_mj: report.total_energy_mj,
+                    drop_rate: report.drop_rate,
+                }
+            }
+            SweepWorkloadKind::Session(spec) => {
+                let mut scheduler = point.scheduler.build();
+                let report = harness.run_session(spec, system.as_ref(), scheduler.as_mut());
+                PointMetrics {
+                    score: report.session_score,
+                    total_energy_mj: report.total_energy_mj,
+                    drop_rate: report.drop_rate,
+                }
+            }
+            SweepWorkloadKind::Fleet(spec) => {
+                let config = FleetRunConfig {
+                    sim: harness.sim_config(),
+                    workers: default_workers(),
+                    recovery: point.recovery,
+                    ..FleetRunConfig::default()
+                };
+                let state = run_fleet_shard_with(
+                    spec,
+                    system.as_ref(),
+                    &config,
+                    &|| point.scheduler.build(),
+                    0,
+                    1,
+                );
+                let report =
+                    merge_fleet_shards(spec, &system.label(), point.scheduler.name(), &[state])
+                        .expect("a single shard is a complete partition");
+                PointMetrics {
+                    score: report.fleet_score,
+                    total_energy_mj: report.total_energy_mj,
+                    drop_rate: report.drop_rate,
+                }
+            }
+        }
+    }
+
+    /// The static capacity proxy for one point: PEs for
+    /// scenario/session workloads; for fleets, PEs derated by each
+    /// group's mean availability (`1/(1+λ_f·d_f) · 1/(1+λ_p·d_p)`)
+    /// and mean throttle capacity, replica-weighted.
+    fn derated_capacity(&self, point: &SweepPoint) -> f64 {
+        let pes = point.pes as f64;
+        let SweepWorkloadKind::Fleet(spec) = &self.workloads[point.workload].kind else {
+            return pes;
+        };
+        let mut weighted = 0.0;
+        let mut replicas = 0.0;
+        for group in &spec.groups {
+            let r = f64::from(group.replicas);
+            let derate = group.faults.as_ref().map_or(1.0, |p| {
+                let avail_failure = 1.0 / (1.0 + p.failure_rate_per_s * p.mean_downtime_s);
+                let avail_preempt = 1.0 / (1.0 + p.preemption_rate_per_s * p.mean_preemption_s);
+                let throttle = p
+                    .throttle
+                    .as_ref()
+                    .map_or(1.0, |t| t.duty * t.factor + (1.0 - t.duty));
+                avail_failure * avail_preempt * throttle
+            });
+            weighted += r * derate;
+            replicas += r;
+        }
+        pes * weighted / replicas
+    }
+
+    /// Runs the whole sweep in-process with no checkpointing.
+    pub fn run(&self) -> SweepReport {
+        self.run_with(&SweepOptions::default())
+            .expect("no checkpoint I/O is configured")
+            .report
+            .expect("no limit is configured")
+    }
+
+    /// Runs the sweep with resumption/limit options.
+    ///
+    /// Points complete in global index order through the memo cache.
+    /// With a checkpoint path, completed points are persisted after
+    /// every evaluation and restored (and re-seeded into the cache)
+    /// on the next call, making a kill-and-resume byte-identical to
+    /// an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XrError::Io`] for unreadable/unwritable checkpoint
+    /// files and [`XrError::Spec`] for a corrupt checkpoint or one
+    /// written by a different document (fingerprint mismatch).
+    pub fn run_with(&self, options: &SweepOptions) -> Result<SweepOutcome, XrError> {
+        let points = self.points();
+        let fingerprint = self.fingerprint();
+        let mut metrics: Vec<Option<PointMetrics>> = vec![None; points.len()];
+        let mut cache: BTreeMap<String, PointMetrics> = BTreeMap::new();
+        let mut stats = SweepStats {
+            points: points.len(),
+            ..SweepStats::default()
+        };
+
+        if let Some(path) = &options.checkpoint {
+            if path.exists() {
+                let text =
+                    fs::read_to_string(path).map_err(|e| XrError::io("read", path.display(), e))?;
+                for (index, m) in decode_checkpoint(&text, fingerprint, points.len())? {
+                    if metrics[index].is_none() {
+                        stats.resumed += 1;
+                    }
+                    metrics[index] = Some(m);
+                    cache.insert(self.cache_key(&points[index]), m);
+                }
+            }
+        }
+
+        let completed_target = options.limit.unwrap_or(points.len()).min(points.len());
+        for point in &points {
+            if point.index >= completed_target {
+                break;
+            }
+            if metrics[point.index].is_some() {
+                continue;
+            }
+            let key = self.cache_key(point);
+            let m = match cache.get(&key) {
+                Some(&m) => {
+                    stats.cache_hits += 1;
+                    m
+                }
+                None => {
+                    stats.evaluated += 1;
+                    let m = self.evaluate(point);
+                    cache.insert(key, m);
+                    m
+                }
+            };
+            metrics[point.index] = Some(m);
+            if let Some(path) = &options.checkpoint {
+                write_checkpoint(path, fingerprint, &metrics)?;
+            }
+        }
+
+        let report = if metrics.iter().all(Option::is_some) {
+            let all: Vec<PointMetrics> = metrics.into_iter().map(|m| m.expect("checked")).collect();
+            Some(self.build_report(&points, &all))
+        } else {
+            None
+        };
+        Ok(SweepOutcome { report, stats })
+    }
+
+    /// Runs shard `shard` of `num_shards`: the points with global
+    /// index in `[⌊kP/N⌋, ⌊(k+1)P/N⌋)`, memo-cached within the shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards`.
+    pub fn run_shard(&self, shard: u32, num_shards: u32) -> SweepShardState {
+        assert!(
+            shard < num_shards,
+            "shard {shard} out of range (num_shards: {num_shards})"
+        );
+        let points = self.points();
+        let (start, end) = shard_range(points.len(), shard, num_shards);
+        let mut cache: BTreeMap<String, PointMetrics> = BTreeMap::new();
+        let mut evaluated = 0;
+        let mut cache_hits = 0;
+        let mut rows = Vec::with_capacity(end - start);
+        for point in &points[start..end] {
+            let key = self.cache_key(point);
+            let m = match cache.get(&key) {
+                Some(&m) => {
+                    cache_hits += 1;
+                    m
+                }
+                None => {
+                    evaluated += 1;
+                    let m = self.evaluate(point);
+                    cache.insert(key, m);
+                    m
+                }
+            };
+            rows.push((point.index, m));
+        }
+        SweepShardState {
+            shard,
+            num_shards,
+            fingerprint: self.fingerprint(),
+            rows,
+            evaluated,
+            cache_hits,
+        }
+    }
+
+    /// Merges shard states produced by [`SweepDocument::run_shard`]
+    /// (in any order, possibly in other processes) into the final
+    /// report — byte-identical to [`SweepDocument::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XrError::Spec`] when the states do not form a
+    /// complete, consistent partition of this sweep's point list, or
+    /// were produced by a different document.
+    pub fn merge_shards(&self, states: &[SweepShardState]) -> Result<SweepReport, XrError> {
+        let invalid = |message: String| {
+            XrError::Spec(SpecError::Invalid {
+                path: "sweep-state".to_string(),
+                message,
+            })
+        };
+        let points = self.points();
+        let fingerprint = self.fingerprint();
+        let Some(first) = states.first() else {
+            return Err(invalid("no shard states to merge".to_string()));
+        };
+        let num_shards = first.num_shards;
+        if states.len() as u64 != u64::from(num_shards) {
+            return Err(invalid(format!(
+                "expected {num_shards} shard states, got {}",
+                states.len()
+            )));
+        }
+        let mut seen = vec![false; num_shards as usize];
+        let mut metrics: Vec<Option<PointMetrics>> = vec![None; points.len()];
+        for state in states {
+            if state.num_shards != num_shards {
+                return Err(invalid(format!(
+                    "inconsistent shard counts: {} vs {num_shards}",
+                    state.num_shards
+                )));
+            }
+            if state.shard >= num_shards {
+                return Err(invalid(format!(
+                    "shard {} out of range (num_shards: {num_shards})",
+                    state.shard
+                )));
+            }
+            if seen[state.shard as usize] {
+                return Err(invalid(format!("duplicate shard {}", state.shard)));
+            }
+            seen[state.shard as usize] = true;
+            if state.fingerprint != fingerprint {
+                return Err(invalid(format!(
+                    "shard {} was produced by a different sweep document \
+                     (fingerprint mismatch)",
+                    state.shard
+                )));
+            }
+            let (start, end) = shard_range(points.len(), state.shard, num_shards);
+            if state.rows.len() != end - start {
+                return Err(invalid(format!(
+                    "shard {} carries {} points, expected {}",
+                    state.shard,
+                    state.rows.len(),
+                    end - start
+                )));
+            }
+            for &(index, m) in &state.rows {
+                if index < start || index >= end {
+                    return Err(invalid(format!(
+                        "shard {} carries point {index}, outside its range \
+                         [{start}, {end})",
+                        state.shard
+                    )));
+                }
+                metrics[index] = Some(m);
+            }
+        }
+        let all: Vec<PointMetrics> = metrics
+            .into_iter()
+            .map(|m| m.expect("complete partition fills every point"))
+            .collect();
+        Ok(self.build_report(&points, &all))
+    }
+
+    /// Folds completed metrics into the report: Pareto frontiers and
+    /// per-axis marginals.
+    fn build_report(&self, points: &[SweepPoint], metrics: &[PointMetrics]) -> SweepReport {
+        let point_reports: Vec<SweepPointReport> = points
+            .iter()
+            .zip(metrics)
+            .map(|(point, m)| SweepPointReport {
+                index: point.index,
+                workload: self.workloads[point.workload].name.clone(),
+                accelerator: format!("{}@{}", point.accelerator, point.pes),
+                scheduler: point.scheduler.name().to_string(),
+                recovery: point.recovery.as_str().to_string(),
+                score: m.score,
+                total_energy_mj: m.total_energy_mj,
+                drop_rate: m.drop_rate,
+                derated_capacity: self.derated_capacity(point),
+            })
+            .collect();
+
+        let energy_points: Vec<ParetoPoint> = point_reports
+            .iter()
+            .map(|p| ParetoPoint::new(p.index.to_string(), vec![p.score, -p.total_energy_mj]))
+            .collect();
+        let capacity_points: Vec<ParetoPoint> = point_reports
+            .iter()
+            .map(|p| ParetoPoint::new(p.index.to_string(), vec![p.score, -p.derated_capacity]))
+            .collect();
+
+        type AxisSelect = fn(&SweepPointReport) -> &str;
+        let mut marginals = Vec::new();
+        let axes: [(&str, Vec<String>, AxisSelect); 4] = [
+            (
+                "workload",
+                self.workloads.iter().map(|w| w.name.clone()).collect(),
+                |p| &p.workload,
+            ),
+            (
+                "accelerator",
+                self.hardware_points()
+                    .iter()
+                    .map(|(id, pes)| format!("{id}@{pes}"))
+                    .collect(),
+                |p| &p.accelerator,
+            ),
+            (
+                "scheduler",
+                self.schedulers
+                    .iter()
+                    .map(|s| s.name().to_string())
+                    .collect(),
+                |p| &p.scheduler,
+            ),
+            (
+                "recovery",
+                self.recovery
+                    .iter()
+                    .map(|r| r.as_str().to_string())
+                    .collect(),
+                |p| &p.recovery,
+            ),
+        ];
+        for (axis, values, select) in axes {
+            for value in values {
+                let scores: Vec<f64> = point_reports
+                    .iter()
+                    .filter(|p| select(p) == value)
+                    .map(|p| p.score)
+                    .collect();
+                if scores.is_empty() {
+                    continue;
+                }
+                marginals.push(AxisMarginalReport {
+                    axis: axis.to_string(),
+                    value,
+                    points: scores.len(),
+                    mean_score: scores.iter().sum::<f64>() / scores.len() as f64,
+                    best_score: scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                });
+            }
+        }
+
+        SweepReport {
+            sweep: self.name.clone(),
+            num_points: point_reports.len(),
+            distinct_evaluations: self.distinct_evaluations(),
+            pareto_score_energy: pareto_frontier(&energy_points),
+            pareto_score_capacity: pareto_frontier(&capacity_points),
+            points: point_reports,
+            marginals,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding helpers
+// ---------------------------------------------------------------------------
+
+fn decode_accelerators(cursor: &Cursor<'_>) -> Result<Vec<char>, SpecError> {
+    let mut out = Vec::new();
+    for item in cursor.items()? {
+        let text = item.as_str()?;
+        let id = match text.chars().next() {
+            Some(c) if text.chars().count() == 1 => c.to_ascii_uppercase(),
+            _ => {
+                return Err(SpecError::Invalid {
+                    path: item.path().to_string(),
+                    message: format!("accelerator id must be a single letter A-M, got `{text}`"),
+                })
+            }
+        };
+        if config_by_id(id).is_none() {
+            return Err(SpecError::Invalid {
+                path: item.path().to_string(),
+                message: format!("unknown accelerator `{id}` (Table 5 defines A-M)"),
+            });
+        }
+        if out.contains(&id) {
+            return Err(SpecError::Invalid {
+                path: item.path().to_string(),
+                message: format!("duplicate accelerator `{id}`"),
+            });
+        }
+        out.push(id);
+    }
+    if out.is_empty() {
+        return Err(SpecError::Invalid {
+            path: cursor.path().to_string(),
+            message: "accelerators must name at least one Table 5 id".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+fn decode_pe_scaling(cursor: &Cursor<'_>) -> Result<Vec<f64>, SpecError> {
+    let mut out: Vec<f64> = Vec::new();
+    for item in cursor.items()? {
+        let factor: f64 = item.get()?;
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(SpecError::Invalid {
+                path: item.path().to_string(),
+                message: format!("pe_scaling factors must be positive and finite, got {factor}"),
+            });
+        }
+        if out.iter().any(|&f| f.to_bits() == factor.to_bits()) {
+            return Err(SpecError::Invalid {
+                path: item.path().to_string(),
+                message: format!("duplicate pe_scaling factor {factor}"),
+            });
+        }
+        out.push(factor);
+    }
+    if out.is_empty() {
+        return Err(SpecError::Invalid {
+            path: cursor.path().to_string(),
+            message: "pe_scaling must list at least one factor".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+fn decode_schedulers(cursor: &Cursor<'_>) -> Result<Vec<SchedulerSpec>, SpecError> {
+    let mut out = Vec::new();
+    for item in cursor.items()? {
+        let scheduler = SchedulerSpec::from_value(&item)?;
+        if out.contains(&scheduler) {
+            return Err(SpecError::Invalid {
+                path: item.path().to_string(),
+                message: format!("duplicate scheduler `{}`", scheduler.name()),
+            });
+        }
+        out.push(scheduler);
+    }
+    if out.is_empty() {
+        return Err(SpecError::Invalid {
+            path: cursor.path().to_string(),
+            message: "schedulers must list at least one scheduler".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+fn decode_recovery(cursor: &Cursor<'_>) -> Result<Vec<RecoveryPolicy>, SpecError> {
+    let mut out = Vec::new();
+    for item in cursor.items()? {
+        let name = item.as_str()?;
+        let policy = RecoveryPolicy::parse(name).ok_or_else(|| SpecError::Invalid {
+            path: item.path().to_string(),
+            message: format!(
+                "unknown recovery policy `{name}` (expected drop, requeue, or migrate)"
+            ),
+        })?;
+        if out.contains(&policy) {
+            return Err(SpecError::Invalid {
+                path: item.path().to_string(),
+                message: format!("duplicate recovery policy `{name}`"),
+            });
+        }
+        out.push(policy);
+    }
+    if out.is_empty() {
+        return Err(SpecError::Invalid {
+            path: cursor.path().to_string(),
+            message: "recovery must list at least one policy".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+fn decode_workloads(
+    cursor: &Cursor<'_>,
+    catalog: &ScenarioCatalog,
+) -> Result<Vec<SweepWorkload>, SpecError> {
+    let mut out: Vec<SweepWorkload> = Vec::new();
+    for item in cursor.items()? {
+        item.deny_unknown_fields(&["name", "scenario", "session", "fleet", "scenario_seeds"])?;
+        let name: Option<String> = item.get_opt_field("name")?;
+        let scenario = item.opt_field("scenario")?;
+        let session = item.opt_field("session")?;
+        let fleet = item.opt_field("fleet")?;
+        let seeds = item.opt_field("scenario_seeds")?;
+        let present = [
+            scenario.is_some(),
+            session.is_some(),
+            fleet.is_some(),
+            seeds.is_some(),
+        ]
+        .iter()
+        .filter(|p| **p)
+        .count();
+        if present != 1 {
+            return Err(SpecError::Invalid {
+                path: item.path().to_string(),
+                message: "exactly one of `scenario`, `session`, `fleet`, or \
+                          `scenario_seeds` is required"
+                    .to_string(),
+            });
+        }
+        if let Some(c) = scenario {
+            let wanted = c.as_str()?;
+            let spec = catalog
+                .get(wanted)
+                .cloned()
+                .ok_or_else(|| SpecError::UnknownScenario {
+                    path: c.path().to_string(),
+                    name: wanted.to_string(),
+                    available: catalog.names().iter().map(|s| s.to_string()).collect(),
+                })?;
+            let name = name.unwrap_or_else(|| spec.name.clone());
+            out.push(SweepWorkload {
+                name,
+                kind: SweepWorkloadKind::Scenario(spec),
+            });
+        } else if let Some(c) = session {
+            let spec = session_from_value(&c, catalog)?;
+            let name = name.unwrap_or_else(|| spec.name.clone());
+            out.push(SweepWorkload {
+                name,
+                kind: SweepWorkloadKind::Session(spec),
+            });
+        } else if let Some(c) = fleet {
+            let spec = xrbench_fleet::specfile::fleet_from_value(&c, catalog)?;
+            let name = name.unwrap_or_else(|| spec.name.clone());
+            out.push(SweepWorkload {
+                name,
+                kind: SweepWorkloadKind::Fleet(spec),
+            });
+        } else {
+            let seeds = seeds.expect("exactly one field is present");
+            let space = ScenarioSpace::default();
+            let mut any = false;
+            for seed_cursor in seeds.items()? {
+                let seed: u64 = seed_cursor.get()?;
+                let spec = space.sample(seed);
+                let entry_name = match &name {
+                    Some(prefix) => format!("{prefix}-{seed}"),
+                    None => format!("sampled-{seed}"),
+                };
+                out.push(SweepWorkload {
+                    name: entry_name,
+                    kind: SweepWorkloadKind::Scenario(spec),
+                });
+                any = true;
+            }
+            if !any {
+                return Err(SpecError::Invalid {
+                    path: seeds.path().to_string(),
+                    message: "scenario_seeds must list at least one seed".to_string(),
+                });
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(SpecError::Invalid {
+            path: cursor.path().to_string(),
+            message: "workloads must list at least one workload".to_string(),
+        });
+    }
+    let mut names = BTreeSet::new();
+    for workload in &out {
+        if !names.insert(workload.name.as_str()) {
+            return Err(SpecError::Invalid {
+                path: cursor.path().to_string(),
+                message: format!("duplicate workload name `{}`", workload.name),
+            });
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Wire formats (checkpoint + shard state)
+// ---------------------------------------------------------------------------
+//
+// Same exactness rules as the fleet shard wire format: integers as
+// decimal strings (the vendored JSON value is f64-backed), f64
+// metrics as their IEEE-754 bit patterns, so a round-trip through a
+// file or a pipe is bit-lossless and merged/resumed reports stay
+// byte-identical to straight-through runs.
+
+fn s(v: impl ToString) -> JsonValue {
+    JsonValue::Str(v.to_string())
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn parse_int<T: std::str::FromStr>(cursor: &Cursor<'_>) -> Result<T, SpecError> {
+    let text = cursor.as_str()?;
+    text.parse().map_err(|_| SpecError::Invalid {
+        path: cursor.path().to_string(),
+        message: format!("expected a decimal integer string, got `{text}`"),
+    })
+}
+
+fn row_value(index: usize, m: &PointMetrics) -> JsonValue {
+    JsonValue::Array(vec![
+        s(index),
+        s(m.score.to_bits()),
+        s(m.total_energy_mj.to_bits()),
+        s(m.drop_rate.to_bits()),
+    ])
+}
+
+fn row_from_value(
+    cursor: &Cursor<'_>,
+    num_points: usize,
+) -> Result<(usize, PointMetrics), SpecError> {
+    let cells = cursor.items()?;
+    if cells.len() != 4 {
+        return Err(SpecError::Invalid {
+            path: cursor.path().to_string(),
+            message: format!("expected a 4-cell point row, got {} cells", cells.len()),
+        });
+    }
+    let index: usize = parse_int(&cells[0])?;
+    if index >= num_points {
+        return Err(SpecError::Invalid {
+            path: cells[0].path().to_string(),
+            message: format!("point index {index} out of range (points: {num_points})"),
+        });
+    }
+    Ok((
+        index,
+        PointMetrics {
+            score: f64::from_bits(parse_int(&cells[1])?),
+            total_energy_mj: f64::from_bits(parse_int(&cells[2])?),
+            drop_rate: f64::from_bits(parse_int(&cells[3])?),
+        },
+    ))
+}
+
+fn write_checkpoint(
+    path: &Path,
+    fingerprint: u64,
+    metrics: &[Option<PointMetrics>],
+) -> Result<(), XrError> {
+    let rows: Vec<JsonValue> = metrics
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| m.as_ref().map(|m| row_value(i, m)))
+        .collect();
+    let doc = obj(vec![
+        ("xrbench_sweep_checkpoint", s(SWEEP_CHECKPOINT_VERSION)),
+        ("fingerprint", s(fingerprint)),
+        ("points", JsonValue::Array(rows)),
+    ]);
+    let mut text = serde_json::to_string(&doc).expect("checkpoint serialization cannot fail");
+    text.push('\n');
+    fs::write(path, text).map_err(|e| XrError::io("write", path.display(), e))
+}
+
+fn decode_checkpoint(
+    text: &str,
+    expected_fingerprint: u64,
+    num_points: usize,
+) -> Result<Vec<(usize, PointMetrics)>, XrError> {
+    let (fingerprint, rows) = decode_checkpoint_inner(text, num_points)?;
+    if fingerprint != expected_fingerprint {
+        return Err(XrError::Spec(SpecError::Invalid {
+            path: "$.fingerprint".to_string(),
+            message: "checkpoint was written for a different sweep document \
+                      (fingerprint mismatch)"
+                .to_string(),
+        }));
+    }
+    Ok(rows)
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_checkpoint_inner(
+    text: &str,
+    num_points: usize,
+) -> Result<(u64, Vec<(usize, PointMetrics)>), SpecError> {
+    let value = parse_json(text)?;
+    let cursor = Cursor::root(&value);
+    cursor.deny_unknown_fields(&["xrbench_sweep_checkpoint", "fingerprint", "points"])?;
+    let version: u64 = parse_int(&cursor.field("xrbench_sweep_checkpoint")?)?;
+    if version != SWEEP_CHECKPOINT_VERSION {
+        return Err(SpecError::Invalid {
+            path: "$.xrbench_sweep_checkpoint".to_string(),
+            message: format!(
+                "unsupported checkpoint version {version} (supported: \
+                 {SWEEP_CHECKPOINT_VERSION})"
+            ),
+        });
+    }
+    let fingerprint: u64 = parse_int(&cursor.field("fingerprint")?)?;
+    let mut rows = Vec::new();
+    for item in cursor.field("points")?.items()? {
+        rows.push(row_from_value(&item, num_points)?);
+    }
+    Ok((fingerprint, rows))
+}
+
+impl SweepShardState {
+    /// Serializes the state for transport over a pipe.
+    pub fn to_json(&self) -> String {
+        let doc = obj(vec![
+            ("xrbench_sweep_state", s(SWEEP_STATE_VERSION)),
+            ("shard", s(self.shard)),
+            ("num_shards", s(self.num_shards)),
+            ("fingerprint", s(self.fingerprint)),
+            (
+                "points",
+                JsonValue::Array(self.rows.iter().map(|(i, m)| row_value(*i, m)).collect()),
+            ),
+            ("evaluated", s(self.evaluated)),
+            ("cache_hits", s(self.cache_hits)),
+        ]);
+        serde_json::to_string(&doc).expect("state serialization cannot fail")
+    }
+
+    /// Parses a state serialized by [`SweepShardState::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for malformed JSON, an unsupported
+    /// version tag, or shape problems.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let value = parse_json(text)?;
+        let cursor = Cursor::root(&value);
+        cursor.deny_unknown_fields(&[
+            "xrbench_sweep_state",
+            "shard",
+            "num_shards",
+            "fingerprint",
+            "points",
+            "evaluated",
+            "cache_hits",
+        ])?;
+        let version: u64 = parse_int(&cursor.field("xrbench_sweep_state")?)?;
+        if version != SWEEP_STATE_VERSION {
+            return Err(SpecError::Invalid {
+                path: "$.xrbench_sweep_state".to_string(),
+                message: format!(
+                    "unsupported sweep-state version {version} (supported: \
+                     {SWEEP_STATE_VERSION})"
+                ),
+            });
+        }
+        let mut rows = Vec::new();
+        for item in cursor.field("points")?.items()? {
+            rows.push(row_from_value(&item, usize::MAX)?);
+        }
+        Ok(Self {
+            shard: parse_int(&cursor.field("shard")?)?,
+            num_shards: parse_int(&cursor.field("num_shards")?)?,
+            fingerprint: parse_int(&cursor.field("fingerprint")?)?,
+            rows,
+            evaluated: parse_int(&cursor.field("evaluated")?)?,
+            cache_hits: parse_int(&cursor.field("cache_hits")?)?,
+        })
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunDocument;
+
+    fn sweep(body: &str) -> SweepDocument {
+        let doc = RunDocument::from_json_str(body).expect("valid sweep document");
+        let RunDocument::Sweep(run) = doc else {
+            panic!("expected a sweep document");
+        };
+        run
+    }
+
+    const SMALL_SWEEP: &str = r#"{
+        "kind": "sweep", "name": "unit", "duration_s": 0.05,
+        "accelerators": ["J"], "base_pes": 8192, "pe_scaling": [1.0, 0.5],
+        "schedulers": ["latency-greedy", "round-robin"],
+        "recovery": ["drop", "requeue"],
+        "workloads": [ { "scenario": "VR Gaming" } ] }"#;
+
+    #[test]
+    fn points_expand_in_declaration_order_with_recovery_innermost() {
+        let run = sweep(SMALL_SWEEP);
+        let points = run.points();
+        assert_eq!(points.len(), 8);
+        assert!(points.iter().enumerate().all(|(i, p)| p.index == i));
+        assert_eq!(points[0].pes, 8192);
+        assert_eq!(points[0].scheduler, SchedulerSpec::LatencyGreedy);
+        assert_eq!(points[0].recovery, RecoveryPolicy::Drop);
+        assert_eq!(points[1].recovery, RecoveryPolicy::Requeue);
+        assert_eq!(points[2].scheduler, SchedulerSpec::RoundRobin);
+        assert_eq!(points[4].pes, 4096);
+    }
+
+    #[test]
+    fn recovery_axis_collapses_in_cache_keys_for_faultless_workloads() {
+        let run = sweep(SMALL_SWEEP);
+        let points = run.points();
+        assert_eq!(run.cache_key(&points[0]), run.cache_key(&points[1]));
+        assert_ne!(run.cache_key(&points[0]), run.cache_key(&points[2]));
+        assert_eq!(run.distinct_evaluations(), 4);
+    }
+
+    #[test]
+    fn memo_cache_halves_the_evaluations() {
+        let run = sweep(SMALL_SWEEP);
+        let outcome = run.run_with(&SweepOptions::default()).unwrap();
+        assert_eq!(outcome.stats.points, 8);
+        assert_eq!(outcome.stats.evaluated, 4);
+        assert_eq!(outcome.stats.cache_hits, 4);
+        let report = outcome.report.expect("no limit configured");
+        assert_eq!(report.num_points, 8);
+        assert_eq!(report.distinct_evaluations, 4);
+        // Identical metrics for the recovery-collapsed twin points.
+        assert_eq!(report.points[0].score, report.points[1].score);
+        assert_eq!(
+            report.points[0].total_energy_mj,
+            report.points[1].total_energy_mj
+        );
+    }
+
+    #[test]
+    fn sharded_runs_merge_byte_identically() {
+        let run = sweep(SMALL_SWEEP);
+        let straight = run.run();
+        for num_shards in [1_u32, 3, 4, 8, 11] {
+            let states: Vec<SweepShardState> = (0..num_shards)
+                .map(|k| {
+                    let text = run.run_shard(k, num_shards).to_json();
+                    SweepShardState::from_json(&text).expect("round-trips")
+                })
+                .collect();
+            let merged = run.merge_shards(&states).expect("complete partition");
+            assert_eq!(merged.to_json(), straight.to_json(), "N={num_shards}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_to_straight_run() {
+        let run = sweep(SMALL_SWEEP);
+        let straight = run.run();
+        let dir = std::env::temp_dir().join(format!(
+            "xrbench-sweep-test-{}-{}",
+            std::process::id(),
+            run.fingerprint()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let checkpoint = dir.join("ckpt.json");
+        let _ = fs::remove_file(&checkpoint);
+
+        let partial = run
+            .run_with(&SweepOptions {
+                checkpoint: Some(checkpoint.clone()),
+                limit: Some(3),
+            })
+            .unwrap();
+        assert!(partial.report.is_none());
+        assert_eq!(partial.stats.evaluated + partial.stats.cache_hits, 3);
+
+        let resumed = run
+            .run_with(&SweepOptions {
+                checkpoint: Some(checkpoint.clone()),
+                limit: None,
+            })
+            .unwrap();
+        assert_eq!(resumed.stats.resumed, 3);
+        let report = resumed.report.expect("resumed to completion");
+        assert_eq!(report.to_json(), straight.to_json());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_from_a_different_document_are_rejected() {
+        let run = sweep(SMALL_SWEEP);
+        let other = sweep(&SMALL_SWEEP.replace("0.05", "0.04"));
+        assert_ne!(run.fingerprint(), other.fingerprint());
+        let dir = std::env::temp_dir().join(format!(
+            "xrbench-sweep-fp-{}-{}",
+            std::process::id(),
+            run.fingerprint()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let checkpoint = dir.join("ckpt.json");
+        let _ = fs::remove_file(&checkpoint);
+        other
+            .run_with(&SweepOptions {
+                checkpoint: Some(checkpoint.clone()),
+                limit: Some(1),
+            })
+            .unwrap();
+        let err = run
+            .run_with(&SweepOptions {
+                checkpoint: Some(checkpoint.clone()),
+                limit: None,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn marginals_cover_every_axis_value() {
+        let run = sweep(SMALL_SWEEP);
+        let report = run.run();
+        let axis_values: Vec<(String, String)> = report
+            .marginals
+            .iter()
+            .map(|m| (m.axis.clone(), m.value.clone()))
+            .collect();
+        for expected in [
+            ("workload", "VR Gaming"),
+            ("accelerator", "J@8192"),
+            ("accelerator", "J@4096"),
+            ("scheduler", "latency-greedy"),
+            ("scheduler", "round-robin"),
+            ("recovery", "drop"),
+            ("recovery", "requeue"),
+        ] {
+            assert!(
+                axis_values.contains(&(expected.0.to_string(), expected.1.to_string())),
+                "missing marginal {expected:?}"
+            );
+        }
+        for marginal in &report.marginals {
+            assert!(marginal.best_score >= marginal.mean_score - 1e-12);
+            assert!(marginal.points > 0);
+        }
+    }
+
+    #[test]
+    fn pareto_fronts_are_non_empty_and_in_range() {
+        let run = sweep(SMALL_SWEEP);
+        let report = run.run();
+        for front in [&report.pareto_score_energy, &report.pareto_score_capacity] {
+            assert!(!front.is_empty());
+            assert!(front.iter().all(|&i| i < report.num_points));
+        }
+    }
+
+    #[test]
+    fn scenario_seed_workloads_expand_through_the_scenario_space() {
+        let run = sweep(
+            r#"{ "kind": "sweep", "duration_s": 0.05,
+                 "accelerators": ["J"],
+                 "workloads": [ { "scenario_seeds": [7, 8] } ] }"#,
+        );
+        assert_eq!(run.workloads.len(), 2);
+        assert_eq!(run.workloads[0].name, "sampled-7");
+        assert_eq!(run.workloads[1].name, "sampled-8");
+        assert_eq!(run.points().len(), 2);
+    }
+
+    #[test]
+    fn sweep_document_rejections_name_the_problem() {
+        let cases = [
+            (
+                r#"{ "kind": "sweep", "accelerators": [], "workloads": [ { "scenario": "VR Gaming" } ] }"#,
+                "at least one Table 5 id",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["J", "J"], "workloads": [ { "scenario": "VR Gaming" } ] }"#,
+                "duplicate accelerator",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["Z"], "workloads": [ { "scenario": "VR Gaming" } ] }"#,
+                "unknown accelerator",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["J"], "pe_scaling": [0.0], "workloads": [ { "scenario": "VR Gaming" } ] }"#,
+                "positive and finite",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["J"], "schedulers": ["latency-greedy", "latency-greedy"], "workloads": [ { "scenario": "VR Gaming" } ] }"#,
+                "duplicate scheduler",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["J"], "recovery": ["vanish"], "workloads": [ { "scenario": "VR Gaming" } ] }"#,
+                "unknown recovery policy",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["J"], "workloads": [] }"#,
+                "at least one workload",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["J"], "workloads": [ { "scenario": "VR Gaming", "scenario_seeds": [1] } ] }"#,
+                "exactly one of",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["J"], "workloads": [ { "scenario": "No Such Scenario" } ] }"#,
+                "No Such Scenario",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["J"], "base_pes": 0, "workloads": [ { "scenario": "VR Gaming" } ] }"#,
+                "base_pes must be at least 1",
+            ),
+            (
+                r#"{ "kind": "sweep", "accelerators": ["J"], "workloads": [ { "scenario": "VR Gaming" }, { "scenario": "VR Gaming" } ] }"#,
+                "duplicate workload name",
+            ),
+        ];
+        for (body, needle) in cases {
+            let err = RunDocument::from_json_str(body).expect_err(body);
+            assert!(
+                err.to_string().contains(needle),
+                "expected `{needle}` in `{err}` for {body}"
+            );
+        }
+    }
+}

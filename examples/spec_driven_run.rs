@@ -21,7 +21,7 @@ fn main() {
     ))
     .expect("committed spec exists");
     let doc = RunDocument::from_json_str(&text).expect("committed spec is valid");
-    let RunDocument::Suite(suite) = doc else {
+    let RunDocument::Suite(suite) = &doc else {
         panic!("suite_default.json is a suite document");
     };
     println!(
@@ -30,10 +30,13 @@ fn main() {
         suite.repeats
     );
 
-    // 2. Executing it goes through the same `run_suite_catalog` entry
-    //    point a Rust caller uses — the report is bit-identical to the
+    // 2. `Runner::run` executes any document kind and returns a
+    //    tagged report — the report is bit-identical to the
     //    programmatic path.
-    let from_spec = suite.run();
+    let report = Runner::new().run(&doc).expect("suite runs are infallible");
+    let RunReport::Suite(from_spec) = report else {
+        panic!("a suite document yields a suite report");
+    };
     let system = AcceleratorSystem::new(config_by_id('J').expect("Table 5 defines J"), 8192);
     let programmatic = run_suite(&Harness::new(), &system, 10);
     assert_eq!(from_spec.to_json(), programmatic.to_json());

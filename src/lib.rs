@@ -57,9 +57,10 @@ pub mod prelude {
         Diagnostic, FeasibleSampling, Severity,
     };
     pub use xrbench_core::{
-        run_sessions, run_suite, run_suite_catalog, run_suite_parallel, run_suite_serial,
-        BenchmarkReport, BreakdownReport, FleetRun, Harness, ModelReport, RunDocument,
-        ScenarioReport, SchedulerSpec, SessionReport, SessionRun, SuiteRun, SystemSpec, UserReport,
+        run_sessions, run_suite, run_suite_catalog, BenchmarkReport, BreakdownReport, ErrorCode,
+        FleetRun, Harness, ModelReport, RunDocument, RunReport, Runner, ScenarioReport,
+        SchedulerSpec, SessionReport, SessionRun, SuiteRun, SweepDocument, SweepReport, SystemSpec,
+        UserReport, XrError,
     };
     pub use xrbench_costmodel::{
         evaluate_layer, evaluate_layers, Dataflow, HardwareConfig, Layer, LayerKind,

@@ -1,0 +1,155 @@
+//! Pins the `xrbench::prelude` surface: the flat re-export list is
+//! the crate's public face, so additions and removals must be
+//! deliberate (update `EXPECTED` alongside `src/lib.rs`).
+
+use std::path::PathBuf;
+
+/// Every name `xrbench::prelude` re-exports, sorted.
+const EXPECTED: &[&str] = &[
+    "AcceleratorConfig",
+    "AcceleratorStyle",
+    "AcceleratorSystem",
+    "Analysis",
+    "BenchmarkReport",
+    "BreakdownReport",
+    "CostProvider",
+    "Dataflow",
+    "DenseCostCache",
+    "DeviceGroup",
+    "Diagnostic",
+    "ErrorCode",
+    "FeasibleSampling",
+    "FleetReport",
+    "FleetRun",
+    "FleetRunConfig",
+    "FleetSpec",
+    "HardwareConfig",
+    "Harness",
+    "InferenceCost",
+    "InferenceScore",
+    "LatencyGreedy",
+    "Layer",
+    "LayerKind",
+    "LeastLoaded",
+    "LoadGenerator",
+    "MappingStrategy",
+    "ModelId",
+    "ModelOutcome",
+    "ModelReport",
+    "RoundRobin",
+    "RunDocument",
+    "RunReport",
+    "Runner",
+    "ScenarioBuilder",
+    "ScenarioCatalog",
+    "ScenarioReport",
+    "ScenarioSpace",
+    "ScenarioSpec",
+    "Scheduler",
+    "SchedulerSpec",
+    "SessionReport",
+    "SessionRun",
+    "SessionSimResult",
+    "SessionSpec",
+    "Severity",
+    "SimConfig",
+    "Simulator",
+    "SlackAwareEdf",
+    "SpecError",
+    "SuiteRun",
+    "SweepDocument",
+    "SweepReport",
+    "SystemSpec",
+    "TableProvider",
+    "TaskCategory",
+    "TensorDims",
+    "UsageScenario",
+    "UserReport",
+    "XrError",
+    "analyze_fleet",
+    "analyze_run_document",
+    "analyze_scenario",
+    "analyze_session",
+    "benchmark_score",
+    "config_by_id",
+    "evaluate_layer",
+    "evaluate_layers",
+    "model_info",
+    "run_fleet",
+    "run_sessions",
+    "run_suite",
+    "run_suite_catalog",
+    "scenario_from_str",
+    "scenario_to_json",
+    "session_from_str",
+    "session_to_json",
+    "table5",
+];
+
+/// Extracts the re-exported names from the `pub mod prelude { ... }`
+/// block of `src/lib.rs` (the facade has no nested braces inside the
+/// prelude besides `pub use` groups, so a brace-depth scan suffices).
+fn prelude_names() -> Vec<String> {
+    let lib = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("src")
+        .join("lib.rs");
+    let text = std::fs::read_to_string(&lib).expect("read src/lib.rs");
+    let start = text
+        .find("pub mod prelude {")
+        .expect("src/lib.rs declares `pub mod prelude`");
+    let body = &text[start..];
+    let mut names = Vec::new();
+    for stmt in body.split(';') {
+        let Some(use_pos) = stmt.find("pub use ") else {
+            continue;
+        };
+        let path = stmt[use_pos + "pub use ".len()..].trim();
+        let list = match (path.find('{'), path.rfind('}')) {
+            (Some(open), Some(close)) => &path[open + 1..close],
+            // `pub use a::b::Name` without a brace group.
+            _ => path.rsplit("::").next().unwrap_or(path),
+        };
+        for name in list.split(',') {
+            let name = name.trim();
+            if !name.is_empty() {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    names
+}
+
+#[test]
+fn prelude_surface_matches_the_snapshot() {
+    let actual = prelude_names();
+    let expected: Vec<String> = EXPECTED.iter().map(|s| s.to_string()).collect();
+    assert!(
+        expected.windows(2).all(|w| w[0] < w[1]),
+        "EXPECTED must be sorted and duplicate-free"
+    );
+    assert_eq!(
+        actual, expected,
+        "xrbench::prelude drifted from the snapshot — update EXPECTED in \
+         tests/api_surface.rs if the change is deliberate"
+    );
+}
+
+/// The headline additions of the unified entry-point redesign must be
+/// importable from the prelude (a compile-time check the snapshot
+/// alone cannot give).
+#[test]
+fn runner_types_are_reachable_from_the_prelude() {
+    use xrbench::prelude::{RunDocument, RunReport, Runner};
+
+    let runner = Runner::new();
+    let doc = RunDocument::from_json_str(
+        r#"{ "kind": "suite",
+             "hardware": { "accelerator": { "id": "J", "pes": 8192 } },
+             "repeats": 1,
+             "duration_s": 0.02 }"#,
+    )
+    .expect("valid document");
+    let report: RunReport = runner.run(&doc).expect("suite runs");
+    assert_eq!(report.kind(), "suite");
+}

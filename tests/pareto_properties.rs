@@ -1,0 +1,131 @@
+//! Property-based tests for `core::pareto` frontier analysis: the
+//! frontier must be mutually non-dominated, must cover every
+//! dominated point with a dominating member, and must be invariant
+//! (as a set of designs) under input permutation.
+
+use proptest::prelude::*;
+
+use xrbench::core::pareto::{pareto_frontier, ParetoPoint};
+
+/// Builds labeled points from raw objective tuples. Objectives are
+/// quantized to a coarse grid so random inputs actually produce ties
+/// and duplicates — the edge cases where frontier bugs hide.
+fn points_from(raw: &[(f64, f64, f64)], quantize: bool) -> Vec<ParetoPoint> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(a, b, c))| {
+            let q = |v: f64| {
+                if quantize {
+                    (v * 4.0).round() / 4.0
+                } else {
+                    v
+                }
+            };
+            ParetoPoint::new(format!("p{i}"), vec![q(a), q(b), q(c)])
+        })
+        .collect()
+}
+
+/// A deterministic seeded Fisher–Yates shuffle (no global RNG in
+/// tests either: the permutation must be reproducible from the seed).
+fn shuffled(len: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut state = seed | 1;
+    for i in (1..len).rev() {
+        // SplitMix64 step: plenty for a test permutation.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        order.swap(i, (z % (i as u64 + 1)) as usize);
+    }
+    order
+}
+
+proptest! {
+    /// No frontier member dominates another frontier member.
+    #[test]
+    fn frontier_members_are_mutually_non_dominated(
+        raw in prop::collection::vec((0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 1..24),
+    ) {
+        let points = points_from(&raw, true);
+        let frontier = pareto_frontier(&points);
+        prop_assert!(!frontier.is_empty(), "a non-empty set has a frontier");
+        for &i in &frontier {
+            for &j in &frontier {
+                if i != j {
+                    prop_assert!(
+                        !points[i].dominates(&points[j]),
+                        "frontier member {i} dominates frontier member {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every point left off the frontier is dominated by at least one
+    /// frontier member (dominance is a strict partial order, so every
+    /// dominated point sits below some maximal element).
+    #[test]
+    fn every_dominated_point_is_dominated_by_a_frontier_member(
+        raw in prop::collection::vec((0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 1..24),
+    ) {
+        let points = points_from(&raw, true);
+        let frontier = pareto_frontier(&points);
+        for i in 0..points.len() {
+            if frontier.contains(&i) {
+                continue;
+            }
+            prop_assert!(
+                frontier.iter().any(|&f| points[f].dominates(&points[i])),
+                "off-frontier point {i} is not dominated by any frontier member"
+            );
+        }
+    }
+
+    /// The frontier — as a set of designs — does not depend on input
+    /// order, and the returned indices are always in input order.
+    #[test]
+    fn frontier_is_invariant_under_permutation(
+        raw in prop::collection::vec((0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 1..24),
+        seed in proptest::any::<u64>(),
+    ) {
+        let points = points_from(&raw, true);
+        let frontier = pareto_frontier(&points);
+        prop_assert!(
+            frontier.windows(2).all(|w| w[0] < w[1]),
+            "frontier indices must come back sorted (input order)"
+        );
+        let order = shuffled(points.len(), seed);
+        let permuted: Vec<ParetoPoint> = order.iter().map(|&i| points[i].clone()).collect();
+        let permuted_frontier = pareto_frontier(&permuted);
+        // Map both frontiers back to original indices and compare as
+        // sorted sets.
+        let mut expected: Vec<usize> = frontier.clone();
+        let mut actual: Vec<usize> = permuted_frontier.iter().map(|&i| order[i]).collect();
+        expected.sort_unstable();
+        actual.sort_unstable();
+        prop_assert_eq!(expected, actual, "frontier changed under permutation");
+    }
+
+    /// Un-quantized continuous objectives (almost surely no ties):
+    /// the frontier covers the best value of every single objective.
+    #[test]
+    fn frontier_contains_each_objective_maximum(
+        raw in prop::collection::vec((0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 1..24),
+    ) {
+        let points = points_from(&raw, false);
+        let frontier = pareto_frontier(&points);
+        for axis in 0..3 {
+            let best = points
+                .iter()
+                .map(|p| p.objectives[axis])
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(
+                frontier.iter().any(|&f| points[f].objectives[axis] == best),
+                "no frontier member attains the axis-{axis} maximum {best}"
+            );
+        }
+    }
+}

@@ -2,12 +2,18 @@
 //! path must be a drop-in for the serial one — identical scores for
 //! every Table 5 accelerator — while actually fanning work across
 //! more than one worker thread.
+//!
+//! The per-strategy entry points are deprecated in favour of
+//! `run_suite` / `Runner`, but they are the *subject* of this
+//! equivalence test, so it calls them deliberately.
+#![allow(deprecated)]
 
 use std::collections::HashSet;
 use std::sync::{Condvar, Mutex};
 use std::thread::ThreadId;
 use std::time::Duration;
 
+use xrbench::core::{run_suite_parallel, run_suite_serial};
 use xrbench::prelude::*;
 use xrbench::sim::UniformProvider;
 
